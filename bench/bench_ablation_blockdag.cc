@@ -1,0 +1,45 @@
+// Ablation — block-size threshold sweep (the §5.2 design choice: "a
+// block's size should be limited by a threshold parameter decided by the
+// device capability"). Larger blocks shrink the DP search space but can
+// overshoot a device's per-stage resources; smaller blocks raise placement
+// time and cut costs.
+#include "bench_util.h"
+#include "modules/templates.h"
+#include "place/blockdag.h"
+#include "place/treedp.h"
+#include "topo/ec.h"
+
+int main() {
+  using namespace clickinc;
+  bench::printHeader(
+      "Ablation — block size threshold vs placement quality/time (MLAgg)",
+      "DESIGN.md §5 design-choice ablation (not a paper table).");
+
+  modules::ModuleLibrary lib;
+  const auto prog = lib.compileTemplate(
+      "MLAgg", "agg", {{"NumAgg", 1024}, {"Dim", 8}, {"NumWorker", 2}});
+
+  const auto topo = topo::Topology::paperEmulation();
+  topo::TrafficSpec spec;
+  spec.sources = {{topo.findNode("pod0a"), 10.0},
+                  {topo.findNode("pod1a"), 10.0}};
+  spec.dst_host = topo.findNode("pod2b");
+  const auto tree = topo::buildEcTree(topo, spec);
+
+  TextTable table({"max block instrs", "blocks", "place time (ms)",
+                   "gain", "h_p (comm)", "feasible"});
+  for (int threshold : {2, 4, 8, 16, 32}) {
+    place::BlockDagOptions dopts;
+    dopts.max_block_instrs = threshold;
+    const auto dag = place::BlockDag::build(prog, dopts);
+    place::OccupancyMap occ(&topo);
+    const auto plan = place::placeProgram(dag, tree, topo, occ);
+    table.addRow({cat(threshold), cat(dag.size()),
+                  fmtDouble(plan.elapsed_ms, 2),
+                  plan.feasible ? fmtDouble(plan.gain, 3) : "-",
+                  plan.feasible ? fmtDouble(plan.hp, 3) : "-",
+                  plan.feasible ? "yes" : "no"});
+  }
+  bench::printTable(table);
+  return 0;
+}

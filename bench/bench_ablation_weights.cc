@@ -1,0 +1,53 @@
+// Ablation — objective-weight sensitivity (Eq. 1's ω_r / ω_p trade-off,
+// a design choice DESIGN.md calls out). Sweeping ω_r from comm-dominated
+// to resource-dominated shows the placement migrating from "one EC holds
+// everything" to "spread across cheap devices".
+#include <algorithm>
+#include "bench_util.h"
+#include "modules/templates.h"
+#include "place/blockdag.h"
+#include "place/treedp.h"
+#include "topo/ec.h"
+
+int main() {
+  using namespace clickinc;
+  bench::printHeader(
+      "Ablation — Eq. 1 weight sensitivity (DQAcc on pod0a->pod2b)",
+      "omega_r + omega_p = 1/2 (omega_t fixed at 1/2, as in the paper).");
+
+  modules::ModuleLibrary lib;
+  const auto prog = lib.compileTemplate(
+      "DQAcc", "dq", {{"CacheDepth", 2048}, {"CacheLen", 4}});
+  const auto dag = place::BlockDag::build(prog);
+
+  const auto topo = topo::Topology::paperEmulation();
+  topo::TrafficSpec spec;
+  spec.sources = {{topo.findNode("pod0a"), 10.0}};
+  spec.dst_host = topo.findNode("pod2b");
+  const auto tree = topo::buildEcTree(topo, spec);
+
+  TextTable table({"omega_r", "omega_p", "devices used", "h_r", "h_p"});
+  for (double wr : {0.0, 0.1, 0.25, 0.4, 0.5}) {
+    place::PlacementOptions opts;
+    opts.adaptive = false;
+    opts.weights.wt = 0.5;
+    opts.weights.wr = wr;
+    opts.weights.wp = 0.5 - wr;
+    place::OccupancyMap occ(&topo);
+    const auto plan = place::placeProgram(dag, tree, topo, occ, opts);
+    if (!plan.feasible) {
+      table.addRow({fmtDouble(wr, 2), fmtDouble(0.5 - wr, 2), "FAIL", "-",
+                    "-"});
+      continue;
+    }
+    std::vector<std::string> names;
+    for (int d : plan.devicesUsed()) names.push_back(topo.node(d).name);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    table.addRow({fmtDouble(wr, 2), fmtDouble(0.5 - wr, 2),
+                  joinStrings(names, ","), fmtDouble(plan.hr, 3),
+                  fmtDouble(plan.hp, 3)});
+  }
+  bench::printTable(table);
+  return 0;
+}

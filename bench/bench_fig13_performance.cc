@@ -1,0 +1,144 @@
+// Fig. 13 — Application performance of sparse gradient aggregation under
+// five device configurations: (1) no programmable device (DPDK server
+// only), (2) smartNICs only (sparse compression), (3) one Tofino switch
+// (aggregation), (4) two Tofino switches (larger parameter vectors),
+// (5) smartNIC + switch (compression + aggregation).
+//
+// Absolute numbers are emulated (DESIGN.md substitution); the claim under
+// test is the *ordering* and approximate factors of Fig. 13(a)/(b).
+#include "apps/workloads.h"
+#include "bench_util.h"
+#include "core/service.h"
+#include "topo/topology.h"
+
+namespace clickinc {
+namespace {
+
+using topo::Node;
+using topo::NodeKind;
+using topo::Topology;
+
+// workers --[NIC?]-- switch chain --- server. With workers_split, workers
+// are spread evenly over the chain's switches (the paper's case-4 testbed
+// wiring: two interconnected switches, each fronting half the NICs).
+Topology configTopology(int workers, bool smartnic, int switches,
+                        bool programmable_switch, bool workers_split) {
+  Topology t;
+  std::vector<int> sw;
+  for (int i = 0; i < switches; ++i) {
+    Node s;
+    s.name = cat("sw", i);
+    s.kind = NodeKind::kSwitch;
+    s.layer = 1;
+    s.programmable = programmable_switch;
+    s.model = device::makeTofino();
+    sw.push_back(t.addNode(s));
+    if (i > 0) t.addLink(sw[static_cast<std::size_t>(i) - 1], sw.back());
+  }
+  for (int w = 0; w < workers; ++w) {
+    const int attach = workers_split
+                           ? sw[static_cast<std::size_t>(
+                                 w / (workers / switches))]
+                           : sw.front();
+    Node h;
+    h.name = cat("worker", w);
+    h.kind = NodeKind::kHost;
+    h.pod = workers_split ? w / (workers / switches) : 0;
+    const int hid = t.addNode(h);
+    if (smartnic) {
+      Node nic;
+      nic.name = cat("nic", w);
+      nic.kind = NodeKind::kNic;
+      nic.pod = 0;
+      nic.programmable = true;
+      nic.model = device::makeNfp();
+      const int nid = t.addNode(nic);
+      t.addLink(hid, nid, 100.0, 600.0);
+      t.addLink(nid, attach);
+    } else {
+      t.addLink(hid, attach);
+    }
+  }
+  Node server;
+  server.name = "server";
+  server.kind = NodeKind::kHost;
+  server.pod = 1;
+  const int sid = t.addNode(server);
+  t.addLink(sw.back(), sid);
+  return t;
+}
+
+struct ConfigRun {
+  const char* label;
+  bool smartnic;
+  int switches;
+  bool prog_switch;
+  bool use_sparse;
+  bool use_mlagg;
+  int dim;
+  int groups;          // hierarchical aggregation subgroups
+  bool workers_split;  // workers spread over the switch chain
+};
+
+}  // namespace
+}  // namespace clickinc
+
+int main() {
+  using namespace clickinc;
+  bench::printHeader(
+      "Fig. 13 — sparse MLAgg goodput and INC latency across device mixes",
+      "Emulated reproduction; compare ordering/shape with the paper, not "
+      "absolute Gbps.\nPaper shape: DPDK < SmartNIC < 1 Switch < 2 Switches "
+      "< 1 Switch+SmartNIC (goodput);\nSmartNIC adds the highest INC "
+      "latency, switches the lowest.");
+
+  const ConfigRun configs[] = {
+      {"DPDK (no INC)", false, 1, false, false, false, 16, 1, false},
+      {"SmartNIC", true, 1, false, true, false, 16, 1, false},
+      {"1 Switch", false, 1, true, false, true, 16, 1, false},
+      // Case 4: two interconnected switches, each fronting half the
+      // workers; the vector doubles and each switch aggregates its local
+      // subgroup (hierarchical, ATP-style).
+      {"2 Switches", false, 2, true, false, true, 32, 2, true},
+      {"1 Switch+SmartNIC", true, 1, true, true, true, 32, 1, false},
+  };
+
+  TextTable table({"configuration", "goodput (Gbps)", "INC latency (ns)",
+                   "rounds in-network", "server-link MB"});
+  const int workers = 4;
+  const int rounds = 200;
+
+  for (const auto& cfg : configs) {
+    auto topo = configTopology(workers, cfg.smartnic, cfg.switches,
+                               cfg.prog_switch, cfg.workers_split);
+    core::ClickIncService svc(std::move(topo));
+
+    apps::MlaggConfig run;
+    for (int w = 0; w < workers; ++w) {
+      run.worker_hosts.push_back(svc.topology().findNode(cat("worker", w)));
+    }
+    run.server_host = svc.topology().findNode("server");
+    run.rounds = rounds;
+    run.dim = cfg.dim;
+    run.block_size = 4;
+    run.sparsity = 0.5;
+    run.use_sparse = cfg.use_sparse;
+    run.use_mlagg = cfg.use_mlagg;
+    run.num_agg = 512;
+    run.worker_groups = cfg.groups;
+    run.check_overflow = false;  // workers pre-scale gradients (DESIGN.md)
+
+    const auto r = apps::runMlagg(svc, run);
+    if (!r.deployed) {
+      table.addRow({cfg.label, "placement failed: " + r.failure, "-", "-",
+                    "-"});
+      continue;
+    }
+    table.addRow({cfg.label, fmtDouble(r.goodput_gbps, 2),
+                  fmtDouble(r.avg_inc_latency_ns, 0),
+                  cat(r.inc_aggregated, "/", r.rounds_done),
+                  fmtDouble(r.server_link_bytes / 1e6, 3)});
+  }
+  bench::printTable(table);
+  return 0;
+}

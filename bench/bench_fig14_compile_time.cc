@@ -1,0 +1,93 @@
+// Fig. 14 — compiling/placement time against the number of devices:
+// (a) DP with/without block construction, (b) DP with/without pruning
+// (block construction on), (c) SMT-style baseline with/without blocks.
+// The paper's claims: block construction and pruning each cut DP time by
+// >50% (>80% together); DP scales linearly with devices while the SMT
+// baseline grows exponentially.
+#include "bench_util.h"
+#include "modules/templates.h"
+#include "place/blockdag.h"
+#include "place/smt_baseline.h"
+#include "place/treedp.h"
+#include "topo/ec.h"
+
+namespace clickinc {
+namespace {
+
+double dpTimeMs(const ir::IrProgram& prog, int devices, bool blocks,
+                bool prune) {
+  place::BlockDagOptions dag_opts;
+  dag_opts.merge = blocks;
+  const auto dag = place::BlockDag::build(prog, dag_opts);
+  const std::vector<device::DeviceModel> chain(
+      static_cast<std::size_t>(devices), device::makeTofino());
+  const auto topo = topo::Topology::chain(chain);
+  topo::TrafficSpec spec;
+  spec.sources = {{topo.findNode("client"), 1.0}};
+  spec.dst_host = topo.findNode("server");
+  const auto tree = topo::buildEcTree(topo, spec);
+  place::OccupancyMap occ(&topo);
+  place::PlacementOptions opts;
+  opts.adaptive = false;
+  opts.prune = prune;
+  opts.max_steps = 300000;  // per-segment budget in exhaustive mode
+  const auto plan = place::placeProgram(dag, tree, topo, occ, opts);
+  return plan.elapsed_ms;
+}
+
+}  // namespace
+}  // namespace clickinc
+
+int main() {
+  using namespace clickinc;
+  bench::printHeader(
+      "Fig. 14 — placement time vs number of devices (MLAgg)",
+      "(a)/(b): DP ablations of block construction and pruning. (c): "
+      "SMT-style baseline.\nPaper shape: each optimization >50% faster, "
+      ">80% together; DP linear, SMT exponential.");
+
+  modules::ModuleLibrary lib;
+  const auto prog = lib.compileTemplate(
+      "MLAgg", "agg", {{"NumAgg", 512}, {"Dim", 8}, {"NumWorker", 2}});
+
+  // (a)+(b): DP sweeps.
+  TextTable dp({"devices", "DP block+prune (ms)", "DP block,no-prune (ms)",
+                "DP no-block,prune (ms)", "DP no-block,no-prune (ms)"});
+  for (int n = 1; n <= 10; n += 3) {
+    dp.addRow({cat(n), fmtDouble(dpTimeMs(prog, n, true, true), 2),
+               fmtDouble(dpTimeMs(prog, n, true, false), 2),
+               fmtDouble(dpTimeMs(prog, n, false, true), 2),
+               fmtDouble(dpTimeMs(prog, n, false, false), 2)});
+  }
+  bench::printTable(dp);
+
+  // (c): SMT baseline, with and without block construction.
+  TextTable smt({"devices", "SMT blocks (ms)", "SMT steps",
+                 "SMT w/o blocks (ms)", "steps (w/o blocks)"});
+  for (int n = 1; n <= 4; ++n) {
+    const std::vector<device::DeviceModel> chain(
+        static_cast<std::size_t>(n), device::makeTofino());
+    place::SmtOptions o;
+    o.max_steps = 4000000;
+    o.per_segment_steps = 60000;
+
+    place::BlockDagOptions with_blocks;
+    const auto dag_b = place::BlockDag::build(prog, with_blocks);
+    const auto rb = place::smtPlaceChain(dag_b, chain, o);
+
+    place::BlockDagOptions no_blocks;
+    no_blocks.merge = false;
+    const auto dag_n = place::BlockDag::build(prog, no_blocks);
+    const auto rn = place::smtPlaceChain(dag_n, chain, o);
+
+    smt.addRow({cat(n),
+                cat(fmtDouble(rb.elapsed_ms, 1),
+                    rb.budget_exhausted ? " (budget)" : ""),
+                cat(rb.steps),
+                cat(fmtDouble(rn.elapsed_ms, 1),
+                    rn.budget_exhausted ? " (budget)" : ""),
+                cat(rn.steps)});
+  }
+  bench::printTable(smt);
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Table 6 — impact of incremental vs monolithic deployment when adding
+// and removing INC programs: affected devices, affected co-resident INC
+// programs, and affected traffic (pods).
+//
+// Incremental (ID) uses ClickIncService's annotation-based merge/strip.
+// Monolithic (MD) re-synthesizes every program from scratch at each step
+// (fresh occupancy, re-placement of all programs), so every device that
+// hosts anything before or after is touched — the paper's observation
+// that MD "is more likely to incur global traffic interruption".
+#include <algorithm>
+#include "bench_util.h"
+#include "core/service.h"
+
+namespace clickinc {
+namespace {
+
+struct Step {
+  const char* label;
+  bool add = true;
+  int remove_index = -1;  // for remove steps: index into programs list
+  const char* tmpl = "";
+  std::map<std::string, std::uint64_t> params;
+  std::vector<const char*> srcs;
+  const char* dst = "";
+};
+
+struct ProgramSpec {
+  const char* tmpl;
+  std::map<std::string, std::uint64_t> params;
+  std::vector<const char*> srcs;
+  const char* dst;
+};
+
+topo::TrafficSpec specFor(const core::ClickIncService& svc,
+                          const std::vector<const char*>& srcs,
+                          const char* dst) {
+  topo::TrafficSpec spec;
+  for (const char* s : srcs) {
+    spec.sources.push_back({svc.topology().findNode(s), 10.0});
+  }
+  spec.dst_host = svc.topology().findNode(dst);
+  return spec;
+}
+
+std::string podsText(const std::set<int>& pods) {
+  std::vector<std::string> parts;
+  for (int p : pods) parts.push_back(cat("pod", p));
+  return parts.empty() ? "-" : joinStrings(parts, ",");
+}
+
+}  // namespace
+}  // namespace clickinc
+
+int main() {
+  using namespace clickinc;
+  bench::printHeader(
+      "Table 6 — incremental (ID) vs monolithic (MD) deployment impact",
+      "Paper shape: identical for the first adds; from +MLAgg1 on, MD "
+      "touches 2x the devices,\nrecompiles co-resident programs, and "
+      "interrupts all pods' traffic.");
+
+  // The four programs of §7.5 (resource-intensive KVS on the bypass-FPGA
+  // path; MLAgg1 float-converted so it needs the pod1 FPGA NICs).
+  const std::vector<ProgramSpec> programs = {
+      {"KVS",
+       {{"CacheSize", 100000}, {"ValDim", 4}, {"TH", 64}},
+       {"pod0a", "pod1a"},
+       "pod2a"},
+      {"DQAcc", {{"CacheDepth", 4096}, {"CacheLen", 4}}, {"pod1a"}, "pod2b"},
+      {"MLAgg",  // MLAgg1: float gradients
+       {{"NumAgg", 2048}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 1},
+        {"Scale", 256}},
+       {"pod1a", "pod1b"},
+       "pod2b"},
+      {"MLAgg",  // MLAgg2: integer gradients
+       {{"NumAgg", 2048}, {"Dim", 8}, {"NumWorker", 2}},
+       {"pod0a", "pod0b"},
+       "pod2a"},
+  };
+  const std::vector<Step> steps = {
+      {"+KVS", true, -1},
+      {"+DQAcc", true, -1},
+      {"+MLAgg1", true, -1},
+      {"+MLAgg2", true, -1},
+      {"-MLAgg1", false, 2},
+  };
+
+  // --- incremental deployment (one service, add/remove in place) ---
+  core::ClickIncService id_svc(topo::Topology::paperEmulation());
+  std::vector<int> id_users;
+  std::vector<core::Impact> id_impacts;
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    if (steps[s].add) {
+      const auto& p = programs[id_users.size()];
+      const auto r = id_svc.submitTemplate(
+          p.tmpl, p.params, specFor(id_svc, p.srcs, p.dst));
+      id_users.push_back(r.ok ? r.user_id : -1);
+      id_impacts.push_back(r.impact);
+    } else {
+      const int user = id_users[static_cast<std::size_t>(
+          steps[s].remove_index)];
+      id_impacts.push_back(id_svc.remove(user));
+    }
+  }
+
+  // --- monolithic deployment (rebuild the world at each step) ---
+  std::vector<core::Impact> md_impacts;
+  std::vector<int> active;  // indices into `programs`
+  std::set<int> prev_devices;
+  int add_count = 0;
+  for (const auto& step : steps) {
+    if (step.add) {
+      active.push_back(add_count++);
+    } else {
+      active.erase(std::remove(active.begin(), active.end(),
+                               step.remove_index),
+                   active.end());
+    }
+    // Re-place everything from scratch.
+    core::ClickIncService md_svc(topo::Topology::paperEmulation());
+    std::set<int> devices;
+    std::set<int> users;
+    for (int idx : active) {
+      const auto& p = programs[static_cast<std::size_t>(idx)];
+      const auto r = md_svc.submitTemplate(
+          p.tmpl, p.params, specFor(md_svc, p.srcs, p.dst));
+      if (r.ok) {
+        for (int d : r.impact.affected_devices) devices.insert(d);
+        users.insert(r.user_id);
+      }
+    }
+    core::Impact impact;
+    // MD touches every device used before or after the rebuild.
+    impact.affected_devices = devices;
+    for (int d : prev_devices) impact.affected_devices.insert(d);
+    // All co-resident programs are recompiled.
+    if (users.size() > 1 || (!step.add && !users.empty())) {
+      for (int u : users) impact.affected_users.insert(u);
+      if (step.add) impact.affected_users.erase(*users.rbegin());
+    }
+    impact.affected_pods = md_svc.podsCrossing(impact.affected_devices);
+    md_impacts.push_back(impact);
+    prev_devices = devices;
+  }
+
+  TextTable table({"step", "ID devices", "ID other INC", "ID pods",
+                   "MD devices", "MD other INC", "MD pods"});
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    table.addRow({steps[s].label,
+                  cat(id_impacts[s].affected_devices.size()),
+                  cat(id_impacts[s].affected_users.size()),
+                  podsText(id_impacts[s].affected_pods),
+                  cat(md_impacts[s].affected_devices.size()),
+                  cat(md_impacts[s].affected_users.size()),
+                  podsText(md_impacts[s].affected_pods)});
+  }
+  bench::printTable(table);
+  std::printf("Shape check: from +MLAgg1 onward MD affects >= ID on every "
+              "column (paper: 50-75%% less\ntraffic affected with "
+              "incremental deployment).\n\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Shared helpers for the per-table/figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/strings.h"
+#include "util/texttable.h"
+
+namespace clickinc::bench {
+
+inline void printHeader(const std::string& title, const std::string& note) {
+  std::printf("==== %s ====\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+inline void printTable(const TextTable& t) {
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace clickinc::bench

@@ -1,0 +1,71 @@
+// Multi-tenant INC as a service (§6): two users deploy instances of the
+// same template; ClickINC isolates their state and control flow, merges
+// their snippets with the operator's base program, and removes one tenant
+// incrementally without touching the other.
+//
+//   $ ./multi_tenant
+#include <cstdio>
+
+#include "backend/codegen.h"
+#include "core/service.h"
+
+int main() {
+  using namespace clickinc;
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+
+  topo::TrafficSpec spec;
+  spec.sources = {{svc.topology().findNode("pod0a"), 10.0}};
+  spec.dst_host = svc.topology().findNode("pod2b");
+
+  const auto tenant_a = svc.submitTemplate(
+      "DQAcc", {{"CacheDepth", 256}, {"CacheLen", 2}}, spec);
+  const auto tenant_b = svc.submitTemplate(
+      "DQAcc", {{"CacheDepth", 256}, {"CacheLen", 2}}, spec);
+  if (!tenant_a.ok || !tenant_b.ok) {
+    std::printf("placement failed\n");
+    return 1;
+  }
+  std::printf("tenant A = user %d, tenant B = user %d\n", tenant_a.user_id,
+              tenant_b.user_id);
+
+  // Both tenants see the same value stream; their rolling caches must not
+  // alias (memory isolation) and each only reacts to its own traffic
+  // (control-flow isolation).
+  const int src = svc.topology().findNode("pod0a");
+  const int dst = svc.topology().findNode("pod2b");
+  auto probe = [&](int user, std::uint64_t value) {
+    ir::PacketView view;
+    view.user_id = user;
+    view.setField("hdr._uid", static_cast<std::uint64_t>(user));
+    view.setField("hdr.value", value);
+    const auto pkt = svc.emulator().send(src, dst, std::move(view), 64, 4);
+    return pkt.dropped ? "filtered (duplicate)" : "forwarded";
+  };
+  std::printf("A sends 99:  %s\n", probe(tenant_a.user_id, 99));
+  std::printf("A sends 99:  %s\n", probe(tenant_a.user_id, 99));
+  std::printf("B sends 99:  %s  <- B's cache is isolated from A's\n",
+              probe(tenant_b.user_id, 99));
+
+  // The synthesized device program carries both tenants plus the base.
+  const int dev = *tenant_a.impact.affected_devices.begin();
+  auto& dp = svc.deviceProgram(dev);
+  std::printf("\ndevice %s runs %zu merged instructions for users:",
+              svc.topology().node(dev).name.c_str(),
+              dp.executable().instrs.size());
+  for (int u : dp.activeUsers()) std::printf(" %d", u);
+  std::printf("\nparser tree: %d header nodes\n", dp.parser().nodeCount());
+
+  // Remove tenant A incrementally; tenant B keeps working untouched.
+  svc.remove(tenant_a.user_id);
+  std::printf("\nafter removing tenant A:\n");
+  std::printf("B sends 99:  %s  <- B's state survived A's removal\n",
+              probe(tenant_b.user_id, 99));
+  std::printf("B sends 42:  %s\n", probe(tenant_b.user_id, 42));
+
+  // What the operator would compile for this device now.
+  std::printf("\n--- merged Micro-C for %s (%d LoC) ---\n",
+              svc.topology().node(dev).name.c_str(),
+              backend::generatedLoc(backend::Target::kMicroC,
+                                    dp.executable()));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: the paper's Fig. 1 count-min sketch, written in the ClickINC
+// language, compiled to IR, executed on the interpreter, and emitted as
+// P4-16 — the whole developer-facing surface in ~60 lines.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "backend/codegen.h"
+#include "ir/interp.h"
+#include "lang/lower.h"
+
+int main() {
+  using namespace clickinc;
+
+  // The Fig. 1 ClickINC program: 3-row count-min sketch over hdr.key.
+  const std::string source = R"(mem = Array(row=3, size=65536, w=32)
+vals = list()
+for i in range(3):
+    f = Hash(type="crc_16", key=hdr.key, ceil=65536)
+    idx = get(f, hdr.key)
+    vals.append(count(mem[i], idx, 1))
+relt = min(vals)
+hdr.count = relt
+)";
+
+  lang::HeaderSpec hdr;
+  hdr.add("key", 32);
+  hdr.add("count", 32);
+  lang::CompileOptions opts;
+  opts.program_name = "cms_quickstart";
+
+  const ir::IrProgram prog = lang::compileSource(source, hdr, opts);
+  std::printf("compiled %zu ClickINC lines into %zu IR instructions, "
+              "%zu state objects\n\n",
+              static_cast<std::size_t>(lang::countLoc(source)),
+              prog.instrs.size(), prog.states.size());
+  std::printf("%s\n", prog.toString().c_str());
+
+  // Run some packets through the single-device reference interpreter.
+  ir::StateStore store;
+  Rng rng(7);
+  ir::Interpreter interp(&store, &rng);
+  const std::uint64_t keys[] = {42, 42, 42, 7, 42};
+  for (std::uint64_t key : keys) {
+    ir::PacketView pkt;
+    pkt.setField("hdr.key", key);
+    interp.runAll(prog, pkt);
+    std::printf("packet key=%llu -> count estimate %llu\n",
+                static_cast<unsigned long long>(key),
+                static_cast<unsigned long long>(pkt.field("hdr.count")));
+  }
+
+  // And what the backend would hand to the Tofino toolchain.
+  std::printf("\n--- generated P4-16 (%d LoC) ---\n%s",
+              backend::generatedLoc(backend::Target::kP4_16, prog),
+              backend::generate(backend::Target::kP4_16, prog).c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// The paper's flagship user program (Fig. 7): sparse gradient aggregation
+// built on the MLAgg template. ClickINC splits it across heterogeneous
+// devices — sparse-block elimination near the workers, the stateful
+// aggregator on a shared switch — and the run shows both the traffic
+// reduction and in-network aggregation.
+//
+//   $ ./sparse_mlagg
+#include <cstdio>
+
+#include "apps/workloads.h"
+#include "core/service.h"
+#include "modules/templates.h"
+
+int main() {
+  using namespace clickinc;
+  std::printf("user program (Fig. 7, %d ClickINC lines):\n%s\n",
+              lang::countLoc(modules::sparseMlaggSource()),
+              modules::sparseMlaggSource().c_str());
+
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+  apps::MlaggConfig cfg;
+  cfg.worker_hosts = {svc.topology().findNode("pod0a"),
+                      svc.topology().findNode("pod0b")};
+  cfg.server_host = svc.topology().findNode("pod2b");
+  cfg.rounds = 100;
+  cfg.dim = 16;
+  cfg.block_size = 4;
+  cfg.sparsity = 0.6;
+  cfg.check_overflow = false;  // workers pre-scale gradients
+
+  const auto r = apps::runMlagg(svc, cfg);
+  if (!r.deployed) {
+    std::printf("placement failed: %s\n", r.failure.c_str());
+    return 1;
+  }
+  std::printf("2 workers x %d rounds, dim=%d, %.0f%% sparse blocks:\n",
+              cfg.rounds, cfg.dim, 100 * cfg.sparsity);
+  std::printf("  rounds aggregated:        %llu (%llu fully in-network)\n",
+              static_cast<unsigned long long>(r.rounds_done),
+              static_cast<unsigned long long>(r.inc_aggregated));
+  std::printf("  goodput:                  %.2f Gbps\n", r.goodput_gbps);
+  std::printf("  avg INC latency:          %.0f ns\n", r.avg_inc_latency_ns);
+  std::printf("  bytes surviving to server: %.0f (aggregation + sparsity "
+              "drop the rest in-network)\n",
+              r.server_link_bytes);
+  return 0;
+}

@@ -1,0 +1,315 @@
+#include "apps/workloads.h"
+
+#include <map>
+#include <set>
+
+#include "modules/templates.h"
+#include "util/crc.h"
+#include "util/strings.h"
+
+namespace clickinc::apps {
+
+using ir::PacketView;
+using ir::Verdict;
+
+namespace {
+
+// Standalone sparse-block elimination (the smartNIC-only deployment of
+// Fig. 13 case 2: "compiles the sparse gradient compression on the
+// smartNICs").
+const char* kSparseOnly = R"(for i in range(BlockNum):
+    sparse = 1
+    for j in range(BlockSize):
+        index = BlockSize * i + j
+        if hdr.data[index] != 0:
+            sparse = 0
+    if sparse == 1:
+        for j in range(BlockSize):
+            index = BlockSize * i + j
+            del(hdr.data[index])
+fwd()
+)";
+
+lang::HeaderSpec mlaggHeader(int dim) {
+  lang::HeaderSpec h;
+  h.add("op", 8);
+  h.add("seq", 32);
+  h.add("bitmap", 32);
+  h.add("overflow", 8);
+  h.add("data", 32, dim);
+  return h;
+}
+
+}  // namespace
+
+MlaggResult runMlagg(core::ClickIncService& svc, const MlaggConfig& cfg) {
+  MlaggResult result;
+  const int workers = static_cast<int>(cfg.worker_hosts.size());
+  const int block_num = cfg.dim / cfg.block_size;
+  const int groups = std::max(1, cfg.worker_groups);
+  const int per_group = workers / groups;
+
+  // One MLAgg job per worker subgroup (ATP-style hierarchical aggregation
+  // when groups > 1: each group's switch aggregates locally and the server
+  // combines the partials).
+  std::vector<int> group_user(static_cast<std::size_t>(groups), -1);
+  if (cfg.use_mlagg || cfg.use_sparse) {
+    for (int g = 0; g < groups; ++g) {
+      topo::TrafficSpec traffic;
+      for (int w = g * per_group; w < (g + 1) * per_group; ++w) {
+        traffic.sources.push_back(
+            {cfg.worker_hosts[static_cast<std::size_t>(w)], 10.0});
+      }
+      traffic.dst_host = cfg.server_host;
+      std::map<std::string, std::uint64_t> consts = {
+          {"BlockNum", static_cast<std::uint64_t>(block_num)},
+          {"BlockSize", static_cast<std::uint64_t>(cfg.block_size)},
+          {"NumAgg", cfg.num_agg},
+          {"Dim", static_cast<std::uint64_t>(cfg.dim)},
+          {"NumWorker", static_cast<std::uint64_t>(per_group)},
+          {"IsConvert", 0},
+          {"Scale", 1},
+          {"DATA", 1},
+          {"ACK", 2},
+          {"CheckOverflow",
+           static_cast<std::uint64_t>(cfg.check_overflow ? 1 : 0)}};
+      const std::string source =
+          cfg.use_mlagg
+              ? (cfg.use_sparse ? modules::sparseMlaggSource()
+                                : cat("agg = MLAgg(NumAgg, Dim, 0, 1)\n",
+                                      "agg(hdr)\n"))
+              : std::string(kSparseOnly);
+      const auto submitted = svc.submitSource(source, mlaggHeader(cfg.dim),
+                                              consts, traffic);
+      if (!submitted.ok) {
+        result.failure = submitted.failure;
+        return result;
+      }
+      group_user[static_cast<std::size_t>(g)] = submitted.user_id;
+    }
+  }
+  result.deployed = true;
+  svc.emulator().resetStats();
+
+  Rng rng(cfg.seed);
+  // Server-side completion bookkeeping: per round, partial aggregates
+  // arriving at the server (or in-network bounces) must cover all groups.
+  std::map<std::uint64_t, std::uint32_t> server_bitmap;
+  std::map<std::uint64_t, int> groups_done;
+  double server_bytes = 0;
+
+  for (int r = 0; r < cfg.rounds; ++r) {
+    int inc_groups = 0;
+    for (int w = 0; w < workers; ++w) {
+      const int g = std::min(w / std::max(1, per_group), groups - 1);
+      const int user = group_user[static_cast<std::size_t>(g)];
+      PacketView view;
+      view.user_id = user;
+      view.setField("hdr._uid",
+                    user < 0 ? 0 : static_cast<std::uint64_t>(user));
+      view.setField("hdr.op", 1);
+      view.setField("hdr.seq", static_cast<std::uint64_t>(r));
+      view.setField("hdr.bitmap", 1ull << (w % std::max(1, per_group)));
+      view.setField("hdr.overflow", 0);
+      for (int b = 0; b < block_num; ++b) {
+        const bool zero_block = rng.nextDouble() < cfg.sparsity;
+        for (int j = 0; j < cfg.block_size; ++j) {
+          const int idx = b * cfg.block_size + j;
+          view.setField(cat("hdr.data.", idx),
+                        zero_block ? 0 : 1 + rng.nextBelow(1000));
+        }
+      }
+      const int wire = 64 + cfg.dim * 4;
+      auto pkt = svc.emulator().send(
+          cfg.worker_hosts[static_cast<std::size_t>(w)], cfg.server_host,
+          std::move(view), wire, 0);
+      if (pkt.bounced && pkt.view.field("hdr.op") == 2) {
+        ++inc_groups;
+        if (++groups_done[static_cast<std::uint64_t>(r)] == groups) {
+          ++result.rounds_done;
+        }
+      } else if (pkt.delivered) {
+        server_bytes += pkt.wire_bytes_out;
+        auto& bm = server_bitmap[pkt.view.field("hdr.seq") * 16 +
+                                 static_cast<std::uint64_t>(g)];
+        bm |= static_cast<std::uint32_t>(pkt.view.field("hdr.bitmap"));
+        if (bm == (1u << per_group) - 1) {
+          if (++groups_done[static_cast<std::uint64_t>(r)] == groups) {
+            ++result.rounds_done;
+          }
+        }
+      }
+    }
+    if (inc_groups == groups) ++result.inc_aggregated;
+  }
+
+  const double useful_bits =
+      static_cast<double>(result.rounds_done) * cfg.dim * 32.0;
+  const double busy = svc.emulator().maxLinkBusyNs();
+  result.goodput_gbps = busy <= 0 ? 0 : useful_bits / busy;
+  result.avg_inc_latency_ns = svc.emulator().stats().avgIncLatencyNs();
+  result.server_link_bytes = server_bytes;
+  return result;
+}
+
+KvsResult runKvs(core::ClickIncService& svc, const KvsConfig& cfg) {
+  KvsResult result;
+  topo::TrafficSpec traffic;
+  for (int c : cfg.client_hosts) traffic.sources.push_back({c, 10.0});
+  traffic.dst_host = cfg.server_host;
+
+  const auto submitted = svc.submitTemplate(
+      "KVS", {{"CacheSize", cfg.cache_size},
+              {"ValDim", static_cast<std::uint64_t>(cfg.val_dim)},
+              {"TH", cfg.hot_threshold}},
+      traffic);
+  if (!submitted.ok) {
+    result.failure = submitted.failure;
+    return result;
+  }
+  result.deployed = true;
+  const int user = submitted.user_id;
+  const auto& prog = *svc.deployments().at(user).prog;
+
+  // Locate the devices hosting the cache table (control-plane handle).
+  const std::string cache_name = prog.name + "_cache";
+  std::vector<int> cache_devices;
+  for (const auto& a : submitted.plan.assignments) {
+    auto scan = [&](int dev, const place::IntraPlacement& p) {
+      for (int i : p.instr_idxs) {
+        const auto& ins = prog.instrs[static_cast<std::size_t>(i)];
+        if (ins.state_id >= 0 &&
+            prog.states[static_cast<std::size_t>(ins.state_id)].name ==
+                cache_name) {
+          cache_devices.push_back(dev);
+          return;
+        }
+      }
+    };
+    for (const auto& [dev, p] : a.on_device) scan(dev, p);
+    for (const auto& [dev, p] : a.on_bypass) scan(dev, p);
+  }
+
+  svc.emulator().resetStats();
+  Rng rng(cfg.seed);
+  std::map<std::uint64_t, std::uint64_t> server_hits;
+  std::uint64_t next_slot = 0;
+  double hit_lat = 0, miss_lat = 0;
+
+  for (int q = 0; q < cfg.queries; ++q) {
+    const int client = cfg.client_hosts[static_cast<std::size_t>(
+        rng.nextBelow(cfg.client_hosts.size()))];
+    const std::uint64_t key = rng.nextZipf(cfg.keyspace, cfg.zipf);
+    PacketView view;
+    view.user_id = user;
+    view.setField("hdr._uid", static_cast<std::uint64_t>(user));
+    view.setField("hdr.op", 1);  // REQUEST
+    view.setField("hdr.key", key);
+    auto pkt = svc.emulator().send(client, cfg.server_host, std::move(view),
+                                   64 + cfg.val_dim * 4, cfg.val_dim * 4);
+    if (pkt.bounced && pkt.view.field("hdr.op") == 2) {
+      ++result.hits;
+      hit_lat += pkt.latency_ns;
+      continue;
+    }
+    ++result.misses;
+    // A miss costs the full round trip: request to the server plus the
+    // server's reply back to the client.
+    ir::PacketView reply;
+    reply.user_id = -1;
+    reply.setField("hdr.op", 2);
+    reply.setField("hdr.key", key);
+    const auto back = svc.emulator().send(cfg.server_host, client,
+                                          std::move(reply),
+                                          64 + cfg.val_dim * 4, 0);
+    miss_lat += pkt.latency_ns + back.latency_ns;
+    // Server answers the miss and, NetCache-style, installs hot keys into
+    // the in-network cache via the control plane.
+    if (++server_hits[key] >= cfg.hot_threshold &&
+        next_slot < cfg.cache_size) {
+      for (int dev : cache_devices) {
+        auto& store = svc.emulator().storeOf(dev);
+        auto* cache = store.find(cache_name);
+        if (cache == nullptr) {
+          // Instantiate on demand (first packet may not have reached it).
+          const auto* spec = prog.findState(cache_name);
+          if (spec != nullptr) cache = &store.instantiate(*spec);
+        }
+        if (cache != nullptr) {
+          cache->insert(key, next_slot);
+          for (int d = 0; d < cfg.val_dim; ++d) {
+            const std::string vals_name = cat(prog.name, "_vals_t_r", d);
+            auto* vals = store.find(vals_name);
+            if (vals == nullptr) {
+              const auto* spec = prog.findState(vals_name);
+              if (spec != nullptr) vals = &store.instantiate(*spec);
+            }
+            if (vals != nullptr) vals->regWrite(next_slot, key * 10 + d);
+          }
+        }
+      }
+      ++next_slot;
+    }
+  }
+  const auto total = result.hits + result.misses;
+  result.hit_ratio =
+      total == 0 ? 0 : static_cast<double>(result.hits) / total;
+  result.avg_hit_latency_ns =
+      result.hits == 0 ? 0 : hit_lat / static_cast<double>(result.hits);
+  result.avg_miss_latency_ns =
+      result.misses == 0 ? 0 : miss_lat / static_cast<double>(result.misses);
+  return result;
+}
+
+DqaccResult runDqacc(core::ClickIncService& svc, const DqaccConfig& cfg) {
+  DqaccResult result;
+  topo::TrafficSpec traffic;
+  traffic.sources.push_back({cfg.client_host, 10.0});
+  traffic.dst_host = cfg.server_host;
+
+  const auto submitted = svc.submitTemplate(
+      "DQAcc",
+      {{"CacheDepth", cfg.cache_depth}, {"CacheLen", cfg.cache_len}},
+      traffic);
+  if (!submitted.ok) {
+    result.failure = submitted.failure;
+    return result;
+  }
+  result.deployed = true;
+  const int user = submitted.user_id;
+  svc.emulator().resetStats();
+
+  Rng rng(cfg.seed);
+  std::set<std::uint64_t> seen;
+  std::uint64_t duplicates_offered = 0;
+  for (int i = 0; i < cfg.stream_len; ++i) {
+    // Values start at 1: the rolling cache's zero-initialized cells would
+    // otherwise read as "value 0 already seen".
+    const std::uint64_t value = 1 + rng.nextBelow(cfg.distinct_values);
+    if (!seen.insert(value).second) ++duplicates_offered;
+    PacketView view;
+    view.user_id = user;
+    view.setField("hdr._uid", static_cast<std::uint64_t>(user));
+    view.setField("hdr.value", value);
+    auto pkt = svc.emulator().send(cfg.client_host, cfg.server_host,
+                                   std::move(view), 64, 4);
+    if (pkt.dropped) {
+      ++result.filtered;
+    } else if (pkt.delivered) {
+      ++result.forwarded;
+    }
+  }
+  result.dedup_ratio =
+      duplicates_offered == 0
+          ? 0
+          : static_cast<double>(result.filtered) /
+                static_cast<double>(duplicates_offered);
+  result.server_load_reduction =
+      cfg.stream_len == 0
+          ? 0
+          : static_cast<double>(result.filtered) /
+                static_cast<double>(cfg.stream_len);
+  return result;
+}
+
+}  // namespace clickinc::apps

@@ -1,0 +1,94 @@
+// End-to-end INC application workloads (paper §2.1) driven through the
+// full ClickINC pipeline: submit → compile → place → synthesize → deploy →
+// emulate traffic → measure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/service.h"
+
+namespace clickinc::apps {
+
+// --- ML gradient aggregation (sparse-capable, Fig. 7 / Fig. 13) ---
+
+struct MlaggConfig {
+  std::vector<int> worker_hosts;
+  int server_host = -1;
+  int rounds = 50;
+  int dim = 16;            // gradient elements per packet
+  int block_size = 4;      // sparsity block granularity
+  double sparsity = 0.5;   // fraction of all-zero blocks
+  std::uint64_t num_agg = 1024;
+  bool use_sparse = true;  // deploy the sparse-elimination stage
+  bool use_mlagg = true;   // deploy in-network aggregation
+  bool check_overflow = true;  // Fig. 16 overflow detection (workers that
+                               // pre-scale gradients can disable it)
+  int worker_groups = 1;   // >1: hierarchical aggregation, one MLAgg job
+                           // per worker subgroup (ATP-style)
+  std::uint64_t seed = 17;
+};
+
+struct MlaggResult {
+  bool deployed = false;
+  std::string failure;
+  std::uint64_t rounds_done = 0;        // aggregated rounds (any locus)
+  std::uint64_t inc_aggregated = 0;     // rounds completed in-network
+  double goodput_gbps = 0;              // useful bits / bottleneck busy ns
+  double avg_inc_latency_ns = 0;
+  double server_link_bytes = 0;         // load surviving to the server
+};
+
+MlaggResult runMlagg(core::ClickIncService& svc, const MlaggConfig& cfg);
+
+// --- key-value store (NetCache-style, §2.1) ---
+
+struct KvsConfig {
+  std::vector<int> client_hosts;
+  int server_host = -1;
+  int queries = 2000;
+  std::uint64_t keyspace = 4096;
+  double zipf = 1.1;
+  std::uint64_t cache_size = 256;
+  int val_dim = 4;
+  std::uint64_t hot_threshold = 8;  // server-side install threshold
+  std::uint64_t seed = 23;
+};
+
+struct KvsResult {
+  bool deployed = false;
+  std::string failure;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double hit_ratio = 0;
+  double avg_hit_latency_ns = 0;
+  double avg_miss_latency_ns = 0;
+};
+
+KvsResult runKvs(core::ClickIncService& svc, const KvsConfig& cfg);
+
+// --- SQL DISTINCT acceleration ---
+
+struct DqaccConfig {
+  int client_host = -1;
+  int server_host = -1;
+  int stream_len = 4000;
+  std::uint64_t distinct_values = 500;
+  std::uint64_t cache_depth = 1024;
+  std::uint64_t cache_len = 4;
+  std::uint64_t seed = 31;
+};
+
+struct DqaccResult {
+  bool deployed = false;
+  std::string failure;
+  std::uint64_t forwarded = 0;   // values surviving to the server
+  std::uint64_t filtered = 0;    // duplicates dropped in-network
+  double dedup_ratio = 0;        // filtered / duplicates offered
+  double server_load_reduction = 0;
+};
+
+DqaccResult runDqacc(core::ClickIncService& svc, const DqaccConfig& cfg);
+
+}  // namespace clickinc::apps

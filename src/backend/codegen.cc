@@ -1,0 +1,369 @@
+#include "backend/codegen.h"
+
+#include <functional>
+#include <map>
+
+#include "lang/ast.h"
+#include "util/strings.h"
+
+namespace clickinc::backend {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Operand;
+
+const char* targetName(Target t) {
+  switch (t) {
+    case Target::kP4_16: return "P4-16";
+    case Target::kNpl: return "NPL";
+    case Target::kMicroC: return "Micro-C";
+    case Target::kHlsC: return "HLS-C";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string cIdent(const std::string& name) {
+  std::string out;
+  for (char c : name) out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  return out;
+}
+
+std::string operandText(const Operand& o, const char* field_prefix) {
+  switch (o.kind) {
+    case ir::OperandKind::kNone: return "_";
+    case ir::OperandKind::kConst: return cat(o.value);
+    case ir::OperandKind::kVar: return cIdent(o.name);
+    case ir::OperandKind::kField:
+      return cat(field_prefix, cIdent(o.name.substr(4)));
+  }
+  return "?";
+}
+
+const char* binOpToken(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kFAdd: return "+";
+    case Opcode::kSub: case Opcode::kFSub: return "-";
+    case Opcode::kMul: case Opcode::kFMul: return "*";
+    case Opcode::kDiv: case Opcode::kFDiv: return "/";
+    case Opcode::kMod: return "%";
+    case Opcode::kAnd: return "&";
+    case Opcode::kOr: return "|";
+    case Opcode::kXor: return "^";
+    case Opcode::kShl: return "<<";
+    case Opcode::kShr: return ">>";
+    case Opcode::kCmpLt: case Opcode::kFCmpLt: return "<";
+    case Opcode::kCmpLe: return "<=";
+    case Opcode::kCmpEq: return "==";
+    case Opcode::kCmpNe: return "!=";
+    case Opcode::kCmpGe: return ">=";
+    case Opcode::kCmpGt: return ">";
+    case Opcode::kLAnd: return "&&";
+    case Opcode::kLOr: return "||";
+    default: return nullptr;
+  }
+}
+
+// Renders one instruction as a C-like statement, shared by all targets
+// with per-target intrinsic spellings.
+struct IntrinsicNames {
+  const char* crc16 = "crc16";
+  const char* crc32 = "crc32";
+  const char* reg_read = "reg_read";
+  const char* reg_write = "reg_write";
+  const char* reg_add = "reg_add";
+  const char* tbl_lookup = "lookup";
+  const char* tbl_write = "insert";
+  const char* drop = "drop()";
+  const char* fwd = "forward()";
+  const char* back = "send_back()";
+  const char* mirror = "mirror()";
+};
+
+std::string statementFor(const ir::IrProgram& prog, const Instruction& ins,
+                         const IntrinsicNames& names,
+                         const char* field_prefix) {
+  auto opnd = [&](const Operand& o) { return operandText(o, field_prefix); };
+  auto stateName = [&]() {
+    return ins.state_id >= 0
+               ? cIdent(prog.states[static_cast<std::size_t>(ins.state_id)]
+                            .name)
+               : std::string("?");
+  };
+  std::string body;
+  if (const char* tok = binOpToken(ins.op); tok != nullptr) {
+    body = cat(opnd(ins.dest), " = ", opnd(ins.srcs[0]), " ", tok, " ",
+               opnd(ins.srcs[1]), ";");
+  } else {
+    switch (ins.op) {
+      case Opcode::kAssign:
+        body = cat(opnd(ins.dest), " = ", opnd(ins.srcs[0]), ";");
+        break;
+      case Opcode::kNot:
+        body = cat(opnd(ins.dest), " = ~", opnd(ins.srcs[0]), ";");
+        break;
+      case Opcode::kLNot:
+        body = cat(opnd(ins.dest), " = !", opnd(ins.srcs[0]), ";");
+        break;
+      case Opcode::kMin:
+        body = cat(opnd(ins.dest), " = min(", opnd(ins.srcs[0]), ", ",
+                   opnd(ins.srcs[1]), ");");
+        break;
+      case Opcode::kMax:
+        body = cat(opnd(ins.dest), " = max(", opnd(ins.srcs[0]), ", ",
+                   opnd(ins.srcs[1]), ");");
+        break;
+      case Opcode::kSelect:
+        body = cat(opnd(ins.dest), " = ", opnd(ins.srcs[0]), " ? ",
+                   opnd(ins.srcs[1]), " : ", opnd(ins.srcs[2]), ";");
+        break;
+      case Opcode::kSlice:
+        body = cat(opnd(ins.dest), " = (", opnd(ins.srcs[0]), " >> ",
+                   opnd(ins.srcs[1]), ") & ((1 << ", opnd(ins.srcs[2]),
+                   ") - 1);");
+        break;
+      case Opcode::kHashCrc16:
+        body = cat(opnd(ins.dest), " = ", names.crc16, "(",
+                   opnd(ins.srcs[0]), ");");
+        break;
+      case Opcode::kHashCrc32:
+        body = cat(opnd(ins.dest), " = ", names.crc32, "(",
+                   opnd(ins.srcs[0]), ");");
+        break;
+      case Opcode::kHashIdentity:
+        body = cat(opnd(ins.dest), " = ", opnd(ins.srcs[0]), ";");
+        break;
+      case Opcode::kChecksum:
+        body = cat(opnd(ins.dest), " = csum16(", opnd(ins.srcs[0]), ");");
+        break;
+      case Opcode::kRandInt:
+        body = cat(opnd(ins.dest), " = random()",
+                   ins.srcs.empty() ? ";" : cat(" % ", opnd(ins.srcs[0]), ";"));
+        break;
+      case Opcode::kRegRead:
+        body = cat(opnd(ins.dest), " = ", stateName(), ".", names.reg_read,
+                   "(", opnd(ins.srcs[0]), ");");
+        break;
+      case Opcode::kRegWrite:
+        body = cat(stateName(), ".", names.reg_write, "(",
+                   opnd(ins.srcs[0]), ", ", opnd(ins.srcs[1]), ");");
+        break;
+      case Opcode::kRegAdd:
+        body = cat(opnd(ins.dest), " = ", stateName(), ".", names.reg_add,
+                   "(", opnd(ins.srcs[0]), ", ", opnd(ins.srcs[1]), ");");
+        break;
+      case Opcode::kRegClear:
+        body = cat(stateName(), ".", names.reg_write, "(",
+                   opnd(ins.srcs[0]), ", 0);");
+        break;
+      case Opcode::kEmtLookup:
+      case Opcode::kSemtLookup:
+      case Opcode::kTmtLookup:
+      case Opcode::kLpmLookup:
+      case Opcode::kStmtLookup:
+      case Opcode::kDmtLookup:
+        body = cat(opnd(ins.dest), " = ", stateName(), ".",
+                   names.tbl_lookup, "(", opnd(ins.srcs[0]), ");");
+        if (!ins.dest2.isNone()) {
+          body += cat(" ", opnd(ins.dest2), " = ", stateName(), ".hit();");
+        }
+        break;
+      case Opcode::kSemtWrite:
+      case Opcode::kStmtWrite:
+        body = cat(stateName(), ".", names.tbl_write, "(",
+                   opnd(ins.srcs[0]), ", ", opnd(ins.srcs[1]), ");");
+        break;
+      case Opcode::kSemtDelete:
+        body = cat(stateName(), ".erase(", opnd(ins.srcs[0]), ");");
+        break;
+      case Opcode::kDrop: body = cat(names.drop, ";"); break;
+      case Opcode::kForward: body = cat(names.fwd, ";"); break;
+      case Opcode::kSendBack: body = cat(names.back, ";"); break;
+      case Opcode::kCopyToCpu: body = "copy_to_cpu();"; break;
+      case Opcode::kMirror: body = cat(names.mirror, ";"); break;
+      case Opcode::kMulticast: body = "multicast();"; break;
+      case Opcode::kFtoI:
+        body = cat(opnd(ins.dest), " = f32_to_i32(", opnd(ins.srcs[0]),
+                   ins.srcs.size() > 1 ? cat(", ", opnd(ins.srcs[1])) : "",
+                   ");");
+        break;
+      case Opcode::kItoF:
+        body = cat(opnd(ins.dest), " = i32_to_f32(", opnd(ins.srcs[0]),
+                   ins.srcs.size() > 1 ? cat(", ", opnd(ins.srcs[1])) : "",
+                   ");");
+        break;
+      case Opcode::kFSqrt:
+        body = cat(opnd(ins.dest), " = fsqrt(", opnd(ins.srcs[0]), ");");
+        break;
+      case Opcode::kAesEnc: case Opcode::kEcsEnc:
+        body = cat(opnd(ins.dest), " = cipher_enc(", opnd(ins.srcs[0]), ");");
+        break;
+      case Opcode::kAesDec: case Opcode::kEcsDec:
+        body = cat(opnd(ins.dest), " = cipher_dec(", opnd(ins.srcs[0]), ");");
+        break;
+      case Opcode::kNop: body = ";"; break;
+      default: body = "/* unhandled */;"; break;
+    }
+  }
+  if (ins.pred) {
+    return cat("if (", ins.pred_negate ? "!" : "",
+               operandText(*ins.pred, field_prefix), ") { ", body, " }");
+  }
+  return body;
+}
+
+void emitParser(const synth::ParseTree* parser, const std::string& indent,
+                const std::string& state_kw, std::string* out) {
+  if (parser == nullptr) return;
+  std::function<void(const synth::ParseNode&)> walk =
+      [&](const synth::ParseNode& node) {
+        for (const auto& c : node.children) {
+          *out += cat(indent, state_kw, " parse_", cIdent(c->header),
+                      " { extract(hdr.", cIdent(c->header), "); }\n");
+          walk(*c);
+        }
+      };
+  walk(parser->root());
+}
+
+std::string generateP4(const ir::IrProgram& prog,
+                       const synth::ParseTree* parser) {
+  std::string out;
+  out += "#include <core.p4>\n#include <tna.p4>\n\n";
+  // Headers grouped from fields.
+  out += "header inc_h {\n";
+  for (const auto& f : prog.fields) {
+    out += cat("    bit<", f.width, "> ", cIdent(f.name.substr(4)), ";\n");
+  }
+  out += "}\nstruct headers_t { ethernet_h ethernet; ipv4_h ipv4; udp_h udp; inc_h inc; }\n\n";
+  out += "parser IngressParser(packet_in pkt, out headers_t hdr) {\n";
+  emitParser(parser, "    ", "state", &out);
+  out += "    state start { transition accept; }\n}\n\n";
+  // State declarations.
+  for (const auto& st : prog.states) {
+    if (st.kind == ir::StateKind::kRegister) {
+      out += cat("Register<bit<", st.value_width, ">, bit<32>>(", st.depth,
+                 ") ", cIdent(st.name), ";\n");
+      out += cat("RegisterAction<bit<", st.value_width,
+                 ">, bit<32>, bit<", st.value_width, ">>(", cIdent(st.name),
+                 ") ", cIdent(st.name), "_rmw = { void apply(inout bit<",
+                 st.value_width, "> v, out bit<", st.value_width,
+                 "> rv) { rv = v; } };\n");
+    } else {
+      out += cat("table ", cIdent(st.name), "_t {\n    key = { meta.",
+                 cIdent(st.name), "_key : ",
+                 st.kind == ir::StateKind::kExactTable ? "exact" : "ternary",
+                 "; }\n    actions = { set_val; }\n    size = ", st.depth,
+                 ";\n}\n");
+    }
+  }
+  out += "\ncontrol Ingress(inout headers_t hdr) {\n    apply {\n";
+  IntrinsicNames names;
+  names.reg_read = "read";
+  names.reg_write = "write";
+  names.reg_add = "execute";
+  names.tbl_lookup = "apply().value";
+  names.drop = "ig_dprsr_md.drop_ctl = 1";
+  names.fwd = "ig_tm_md.ucast_egress_port = port";
+  names.back = "swap_and_return()";
+  names.mirror = "ig_dprsr_md.mirror_type = 1";
+  for (const auto& ins : prog.instrs) {
+    out += cat("        ", statementFor(prog, ins, names, "hdr.inc."), "\n");
+  }
+  out += "    }\n}\n";
+  return out;
+}
+
+std::string generateNpl(const ir::IrProgram& prog,
+                        const synth::ParseTree* parser) {
+  std::string out;
+  out += "/* NPL program for Trident4 */\n";
+  out += "struct inc_hdr_t {\n";
+  for (const auto& f : prog.fields) {
+    out += cat("    fields { ", cIdent(f.name.substr(4)), " : ", f.width,
+               "; }\n");
+  }
+  out += "}\n";
+  emitParser(parser, "", "parser_node", &out);
+  for (const auto& st : prog.states) {
+    out += cat("table ", cIdent(st.name), " {\n    table_type : ",
+               st.kind == ir::StateKind::kRegister ? "index" : "hash",
+               ";\n    size : ", st.depth, ";\n}\n");
+  }
+  out += "function inc_logic() {\n";
+  IntrinsicNames names;
+  for (const auto& ins : prog.instrs) {
+    out += cat("    ", statementFor(prog, ins, names, "obj_bus.inc."), "\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string generateMicroC(const ir::IrProgram& prog,
+                           const synth::ParseTree* parser) {
+  std::string out;
+  out += "#include <nfp.h>\n#include <pif_plugin.h>\n\n";
+  for (const auto& st : prog.states) {
+    const char* mem = st.storageBits() > 512 * 1024 ? "__emem" : "__cls";
+    out += cat(mem, " uint", st.value_width <= 32 ? 32 : 64, "_t ",
+               cIdent(st.name), "[", st.depth, "];\n");
+  }
+  (void)parser;
+  out += "\nint pif_plugin_inc(EXTRACTED_HEADERS_T *headers) {\n";
+  IntrinsicNames names;
+  names.reg_read = "read";
+  names.reg_write = "write";
+  names.reg_add = "test_add";
+  names.drop = "return PIF_PLUGIN_RETURN_DROP";
+  names.fwd = "return PIF_PLUGIN_RETURN_FORWARD";
+  names.back = "reflect_packet(); return PIF_PLUGIN_RETURN_FORWARD";
+  for (const auto& ins : prog.instrs) {
+    out += cat("    ", statementFor(prog, ins, names, "headers->inc."),
+               "\n");
+  }
+  out += "    return PIF_PLUGIN_RETURN_FORWARD;\n}\n";
+  return out;
+}
+
+std::string generateHls(const ir::IrProgram& prog,
+                        const synth::ParseTree* parser) {
+  std::string out;
+  out += "#include <ap_int.h>\n#include <hls_stream.h>\n\n";
+  for (const auto& st : prog.states) {
+    out += cat("static ap_uint<", st.value_width, "> ", cIdent(st.name),
+               "[", st.depth, "];\n");
+    out += cat("#pragma HLS BIND_STORAGE variable=", cIdent(st.name),
+               " type=RAM_2P impl=",
+               st.storageBits() > 144 * 1024 ? "URAM" : "BRAM", "\n");
+  }
+  (void)parser;
+  out += "\nvoid inc_kernel(hls::stream<axis_word>& in, "
+         "hls::stream<axis_word>& out) {\n#pragma HLS PIPELINE II=1\n";
+  IntrinsicNames names;
+  for (const auto& ins : prog.instrs) {
+    out += cat("    ", statementFor(prog, ins, names, "pkt.inc."), "\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string generate(Target target, const ir::IrProgram& prog,
+                     const synth::ParseTree* parser) {
+  switch (target) {
+    case Target::kP4_16: return generateP4(prog, parser);
+    case Target::kNpl: return generateNpl(prog, parser);
+    case Target::kMicroC: return generateMicroC(prog, parser);
+    case Target::kHlsC: return generateHls(prog, parser);
+  }
+  return {};
+}
+
+int generatedLoc(Target target, const ir::IrProgram& prog,
+                 const synth::ParseTree* parser) {
+  return lang::countLoc(generate(target, prog, parser));
+}
+
+}  // namespace clickinc::backend

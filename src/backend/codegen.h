@@ -1,0 +1,35 @@
+// Compiler backend: device-specific program generation (paper §3.2 step
+// iv). Translates synthesized IR programs into the four target DSLs the
+// paper covers — P4-16 (Tofino), NPL (Trident4), Micro-C (Netronome NFP)
+// and HLS C (Xilinx FPGA).
+//
+// The generated text is structurally faithful (headers, parser states,
+// register/table declarations, match-action bodies) and is what the
+// Table 1 lines-of-code comparison measures; actual vendor compilation is
+// out of scope (see DESIGN.md substitutions).
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+#include "synth/parsetree.h"
+
+namespace clickinc::backend {
+
+enum class Target {
+  kP4_16,   // Tofino / Tofino2
+  kNpl,     // Trident4
+  kMicroC,  // Netronome NFP
+  kHlsC,    // Xilinx FPGA
+};
+
+const char* targetName(Target t);
+
+std::string generate(Target target, const ir::IrProgram& prog,
+                     const synth::ParseTree* parser = nullptr);
+
+// Non-empty, non-comment lines of the generated program.
+int generatedLoc(Target target, const ir::IrProgram& prog,
+                 const synth::ParseTree* parser = nullptr);
+
+}  // namespace clickinc::backend

@@ -1,0 +1,179 @@
+#include "core/service.h"
+
+#include <chrono>
+
+#include "place/blockdag.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace clickinc::core {
+
+ClickIncService::ClickIncService(topo::Topology topo, std::uint64_t seed)
+    : topo_(std::move(topo)),
+      base_(synth::makeDefaultBase()),
+      occ_(&topo_),
+      emu_(&topo_, seed) {}
+
+synth::DeviceProgram& ClickIncService::deviceProgram(int node) {
+  auto it = device_programs_.find(node);
+  if (it == device_programs_.end()) {
+    it = device_programs_
+             .emplace(node, std::make_unique<synth::DeviceProgram>(
+                                &base_, &topo_.node(node).model))
+             .first;
+  }
+  return *it->second;
+}
+
+SubmitResult ClickIncService::submitTemplate(
+    const std::string& tmpl,
+    const std::map<std::string, std::uint64_t>& params,
+    const topo::TrafficSpec& traffic, const place::PlacementOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ir::IrProgram prog =
+      lib_.compileTemplate(tmpl, cat(toLower(tmpl), "_", next_user_), params);
+  auto result = submitProgram(std::move(prog), traffic, opts);
+  result.compile_ms += std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  return result;
+}
+
+SubmitResult ClickIncService::submitSource(
+    const std::string& source, const lang::HeaderSpec& hdr,
+    const std::map<std::string, std::uint64_t>& constants,
+    const topo::TrafficSpec& traffic, const place::PlacementOptions& opts) {
+  ir::IrProgram prog =
+      lib_.compileUser(source, cat("user_", next_user_), hdr, constants);
+  return submitProgram(std::move(prog), traffic, opts);
+}
+
+SubmitResult ClickIncService::submitProgram(
+    ir::IrProgram prog, const topo::TrafficSpec& traffic,
+    const place::PlacementOptions& opts) {
+  SubmitResult result;
+  result.user_id = next_user_;
+
+  const auto dag = place::BlockDag::build(prog);
+  const auto tree = topo::buildEcTree(topo_, traffic);
+  result.plan = place::placeProgram(dag, tree, topo_, occ_, opts);
+  if (!result.plan.feasible) {
+    result.failure = result.plan.failure;
+    return result;
+  }
+  place::commitPlan(result.plan, prog, occ_);
+
+  auto shared = std::make_shared<ir::IrProgram>(std::move(prog));
+  deployPlan(next_user_, shared, result.plan, &result.impact);
+  deployed_[next_user_] = {shared, result.plan, traffic};
+  result.impact.affected_pods =
+      podsCrossing(result.impact.affected_devices);
+  result.ok = true;
+  ++next_user_;
+  return result;
+}
+
+void ClickIncService::deployPlan(
+    int user, const std::shared_ptr<ir::IrProgram>& prog,
+    const place::PlacementPlan& plan, Impact* impact) {
+  for (const auto& a : plan.assignments) {
+    if (a.to_block <= a.from_block) continue;
+    auto deployTo = [&](int device, const place::IntraPlacement& p,
+                        int step_from, int step_to) {
+      if (p.instr_idxs.empty()) return;
+      synth::UserSnippet snippet;
+      snippet.user_id = user;
+      snippet.program_name = prog->name;
+      snippet.prog = *prog;
+      snippet.instr_idxs = p.instr_idxs;
+      snippet.stage_of = p.stage_of;
+      snippet.step_from = step_from;
+      snippet.step_to = step_to;
+      const auto stats = deviceProgram(device).addSnippet(snippet);
+      impact->affected_devices.insert(device);
+      for (int u : stats.other_users_affected) {
+        impact->affected_users.insert(u);
+      }
+
+      emu::DeploymentEntry entry;
+      entry.user_id = user;
+      entry.prog = prog;
+      entry.instr_idxs = p.instr_idxs;
+      entry.step_from = step_from;
+      entry.step_to = step_to;
+      emu_.deploy(device, std::move(entry));
+    };
+    const int split = a.bypass_from >= 0 ? a.bypass_from : a.to_block;
+    for (const auto& [dev, p] : a.on_device) {
+      deployTo(dev, p, a.from_block, split);
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      deployTo(dev, p, split, a.to_block);
+    }
+  }
+}
+
+Impact ClickIncService::remove(int user_id, bool lazy) {
+  Impact impact;
+  auto it = deployed_.find(user_id);
+  if (it == deployed_.end()) return impact;
+
+  for (const auto& a : it->second.plan.assignments) {
+    auto touch = [&](int device) {
+      const auto stats = deviceProgram(device).removeUser(user_id, lazy);
+      impact.affected_devices.insert(device);
+      for (int u : stats.other_users_affected) impact.affected_users.insert(u);
+      // Even lazy removal affects co-resident programs when the strip is
+      // later enforced; report active co-residents for Table 6 parity.
+      for (int u : deviceProgram(device).activeUsers()) {
+        if (u != user_id) impact.affected_users.insert(u);
+      }
+      emu_.undeploy(device, user_id);
+    };
+    for (const auto& [dev, p] : a.on_device) {
+      if (!p.instr_idxs.empty()) touch(dev);
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      if (!p.instr_idxs.empty()) touch(dev);
+    }
+  }
+  impact.affected_pods = podsCrossing(impact.affected_devices);
+  // Resources are recorded as released immediately (§6), even when the
+  // data-plane strip is deferred (lazy enforcement).
+  const auto& prog = *it->second.prog;
+  for (const auto& a : it->second.plan.assignments) {
+    for (const auto& [dev, p] : a.on_device) {
+      if (!p.instr_idxs.empty()) {
+        place::releasePlacement(occ_.of(dev), prog, p);
+      }
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      if (!p.instr_idxs.empty()) {
+        place::releasePlacement(occ_.of(dev), prog, p);
+      }
+    }
+  }
+  deployed_.erase(it);
+  return impact;
+}
+
+std::set<int> ClickIncService::podsCrossing(
+    const std::set<int>& devices) const {
+  std::set<int> pods;
+  for (int d : devices) {
+    const auto& node = topo_.node(d);
+    if (node.pod >= 0) {
+      pods.insert(node.pod);
+    } else {
+      // Core-layer device: traffic from every pod crosses it.
+      for (const auto& n : topo_.nodes()) {
+        if (n.pod >= 0 && n.kind == topo::NodeKind::kHost) {
+          pods.insert(n.pod);
+        }
+      }
+    }
+  }
+  return pods;
+}
+
+}  // namespace clickinc::core

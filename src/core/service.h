@@ -1,0 +1,95 @@
+// ClickIncService: the One-Big-INC façade (paper §3, Fig. 2/3).
+//
+// Users submit a template name or ClickINC source plus a traffic spec;
+// the service compiles to IR, builds the block DAG, places it over the
+// reduced EC tree with the DP of §5, synthesizes per-device programs
+// (base + guarded user snippets, §6), and deploys the snippets onto the
+// emulated network. Removal is annotation-driven and lazy by default.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "emu/emulator.h"
+#include "modules/profile.h"
+#include "modules/templates.h"
+#include "place/treedp.h"
+#include "synth/synthesizer.h"
+#include "topo/ec.h"
+
+namespace clickinc::core {
+
+// Who/what a deployment step touched (Table 6 accounting).
+struct Impact {
+  std::set<int> affected_devices;  // executables changed
+  std::set<int> affected_users;    // co-resident INC programs
+  std::set<int> affected_pods;     // pods whose traffic crosses the devices
+};
+
+struct SubmitResult {
+  int user_id = -1;
+  bool ok = false;
+  std::string failure;
+  place::PlacementPlan plan;
+  Impact impact;
+  double compile_ms = 0;
+};
+
+class ClickIncService {
+ public:
+  explicit ClickIncService(topo::Topology topo, std::uint64_t seed = 42);
+
+  // Submits a provider template configured with parameter overrides.
+  SubmitResult submitTemplate(const std::string& tmpl,
+                              const std::map<std::string, std::uint64_t>& params,
+                              const topo::TrafficSpec& traffic,
+                              const place::PlacementOptions& opts = {});
+
+  // Submits user-written ClickINC source (may instantiate templates).
+  SubmitResult submitSource(const std::string& source,
+                            const lang::HeaderSpec& hdr,
+                            const std::map<std::string, std::uint64_t>& constants,
+                            const topo::TrafficSpec& traffic,
+                            const place::PlacementOptions& opts = {});
+
+  // Submits an already-compiled IR program.
+  SubmitResult submitProgram(ir::IrProgram prog,
+                             const topo::TrafficSpec& traffic,
+                             const place::PlacementOptions& opts = {});
+
+  // Removes a user program (lazy per §6 unless eager requested).
+  Impact remove(int user_id, bool lazy = true);
+
+  const topo::Topology& topology() const { return topo_; }
+  emu::Emulator& emulator() { return emu_; }
+  place::OccupancyMap& occupancy() { return occ_; }
+  const modules::ModuleLibrary& library() const { return lib_; }
+  synth::DeviceProgram& deviceProgram(int node);
+
+  struct Deployed {
+    std::shared_ptr<ir::IrProgram> prog;
+    place::PlacementPlan plan;
+    topo::TrafficSpec traffic;
+  };
+  const std::map<int, Deployed>& deployments() const { return deployed_; }
+
+  // Pods whose traffic traverses any of `devices`.
+  std::set<int> podsCrossing(const std::set<int>& devices) const;
+
+ private:
+  topo::Topology topo_;
+  modules::ModuleLibrary lib_;
+  synth::BaseProgram base_;
+  place::OccupancyMap occ_;
+  emu::Emulator emu_;
+  std::map<int, std::unique_ptr<synth::DeviceProgram>> device_programs_;
+  std::map<int, Deployed> deployed_;
+  int next_user_ = 1;
+
+  void deployPlan(int user, const std::shared_ptr<ir::IrProgram>& prog,
+                  const place::PlacementPlan& plan, Impact* impact);
+};
+
+}  // namespace clickinc::core

@@ -1,0 +1,252 @@
+#include "device/validate.h"
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/bits.h"
+#include "util/strings.h"
+
+namespace clickinc::device {
+
+ResourceDemand stageBudget(const DeviceModel& model, int stage) {
+  ResourceDemand b;
+  StageResources s = model.per_stage;
+  if (model.chip == ChipKind::kTrident4) {
+    // TD4 tiles are unbalanced (Appendix E.2): even stages carry the TCAM
+    // tiles, odd stages carry extra SRAM banks; special functions live in
+    // the last quarter of the pipe.
+    if (stage % 2 == 0) {
+      s.sram_blocks = s.sram_blocks / 2;
+    } else {
+      s.tcam_blocks = 0;
+      s.sram_blocks += s.sram_blocks / 2;
+    }
+    s.special_fns = stage >= model.num_stages * 3 / 4 ? 2 : 0;
+  }
+  b.salus = s.salus;
+  b.alus = s.alus;
+  b.hash_units = s.hash_units;
+  b.tables = s.tables;
+  b.gateways = s.gateways;
+  b.special_fns = s.special_fns;
+  b.sram_bits = static_cast<std::uint64_t>(s.sram_blocks) *
+                model.sram_block_bits;
+  b.tcam_bits = static_cast<std::uint64_t>(s.tcam_blocks) *
+                model.tcam_block_bits;
+  // Non-binding on pipelines:
+  b.micro_instrs = std::numeric_limits<int>::max();
+  b.dsps = std::numeric_limits<int>::max();
+  b.luts = std::numeric_limits<std::uint64_t>::max();
+  b.ffs = std::numeric_limits<std::uint64_t>::max();
+  return b;
+}
+
+ResourceDemand deviceBudget(const DeviceModel& model) {
+  ResourceDemand b;
+  b.salus = std::numeric_limits<int>::max();
+  b.alus = std::numeric_limits<int>::max();
+  b.hash_units = std::numeric_limits<int>::max();
+  b.tables = std::numeric_limits<int>::max();
+  b.gateways = std::numeric_limits<int>::max();
+  b.special_fns = std::numeric_limits<int>::max();
+  switch (model.arch) {
+    case Arch::kRtc:
+      b.micro_instrs = model.micro_instrs_per_core;
+      b.sram_bits = model.global_mem_bits;
+      b.tcam_bits = model.island_mem_bits;  // CAM emulated in island memory
+      b.dsps = std::numeric_limits<int>::max();
+      b.luts = std::numeric_limits<std::uint64_t>::max();
+      b.ffs = std::numeric_limits<std::uint64_t>::max();
+      break;
+    case Arch::kHybrid: {
+      b.micro_instrs = std::numeric_limits<int>::max();
+      const std::uint64_t bram =
+          static_cast<std::uint64_t>(model.bram_blocks) * 36 * 1024;
+      const std::uint64_t uram =
+          static_cast<std::uint64_t>(model.uram_blocks) * 288 * 1024;
+      b.sram_bits = bram + uram;
+      b.tcam_bits = bram / 4;  // TCAM emulation is RAM-hungry (Eq. 43)
+      b.dsps = model.dsps;
+      b.luts = model.luts * 3 / 4;  // beta = 75% utilization cap (Eq. 46)
+      b.ffs = model.ffs;
+      break;
+    }
+    case Arch::kPipeline: {
+      // Whole-device view: sum of stages (used for coarse feasibility).
+      ResourceDemand per = stageBudget(model, 0);
+      b = per;
+      b.salus = per.salus * model.num_stages;
+      b.alus = per.alus * model.num_stages;
+      b.hash_units = per.hash_units * model.num_stages;
+      b.tables = per.tables * model.num_stages;
+      b.gateways = per.gateways * model.num_stages;
+      b.special_fns = per.special_fns * model.num_stages;
+      b.sram_bits = per.sram_bits * static_cast<std::uint64_t>(
+                                        model.num_stages);
+      b.tcam_bits = per.tcam_bits * static_cast<std::uint64_t>(
+                                        model.num_stages);
+      break;
+    }
+  }
+  return b;
+}
+
+namespace {
+
+bool isTableLookup(const ir::Instruction& ins) {
+  switch (ins.cls()) {
+    case ir::InstrClass::kBEM:
+    case ir::InstrClass::kBSEM:
+    case ir::InstrClass::kBNEM:
+    case ir::InstrClass::kBSNEM:
+    case ir::InstrClass::kBDM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string checkClassSupport(const DeviceModel& model,
+                              const ir::IrProgram& prog,
+                              const std::vector<int>& instr_idxs) {
+  for (int i : instr_idxs) {
+    const auto& ins = prog.instrs[static_cast<std::size_t>(i)];
+    if (!model.supportsOpcode(ins.op)) {
+      return cat(model.name, " does not support ", ir::opcodeName(ins.op),
+                 " (class ", ir::instrClassName(ins.cls()), ")");
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string validatePipelinePlacement(const DeviceModel& model,
+                                      const ir::IrProgram& prog,
+                                      const std::vector<int>& instr_idxs,
+                                      const std::vector<int>& stage_of) {
+  if (instr_idxs.size() != stage_of.size()) {
+    return "stage assignment size mismatch";
+  }
+  if (auto err = checkClassSupport(model, prog, instr_idxs); !err.empty()) {
+    return err;
+  }
+  std::map<int, int> stage_by_instr;
+  for (std::size_t k = 0; k < instr_idxs.size(); ++k) {
+    if (stage_of[k] < 0 || stage_of[k] >= model.num_stages) {
+      return cat("stage ", stage_of[k], " out of range for ", model.name);
+    }
+    stage_by_instr[instr_idxs[k]] = stage_of[k];
+  }
+
+  // Dependency order across stages (Eq. 5 / Eq. 53): a dependent
+  // instruction must sit in a strictly later stage, except (a) the
+  // match-action fusion case (non-table op depending on a table lookup may
+  // share the lookup's stage) and (b) fused stateful groups — one SCC of
+  // the dependency graph, whose internal read/compare/write feedback is
+  // resolved inside predicated SALU operations, not by stage order.
+  const ir::Analysis analysis = ir::analyzeProgram(prog);
+  std::map<int, int> stage_of_state;  // register arrays bind to one stage
+  for (int i : instr_idxs) {
+    for (int j : analysis.dep.deps[static_cast<std::size_t>(i)]) {
+      auto it = stage_by_instr.find(j);
+      if (it == stage_by_instr.end()) continue;  // producer off-device
+      if (analysis.sameScc(i, j)) continue;      // fused stateful group
+      const int si = stage_by_instr.at(i);
+      const int sj = it->second;
+      const auto& producer = prog.instrs[static_cast<std::size_t>(j)];
+      const auto& consumer = prog.instrs[static_cast<std::size_t>(i)];
+      const bool fused = isTableLookup(producer) && !isTableLookup(consumer);
+      if (fused ? sj > si : sj >= si) {
+        return cat("dependency violated: instr ", i, "@", si,
+                   " depends on ", j, "@", sj);
+      }
+    }
+    const auto& ins = prog.instrs[static_cast<std::size_t>(i)];
+    if (ins.state_id >= 0) {
+      auto [it, inserted] =
+          stage_of_state.emplace(ins.state_id, stage_by_instr.at(i));
+      if (!inserted && it->second != stage_by_instr.at(i)) {
+        return cat("state ", ins.state_id, " touched from two stages");
+      }
+    }
+  }
+
+  // Per-stage resource sums; each state charged at its first instruction's
+  // stage (block-rounded), with one SALU/table slot per (stage, state).
+  std::vector<ResourceDemand> used(
+      static_cast<std::size_t>(model.num_stages));
+  std::set<int> states_seen;
+  for (std::size_t k = 0; k < instr_idxs.size(); ++k) {
+    const auto& ins = prog.instrs[static_cast<std::size_t>(instr_idxs[k])];
+    auto& stage_use = used[static_cast<std::size_t>(stage_of[k])];
+    ResourceDemand d = instrDemand(ins);
+    if (ins.state_id >= 0) {
+      if (states_seen.insert(ins.state_id).second) {
+        ResourceDemand st = stateDemand(
+            prog.states[static_cast<std::size_t>(ins.state_id)]);
+        // Round storage to whole memory blocks.
+        st.sram_bits = ceilDiv(st.sram_bits, model.sram_block_bits) *
+                       model.sram_block_bits;
+        if (st.tcam_bits > 0) {
+          st.tcam_bits = ceilDiv(st.tcam_bits, model.tcam_block_bits) *
+                         model.tcam_block_bits;
+        }
+        stage_use.add(st);
+      } else {
+        d.salus = 0;
+        d.tables = 0;
+        d.hash_units = 0;
+      }
+    }
+    stage_use.add(d);
+  }
+  for (int s = 0; s < model.num_stages; ++s) {
+    const ResourceDemand budget = stageBudget(model, s);
+    if (!used[static_cast<std::size_t>(s)].fitsWithin(budget)) {
+      return cat("stage ", s, " over budget on ", model.name);
+    }
+  }
+  return {};
+}
+
+std::string validateWholeDevicePlacement(const DeviceModel& model,
+                                         const ir::IrProgram& prog,
+                                         const std::vector<int>& instr_idxs) {
+  if (auto err = checkClassSupport(model, prog, instr_idxs); !err.empty()) {
+    return err;
+  }
+  const ResourceDemand demand = demandOfInstrs(prog, instr_idxs);
+  const ResourceDemand budget = deviceBudget(model);
+  if (!demand.fitsWithin(budget)) {
+    return cat("demand exceeds ", model.name, " budget (mem ",
+               demand.memoryBits(), "b of ", budget.memoryBits(), "b, mi ",
+               demand.micro_instrs, "/", budget.micro_instrs, ")");
+  }
+  return {};
+}
+
+std::string validatePlacement(const DeviceModel& model,
+                              const ir::IrProgram& prog,
+                              const std::vector<int>& instr_idxs,
+                              const std::vector<int>& stage_of) {
+  if (model.arch == Arch::kPipeline) {
+    return validatePipelinePlacement(model, prog, instr_idxs, stage_of);
+  }
+  return validateWholeDevicePlacement(model, prog, instr_idxs);
+}
+
+std::string validatePhv(const DeviceModel& model, const ir::IrProgram& prog,
+                        int param_bits) {
+  if (model.arch != Arch::kPipeline) return {};
+  int bits = param_bits;
+  for (const auto& f : prog.fields) bits += f.width;
+  if (bits > model.phv_bits) {
+    return cat("PHV overflow on ", model.name, ": ", bits, " > ",
+               model.phv_bits);
+  }
+  return {};
+}
+
+}  // namespace clickinc::device

@@ -1,0 +1,49 @@
+// Independent placement validator for the Appendix D/E constraints.
+//
+// The DP placer and the SMT-style baseline both emit (instruction -> stage
+// / core) assignments; this validator re-checks them against the device
+// models so tests can assert "every emitted placement is legal" without
+// trusting the search code (DESIGN.md invariant 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/demand.h"
+#include "device/model.h"
+#include "ir/analysis.h"
+#include "ir/program.h"
+
+namespace clickinc::device {
+
+// Per-stage budget of `model` expressed as a ResourceDemand ceiling.
+ResourceDemand stageBudget(const DeviceModel& model, int stage);
+
+// Whole-device budget for RTC / hybrid devices.
+ResourceDemand deviceBudget(const DeviceModel& model);
+
+// Validates placing prog instructions `instr_idxs` on a pipeline device
+// with `stage_of[k]` giving the stage of instr_idxs[k].
+// Returns "" when legal, else a human-readable violation.
+std::string validatePipelinePlacement(const DeviceModel& model,
+                                      const ir::IrProgram& prog,
+                                      const std::vector<int>& instr_idxs,
+                                      const std::vector<int>& stage_of);
+
+// Validates placing the instruction set on an RTC or hybrid device.
+std::string validateWholeDevicePlacement(const DeviceModel& model,
+                                         const ir::IrProgram& prog,
+                                         const std::vector<int>& instr_idxs);
+
+// Dispatch on model.arch; pipeline devices require stage_of.
+std::string validatePlacement(const DeviceModel& model,
+                              const ir::IrProgram& prog,
+                              const std::vector<int>& instr_idxs,
+                              const std::vector<int>& stage_of = {});
+
+// PHV / bus constraint: all header fields plus `param_bits` of carried
+// temporaries must fit the device's packet-header vector.
+std::string validatePhv(const DeviceModel& model, const ir::IrProgram& prog,
+                        int param_bits);
+
+}  // namespace clickinc::device

@@ -1,0 +1,182 @@
+#include "emu/emulator.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace clickinc::emu {
+
+Emulator::Emulator(const topo::Topology* topo, std::uint64_t seed)
+    : topo_(topo), rng_(seed) {}
+
+void Emulator::deploy(int device_node, DeploymentEntry entry) {
+  CLICKINC_CHECK(topo_->node(device_node).programmable,
+                 "deploying on a non-programmable node");
+  deployments_[device_node].push_back(std::move(entry));
+  // Keep snippets ordered by step so earlier program segments run first.
+  auto& list = deployments_[device_node];
+  std::stable_sort(list.begin(), list.end(),
+                   [](const DeploymentEntry& a, const DeploymentEntry& b) {
+                     return a.step_from < b.step_from;
+                   });
+}
+
+void Emulator::undeploy(int device_node, int user_id) {
+  auto it = deployments_.find(device_node);
+  if (it == deployments_.end()) return;
+  auto& list = it->second;
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](const DeploymentEntry& e) {
+                              return e.user_id == user_id;
+                            }),
+             list.end());
+}
+
+void Emulator::clearDeployments() { deployments_.clear(); }
+
+void Emulator::setFailed(int device_node, bool failed) {
+  failed_[device_node] = failed;
+}
+
+ir::StateStore& Emulator::storeOf(int device_node) {
+  return stores_[device_node];
+}
+
+void Emulator::resetStats() {
+  stats_ = EmuStats{};
+  link_busy_ns_.clear();
+}
+
+double Emulator::maxLinkBusyNs() const {
+  double best = 0;
+  for (const auto& [k, v] : link_busy_ns_) {
+    (void)k;
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double Emulator::linkBusyNs(int a, int b) const {
+  auto it = link_busy_ns_.find({std::min(a, b), std::max(a, b)});
+  return it == link_busy_ns_.end() ? 0 : it->second;
+}
+
+void Emulator::chargeLink(int a, int b, int bytes) {
+  const topo::Link* link = topo_->linkBetween(a, b);
+  const double gbps = link != nullptr ? link->gbps : 100.0;
+  link_busy_ns_[{std::min(a, b), std::max(a, b)}] +=
+      static_cast<double>(bytes) * 8.0 / gbps;
+}
+
+double Emulator::processAt(int node, ir::PacketView& view) {
+  auto it = deployments_.find(node);
+  if (it == deployments_.end()) return 0;
+  auto failed_it = failed_.find(node);
+  if (failed_it != failed_.end() && failed_it->second) return 0;
+
+  const auto& model = topo_->node(node).model;
+  double latency = 0;
+  for (const auto& entry : it->second) {
+    if (entry.user_id >= 0 && entry.user_id != view.user_id) continue;
+    // Step gate: execute only the expected next segment; skip segments the
+    // packet has already passed (replicas) — §6.
+    if (view.step >= entry.step_to) continue;
+    if (view.step != entry.step_from) continue;
+    if (view.verdict != ir::Verdict::kNone) break;  // already decided
+
+    std::vector<ir::Instruction> segment;
+    segment.reserve(entry.instr_idxs.size());
+    for (int i : entry.instr_idxs) {
+      segment.push_back(
+          entry.prog->instrs[static_cast<std::size_t>(i)]);
+    }
+    ir::Interpreter interp(&stores_[node], &rng_);
+    interp.run(*entry.prog, std::span<const ir::Instruction>(segment),
+               view);
+    view.step = entry.step_to;
+    latency += model.base_latency_ns +
+               model.per_instr_ns * static_cast<double>(segment.size());
+  }
+  if (latency == 0 && !it->second.empty()) {
+    // Device hosts INC but nothing matched: plain pipeline traversal.
+    latency = model.base_latency_ns * 0.5;
+  }
+  return latency;
+}
+
+PacketResult Emulator::send(int src, int dst, ir::PacketView view,
+                            int wire_bytes, int useful_bytes) {
+  PacketResult result;
+  ++stats_.packets_sent;
+  const auto path = topo_->shortestPath(src, dst);
+  CLICKINC_CHECK(!path.empty(), "no path in emulator");
+
+  // Accelerator detour: a bypass card attached to a switch is visited as
+  // part of the switch hop (the placement already decided what runs
+  // there), so the walk below only follows the physical path.
+  view.setField("hdr._len", static_cast<std::uint64_t>(wire_bytes));
+
+  auto finish = [&](int at) {
+    result.view = std::move(view);
+    result.final_node = at;
+    result.wire_bytes_out =
+        static_cast<int>(result.view.field("hdr._len"));
+    stats_.total_latency_ns += result.latency_ns;
+    stats_.total_inc_latency_ns += result.inc_latency_ns;
+  };
+
+  for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+    const int cur = path[h];
+    const int next = path[h + 1];
+    const int bytes = static_cast<int>(view.field("hdr._len"));
+    chargeLink(cur, next, bytes);
+    result.latency_ns += topo_->linkBetween(cur, next) != nullptr
+                             ? topo_->linkBetween(cur, next)->latency_ns
+                             : 1000.0;
+    ++result.hops;
+
+    // INC processing at the next node (and its bypass card, if any).
+    const auto& node = topo_->node(next);
+    if (node.programmable || node.kind != topo::NodeKind::kHost) {
+      double inc = processAt(next, view);
+      if (node.attached_accel >= 0) {
+        inc += processAt(node.attached_accel, view);
+      }
+      result.latency_ns += inc;
+      result.inc_latency_ns += inc;
+    }
+
+    if (view.verdict == ir::Verdict::kDrop) {
+      result.dropped = true;
+      ++stats_.packets_dropped;
+      finish(next);
+      return result;
+    }
+    if (view.verdict == ir::Verdict::kSendBack) {
+      // Return to sender: charge the reverse sub-path.
+      for (std::size_t back = h + 1; back > 0; --back) {
+        const int from = path[back];
+        const int to = path[back - 1];
+        chargeLink(from, to, static_cast<int>(view.field("hdr._len")));
+        result.latency_ns += topo_->linkBetween(from, to) != nullptr
+                                 ? topo_->linkBetween(from, to)->latency_ns
+                                 : 1000.0;
+        ++result.hops;
+      }
+      result.bounced = true;
+      ++stats_.packets_bounced;
+      stats_.useful_bytes_delivered +=
+          static_cast<std::uint64_t>(useful_bytes);
+      finish(src);
+      return result;
+    }
+  }
+
+  result.delivered = true;
+  ++stats_.packets_delivered;
+  stats_.useful_bytes_delivered += static_cast<std::uint64_t>(useful_bytes);
+  finish(dst);
+  return result;
+}
+
+}  // namespace clickinc::emu

@@ -1,0 +1,103 @@
+// Network emulator (the substitute for the paper's VM/PCAP emulation
+// platform — see DESIGN.md).
+//
+// Packets walk their topology path hop by hop; programmable devices run
+// the IR snippets deployed on them (step-gated, per-user filtered) through
+// the deterministic interpreter against per-device state stores. The
+// performance model is fluid: every traversed link accumulates busy time
+// (bits / rate), every device adds its processing latency; a run's
+// throughput is useful-bits-delivered divided by the bottleneck's busy
+// time — preserving the *shape* of Fig. 13 without vendor-timing claims.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ir/interp.h"
+#include "topo/topology.h"
+
+namespace clickinc::emu {
+
+// One snippet deployed on one device.
+struct DeploymentEntry {
+  int user_id = -1;
+  std::shared_ptr<const ir::IrProgram> prog;
+  std::vector<int> instr_idxs;  // segment of prog
+  int step_from = 0;            // block step gate (§6 replicated blocks)
+  int step_to = 0;
+};
+
+struct PacketResult {
+  ir::PacketView view;
+  bool delivered = false;   // reached dst (or bounced back to src)
+  bool dropped = false;
+  bool bounced = false;     // SendBack verdict returned it to the source
+  int final_node = -1;
+  double latency_ns = 0;    // path + INC processing latency
+  double inc_latency_ns = 0;  // processing latency on INC devices only
+  int wire_bytes_out = 0;   // size when leaving the last hop
+  int hops = 0;
+};
+
+struct EmuStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_bounced = 0;
+  std::uint64_t useful_bytes_delivered = 0;
+  double total_latency_ns = 0;
+  double total_inc_latency_ns = 0;
+
+  double avgLatencyNs() const {
+    const auto n = packets_delivered + packets_bounced;
+    return n == 0 ? 0 : total_latency_ns / static_cast<double>(n);
+  }
+  double avgIncLatencyNs() const {
+    const auto n = packets_sent;
+    return n == 0 ? 0 : total_inc_latency_ns / static_cast<double>(n);
+  }
+};
+
+class Emulator {
+ public:
+  Emulator(const topo::Topology* topo, std::uint64_t seed);
+
+  // Deploys a snippet on a device; multiple snippets coexist (multi-user).
+  void deploy(int device_node, DeploymentEntry entry);
+  void undeploy(int device_node, int user_id);
+  void clearDeployments();
+
+  // Marks a device failed: its snippets are skipped (packets pass
+  // through); replicated blocks downstream pick the work up (§6).
+  void setFailed(int device_node, bool failed);
+
+  // Sends one packet from host `src` to host `dst`. `wire_bytes` is the
+  // initial packet size; `useful_bytes` the application payload counted
+  // toward goodput on delivery/bounce.
+  PacketResult send(int src, int dst, ir::PacketView view, int wire_bytes,
+                    int useful_bytes);
+
+  ir::StateStore& storeOf(int device_node);
+  const EmuStats& stats() const { return stats_; }
+  void resetStats();
+
+  // Fluid bandwidth model: busiest-link busy time across the run.
+  double maxLinkBusyNs() const;
+  double linkBusyNs(int a, int b) const;
+
+ private:
+  const topo::Topology* topo_;
+  Rng rng_;
+  std::map<int, std::vector<DeploymentEntry>> deployments_;
+  std::map<int, ir::StateStore> stores_;
+  std::map<int, bool> failed_;
+  std::map<std::pair<int, int>, double> link_busy_ns_;
+  EmuStats stats_;
+
+  // Runs a device's snippets on the packet; returns added latency.
+  double processAt(int node, ir::PacketView& view);
+  void chargeLink(int a, int b, int bytes);
+};
+
+}  // namespace clickinc::emu

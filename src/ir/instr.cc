@@ -1,0 +1,43 @@
+#include "ir/instr.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace clickinc::ir {
+
+bool Instruction::ownedBy(int user) const {
+  return std::find(owners.begin(), owners.end(), user) != owners.end();
+}
+
+void Instruction::addOwner(int user) {
+  if (!ownedBy(user)) owners.push_back(user);
+}
+
+void Instruction::removeOwner(int user) {
+  owners.erase(std::remove(owners.begin(), owners.end(), user),
+               owners.end());
+}
+
+std::string Instruction::toString() const {
+  std::string out;
+  if (pred) {
+    out += cat(pred_negate ? "!" : "", pred->toString(), " ? ");
+  }
+  if (!dest.isNone()) {
+    out += dest.toString();
+    if (!dest2.isNone()) out += cat(", ", dest2.toString());
+    out += " = ";
+  }
+  out += std::string(opcodeName(op));
+  if (state_id >= 0) out += cat("[s", state_id, "]");
+  out += "(";
+  for (std::size_t i = 0; i < srcs.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += srcs[i].toString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace clickinc::ir

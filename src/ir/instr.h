@@ -1,0 +1,42 @@
+// A single predicated, single-destination IR instruction.
+//
+// The frontend lowers branches to predication ("condition ? instr",
+// §4.2 pass 3), so the IR has no control-flow transfer: a program is a
+// straight-line sequence, matching the one-pass pipeline execution model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.h"
+#include "ir/operand.h"
+
+namespace clickinc::ir {
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Operand dest;                 // kNone when opcode has no destination
+  Operand dest2;                // optional hit/miss flag of table lookups
+  std::vector<Operand> srcs;
+  std::optional<Operand> pred;  // 1-bit guard; instr runs iff pred == !neg
+  bool pred_negate = false;
+  int state_id = -1;            // index into IrProgram::states or -1
+  std::vector<int> owners;      // user annotations (§6 incremental merge)
+  int step = -1;                // block step number stamped at deployment
+
+  Instruction() = default;
+  Instruction(Opcode o, Operand d, std::vector<Operand> s, int state = -1)
+      : op(o), dest(std::move(d)), srcs(std::move(s)), state_id(state) {}
+
+  InstrClass cls() const { return opcodeClass(op); }
+  const OpcodeInfo& info() const { return opcodeInfo(op); }
+  bool hasPred() const { return pred.has_value(); }
+  bool ownedBy(int user) const;
+  void addOwner(int user);
+  void removeOwner(int user);
+
+  std::string toString() const;
+};
+
+}  // namespace clickinc::ir

@@ -1,0 +1,115 @@
+#include "ir/opcode.h"
+
+#include "util/error.h"
+
+namespace clickinc::ir {
+namespace {
+
+constexpr StateAccess kNoSt = StateAccess::kNone;
+constexpr StateAccess kRd = StateAccess::kRead;
+constexpr StateAccess kWr = StateAccess::kWrite;
+constexpr StateAccess kRw = StateAccess::kReadWrite;
+
+// Indexed by Opcode value; keep in the exact order of the enum.
+constexpr OpcodeInfo kInfo[] = {
+    // name, class, has_dest, min_srcs, max_srcs, state, pkt, float
+    {"assign", InstrClass::kBIN, true, 1, 1, kNoSt, false, false},
+    {"add", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"sub", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"and", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"or", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"xor", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"not", InstrClass::kBIN, true, 1, 1, kNoSt, false, false},
+    {"shl", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"shr", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"slice", InstrClass::kBIN, true, 3, 3, kNoSt, false, false},
+    {"cmp.lt", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"cmp.le", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"cmp.eq", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"cmp.ne", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"cmp.ge", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"cmp.gt", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"min", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"max", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"select", InstrClass::kBIN, true, 3, 3, kNoSt, false, false},
+    {"land", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"lor", InstrClass::kBIN, true, 2, 2, kNoSt, false, false},
+    {"lnot", InstrClass::kBIN, true, 1, 1, kNoSt, false, false},
+    {"mul", InstrClass::kBIC, true, 2, 2, kNoSt, false, false},
+    {"div", InstrClass::kBIC, true, 2, 2, kNoSt, false, false},
+    {"mod", InstrClass::kBIC, true, 2, 2, kNoSt, false, false},
+    {"fadd", InstrClass::kBCA, true, 2, 2, kNoSt, false, true},
+    {"fsub", InstrClass::kBCA, true, 2, 2, kNoSt, false, true},
+    {"fmul", InstrClass::kBCA, true, 2, 2, kNoSt, false, true},
+    {"fdiv", InstrClass::kBCA, true, 2, 2, kNoSt, false, true},
+    {"ftoi", InstrClass::kBCA, true, 1, 2, kNoSt, false, true},
+    {"itof", InstrClass::kBCA, true, 1, 2, kNoSt, false, true},
+    {"fsqrt", InstrClass::kBCA, true, 1, 1, kNoSt, false, true},
+    {"fcmp.lt", InstrClass::kBCA, true, 2, 2, kNoSt, false, true},
+    {"reg.read", InstrClass::kBSO, true, 1, 1, kRd, false, false},
+    {"reg.write", InstrClass::kBSO, false, 2, 2, kWr, false, false},
+    {"reg.add", InstrClass::kBSO, true, 2, 2, kRw, false, false},
+    {"reg.clear", InstrClass::kBSO, false, 1, 1, kWr, false, false},
+    {"emt.lookup", InstrClass::kBEM, true, 1, 2, kRd, false, false},
+    {"semt.lookup", InstrClass::kBSEM, true, 1, 2, kRd, false, false},
+    {"semt.write", InstrClass::kBSEM, false, 2, 2, kWr, false, false},
+    {"semt.delete", InstrClass::kBSEM, false, 1, 1, kWr, false, false},
+    {"tmt.lookup", InstrClass::kBNEM, true, 1, 2, kRd, false, false},
+    {"lpm.lookup", InstrClass::kBNEM, true, 1, 2, kRd, false, false},
+    {"stmt.lookup", InstrClass::kBSNEM, true, 1, 2, kRd, false, false},
+    {"stmt.write", InstrClass::kBSNEM, false, 2, 2, kWr, false, false},
+    {"dmt.lookup", InstrClass::kBDM, true, 1, 2, kRd, false, false},
+    {"drop", InstrClass::kBBPF, false, 0, 0, kNoSt, true, false},
+    {"fwd", InstrClass::kBBPF, false, 0, 1, kNoSt, true, false},
+    {"back", InstrClass::kBBPF, false, 0, -1, kNoSt, true, false},
+    {"copyto", InstrClass::kBBPF, false, 0, -1, kNoSt, true, false},
+    {"mirror", InstrClass::kBAPF, false, 0, -1, kNoSt, true, false},
+    {"multicast", InstrClass::kBAPF, false, 0, -1, kNoSt, true, false},
+    {"hash.crc16", InstrClass::kBAF, true, 1, -1, kNoSt, false, false},
+    {"hash.crc32", InstrClass::kBAF, true, 1, -1, kNoSt, false, false},
+    {"hash.identity", InstrClass::kBAF, true, 1, 1, kNoSt, false, false},
+    {"checksum", InstrClass::kBAF, true, 1, -1, kNoSt, false, false},
+    {"randint", InstrClass::kBAF, true, 0, 1, kNoSt, false, false},
+    {"aes.enc", InstrClass::kBCF, true, 1, 2, kNoSt, false, false},
+    {"aes.dec", InstrClass::kBCF, true, 1, 2, kNoSt, false, false},
+    {"ecs.enc", InstrClass::kBCF, true, 1, 2, kNoSt, false, false},
+    {"ecs.dec", InstrClass::kBCF, true, 1, 2, kNoSt, false, false},
+    {"nop", InstrClass::kBIN, false, 0, 0, kNoSt, false, false},
+};
+
+constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::kNop) + 1;
+static_assert(sizeof(kInfo) / sizeof(kInfo[0]) == kNumOpcodes,
+              "OpcodeInfo table out of sync with Opcode enum");
+
+}  // namespace
+
+const OpcodeInfo& opcodeInfo(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  CLICKINC_CHECK(idx < kNumOpcodes, "bad opcode");
+  return kInfo[idx];
+}
+
+std::string_view opcodeName(Opcode op) { return opcodeInfo(op).name; }
+InstrClass opcodeClass(Opcode op) { return opcodeInfo(op).cls; }
+
+std::string_view instrClassName(InstrClass c) {
+  switch (c) {
+    case InstrClass::kBIN: return "BIN";
+    case InstrClass::kBIC: return "BIC";
+    case InstrClass::kBCA: return "BCA";
+    case InstrClass::kBSO: return "BSO";
+    case InstrClass::kBEM: return "BEM";
+    case InstrClass::kBSEM: return "BSEM";
+    case InstrClass::kBNEM: return "BNEM";
+    case InstrClass::kBSNEM: return "BSNEM";
+    case InstrClass::kBDM: return "BDM";
+    case InstrClass::kBBPF: return "BBPF";
+    case InstrClass::kBAPF: return "BAPF";
+    case InstrClass::kBAF: return "BAF";
+    case InstrClass::kBCF: return "BCF";
+  }
+  return "?";
+}
+
+}  // namespace clickinc::ir

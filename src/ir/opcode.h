@@ -1,0 +1,91 @@
+// Platform-independent IR instruction set (paper Fig. 17 syntax, Table 8
+// functional units, Table 9 capability classes).
+//
+// Every IR instruction belongs to exactly one capability class; device
+// models declare which classes they support (Appendix E compatibility
+// equations), which rules out impossible placements during allocation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace clickinc::ir {
+
+// Capability classes from Table 9.
+enum class InstrClass : std::uint8_t {
+  kBIN,    // integer add/sub, bit & logical ops, slicing
+  kBIC,    // integer mul/div/mod
+  kBCA,    // floating-point & complex arithmetic
+  kBSO,    // stateful array (register) operations
+  kBEM,    // stateless exact-match table
+  kBSEM,   // stateful exact-match table
+  kBNEM,   // (ternary, LPM) match table
+  kBSNEM,  // stateful (ternary, LPM) match table
+  kBDM,    // direct (index) match table
+  kBBPF,   // basic packet functions: drop, send, copy-to-CPU
+  kBAPF,   // advanced packet functions: mirror, multicast
+  kBAF,    // auxiliary functions: hash, checksum, random
+  kBCF,    // crypto
+};
+inline constexpr int kNumInstrClasses = 13;
+
+// Bitmask over InstrClass for device capability sets.
+using ClassMask = std::uint16_t;
+constexpr ClassMask classBit(InstrClass c) {
+  return static_cast<ClassMask>(1u << static_cast<unsigned>(c));
+}
+
+enum class Opcode : std::uint8_t {
+  // --- BIN ---
+  kAssign, kAdd, kSub, kAnd, kOr, kXor, kNot, kShl, kShr, kSlice,
+  kCmpLt, kCmpLe, kCmpEq, kCmpNe, kCmpGe, kCmpGt,
+  kMin, kMax, kSelect,  // select(cond, a, b): ternary operator
+  kLAnd, kLOr, kLNot,   // logical ops over 1-bit values
+  // --- BIC ---
+  kMul, kDiv, kMod,
+  // --- BCA ---
+  kFAdd, kFSub, kFMul, kFDiv, kFtoI, kItoF, kFSqrt, kFCmpLt,
+  // --- BSO (stateful register arrays) ---
+  kRegRead, kRegWrite, kRegAdd, kRegClear,
+  // --- BEM ---
+  kEmtLookup,
+  // --- BSEM ---
+  kSemtLookup, kSemtWrite, kSemtDelete,
+  // --- BNEM ---
+  kTmtLookup, kLpmLookup,
+  // --- BSNEM ---
+  kStmtLookup, kStmtWrite,
+  // --- BDM ---
+  kDmtLookup,
+  // --- BBPF ---
+  kDrop, kForward, kSendBack, kCopyToCpu,
+  // --- BAPF ---
+  kMirror, kMulticast,
+  // --- BAF ---
+  kHashCrc16, kHashCrc32, kHashIdentity, kChecksum, kRandInt,
+  // --- BCF ---
+  kAesEnc, kAesDec, kEcsEnc, kEcsDec,
+  // --- pseudo (lowered away before placement) ---
+  kNop,
+};
+
+// What a stateful opcode does to its state object.
+enum class StateAccess : std::uint8_t { kNone, kRead, kWrite, kReadWrite };
+
+struct OpcodeInfo {
+  std::string_view name;
+  InstrClass cls;
+  bool has_dest;         // writes a destination operand
+  int min_srcs;
+  int max_srcs;          // -1: unbounded
+  StateAccess state;     // access to the instruction's state object
+  bool packet_action;    // drop/fwd/back/copyto/mirror/multicast
+  bool is_float;
+};
+
+const OpcodeInfo& opcodeInfo(Opcode op);
+std::string_view opcodeName(Opcode op);
+InstrClass opcodeClass(Opcode op);
+std::string_view instrClassName(InstrClass c);
+
+}  // namespace clickinc::ir

@@ -1,0 +1,20 @@
+#include "ir/operand.h"
+
+#include "util/strings.h"
+
+namespace clickinc::ir {
+
+std::string Operand::toString() const {
+  switch (kind) {
+    case OperandKind::kNone:
+      return "_";
+    case OperandKind::kConst:
+      return cat(value, "w", width);
+    case OperandKind::kVar:
+    case OperandKind::kField:
+      return cat(name, ":", width);
+  }
+  return "?";
+}
+
+}  // namespace clickinc::ir

@@ -1,0 +1,61 @@
+// IR operands: constants, temporary variables, and packet-header fields.
+//
+// After the frontend's SSA pass every variable has a single definition;
+// header fields remain named `hdr.*` so the synthesizer can map them onto
+// the wire format and the Param carry-over field (§6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clickinc::ir {
+
+enum class OperandKind : std::uint8_t {
+  kNone,   // absent (e.g. no destination)
+  kConst,  // immediate value
+  kVar,    // temporary variable (packet lifetime)
+  kField,  // packet header field, name "hdr.<x>"
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::kNone;
+  std::string name;          // for kVar / kField
+  std::uint64_t value = 0;   // for kConst
+  int width = 0;             // bit width
+
+  static Operand none() { return {}; }
+  static Operand constant(std::uint64_t v, int width = 32) {
+    Operand o;
+    o.kind = OperandKind::kConst;
+    o.value = v;
+    o.width = width;
+    return o;
+  }
+  static Operand var(std::string name, int width = 32) {
+    Operand o;
+    o.kind = OperandKind::kVar;
+    o.name = std::move(name);
+    o.width = width;
+    return o;
+  }
+  static Operand field(std::string name, int width = 32) {
+    Operand o;
+    o.kind = OperandKind::kField;
+    o.name = std::move(name);
+    o.width = width;
+    return o;
+  }
+
+  bool isNone() const { return kind == OperandKind::kNone; }
+  bool isConst() const { return kind == OperandKind::kConst; }
+  bool isVar() const { return kind == OperandKind::kVar; }
+  bool isField() const { return kind == OperandKind::kField; }
+  // Named storage (variable or header field) this operand reads/writes.
+  bool isNamed() const { return isVar() || isField(); }
+
+  bool operator==(const Operand& other) const = default;
+
+  std::string toString() const;
+};
+
+}  // namespace clickinc::ir

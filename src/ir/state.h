@@ -1,0 +1,47 @@
+// Stateful / table objects referenced by IR instructions (paper Fig. 5
+// objects: Table, Array, Hash, Seq, Sketch lower to these).
+//
+// The `stateful` flag drives the partition-legality rule (Appendix B.1,
+// Lemma B.2): instructions touching the same *stateful* object must land on
+// one device; stateless (control-plane-populated) tables may be replicated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clickinc::ir {
+
+enum class StateKind : std::uint8_t {
+  kRegister,      // indexed array of cells (register file / _ram)
+  kExactTable,    // exact-match table (_emt / _semt)
+  kTernaryTable,  // ternary-match table (_tmt / _stmt / _tcam)
+  kLpmTable,      // longest-prefix-match table (_lpmt)
+  kDirectTable,   // direct index-match table (_ram-backed match)
+};
+
+const char* stateKindName(StateKind k);
+
+struct StateObject {
+  int id = -1;
+  std::string name;
+  StateKind kind = StateKind::kRegister;
+  bool stateful = true;       // data-plane writable (cannot be replicated)
+  std::uint64_t depth = 0;    // number of entries / cells
+  int key_width = 32;         // match-key bits (tables) or index bits
+  int value_width = 32;       // stored value bits per entry
+  std::vector<int> owners;    // user ids sharing this object (annotations)
+
+  // Bits of raw storage, used by device resource accounting.
+  std::uint64_t storageBits() const {
+    const std::uint64_t entry =
+        kind == StateKind::kRegister
+            ? static_cast<std::uint64_t>(value_width)
+            : static_cast<std::uint64_t>(key_width + value_width);
+    return depth * entry;
+  }
+
+  std::string toString() const;
+};
+
+}  // namespace clickinc::ir

@@ -1,0 +1,96 @@
+// Abstract syntax tree for the ClickINC language (grammar in paper Fig. 5).
+//
+// A module is a statement list; compound statements carry nested bodies.
+// Expressions are owned trees. The AST is deliberately close to a Python
+// subset: what the lowering pass cannot map to straight-line IR (unbounded
+// loops, recursion) is rejected there with a CompileError.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clickinc::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kInt,      // integer literal
+  kFloat,    // float literal
+  kString,   // string literal (configuration arguments)
+  kNone,     // None literal
+  kName,     // identifier
+  kAttr,     // base.attr (e.g. hdr.key)
+  kIndex,    // base[index]
+  kCall,     // callee(args...) with optional keyword arguments
+  kBinary,   // left <op> right
+  kUnary,    // <op> operand
+  kDict,     // {key: value, ...} — used by back(hdr={...})
+  kListLit,  // [a, b, c]
+};
+
+struct Keyword {
+  std::string name;
+  ExprPtr value;
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kInt;
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+  std::string str;   // kName: identifier, kAttr: attribute name,
+                     // kString: contents, kBinary/kUnary: operator text
+  ExprPtr base;      // kAttr / kIndex base; kBinary lhs; kUnary operand
+  ExprPtr index;     // kIndex subscript; kBinary rhs
+  std::vector<ExprPtr> args;      // kCall positional args; kListLit items
+  std::vector<Keyword> kwargs;    // kCall keyword args; kDict entries
+  int line = 0;
+
+  // Renders the dotted path of nested attribute accesses ("hdr.key");
+  // empty when the expression is not a plain name/attribute chain.
+  std::string dottedPath() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kAssign,    // target = value (target: name/attr/index)
+  kAugAssign, // target <op>= value
+  kExpr,      // bare call, e.g. drop()
+  kIf,        // if/elif/else chain (elif nests in orelse)
+  kFor,       // for name in range(...)
+  kImport,    // ignored (e.g. "from Funclib import *")
+  kReturn,    // inside user-defined module bodies
+  kDef,       // user-defined function/module definition
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  ExprPtr target;             // assign target
+  std::string aug_op;         // "+" for "+=" etc.
+  ExprPtr value;              // assign value / expr stmt / return value
+  ExprPtr cond;               // if condition
+  std::string loop_var;       // for variable
+  std::vector<ExprPtr> range_args;  // range() arguments (1..3)
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> orelse;
+  std::string def_name;             // kDef
+  std::vector<std::string> def_params;
+  int line = 0;
+};
+
+struct Module {
+  std::vector<StmtPtr> stmts;
+};
+
+// Parses ClickINC source to an AST. Throws ParseError.
+Module parseModule(const std::string& source);
+
+// Counts the "lines of code" of a source text the way the paper's Table 1
+// does: non-empty, non-comment lines.
+int countLoc(const std::string& source);
+
+}  // namespace clickinc::lang

@@ -1,0 +1,227 @@
+#include <cctype>
+#include <unordered_set>
+
+#include "lang/token.h"
+#include "util/error.h"
+
+namespace clickinc::lang {
+namespace {
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if", "elif", "else", "for", "in", "and", "or", "not",
+      "def", "return", "import", "from", "None", "True", "False",
+  };
+  return kw;
+}
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first.
+const char* kOps3[] = {"**=", "//=", "<<=", ">>="};
+const char* kOps2[] = {"**", "//", "<<", ">>", "<=", ">=", "==", "!=",
+                       "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  std::vector<int> indents{0};
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  int line = 1;
+  int paren_depth = 0;  // newlines inside brackets are insignificant
+  bool at_line_start = true;
+
+  auto push = [&](TokKind kind, std::string text, int col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.col = col;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    if (at_line_start && paren_depth == 0) {
+      // Measure indentation; skip blank / comment-only lines entirely.
+      std::size_t j = i;
+      int indent = 0;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) {
+        indent += source[j] == '\t' ? 4 : 1;
+        ++j;
+      }
+      if (j >= n) break;
+      if (source[j] == '\n') {
+        i = j + 1;
+        ++line;
+        continue;
+      }
+      if (source[j] == '#') {
+        while (j < n && source[j] != '\n') ++j;
+        i = j < n ? j + 1 : j;
+        if (j < n) ++line;
+        continue;
+      }
+      if (indent > indents.back()) {
+        indents.push_back(indent);
+        push(TokKind::kIndent, "", indent);
+      } else {
+        while (indent < indents.back()) {
+          indents.pop_back();
+          push(TokKind::kDedent, "", indent);
+        }
+        if (indent != indents.back()) {
+          throw ParseError("inconsistent indentation", line, indent);
+        }
+      }
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+
+    const char c = source[i];
+    const int col = static_cast<int>(i) + 1;
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      if (paren_depth == 0) {
+        push(TokKind::kNewline, "\\n", col);
+        at_line_start = true;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < n && source[i + 1] == '\n') {
+      i += 2;
+      ++line;
+      continue;
+    }
+
+    if (isIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && isIdentChar(source[j])) ++j;
+      std::string word = source.substr(i, j - i);
+      const TokKind kind =
+          keywords().count(word) ? TokKind::kKeyword : TokKind::kName;
+      push(kind, std::move(word), col);
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_float = false;
+      bool is_hex = false;
+      if (c == '0' && j + 1 < n && (source[j + 1] == 'x' || source[j + 1] == 'X')) {
+        is_hex = true;
+        j += 2;
+        while (j < n && std::isxdigit(static_cast<unsigned char>(source[j]))) ++j;
+      } else {
+        while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+        if (j < n && source[j] == '.' && j + 1 < n &&
+            std::isdigit(static_cast<unsigned char>(source[j + 1]))) {
+          is_float = true;
+          ++j;
+          while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+        }
+      }
+      const std::string text = source.substr(i, j - i);
+      Token t;
+      t.line = line;
+      t.col = col;
+      t.text = text;
+      if (is_float) {
+        t.kind = TokKind::kFloat;
+        t.float_value = std::stod(text);
+      } else {
+        t.kind = TokKind::kInt;
+        t.int_value = std::stoull(text, nullptr, is_hex ? 16 : 10);
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\n') throw ParseError("unterminated string", line, col);
+        value += source[j];
+        ++j;
+      }
+      if (j >= n) throw ParseError("unterminated string", line, col);
+      Token t;
+      t.kind = TokKind::kString;
+      t.text = std::move(value);
+      t.line = line;
+      t.col = col;
+      out.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+
+    if (c == '(' || c == '[' || c == '{') ++paren_depth;
+    if (c == ')' || c == ']' || c == '}') {
+      if (paren_depth > 0) --paren_depth;
+    }
+
+    bool matched = false;
+    for (const char* op : kOps3) {
+      if (source.compare(i, 3, op) == 0) {
+        push(TokKind::kOp, op, col);
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* op : kOps2) {
+      if (source.compare(i, 2, op) == 0) {
+        push(TokKind::kOp, op, col);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    static const std::string kSingles = "+-*/%<>=&|^~.,:()[]{}!";
+    if (kSingles.find(c) != std::string::npos) {
+      push(TokKind::kOp, std::string(1, c), col);
+      ++i;
+      continue;
+    }
+
+    throw ParseError(std::string("unexpected character '") + c + "'", line,
+                     col);
+  }
+
+  // Close any open indentation and finish the stream.
+  if (!out.empty() && out.back().kind != TokKind::kNewline) {
+    push(TokKind::kNewline, "\\n", 0);
+  }
+  while (indents.back() > 0) {
+    indents.pop_back();
+    push(TokKind::kDedent, "", 0);
+  }
+  push(TokKind::kEof, "", 0);
+  return out;
+}
+
+}  // namespace clickinc::lang

@@ -1,0 +1,29 @@
+// Post-lowering IR optimizations.
+//
+// Unrolled loops produce two patterns a pipeline cannot host directly:
+//   flag = 0
+//   for i in range(N):  if cond_i: flag = 1
+// lowers to an N-deep chain of select(cond_i, 1, prev) — N stages of
+// dependency depth. rebalanceFlagChains() rewrites such monotone chains
+// into a balanced OR-tree of the conditions (log2 N depth) feeding one
+// select, exactly what hand-written P4 does with wide gateway predicates.
+//
+// eliminateDeadCode() removes instructions whose results are never used
+// and that have no side effects (left over after rebalancing and constant
+// folding).
+#pragma once
+
+#include "ir/program.h"
+
+namespace clickinc::lang {
+
+// Returns the number of chains rewritten.
+int rebalanceFlagChains(ir::IrProgram* prog);
+
+// Returns the number of instructions removed.
+int eliminateDeadCode(ir::IrProgram* prog);
+
+// Runs all post-lowering passes to fixpoint.
+void optimizeProgram(ir::IrProgram* prog);
+
+}  // namespace clickinc::lang

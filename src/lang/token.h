@@ -1,0 +1,44 @@
+// Token stream for the Python-style ClickINC language (paper Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clickinc::lang {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kNewline,
+  kIndent,
+  kDedent,
+  kName,
+  kInt,
+  kFloat,
+  kString,
+  kOp,       // operators and delimiters, text in Token::text
+  kKeyword,  // if/elif/else/for/in/and/or/not/def/return/import/from/None
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int col = 0;
+
+  bool isOp(const char* s) const {
+    return kind == TokKind::kOp && text == s;
+  }
+  bool isKeyword(const char* s) const {
+    return kind == TokKind::kKeyword && text == s;
+  }
+  bool isName() const { return kind == TokKind::kName; }
+};
+
+// Tokenizes ClickINC source, producing Python-style INDENT/DEDENT tokens.
+// Throws ParseError on malformed input.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace clickinc::lang

@@ -1,0 +1,112 @@
+#include "modules/autotune.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clickinc::modules {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void LearnedPerfModel::fit(const std::vector<Observation>& obs, int epochs,
+                           double lr) {
+  if (obs.empty()) return;
+  double a = 1.0;
+  double b = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    double ga = 0;
+    double gb = 0;
+    for (const auto& o : obs) {
+      const double z = a * std::log(std::max(o.x, 1.0)) + b;
+      const double p = sigmoid(z);
+      const double err = p - o.y;
+      const double dz = err * p * (1 - p);
+      ga += dz * std::log(std::max(o.x, 1.0));
+      gb += dz;
+    }
+    const double n = static_cast<double>(obs.size());
+    a -= lr * ga / n;
+    b -= lr * gb / n;
+  }
+  a_ = a;
+  b_ = b;
+}
+
+double LearnedPerfModel::predict(double x) const {
+  return sigmoid(a_ * std::log(std::max(x, 1.0)) + b_);
+}
+
+double LearnedPerfModel::minParamFor(double target, double lo,
+                                     double hi) const {
+  if (predict(hi) < target) return hi;
+  if (predict(lo) >= target) return lo;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (predict(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double zipfCacheHitRatio(std::uint64_t depth, double s,
+                         std::uint64_t keyspace) {
+  if (depth >= keyspace) return 1.0;
+  // Hit ratio of caching the `depth` most popular keys:
+  // sum_{k<=depth} k^-s / sum_{k<=keyspace} k^-s, via the integral
+  // approximation of the generalized harmonic numbers.
+  auto harmonic = [s](double n) {
+    if (std::abs(s - 1.0) < 1e-9) return std::log(n) + 0.5772;
+    return (std::pow(n, 1.0 - s) - 1.0) / (1.0 - s) + 1.0;
+  };
+  return harmonic(static_cast<double>(depth)) /
+         harmonic(static_cast<double>(keyspace));
+}
+
+double cmsAccuracy(std::uint64_t rows, std::uint64_t cols,
+                   std::uint64_t flows) {
+  if (cols == 0) return 0.0;
+  // P(no over-count) >= (1 - 1/cols)^flows per row; independent rows take
+  // the min estimate, so error probability decays exponentially in rows.
+  const double per_row_collision =
+      1.0 - std::pow(1.0 - 1.0 / static_cast<double>(cols),
+                     static_cast<double>(flows));
+  return 1.0 - std::pow(per_row_collision, static_cast<double>(rows));
+}
+
+std::uint64_t tuneKvsCacheDepth(double target_hit, double zipf_s,
+                                std::uint64_t keyspace) {
+  std::vector<Observation> obs;
+  for (std::uint64_t d = 16; d <= keyspace; d *= 2) {
+    obs.push_back({static_cast<double>(d), zipfCacheHitRatio(d, zipf_s,
+                                                             keyspace)});
+  }
+  LearnedPerfModel model;
+  model.fit(obs);
+  const double x =
+      model.minParamFor(target_hit, 16.0, static_cast<double>(keyspace));
+  // Round up to the next power of two: register files allocate that way.
+  std::uint64_t d = 16;
+  while (d < static_cast<std::uint64_t>(x)) d *= 2;
+  return std::min<std::uint64_t>(d, keyspace);
+}
+
+std::uint64_t tuneCmsWidth(double target_acc, std::uint64_t rows,
+                           std::uint64_t flows) {
+  std::vector<Observation> obs;
+  for (std::uint64_t c = 64; c <= (1u << 20); c *= 2) {
+    obs.push_back({static_cast<double>(c), cmsAccuracy(rows, c, flows)});
+  }
+  LearnedPerfModel model;
+  model.fit(obs);
+  const double x = model.minParamFor(target_acc, 64.0, double(1u << 20));
+  std::uint64_t c = 64;
+  while (c < static_cast<std::uint64_t>(x)) c *= 2;
+  return c;
+}
+
+}  // namespace clickinc::modules

@@ -1,0 +1,71 @@
+// Learned parameter auto-setting (paper Appendix A.3, Eq. 4).
+//
+// Users state performance requirements (hit ratio, accuracy) without
+// knowing switch resources. ClickINC keeps historical (parameter,
+// performance) records, fits an estimation function y = f(x) by gradient
+// descent, and then searches the smallest resource allocation x whose
+// predicted performance satisfies the requirement.
+//
+// The "historical records" here are produced by closed-form workload
+// models (Zipf cache-hit curve, sketch collision bound) standing in for
+// the paper's empirical testbed measurements — see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace clickinc::modules {
+
+// One observation: scalar parameter x (e.g. cache depth), performance y.
+struct Observation {
+  double x = 0;
+  double y = 0;
+};
+
+// Monotone performance model y ≈ sigmoid(a * log(x) + b), fitted with SGD.
+// Covers saturating metrics (hit ratio, accuracy) in [0, 1].
+class LearnedPerfModel {
+ public:
+  // Fits on observations; epochs/lr tuned for the small sample sizes the
+  // controller accumulates.
+  void fit(const std::vector<Observation>& obs, int epochs = 4000,
+           double lr = 0.05);
+
+  double predict(double x) const;
+
+  // Smallest x in [lo, hi] with predict(x) >= target; returns hi when the
+  // target is unreachable. Binary search exploits monotonicity in x.
+  double minParamFor(double target, double lo, double hi) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+// Ground-truth workload curves used to synthesize the historical records.
+
+// Expected cache hit ratio of an LFU-perfect cache of `depth` slots over a
+// Zipf(s) key popularity distribution on `keyspace` keys.
+double zipfCacheHitRatio(std::uint64_t depth, double s,
+                         std::uint64_t keyspace);
+
+// Heavy-hitter counting accuracy of a count-min sketch with `rows` rows of
+// `cols` counters under `flows` concurrent flows (probabilistic bound).
+double cmsAccuracy(std::uint64_t rows, std::uint64_t cols,
+                   std::uint64_t flows);
+
+// End-to-end convenience used by template configuration: pick the smallest
+// KVS cache depth whose learned model predicts at least `target_hit` for
+// the given workload skew.
+std::uint64_t tuneKvsCacheDepth(double target_hit, double zipf_s,
+                                std::uint64_t keyspace);
+
+// Pick the smallest count-min width for a target accuracy.
+std::uint64_t tuneCmsWidth(double target_acc, std::uint64_t rows,
+                           std::uint64_t flows);
+
+}  // namespace clickinc::modules

@@ -1,0 +1,259 @@
+#include "modules/profile.h"
+
+#include <cctype>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace clickinc::modules {
+namespace {
+
+// Minimal tolerant JSON-subset scanner. Values may be quoted strings,
+// numbers, nested objects, or raw text runs (collected until , or }).
+class ProfileParser {
+ public:
+  explicit ProfileParser(const std::string& text) : s_(text) {}
+
+  Profile parse() {
+    skipWs();
+    expect('{');
+    while (true) {
+      skipWs();
+      if (peek() == '}') {
+        ++i_;
+        break;
+      }
+      const std::string key = toLower(parseKey());
+      skipWs();
+      expect(':');
+      if (key == "app") {
+        prof_.app = parseScalar();
+      } else if (key == "performance") {
+        parsePerformance();
+      } else if (key == "traffic" || key == "traffic frequency" ||
+                 key == "traffic_frequency" || key == "traffic distribution") {
+        parseTraffic();
+      } else if (key == "packet_format" || key == "packet format") {
+        parsePacketFormat();
+      } else if (key == "params" || key == "parameters") {
+        parseParams();
+      } else {
+        skipValue();
+      }
+      skipWs();
+      if (peek() == ',') ++i_;
+    }
+    return std::move(prof_);
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  Profile prof_;
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError("profile: " + msg, line_, static_cast<int>(i_));
+  }
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  void skipWs() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      if (s_[i_] == '\n') ++line_;
+      ++i_;
+    }
+  }
+  void expect(char c) {
+    skipWs();
+    if (peek() != c) fail(cat("expected '", c, "'"));
+    ++i_;
+  }
+
+  std::string parseKey() {
+    skipWs();
+    if (peek() == '"' || peek() == '\'') return parseQuoted();
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != ':' && s_[i_] != '\n') {
+      out += s_[i_++];
+    }
+    return trimString(out);
+  }
+
+  std::string parseQuoted() {
+    const char q = s_[i_++];
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != q) out += s_[i_++];
+    if (i_ >= s_.size()) fail("unterminated string");
+    ++i_;
+    return out;
+  }
+
+  // Scalar value: quoted string or raw token run until , } or newline.
+  std::string parseScalar() {
+    skipWs();
+    if (peek() == '"' || peek() == '\'') return parseQuoted();
+    std::string out;
+    int depth = 0;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (depth == 0 && (c == ',' || c == '}' || c == '\n')) break;
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+      out += c;
+      ++i_;
+    }
+    return trimString(out);
+  }
+
+  void skipValue() {
+    skipWs();
+    if (peek() == '{' || peek() == '[') {
+      int depth = 0;
+      do {
+        const char c = s_[i_++];
+        if (c == '{' || c == '[') ++depth;
+        if (c == '}' || c == ']') --depth;
+        if (i_ >= s_.size()) fail("unterminated value");
+      } while (depth > 0);
+      return;
+    }
+    parseScalar();
+  }
+
+  // Extracts the numeric bound from text like ">= 1000" or "3".
+  double numericBound(const std::string& text) {
+    std::string digits;
+    for (char c : text) {
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-') {
+        digits += c;
+      } else if (!digits.empty()) {
+        break;
+      }
+    }
+    return digits.empty() ? 0.0 : std::stod(digits);
+  }
+
+  void parsePerformance() {
+    expect('{');
+    while (true) {
+      skipWs();
+      if (peek() == '}') {
+        ++i_;
+        break;
+      }
+      const std::string key = toLower(parseKey());
+      expect(':');
+      const std::string value = parseScalar();
+      if (containsString(key, "objective")) {
+        prof_.objective = value;
+      } else {
+        prof_.performance[key] = numericBound(value);
+      }
+      skipWs();
+      if (peek() == ',') ++i_;
+    }
+  }
+
+  void parseTraffic() {
+    expect('{');
+    while (true) {
+      skipWs();
+      if (peek() == '}') {
+        ++i_;
+        break;
+      }
+      const std::string key = parseKey();
+      expect(':');
+      prof_.traffic_mpps[key] = numericBound(parseScalar());
+      skipWs();
+      if (peek() == ',') ++i_;
+    }
+  }
+
+  // "bit_32" -> (32, 1); "bit_32 x 16" -> (32, 16).
+  void addField(const std::string& name, const std::string& spec) {
+    int width = 32;
+    int count = 1;
+    const std::string low = toLower(spec);
+    const std::size_t bit = low.find("bit_");
+    if (bit != std::string::npos) {
+      width = static_cast<int>(numericBound(low.substr(bit + 4)));
+    }
+    const std::size_t x = low.find('x');
+    if (x != std::string::npos) {
+      const double c = numericBound(low.substr(x + 1));
+      if (c >= 1) count = static_cast<int>(c);
+    }
+    prof_.header.add(name, width, count);
+  }
+
+  void parsePacketFormat() {
+    expect('{');
+    while (true) {
+      skipWs();
+      if (peek() == '}') {
+        ++i_;
+        break;
+      }
+      const std::string key = toLower(parseKey());
+      expect(':');
+      if (key == "network") {
+        prof_.network = parseScalar();
+      } else if (key == "khdr" || key == "vhdr" || key == "hdr") {
+        expect('{');
+        while (true) {
+          skipWs();
+          if (peek() == '}') {
+            ++i_;
+            break;
+          }
+          const std::string fname = parseKey();
+          expect(':');
+          addField(fname, parseScalar());
+          skipWs();
+          if (peek() == ',') ++i_;
+        }
+      } else {
+        skipValue();
+      }
+      skipWs();
+      if (peek() == ',') ++i_;
+    }
+  }
+
+  void parseParams() {
+    expect('{');
+    while (true) {
+      skipWs();
+      if (peek() == '}') {
+        ++i_;
+        break;
+      }
+      const std::string key = parseKey();
+      expect(':');
+      prof_.params[key] =
+          static_cast<std::uint64_t>(numericBound(parseScalar()));
+      skipWs();
+      if (peek() == ',') ++i_;
+    }
+  }
+};
+
+}  // namespace
+
+double Profile::totalTrafficMpps() const {
+  double total = 0;
+  for (const auto& [k, v] : traffic_mpps) {
+    (void)k;
+    total += v;
+  }
+  return total;
+}
+
+Profile parseProfile(const std::string& text) {
+  ProfileParser p(text);
+  return p.parse();
+}
+
+}  // namespace clickinc::modules

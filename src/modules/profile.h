@@ -1,0 +1,48 @@
+// INC configuration profiles (paper Fig. 6, Appendix A.2): App id,
+// performance requirements, per-client traffic frequency, and packet
+// format. Parsed from a tolerant JSON-like text format that accepts the
+// paper's unquoted objective expressions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "lang/lower.h"
+
+namespace clickinc::modules {
+
+struct Profile {
+  std::string app;  // template id: "KVS", "MLAgg", "DQAcc"
+
+  // Performance block: objective function text plus named numeric
+  // requirements (e.g. depth >= 1000, precision_dec: 3).
+  std::string objective;
+  std::map<std::string, double> performance;
+
+  // Traffic distribution: client id -> Mpps upper bound.
+  std::map<std::string, double> traffic_mpps;
+
+  // Packet format.
+  std::string network = "ethernet/ipv4/udp";
+  lang::HeaderSpec header;
+
+  // Direct template-parameter overrides (cache depth, dims, ...).
+  std::map<std::string, std::uint64_t> params;
+
+  double totalTrafficMpps() const;
+};
+
+// Parses the profile text. Accepted grammar (JSON-ish):
+//   { "app": "KVS",
+//     "performance": { "objective": max 0.7 hit + 0.3 acc, "depth": >= 1000 },
+//     "traffic": { "c1": 10, "c2": 20 },
+//     "packet_format": { "network": "ethernet/ipv4/udp",
+//                        "khdr": { "key": "bit_128" },
+//                        "vhdr": { "val": "bit_32 x 16" } },
+//     "params": { "CacheSize": 5000 } }
+// Numeric comparators (">= 1000") record the bound; "bit_W x N" declares a
+// vector field. Throws ParseError on malformed input.
+Profile parseProfile(const std::string& text);
+
+}  // namespace clickinc::modules

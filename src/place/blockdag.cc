@@ -1,0 +1,273 @@
+#include "place/blockdag.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.h"
+
+namespace clickinc::place {
+
+double demandScore(const device::ResourceDemand& d) {
+  return static_cast<double>(d.memoryBits()) / 1e3 +
+         10.0 * (d.salus + d.alus + d.hash_units + d.tables +
+                 d.special_fns) +
+         static_cast<double>(d.micro_instrs);
+}
+
+namespace {
+
+ir::ClassMask classesOf(const ir::IrProgram& prog,
+                        const std::vector<int>& instrs) {
+  ir::ClassMask m = 0;
+  for (int i : instrs) {
+    m |= ir::classBit(prog.instrs[static_cast<std::size_t>(i)].cls());
+  }
+  return m;
+}
+
+// Internal mutable node during merging.
+struct WorkNode {
+  std::vector<int> instrs;
+  ir::ClassMask classes = 0;
+  std::set<int> preds;  // node indices
+  int level = 0;
+  bool alive = true;
+};
+
+// Recomputes node preds from instruction-level dependencies.
+void rebuildEdges(const ir::DepGraph& dep, std::vector<WorkNode>& nodes) {
+  std::map<int, int> node_of_instr;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (!nodes[n].alive) continue;
+    for (int i : nodes[n].instrs) node_of_instr[i] = static_cast<int>(n);
+  }
+  for (auto& n : nodes) n.preds.clear();
+  for (const auto& [i, ni] : node_of_instr) {
+    for (int j : dep.deps[static_cast<std::size_t>(i)]) {
+      const int nj = node_of_instr.at(j);
+      if (nj != ni) nodes[static_cast<std::size_t>(ni)].preds.insert(nj);
+    }
+  }
+}
+
+// Kahn levels over alive nodes; throws on residual cycles (cannot happen
+// after SCC condensation).
+void assignLevels(std::vector<WorkNode>& nodes) {
+  std::map<int, int> indeg;
+  std::vector<int> order;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].alive) {
+      indeg[static_cast<int>(n)] =
+          static_cast<int>(nodes[n].preds.size());
+    }
+  }
+  std::vector<int> ready;
+  for (auto& [n, d] : indeg) {
+    if (d == 0) ready.push_back(n);
+  }
+  std::map<int, int> level;
+  while (!ready.empty()) {
+    const int n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (auto& [m, d] : indeg) {
+      if (!nodes[static_cast<std::size_t>(m)].preds.count(n)) continue;
+      level[m] = std::max(level[m], level[n] + 1);
+      if (--d == 0) ready.push_back(m);
+    }
+  }
+  CLICKINC_CHECK(order.size() == indeg.size(), "cycle in block DAG");
+  for (auto& [n, l] : level) {
+    nodes[static_cast<std::size_t>(n)].level = l;
+  }
+  for (int n : order) {
+    auto& node = nodes[static_cast<std::size_t>(n)];
+    for (int p : node.preds) {
+      node.level = std::max(node.level,
+                            nodes[static_cast<std::size_t>(p)].level + 1);
+    }
+  }
+}
+
+}  // namespace
+
+BlockDag BlockDag::build(const ir::IrProgram& prog,
+                         const BlockDagOptions& opts) {
+  BlockDag dag;
+  dag.prog_ = &prog;
+  const ir::DepGraph dep = ir::buildDepGraph(prog);
+
+  // Step 1+2: SCC condensation groups state-sharing instructions and any
+  // dependency loops into inseparable nodes, already topologically ordered.
+  const auto comps = ir::stronglyConnectedComponents(dep);
+
+  std::vector<WorkNode> nodes;
+  nodes.reserve(comps.size());
+  for (const auto& comp : comps) {
+    WorkNode n;
+    n.instrs = comp;
+    n.classes = classesOf(prog, comp);
+    nodes.push_back(std::move(n));
+  }
+  rebuildEdges(dep, nodes);
+  assignLevels(nodes);
+
+  if (opts.merge) {
+    // Step 3a: intra-partition merge — same Kahn level, same type, sharing
+    // a predecessor (or both entry nodes), within the size threshold.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t a = 0; a < nodes.size() && !changed; ++a) {
+        if (!nodes[a].alive) continue;
+        for (std::size_t b = a + 1; b < nodes.size() && !changed; ++b) {
+          if (!nodes[b].alive) continue;
+          if (nodes[a].level != nodes[b].level) continue;
+          if (nodes[a].classes != nodes[b].classes) continue;
+          const std::size_t total =
+              nodes[a].instrs.size() + nodes[b].instrs.size();
+          if (total > static_cast<std::size_t>(opts.max_block_instrs)) {
+            continue;
+          }
+          const bool both_entry =
+              nodes[a].preds.empty() && nodes[b].preds.empty();
+          bool share_pred = both_entry;
+          for (int p : nodes[a].preds) {
+            if (nodes[b].preds.count(p)) share_pred = true;
+          }
+          if (!share_pred) continue;
+          nodes[a].instrs.insert(nodes[a].instrs.end(),
+                                 nodes[b].instrs.begin(),
+                                 nodes[b].instrs.end());
+          std::sort(nodes[a].instrs.begin(), nodes[a].instrs.end());
+          nodes[b].alive = false;
+          rebuildEdges(dep, nodes);
+          assignLevels(nodes);
+          changed = true;
+        }
+      }
+    }
+    // Step 3b: inter-partition merge — absorb a sole-successor node of the
+    // same type from the next level; repeat to fixpoint.
+    changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t a = 0; a < nodes.size() && !changed; ++a) {
+        if (!nodes[a].alive) continue;
+        for (std::size_t b = 0; b < nodes.size() && !changed; ++b) {
+          if (!nodes[b].alive || a == b) continue;
+          if (nodes[b].preds.size() != 1 ||
+              !nodes[b].preds.count(static_cast<int>(a))) {
+            continue;
+          }
+          if (nodes[b].level != nodes[a].level + 1) continue;
+          if (nodes[a].classes != nodes[b].classes) continue;
+          const std::size_t total =
+              nodes[a].instrs.size() + nodes[b].instrs.size();
+          if (total > static_cast<std::size_t>(opts.max_block_instrs)) {
+            continue;
+          }
+          nodes[a].instrs.insert(nodes[a].instrs.end(),
+                                 nodes[b].instrs.begin(),
+                                 nodes[b].instrs.end());
+          std::sort(nodes[a].instrs.begin(), nodes[a].instrs.end());
+          nodes[b].alive = false;
+          rebuildEdges(dep, nodes);
+          assignLevels(nodes);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Linearize: stable order by (level, first instruction index).
+  std::vector<std::size_t> alive_order;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].alive) alive_order.push_back(n);
+  }
+  std::sort(alive_order.begin(), alive_order.end(),
+            [&](std::size_t x, std::size_t y) {
+              if (nodes[x].level != nodes[y].level) {
+                return nodes[x].level < nodes[y].level;
+              }
+              return nodes[x].instrs.front() < nodes[y].instrs.front();
+            });
+
+  std::map<std::size_t, int> block_of_node;
+  for (std::size_t k = 0; k < alive_order.size(); ++k) {
+    const auto& n = nodes[alive_order[k]];
+    Block b;
+    b.id = static_cast<int>(k);
+    b.instrs = n.instrs;
+    b.classes = n.classes;
+    b.level = n.level;
+    b.demand = device::demandOfInstrs(prog, n.instrs);
+    for (int i : n.instrs) {
+      const auto& ins = prog.instrs[static_cast<std::size_t>(i)];
+      if (ins.state_id >= 0 &&
+          prog.states[static_cast<std::size_t>(ins.state_id)].stateful) {
+        b.stateful = true;
+      }
+    }
+    block_of_node[alive_order[k]] = b.id;
+    dag.blocks_.push_back(std::move(b));
+  }
+  for (std::size_t k = 0; k < alive_order.size(); ++k) {
+    for (int p : nodes[alive_order[k]].preds) {
+      dag.blocks_[k].deps.push_back(
+          block_of_node.at(static_cast<std::size_t>(p)));
+    }
+    std::sort(dag.blocks_[k].deps.begin(), dag.blocks_[k].deps.end());
+  }
+  dag.finalize();
+  return dag;
+}
+
+void BlockDag::finalize() {
+  const int n = size();
+  cut_bits_.assign(static_cast<std::size_t>(n) + 1, 0);
+  prefix_score_.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 1; i < n; ++i) {
+    cut_bits_[static_cast<std::size_t>(i)] =
+        ir::paramBitsAcrossCut(*prog_, instrsOf(0, i), instrsOf(i, n));
+  }
+  for (int i = 0; i < n; ++i) {
+    prefix_score_[static_cast<std::size_t>(i) + 1] =
+        prefix_score_[static_cast<std::size_t>(i)] +
+        demandScore(blocks_[static_cast<std::size_t>(i)].demand);
+  }
+}
+
+std::vector<int> BlockDag::instrsOf(int from, int to) const {
+  std::vector<int> out;
+  for (int b = from; b < to; ++b) {
+    const auto& blk = blocks_[static_cast<std::size_t>(b)];
+    out.insert(out.end(), blk.instrs.begin(), blk.instrs.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int BlockDag::cutBits(int i) const {
+  if (i <= 0 || i >= size()) return 0;
+  return cut_bits_[static_cast<std::size_t>(i)];
+}
+
+double BlockDag::scoreOf(int from, int to) const {
+  return prefix_score_[static_cast<std::size_t>(to)] -
+         prefix_score_[static_cast<std::size_t>(from)];
+}
+
+double BlockDag::totalScore() const {
+  return prefix_score_.back();
+}
+
+bool BlockDag::statefulIn(int from, int to) const {
+  for (int b = from; b < to; ++b) {
+    if (blocks_[static_cast<std::size_t>(b)].stateful) return true;
+  }
+  return false;
+}
+
+}  // namespace clickinc::place

@@ -1,0 +1,436 @@
+#include "place/intradevice.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "place/blockdag.h"
+#include "util/bits.h"
+#include "util/strings.h"
+#include "util/error.h"
+
+namespace clickinc::place {
+
+DeviceOccupancy DeviceOccupancy::fresh(const device::DeviceModel& model) {
+  DeviceOccupancy occ;
+  occ.model = &model;
+  if (model.arch == device::Arch::kPipeline) {
+    for (int s = 0; s < model.num_stages; ++s) {
+      occ.free_stage.push_back(device::stageBudget(model, s));
+    }
+  } else {
+    occ.free_whole = device::deviceBudget(model);
+  }
+  return occ;
+}
+
+double DeviceOccupancy::remainingRatio() const {
+  double free = 0;
+  double cap = 0;
+  auto score = [](const device::ResourceDemand& d) {
+    // Saturating-int budgets (RTC "unlimited" compute) are clamped so the
+    // ratio reflects the binding resources.
+    device::ResourceDemand c = d;
+    auto clamp = [](int v) { return std::min(v, 1 << 20); };
+    c.salus = clamp(c.salus);
+    c.alus = clamp(c.alus);
+    c.hash_units = clamp(c.hash_units);
+    c.tables = clamp(c.tables);
+    c.gateways = clamp(c.gateways);
+    c.special_fns = clamp(c.special_fns);
+    c.micro_instrs = clamp(c.micro_instrs);
+    c.dsps = clamp(c.dsps);
+    return demandScore(c);
+  };
+  if (model->arch == device::Arch::kPipeline) {
+    for (int s = 0; s < model->num_stages; ++s) {
+      free += score(free_stage[static_cast<std::size_t>(s)]);
+      cap += score(device::stageBudget(*model, s));
+    }
+  } else {
+    free = score(free_whole);
+    cap = score(device::deviceBudget(*model));
+  }
+  return cap <= 0 ? 0.0 : std::min(1.0, free / cap);
+}
+
+namespace {
+
+bool subtractFrom(device::ResourceDemand& budget,
+                  const device::ResourceDemand& d) {
+  if (!d.fitsWithin(budget)) return false;
+  budget.salus -= d.salus;
+  budget.alus -= d.alus;
+  budget.hash_units -= d.hash_units;
+  budget.tables -= d.tables;
+  budget.gateways -= d.gateways;
+  budget.special_fns -= d.special_fns;
+  budget.sram_bits -= d.sram_bits;
+  budget.tcam_bits -= d.tcam_bits;
+  budget.micro_instrs -= d.micro_instrs;
+  budget.dsps -= d.dsps;
+  budget.luts -= d.luts;
+  budget.ffs -= d.ffs;
+  return true;
+}
+
+bool isStatefulClass(ir::InstrClass c) {
+  return c == ir::InstrClass::kBSO || c == ir::InstrClass::kBSEM ||
+         c == ir::InstrClass::kBSNEM;
+}
+
+bool isTableLookup(const ir::Instruction& ins) {
+  switch (ins.cls()) {
+    case ir::InstrClass::kBEM:
+    case ir::InstrClass::kBSEM:
+    case ir::InstrClass::kBNEM:
+    case ir::InstrClass::kBSNEM:
+    case ir::InstrClass::kBDM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Demand of one instruction at a (stage, state) site: the first stateful
+// touch of a state carries the SALU/table slot plus the state's
+// block-rounded storage; subsequent touches of the same state in the same
+// stage share the unit.
+device::ResourceDemand siteDemand(const ir::IrProgram& prog,
+                                  const ir::Instruction& ins,
+                                  const device::DeviceModel& model,
+                                  std::set<std::pair<int, int>>* seen,
+                                  int stage) {
+  device::ResourceDemand d = device::instrDemand(ins);
+  if (ins.state_id >= 0) {
+    const auto key = std::make_pair(stage, ins.state_id);
+    if (seen->insert(key).second) {
+      device::ResourceDemand st = device::stateDemand(
+          prog.states[static_cast<std::size_t>(ins.state_id)]);
+      st.sram_bits = ceilDiv(st.sram_bits, model.sram_block_bits) *
+                     model.sram_block_bits;
+      if (st.tcam_bits > 0) {
+        st.tcam_bits = ceilDiv(st.tcam_bits, model.tcam_block_bits) *
+                       model.tcam_block_bits;
+      }
+      d.add(st);
+    } else if (isStatefulClass(ins.cls())) {
+      d.salus = 0;
+      d.tables = 0;
+      d.hash_units = 0;
+    }
+  }
+  return d;
+}
+
+IntraPlacement placeWholeDevice(const DeviceOccupancy& occ,
+                                const ir::IrProgram& prog,
+                                const std::vector<int>& instrs) {
+  IntraPlacement out;
+  out.instr_idxs = instrs;
+  out.steps = 1;
+  for (int i : instrs) {
+    if (!occ.model->supportsOpcode(
+            prog.instrs[static_cast<std::size_t>(i)].op)) {
+      out.why = cat("unsupported opcode ",
+                    ir::opcodeName(prog.instrs[static_cast<std::size_t>(i)].op));
+      return out;
+    }
+  }
+  out.total = device::demandOfInstrs(prog, instrs);
+  device::ResourceDemand budget = occ.free_whole;
+  if (!out.total.fitsWithin(budget)) {
+    out.why = "whole-device budget exceeded";
+    return out;
+  }
+  out.feasible = true;
+  out.stages_used = instrs.empty() ? 0 : 1;
+  return out;
+}
+
+}  // namespace
+
+IntraPlacement placeCompact(const DeviceOccupancy& occ,
+                            const ir::IrProgram& prog,
+                            const std::vector<int>& instrs,
+                            int min_stage, const ir::Analysis* an) {
+  IntraPlacement out;
+  out.instr_idxs = instrs;
+  if (instrs.empty()) {
+    out.feasible = true;
+    return out;
+  }
+  if (occ.model->arch != device::Arch::kPipeline) {
+    return placeWholeDevice(occ, prog, instrs);
+  }
+
+  for (int i : instrs) {
+    if (!occ.model->supportsOpcode(
+            prog.instrs[static_cast<std::size_t>(i)].op)) {
+      out.why = cat("unsupported opcode ",
+                    ir::opcodeName(prog.instrs[static_cast<std::size_t>(i)].op));
+      return out;
+    }
+  }
+
+  const ir::Analysis local = an == nullptr ? ir::analyzeProgram(prog)
+                                           : ir::Analysis{};
+  const ir::Analysis& analysis = an == nullptr ? local : *an;
+  const ir::DepGraph& dep = analysis.dep;
+  const int num_stages = occ.model->num_stages;
+  std::vector<device::ResourceDemand> free = occ.free_stage;
+  std::map<int, int> stage_by_instr;
+  std::set<std::pair<int, int>> state_sites;
+  out.stage_of.assign(instrs.size(), -1);
+
+  // All touches of one state object go to one stage (the array is bound to
+  // a single SALU), so a state's touch-group is placed atomically at the
+  // first encounter — otherwise later touches can find their pinned stage
+  // full.
+  std::map<int, std::vector<std::size_t>> group_of_state;
+  for (std::size_t k = 0; k < instrs.size(); ++k) {
+    const auto& ins = prog.instrs[static_cast<std::size_t>(instrs[k])];
+    if (ins.state_id >= 0) group_of_state[ins.state_id].push_back(k);
+  }
+
+  // Earliest legal stage for one instruction given already-placed
+  // producers; intra-SCC (fused stateful group) ordering is exempt.
+  auto earliestFor = [&](int i) {
+    int earliest = min_stage;
+    const auto& ins = prog.instrs[static_cast<std::size_t>(i)];
+    for (int j : dep.deps[static_cast<std::size_t>(i)]) {
+      auto it = stage_by_instr.find(j);
+      if (it == stage_by_instr.end()) continue;  // producer upstream/later
+      if (analysis.sameScc(i, j)) continue;
+      const auto& producer = prog.instrs[static_cast<std::size_t>(j)];
+      const bool fused = isTableLookup(producer) && !isTableLookup(ins);
+      earliest = std::max(earliest, it->second + (fused ? 0 : 1));
+    }
+    return earliest;
+  };
+
+  std::vector<bool> done(instrs.size(), false);
+  for (std::size_t k = 0; k < instrs.size(); ++k) {
+    if (done[k]) continue;
+    const int i = instrs[k];
+    const auto& ins = prog.instrs[static_cast<std::size_t>(i)];
+    ++out.steps;
+
+    // Members placed together: the state's whole touch group, or just {k}.
+    std::vector<std::size_t> members = {k};
+    if (ins.state_id >= 0) members = group_of_state.at(ins.state_id);
+
+    int earliest = min_stage;
+    for (std::size_t mk : members) {
+      earliest = std::max(earliest, earliestFor(instrs[mk]));
+    }
+
+    int placed_stage = -1;
+    for (int s = earliest; s < num_stages; ++s) {
+      ++out.steps;
+      // Probe the combined demand of all members at stage s.
+      std::set<std::pair<int, int>> probe = state_sites;
+      device::ResourceDemand combined;
+      for (std::size_t mk : members) {
+        combined.add(siteDemand(
+            prog, prog.instrs[static_cast<std::size_t>(instrs[mk])],
+            *occ.model, &probe, s));
+      }
+      if (combined.fitsWithin(free[static_cast<std::size_t>(s)])) {
+        CLICKINC_CHECK(
+            subtractFrom(free[static_cast<std::size_t>(s)], combined),
+            "fit check lied");
+        state_sites = std::move(probe);
+        placed_stage = s;
+        break;
+      }
+    }
+    if (placed_stage < 0) {
+      out.why = cat("no stage fits instr #", i, " (", ins.toString(),
+                    ") earliest=", earliest);
+      return out;
+    }
+    for (std::size_t mk : members) {
+      stage_by_instr[instrs[mk]] = placed_stage;
+      out.stage_of[mk] = placed_stage;
+      done[mk] = true;
+    }
+  }
+
+  out.feasible = true;
+  int lo = num_stages, hi = -1;
+  for (int s : out.stage_of) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  out.stages_used = hi - lo + 1;
+  out.total = device::demandOfInstrs(prog, instrs);
+  return out;
+}
+
+namespace {
+
+struct ExhaustiveSearch {
+  const DeviceOccupancy* occ;
+  const ir::IrProgram* prog;
+  const std::vector<int>* instrs;
+  const ir::Analysis* analysis;
+  long max_steps;
+  int min_stage;
+
+  long steps = 0;
+  int best_span = std::numeric_limits<int>::max();
+  std::vector<int> best_stages;
+
+  std::vector<int> cur;
+  std::vector<device::ResourceDemand> free;
+  std::map<int, int> stage_by_instr;
+  std::map<int, int> stage_by_state;
+  std::set<std::pair<int, int>> state_sites;
+
+  void run(std::size_t k) {
+    if (steps >= max_steps) return;
+    if (k == instrs->size()) {
+      int lo = occ->model->num_stages, hi = -1;
+      for (int s : cur) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+      }
+      const int span = cur.empty() ? 0 : hi - lo + 1;
+      if (span < best_span) {
+        best_span = span;
+        best_stages = cur;
+      }
+      return;
+    }
+    const int i = (*instrs)[k];
+    const auto& ins = prog->instrs[static_cast<std::size_t>(i)];
+    int earliest = min_stage;
+    for (int j : analysis->dep.deps[static_cast<std::size_t>(i)]) {
+      auto it = stage_by_instr.find(j);
+      if (it == stage_by_instr.end()) continue;
+      if (analysis->sameScc(i, j)) continue;
+      const auto& producer = prog->instrs[static_cast<std::size_t>(j)];
+      const bool fused = isTableLookup(producer) &&
+                         !isTableLookup(ins);
+      earliest = std::max(earliest, it->second + (fused ? 0 : 1));
+    }
+    int pinned = -1;
+    if (ins.state_id >= 0) {
+      auto it = stage_by_state.find(ins.state_id);
+      if (it != stage_by_state.end()) pinned = it->second;
+    }
+    if (pinned >= 0) earliest = std::min(earliest, pinned);
+    for (int s = earliest; s < occ->model->num_stages; ++s) {
+      if (pinned >= 0 && s != pinned) continue;
+      ++steps;
+      if (steps >= max_steps) return;
+      std::set<std::pair<int, int>> saved_sites = state_sites;
+      const auto d = siteDemand(*prog, ins, *occ->model, &state_sites, s);
+      if (!d.fitsWithin(free[static_cast<std::size_t>(s)])) {
+        state_sites = std::move(saved_sites);
+        continue;
+      }
+      subtractFrom(free[static_cast<std::size_t>(s)], d);
+      cur.push_back(s);
+      stage_by_instr[i] = s;
+      const bool had_state_pin = pinned >= 0;
+      if (ins.state_id >= 0 && !had_state_pin) {
+        stage_by_state[ins.state_id] = s;
+      }
+      run(k + 1);
+      if (ins.state_id >= 0 && !had_state_pin) {
+        stage_by_state.erase(ins.state_id);
+      }
+      stage_by_instr.erase(i);
+      cur.pop_back();
+      auto& f = free[static_cast<std::size_t>(s)];
+      f.add(d);  // return the charge
+      state_sites = std::move(saved_sites);
+    }
+  }
+};
+
+}  // namespace
+
+IntraPlacement placeExhaustive(const DeviceOccupancy& occ,
+                               const ir::IrProgram& prog,
+                               const std::vector<int>& instrs,
+                               long max_steps, int min_stage,
+                               const ir::Analysis* an) {
+  IntraPlacement out;
+  out.instr_idxs = instrs;
+  if (instrs.empty()) {
+    out.feasible = true;
+    return out;
+  }
+  if (occ.model->arch != device::Arch::kPipeline) {
+    return placeWholeDevice(occ, prog, instrs);
+  }
+  for (int i : instrs) {
+    if (!occ.model->supportsOpcode(
+            prog.instrs[static_cast<std::size_t>(i)].op)) {
+      return out;
+    }
+  }
+  const ir::Analysis local = an == nullptr ? ir::analyzeProgram(prog)
+                                           : ir::Analysis{};
+  const ir::Analysis& analysis = an == nullptr ? local : *an;
+  ExhaustiveSearch search;
+  search.occ = &occ;
+  search.prog = &prog;
+  search.instrs = &instrs;
+  search.analysis = &analysis;
+  search.max_steps = max_steps;
+  search.min_stage = min_stage;
+  search.free = occ.free_stage;
+  search.run(0);
+
+  out.steps = search.steps;
+  if (search.best_stages.empty() && !instrs.empty()) return out;
+  out.feasible = true;
+  out.stage_of = search.best_stages;
+  out.stages_used = search.best_span;
+  out.total = device::demandOfInstrs(prog, instrs);
+  return out;
+}
+
+void commitPlacement(DeviceOccupancy& occ, const ir::IrProgram& prog,
+                     const IntraPlacement& placement) {
+  CLICKINC_CHECK(placement.feasible, "committing infeasible placement");
+  if (occ.model->arch != device::Arch::kPipeline) {
+    CLICKINC_CHECK(subtractFrom(occ.free_whole, placement.total),
+                   "over-committed device");
+    return;
+  }
+  std::set<std::pair<int, int>> sites;
+  for (std::size_t k = 0; k < placement.instr_idxs.size(); ++k) {
+    const auto& ins = prog.instrs[static_cast<std::size_t>(
+        placement.instr_idxs[k])];
+    const int s = placement.stage_of[k];
+    const auto d = siteDemand(prog, ins, *occ.model, &sites, s);
+    CLICKINC_CHECK(
+        subtractFrom(occ.free_stage[static_cast<std::size_t>(s)], d),
+        "over-committed stage");
+  }
+}
+
+
+
+void releasePlacement(DeviceOccupancy& occ, const ir::IrProgram& prog,
+                      const IntraPlacement& placement) {
+  if (occ.model->arch != device::Arch::kPipeline) {
+    occ.free_whole.add(placement.total);
+    return;
+  }
+  std::set<std::pair<int, int>> sites;
+  for (std::size_t k = 0; k < placement.instr_idxs.size(); ++k) {
+    const auto& ins = prog.instrs[static_cast<std::size_t>(
+        placement.instr_idxs[k])];
+    const int s = placement.stage_of[k];
+    const auto d = siteDemand(prog, ins, *occ.model, &sites, s);
+    occ.free_stage[static_cast<std::size_t>(s)].add(d);
+  }
+}
+
+}  // namespace clickinc::place

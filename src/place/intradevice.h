@@ -1,0 +1,76 @@
+// Intra-device instruction placement (paper §5.4 Algorithm 2, Appendix D).
+//
+// Two search modes:
+//  - placeCompact: the pruned DP. The paper's pruning (drop dominated
+//    partial solutions, prefer stage-compact placements) collapses the
+//    per-stage enumeration to earliest-feasible-stage list scheduling,
+//    which is what this computes — in linear time per instruction.
+//  - placeExhaustive: the unpruned enumeration over per-stage subsets
+//    (what the SMT baseline effectively explores). Exponential; used by
+//    the Fig. 14 ablations and Table 4 baseline with a step budget.
+//
+// State-sharing instructions are pinned to one stage per state object
+// (hardware register arrays are bound to a single stage's SALU), and the
+// per-(stage, state) SALU/table demand is counted once.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/demand.h"
+#include "device/model.h"
+#include "device/validate.h"
+#include "ir/analysis.h"
+#include "ir/program.h"
+
+namespace clickinc::place {
+
+// Remaining free resources of one physical device.
+struct DeviceOccupancy {
+  const device::DeviceModel* model = nullptr;
+  std::vector<device::ResourceDemand> free_stage;  // pipeline devices
+  device::ResourceDemand free_whole;               // RTC / hybrid devices
+
+  static DeviceOccupancy fresh(const device::DeviceModel& model);
+  // Fraction of the device's scalar capacity still free, in [0, 1].
+  double remainingRatio() const;
+};
+
+struct IntraPlacement {
+  bool feasible = false;
+  std::string why;              // failure diagnostics when infeasible
+  std::vector<int> instr_idxs;  // program instruction indices
+  std::vector<int> stage_of;    // parallel to instr_idxs (pipeline only)
+  int stages_used = 0;
+  device::ResourceDemand total;
+  long steps = 0;               // search nodes explored
+};
+
+// Pruned placement of `instrs` (topologically ordered program indices)
+// onto the device described by `occ`, starting no earlier than min_stage.
+IntraPlacement placeCompact(const DeviceOccupancy& occ,
+                            const ir::IrProgram& prog,
+                            const std::vector<int>& instrs,
+                            int min_stage = 0,
+                            const ir::Analysis* an = nullptr);
+
+// Unpruned enumeration (pipeline devices); explores every stage choice per
+// instruction up to `max_steps` search nodes, returning the placement with
+// the fewest stages found.
+IntraPlacement placeExhaustive(const DeviceOccupancy& occ,
+                               const ir::IrProgram& prog,
+                               const std::vector<int>& instrs,
+                               long max_steps, int min_stage = 0,
+                               const ir::Analysis* an = nullptr);
+
+// Subtracts a feasible placement from the device's free resources.
+void commitPlacement(DeviceOccupancy& occ, const ir::IrProgram& prog,
+                     const IntraPlacement& placement);
+
+// Returns a previously committed placement's resources to the ledger
+// (program removal records resources as released immediately, §6).
+void releasePlacement(DeviceOccupancy& occ, const ir::IrProgram& prog,
+                      const IntraPlacement& placement);
+
+}  // namespace clickinc::place

@@ -1,0 +1,44 @@
+// SMT-style placement baseline (the Z3 comparator of Table 4 / Fig. 14).
+//
+// Z3 is not available offline, so this reproduces the *search behaviour*
+// prior work delegates to it: exhaustive enumeration of block-to-device
+// boundaries along a chain combined with unpruned per-device stage
+// enumeration. Complexity is exponential in devices and instructions —
+// exactly the shape Fig. 14(c) reports — while the DP of treedp.h stays
+// polynomial. `optimize=false` mimics feasibility-only solving (about
+// half the work, but arbitrary spreading and higher comm overhead).
+#pragma once
+
+#include <vector>
+
+#include "device/model.h"
+#include "place/blockdag.h"
+
+namespace clickinc::place {
+
+struct SmtOptions {
+  bool optimize = true;        // objective-driven vs first-feasible
+  long max_steps = 200000000;  // total search-node budget before giving up
+  long per_segment_steps = 100000;  // unpruned stage enumeration per segment
+};
+
+struct SmtResult {
+  bool feasible = false;
+  bool budget_exhausted = false;
+  long steps = 0;
+  double elapsed_ms = 0;
+  // boundaries[d] .. boundaries[d+1]) = blocks on device d.
+  std::vector<int> boundaries;
+  std::vector<int> stages_used;       // per device
+  std::vector<int> instrs_per_device; // per device
+  double resource_score = 0;
+  int comm_bits = 0;
+  double cost = 0;  // comparable to the DP objective
+};
+
+// Places the block sequence on a chain of devices by full enumeration.
+SmtResult smtPlaceChain(const BlockDag& dag,
+                        const std::vector<device::DeviceModel>& chain,
+                        const SmtOptions& opts = {});
+
+}  // namespace clickinc::place

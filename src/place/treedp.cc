@@ -1,0 +1,481 @@
+#include "place/treedp.h"
+
+#include <chrono>
+#include <functional>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace clickinc::place {
+
+Weights adaptiveWeights(double remaining_ratio) {
+  Weights w;
+  w.wt = 0.5;
+  w.wr = 1.0 - std::pow(2.0, remaining_ratio - 1.0);
+  w.wp = 0.5 - w.wr;
+  return w;
+}
+
+OccupancyMap::OccupancyMap(const topo::Topology* topo) : topo_(topo) {
+  for (const auto& n : topo->nodes()) {
+    if (n.programmable) {
+      map_.emplace(n.id, DeviceOccupancy::fresh(n.model));
+    }
+  }
+}
+
+DeviceOccupancy& OccupancyMap::of(int node_id) {
+  auto it = map_.find(node_id);
+  CLICKINC_CHECK(it != map_.end(), "node is not programmable");
+  return it->second;
+}
+
+const DeviceOccupancy& OccupancyMap::of(int node_id) const {
+  auto it = map_.find(node_id);
+  CLICKINC_CHECK(it != map_.end(), "node is not programmable");
+  return it->second;
+}
+
+double OccupancyMap::remainingRatio() const {
+  if (map_.empty()) return 1.0;
+  double sum = 0;
+  for (const auto& [id, occ] : map_) {
+    (void)id;
+    sum += occ.remainingRatio();
+  }
+  return sum / static_cast<double>(map_.size());
+}
+
+std::vector<int> PlacementPlan::devicesUsed() const {
+  std::vector<int> out;
+  for (const auto& a : assignments) {
+    if (a.to_block <= a.from_block) continue;
+    for (const auto& [dev, p] : a.on_device) {
+      (void)p;
+      out.push_back(dev);
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      (void)p;
+      out.push_back(dev);
+    }
+  }
+  return out;
+}
+
+int PlacementPlan::blocksOn(int tree_node) const {
+  for (const auto& a : assignments) {
+    if (a.tree_node == tree_node) return a.to_block - a.from_block;
+  }
+  return 0;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A memoized segment placement on one EC node.
+struct Segment {
+  bool feasible = false;
+  int bypass_from = -1;
+  std::map<int, IntraPlacement> on_device;
+  std::map<int, IntraPlacement> on_bypass;
+  double resource_score = 0;  // summed over replicated devices
+  int internal_cut_bits = 0;
+  long steps = 0;
+};
+
+class TreePlacer {
+ public:
+  TreePlacer(const BlockDag& dag, const topo::EcTree& tree,
+             const topo::Topology& topo, const OccupancyMap& occ,
+             const PlacementOptions& opts)
+      : dag_(dag), tree_(tree), topo_(topo), occ_(occ), opts_(opts) {
+    m_ = dag.size();
+    analysis_ = ir::analyzeProgram(dag.prog());
+    weights_ = opts.adaptive ? adaptiveWeights(occ.remainingRatio())
+                             : opts.weights;
+    // Normalizers for h_r / h_p.
+    score_norm_ = std::max(1.0, dag.totalScore());
+    double cut_total = 0;
+    for (int i = 1; i < m_; ++i) cut_total += dag.cutBits(i);
+    cut_norm_ = std::max(1.0, cut_total);
+    seg_cache_.resize(tree_.nodes.size());
+    traffic_frac_.assign(tree_.nodes.size(), 0.0);
+    computeTrafficFrac();
+    computeHopOrder();
+  }
+
+  PlacementPlan run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    PlacementPlan plan;
+    plan.weights_used = weights_;
+
+    if (m_ == 0) {
+      plan.feasible = true;
+      plan.ht = 1;
+      return plan;
+    }
+
+    // Client side (includes the root).
+    solveClient(tree_.root);
+
+    // Server chain, backwards: T[t][j] = cost of placing [j, m) on chain
+    // nodes t..end.
+    const int chain_len = static_cast<int>(tree_.server_chain.size());
+    server_dp_.assign(static_cast<std::size_t>(chain_len) + 1,
+                      std::vector<double>(static_cast<std::size_t>(m_) + 1,
+                                          kInf));
+    server_choice_.assign(static_cast<std::size_t>(chain_len),
+                          std::vector<int>(static_cast<std::size_t>(m_) + 1,
+                                           -1));
+    server_dp_[static_cast<std::size_t>(chain_len)]
+              [static_cast<std::size_t>(m_)] = 0;
+    for (int t = chain_len - 1; t >= 0; --t) {
+      const int node = tree_.server_chain[static_cast<std::size_t>(t)];
+      for (int j = 0; j <= m_; ++j) {
+        for (int j2 = j; j2 <= m_; ++j2) {
+          const double tail = server_dp_[static_cast<std::size_t>(t) + 1]
+                                        [static_cast<std::size_t>(j2)];
+          if (tail == kInf) continue;
+          const double seg = segCost(node, j, j2);
+          if (seg == kInf) continue;
+          const double entry = entryCharge(node, j, j2);
+          const double total = seg + entry + tail;
+          auto& cell = server_dp_[static_cast<std::size_t>(t)]
+                                 [static_cast<std::size_t>(j)];
+          if (total < cell) {
+            cell = total;
+            server_choice_[static_cast<std::size_t>(t)]
+                          [static_cast<std::size_t>(j)] = j2;
+          }
+        }
+      }
+    }
+
+    // Join at the root.
+    double best = kInf;
+    int best_b = -1;
+    const auto& rootH = client_dp_.at(tree_.root);
+    for (int b = 0; b <= m_; ++b) {
+      const double left = rootH[static_cast<std::size_t>(b)];
+      if (left == kInf) continue;
+      const double right =
+          chain_len == 0
+              ? (b == m_ ? 0.0 : kInf)
+              : server_dp_[0][static_cast<std::size_t>(b)];
+      if (right == kInf) continue;
+      if (left + right < best) {
+        best = left + right;
+        best_b = b;
+      }
+    }
+    plan.steps = steps_;
+    plan.elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (best_b < 0) {
+      plan.failure = "no feasible placement covers all paths";
+      return plan;
+    }
+
+    // Backtrack client side then server chain.
+    backtrackClient(tree_.root, best_b, &plan);
+    int j = best_b;
+    for (int t = 0; t < chain_len; ++t) {
+      const int node = tree_.server_chain[static_cast<std::size_t>(t)];
+      const int j2 = server_choice_[static_cast<std::size_t>(t)]
+                                   [static_cast<std::size_t>(j)];
+      emitAssignment(node, j, j2, &plan);
+      j = j2;
+    }
+
+    plan.feasible = true;
+    plan.ht = 1.0;
+    double res = 0;
+    double cut = 0;
+    for (const auto& a : plan.assignments) {
+      const Segment& seg = *cachedSegment(a.tree_node, a.from_block,
+                                          a.to_block);
+      res += seg.resource_score;
+      cut += static_cast<double>(seg.internal_cut_bits) * 0.25;
+      if (a.from_block > 0 && a.to_block > a.from_block) {
+        cut += dag_.cutBits(a.from_block) *
+               traffic_frac_[static_cast<std::size_t>(a.tree_node)];
+      }
+    }
+    plan.hr = res / score_norm_;
+    plan.hp = cut / cut_norm_;
+    plan.gain = weights_.wt * plan.ht - weights_.wr * plan.hr -
+                weights_.wp * plan.hp;
+    return plan;
+  }
+
+ private:
+  const BlockDag& dag_;
+  const topo::EcTree& tree_;
+  const topo::Topology& topo_;
+  const OccupancyMap& occ_;
+  PlacementOptions opts_;
+  Weights weights_;
+  int m_ = 0;
+  ir::Analysis analysis_;
+  double score_norm_ = 1;
+  double cut_norm_ = 1;
+  long steps_ = 0;
+
+  std::map<int, std::vector<double>> client_dp_;   // node -> H[j]
+  std::map<int, std::vector<int>> client_choice_;  // node -> chosen i per j
+  std::vector<std::vector<double>> server_dp_;
+  std::vector<std::vector<int>> server_choice_;
+  std::vector<std::map<long, Segment>> seg_cache_;  // per tree node
+  std::vector<double> traffic_frac_;
+  std::vector<double> hop_order_;
+
+  void computeTrafficFrac() {
+    // Post-order accumulation of leaf traffic; server side carries all.
+    const double total = std::max(1e-9, tree_.total_traffic);
+    std::vector<double> subtree(tree_.nodes.size(), 0.0);
+    // Children lists give the client tree; iterate until fixpoint (tree is
+    // shallow; a simple repeated relaxation is fine and avoids recursion).
+    for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
+      subtree[i] = tree_.nodes[i].leaf_traffic;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
+        double sum = tree_.nodes[i].leaf_traffic;
+        for (int c : tree_.nodes[i].children) {
+          sum += subtree[static_cast<std::size_t>(c)];
+        }
+        if (sum != subtree[i]) {
+          subtree[i] = sum;
+          changed = true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
+      traffic_frac_[i] =
+          tree_.nodes[i].server_side ? 1.0 : subtree[i] / total;
+    }
+    traffic_frac_[static_cast<std::size_t>(tree_.root)] = 1.0;
+  }
+
+  IntraPlacement placeOn(const DeviceOccupancy& occ,
+                         const std::vector<int>& instrs) {
+    IntraPlacement p =
+        opts_.prune ? placeCompact(occ, dag_.prog(), instrs, 0, &analysis_)
+                    : placeExhaustive(occ, dag_.prog(), instrs,
+                                      opts_.max_steps, 0, &analysis_);
+    steps_ += p.steps;
+    return p;
+  }
+
+  const Segment* cachedSegment(int node, int i, int j) {
+    auto& cache = seg_cache_[static_cast<std::size_t>(node)];
+    const long key = static_cast<long>(i) * (m_ + 1) + j;
+    auto it = cache.find(key);
+    if (it != cache.end()) return &it->second;
+
+    Segment seg;
+    if (i == j) {
+      seg.feasible = true;
+      cache.emplace(key, std::move(seg));
+      return &cache.at(key);
+    }
+    const auto& tn = tree_.at(node);
+    // Stateful segments need full traffic visibility: a partial-traffic
+    // node (leaf branch) would hold a replica that never sees the other
+    // paths' packets, breaking aggregation/caching semantics.
+    if (dag_.statefulIn(i, j) &&
+        traffic_frac_[static_cast<std::size_t>(node)] < 0.999) {
+      cache.emplace(key, std::move(seg));
+      return &cache.at(key);
+    }
+    // Non-programmable devices (plain switches on the path) can only pass
+    // traffic through: empty segments only.
+    for (int dev : tn.devices) {
+      if (!topo_.node(dev).programmable) {
+        cache.emplace(key, std::move(seg));
+        return &cache.at(key);
+      }
+    }
+    // Try the whole segment on the EC's main devices.
+    bool all_ok = true;
+    std::map<int, IntraPlacement> main;
+    for (int dev : tn.devices) {
+      IntraPlacement p = placeOn(occ_.of(dev), dag_.instrsOf(i, j));
+      if (!p.feasible) {
+        all_ok = false;
+        break;
+      }
+      main.emplace(dev, std::move(p));
+    }
+    if (all_ok) {
+      seg.feasible = true;
+      seg.on_device = std::move(main);
+      seg.resource_score = dag_.scoreOf(i, j) *
+                           static_cast<double>(tn.devices.size());
+      cache.emplace(key, std::move(seg));
+      return &cache.at(key);
+    }
+    // Overflow onto the bypass accelerator: main [i, k), bypass [k, j).
+    if (tn.bypass != nullptr) {
+      for (int k = j - 1; k >= i; --k) {
+        std::map<int, IntraPlacement> on_main, on_acc;
+        bool ok = true;
+        for (int dev : tn.devices) {
+          const int acc = topo_.node(dev).attached_accel;
+          if (acc < 0) {
+            ok = false;
+            break;
+          }
+          IntraPlacement pm = placeOn(occ_.of(dev), dag_.instrsOf(i, k));
+          IntraPlacement pa = placeOn(occ_.of(acc), dag_.instrsOf(k, j));
+          if (!pm.feasible || !pa.feasible) {
+            ok = false;
+            break;
+          }
+          on_main.emplace(dev, std::move(pm));
+          on_acc.emplace(acc, std::move(pa));
+        }
+        if (!ok) continue;
+        seg.feasible = true;
+        seg.bypass_from = k;
+        seg.on_device = std::move(on_main);
+        seg.on_bypass = std::move(on_acc);
+        seg.resource_score = dag_.scoreOf(i, j) *
+                             static_cast<double>(tn.devices.size());
+        seg.internal_cut_bits = k > i && k < j ? dag_.cutBits(k) : 0;
+        break;
+      }
+    }
+    cache.emplace(key, std::move(seg));
+    return &cache.at(key);
+  }
+
+  double segCost(int node, int i, int j) {
+    const Segment* seg = cachedSegment(node, i, j);
+    if (!seg->feasible) return kInf;
+    if (i == j) return 0;
+    // Epsilon tie-break toward the earliest position on the path (the
+    // paper packs user logic "as early as possible"; early aggregation
+    // also drops traffic sooner).
+    const double eps = 1e-6 * hop_order_[static_cast<std::size_t>(node)] *
+                       static_cast<double>(j - i);
+    return weights_.wr * seg->resource_score / score_norm_ +
+           weights_.wp * 0.25 *
+               static_cast<double>(seg->internal_cut_bits) / cut_norm_ +
+           eps;
+  }
+
+  // Distance of each node from the traffic sources: leaves first.
+  void computeHopOrder() {
+    hop_order_.assign(tree_.nodes.size(), 0.0);
+    // Depth from root within the client tree.
+    std::vector<int> depth(tree_.nodes.size(), 0);
+    int maxd = 0;
+    std::function<void(int)> walk = [&](int n) {
+      for (int c : tree_.at(n).children) {
+        depth[static_cast<std::size_t>(c)] =
+            depth[static_cast<std::size_t>(n)] + 1;
+        maxd = std::max(maxd, depth[static_cast<std::size_t>(c)]);
+        walk(c);
+      }
+    };
+    walk(tree_.root);
+    for (std::size_t n = 0; n < tree_.nodes.size(); ++n) {
+      hop_order_[n] = static_cast<double>(maxd - depth[n]);
+    }
+    for (std::size_t tpos = 0; tpos < tree_.server_chain.size(); ++tpos) {
+      hop_order_[static_cast<std::size_t>(tree_.server_chain[tpos])] =
+          static_cast<double>(maxd) + 1.0 + static_cast<double>(tpos);
+    }
+  }
+
+  double entryCharge(int node, int i, int j) {
+    if (i <= 0 || i >= m_ || i == j) return 0;
+    return weights_.wp * dag_.cutBits(i) *
+           traffic_frac_[static_cast<std::size_t>(node)] / cut_norm_;
+  }
+
+  void solveClient(int node) {
+    for (int c : tree_.at(node).children) solveClient(c);
+    std::vector<double> H(static_cast<std::size_t>(m_) + 1, kInf);
+    std::vector<int> choice(static_cast<std::size_t>(m_) + 1, -1);
+    const auto& children = tree_.at(node).children;
+    for (int j = 0; j <= m_; ++j) {
+      for (int i = 0; i <= j; ++i) {
+        // Leaves must start the program themselves.
+        if (children.empty() && i != 0) break;
+        double child_sum = 0;
+        for (int c : children) {
+          const double hc = client_dp_.at(c)[static_cast<std::size_t>(i)];
+          if (hc == kInf) {
+            child_sum = kInf;
+            break;
+          }
+          child_sum += hc;
+        }
+        if (child_sum == kInf) continue;
+        const double seg = segCost(node, i, j);
+        if (seg == kInf) continue;
+        const double total = child_sum + seg + entryCharge(node, i, j);
+        if (total < H[static_cast<std::size_t>(j)]) {
+          H[static_cast<std::size_t>(j)] = total;
+          choice[static_cast<std::size_t>(j)] = i;
+        }
+      }
+    }
+    client_dp_[node] = std::move(H);
+    client_choice_[node] = std::move(choice);
+  }
+
+  void emitAssignment(int node, int i, int j, PlacementPlan* plan) {
+    NodeAssignment a;
+    a.tree_node = node;
+    a.from_block = i;
+    a.to_block = j;
+    const Segment* seg = cachedSegment(node, i, j);
+    CLICKINC_CHECK(seg->feasible, "backtracked into infeasible segment");
+    a.bypass_from = seg->bypass_from;
+    a.on_device = seg->on_device;
+    a.on_bypass = seg->on_bypass;
+    plan->assignments.push_back(std::move(a));
+  }
+
+  void backtrackClient(int node, int j, PlacementPlan* plan) {
+    const int i = client_choice_.at(node)[static_cast<std::size_t>(j)];
+    CLICKINC_CHECK(i >= 0, "no choice recorded");
+    emitAssignment(node, i, j, plan);
+    for (int c : tree_.at(node).children) backtrackClient(c, i, plan);
+  }
+};
+
+}  // namespace
+
+PlacementPlan placeProgram(const BlockDag& dag, const topo::EcTree& tree,
+                           const topo::Topology& topo,
+                           const OccupancyMap& occ,
+                           const PlacementOptions& opts) {
+  TreePlacer placer(dag, tree, topo, occ, opts);
+  return placer.run();
+}
+
+void commitPlan(const PlacementPlan& plan, const ir::IrProgram& prog,
+                OccupancyMap& occ) {
+  CLICKINC_CHECK(plan.feasible, "cannot commit infeasible plan");
+  for (const auto& a : plan.assignments) {
+    for (const auto& [dev, p] : a.on_device) {
+      if (!p.instr_idxs.empty()) commitPlacement(occ.of(dev), prog, p);
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      if (!p.instr_idxs.empty()) commitPlacement(occ.of(dev), prog, p);
+    }
+  }
+}
+
+}  // namespace clickinc::place

@@ -1,0 +1,91 @@
+// Multi-path program placement over the reduced EC tree (paper §5.4,
+// Algorithm 1, Eq. 1-2).
+//
+// Blocks are assigned as contiguous segments of the block DAG's
+// topological linearization: the client-side sub-tree places a common
+// prefix bottom-up (every leaf path executes the same program), the root
+// EC holds a middle segment, and the server-side chain completes the
+// suffix. Gain follows Eq. 1: serve all traffic (h_t), spend few device
+// resources (h_r, replication-aware), move few Param bytes across device
+// boundaries (h_p, liveness cuts x traffic share). Adaptive weights shift
+// ω_r up as devices fill (ω_r = 1 − 2^{r−1}).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "place/blockdag.h"
+#include "place/intradevice.h"
+#include "topo/ec.h"
+#include "topo/topology.h"
+
+namespace clickinc::place {
+
+struct Weights {
+  double wt = 0.5;
+  double wr = 0.25;
+  double wp = 0.25;
+};
+
+// ω_r = 1 − 2^{r−1}, ω_p = 1/2 − ω_r (paper "Adaptive Weight").
+Weights adaptiveWeights(double remaining_ratio);
+
+// Free-resource ledger of every programmable device in the topology.
+class OccupancyMap {
+ public:
+  explicit OccupancyMap(const topo::Topology* topo);
+
+  DeviceOccupancy& of(int node_id);
+  const DeviceOccupancy& of(int node_id) const;
+
+  // Mean remaining capacity ratio over programmable devices (the r that
+  // drives adaptive weights).
+  double remainingRatio() const;
+
+ private:
+  const topo::Topology* topo_;
+  std::map<int, DeviceOccupancy> map_;
+};
+
+struct PlacementOptions {
+  Weights weights;                 // used when adaptive == false
+  bool adaptive = true;
+  bool prune = true;               // pruned DP vs exhaustive (ablations)
+  long max_steps = 20'000'000;     // budget for the exhaustive mode
+};
+
+struct NodeAssignment {
+  int tree_node = -1;
+  int from_block = 0;
+  int to_block = 0;    // [from, to); empty segment = pass-through
+  int bypass_from = -1;  // blocks [bypass_from, to) on the bypass card
+  std::map<int, IntraPlacement> on_device;  // physical node -> placement
+  std::map<int, IntraPlacement> on_bypass;  // accel node -> placement
+};
+
+struct PlacementPlan {
+  bool feasible = false;
+  std::string failure;
+  std::vector<NodeAssignment> assignments;
+  double gain = 0;
+  double ht = 0, hr = 0, hp = 0;
+  Weights weights_used;
+  long steps = 0;
+  double elapsed_ms = 0;
+
+  // Physical devices hosting at least one block.
+  std::vector<int> devicesUsed() const;
+  int blocksOn(int tree_node) const;
+};
+
+// Runs the DP; does not mutate `occ` (call commitPlan to take resources).
+PlacementPlan placeProgram(const BlockDag& dag, const topo::EcTree& tree,
+                           const topo::Topology& topo,
+                           const OccupancyMap& occ,
+                           const PlacementOptions& opts = {});
+
+void commitPlan(const PlacementPlan& plan, const ir::IrProgram& prog,
+                OccupancyMap& occ);
+
+}  // namespace clickinc::place

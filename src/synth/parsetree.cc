@@ -1,0 +1,106 @@
+#include "synth/parsetree.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace clickinc::synth {
+
+ParseNode* ParseNode::findChild(const std::string& name) {
+  for (auto& c : children) {
+    if (c->header == name) return c.get();
+  }
+  return nullptr;
+}
+
+ParseTree::ParseTree() : root_(std::make_unique<ParseNode>()) {
+  root_->header = "<root>";
+}
+
+void ParseTree::addPath(const std::vector<std::string>& headers, int owner) {
+  ParseNode* cur = root_.get();
+  cur->owners.insert(owner);
+  for (const auto& h : headers) {
+    ParseNode* next = cur->findChild(h);
+    if (next == nullptr) {
+      auto node = std::make_unique<ParseNode>();
+      node->header = h;
+      next = node.get();
+      cur->children.push_back(std::move(node));
+    }
+    next->owners.insert(owner);
+    cur = next;
+  }
+}
+
+void ParseTree::mergeFrom(const ParseTree& other, int owner) {
+  std::function<void(const ParseNode&, std::vector<std::string>&)> walk =
+      [&](const ParseNode& node, std::vector<std::string>& path) {
+        if (node.children.empty()) {
+          addPath(path, owner);
+          return;
+        }
+        for (const auto& c : node.children) {
+          path.push_back(c->header);
+          walk(*c, path);
+          path.pop_back();
+        }
+      };
+  std::vector<std::string> path;
+  walk(*other.root_, path);
+}
+
+int ParseTree::removeOwner(int owner) {
+  int removed = 0;
+  std::function<void(ParseNode&)> walk = [&](ParseNode& node) {
+    for (auto& c : node.children) {
+      c->owners.erase(owner);
+      walk(*c);
+    }
+    const auto dead = std::remove_if(
+        node.children.begin(), node.children.end(),
+        [&](const std::unique_ptr<ParseNode>& c) {
+          return c->owners.empty();
+        });
+    removed += static_cast<int>(node.children.end() - dead);
+    node.children.erase(dead, node.children.end());
+  };
+  root_->owners.erase(owner);
+  walk(*root_);
+  return removed;
+}
+
+int ParseTree::nodeCount() const {
+  int count = 0;
+  std::function<void(const ParseNode&)> walk = [&](const ParseNode& node) {
+    for (const auto& c : node.children) {
+      ++count;
+      walk(*c);
+    }
+  };
+  walk(*root_);
+  return count;
+}
+
+bool ParseTree::containsHeader(const std::string& name) const {
+  bool found = false;
+  std::function<void(const ParseNode&)> walk = [&](const ParseNode& node) {
+    if (node.header == name) found = true;
+    for (const auto& c : node.children) walk(*c);
+  };
+  walk(*root_);
+  return found;
+}
+
+std::vector<std::string> ParseTree::headersOf(int owner) const {
+  std::vector<std::string> out;
+  std::function<void(const ParseNode&)> walk = [&](const ParseNode& node) {
+    for (const auto& c : node.children) {
+      if (c->owners.count(owner)) out.push_back(c->header);
+      walk(*c);
+    }
+  };
+  walk(*root_);
+  return out;
+}
+
+}  // namespace clickinc::synth

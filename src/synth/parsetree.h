@@ -1,0 +1,52 @@
+// Header parse-tree representation and annotation-based merging (§6).
+//
+// Each device's parser is a tree of header states. Merging a user
+// program's parser into the base parser annotates shared nodes with the
+// user id; removal strips the user's annotations and deletes nodes with no
+// owners left — the incremental-compilation mechanism of the paper.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace clickinc::synth {
+
+// Owner id conventions: 0 is the network operator; users are >= 1.
+inline constexpr int kOperatorOwner = 0;
+
+struct ParseNode {
+  std::string header;            // e.g. "ethernet", "ipv4", "inc", "kvs0"
+  std::set<int> owners;
+  std::vector<std::unique_ptr<ParseNode>> children;
+
+  ParseNode* findChild(const std::string& name);
+};
+
+class ParseTree {
+ public:
+  ParseTree();  // empty tree with a synthetic root
+
+  // Adds (or annotates) the chain of headers root->...->leaf for `owner`.
+  void addPath(const std::vector<std::string>& headers, int owner);
+
+  // Annotates another tree's nodes into this one.
+  void mergeFrom(const ParseTree& other, int owner);
+
+  // Strips `owner`; nodes left without owners are deleted. Returns the
+  // number of nodes removed.
+  int removeOwner(int owner);
+
+  // Total states (nodes, excluding the synthetic root).
+  int nodeCount() const;
+  bool containsHeader(const std::string& name) const;
+  std::vector<std::string> headersOf(int owner) const;
+
+  const ParseNode& root() const { return *root_; }
+
+ private:
+  std::unique_ptr<ParseNode> root_;
+};
+
+}  // namespace clickinc::synth

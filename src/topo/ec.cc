@@ -1,0 +1,196 @@
+#include "topo/ec.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/crc.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace clickinc::topo {
+
+std::vector<int> equivalenceClasses(const Topology& topo) {
+  const int n = topo.nodeCount();
+  std::vector<std::uint64_t> color(static_cast<std::size_t>(n));
+  // Initial colors: hosts are unique (they anchor distinct traffic
+  // endpoints); devices start from (kind, layer, model, bypass-model).
+  for (int i = 0; i < n; ++i) {
+    const Node& nd = topo.node(i);
+    if (nd.kind == NodeKind::kHost) {
+      color[static_cast<std::size_t>(i)] =
+          mix64(0x1000 + static_cast<std::uint64_t>(i));
+    } else {
+      std::uint64_t c = mix64(static_cast<std::uint64_t>(nd.kind) * 131 +
+                              static_cast<std::uint64_t>(nd.layer));
+      const std::string tag =
+          nd.model.name + (nd.attached_accel >= 0 ? "+acc" : "");
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(tag.data());
+      c ^= crc32(std::span<const std::uint8_t>(bytes, tag.size()));
+      color[static_cast<std::size_t>(i)] = c;
+    }
+  }
+  // Refine: new color = hash(old, sorted neighbor colors). Fixpoint in at
+  // most n rounds; fat-trees converge in a handful.
+  for (int round = 0; round < n; ++round) {
+    std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::uint64_t> nb;
+      for (int j : topo.neighbors(i)) {
+        nb.push_back(color[static_cast<std::size_t>(j)]);
+      }
+      std::sort(nb.begin(), nb.end());
+      std::uint64_t c = color[static_cast<std::size_t>(i)];
+      for (std::uint64_t x : nb) c = mix64(c ^ x);
+      next[static_cast<std::size_t>(i)] = c;
+    }
+    if (next == color) break;
+    bool changed = false;
+    // Count distinct colors before/after to detect stabilization.
+    std::set<std::uint64_t> before(color.begin(), color.end());
+    std::set<std::uint64_t> after(next.begin(), next.end());
+    changed = before.size() != after.size();
+    color = std::move(next);
+    if (!changed && round > 0) break;
+  }
+  // Compact to contiguous ids.
+  std::map<std::uint64_t, int> ids;
+  std::vector<int> ec(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto [it, inserted] = ids.emplace(color[static_cast<std::size_t>(i)],
+                                      static_cast<int>(ids.size()));
+    ec[static_cast<std::size_t>(i)] = it->second;
+    (void)inserted;
+  }
+  return ec;
+}
+
+std::vector<int> EcTree::clientLeaves() const {
+  std::vector<int> leaves;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].server_side && nodes[i].children.empty() &&
+        static_cast<int>(i) != root) {
+      leaves.push_back(static_cast<int>(i));
+    }
+  }
+  return leaves;
+}
+
+EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec) {
+  CLICKINC_CHECK(!spec.sources.empty() && spec.dst_host >= 0,
+                 "traffic spec needs sources and a destination");
+  const std::vector<int> ec = equivalenceClasses(topo);
+
+  // Programmable path of each source: node ids sans hosts, mapped to EC
+  // sequences with consecutive duplicates removed.
+  struct EcPath {
+    std::vector<int> ecs;
+    double volume;
+  };
+  std::vector<EcPath> paths;
+  for (const auto& src : spec.sources) {
+    const auto raw = topo.shortestPath(src.host, spec.dst_host);
+    if (raw.empty()) {
+      throw PlacementError(cat("no path from host ", src.host, " to ",
+                               spec.dst_host));
+    }
+    EcPath p;
+    p.volume = src.volume;
+    for (int nid : raw) {
+      const Node& nd = topo.node(nid);
+      if (nd.kind == NodeKind::kHost) continue;
+      const int e = ec[static_cast<std::size_t>(nid)];
+      if (p.ecs.empty() || p.ecs.back() != e) p.ecs.push_back(e);
+    }
+    if (p.ecs.empty()) {
+      throw PlacementError("path contains no programmable devices");
+    }
+    paths.push_back(std::move(p));
+  }
+
+  // The server-side suffix common to all paths: longest common suffix of
+  // the EC sequences. The root is the first EC of that suffix.
+  std::vector<int> suffix = paths[0].ecs;
+  for (const auto& p : paths) {
+    std::vector<int> common;
+    auto a = suffix.rbegin();
+    auto b = p.ecs.rbegin();
+    while (a != suffix.rend() && b != p.ecs.rend() && *a == *b) {
+      common.push_back(*a);
+      ++a;
+      ++b;
+    }
+    std::reverse(common.begin(), common.end());
+    suffix = std::move(common);
+  }
+  if (suffix.empty()) {
+    throw PlacementError("traffic paths share no common device class");
+  }
+  const int root_ec = suffix.front();
+
+  EcTree tree;
+  std::map<int, int> node_of_ec;  // ec id -> tree index
+  auto getNode = [&](int e) -> int {
+    auto it = node_of_ec.find(e);
+    if (it != node_of_ec.end()) return it->second;
+    EcTreeNode tn;
+    tn.ec_id = e;
+    for (int nid = 0; nid < topo.nodeCount(); ++nid) {
+      if (ec[static_cast<std::size_t>(nid)] == e &&
+          topo.node(nid).kind != NodeKind::kHost) {
+        tn.devices.push_back(nid);
+      }
+    }
+    CLICKINC_CHECK(!tn.devices.empty(), "empty EC");
+    const Node& rep = topo.node(tn.devices.front());
+    tn.model = &topo.node(tn.devices.front()).model;
+    if (rep.attached_accel >= 0) {
+      tn.bypass = &topo.node(rep.attached_accel).model;
+    }
+    const int idx = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(std::move(tn));
+    node_of_ec[e] = idx;
+    return idx;
+  };
+
+  tree.root = getNode(root_ec);
+
+  // Client side: for each path, the prefix before root_ec builds
+  // child->parent edges toward the root.
+  for (const auto& p : paths) {
+    std::size_t root_pos = 0;
+    while (root_pos < p.ecs.size() && p.ecs[root_pos] != root_ec) ++root_pos;
+    CLICKINC_CHECK(root_pos < p.ecs.size(), "root EC missing from path");
+    int parent_idx = tree.root;
+    // Walk from the root downwards to the source leaf.
+    for (std::size_t i = root_pos; i-- > 0;) {
+      const int idx = getNode(p.ecs[i]);
+      auto& tn = tree.nodes[static_cast<std::size_t>(idx)];
+      if (tn.parent == -1 && idx != tree.root) {
+        tn.parent = parent_idx;
+        tree.nodes[static_cast<std::size_t>(parent_idx)].children.push_back(
+            idx);
+      }
+      parent_idx = idx;
+    }
+    // Leaf traffic enters at the first EC of the path (or at the root for
+    // sources directly under it).
+    const int leaf_idx = getNode(p.ecs[0]);
+    tree.nodes[static_cast<std::size_t>(leaf_idx)].leaf_traffic += p.volume;
+    tree.total_traffic += p.volume;
+  }
+
+  // Server side: suffix after the root, shared by all paths.
+  int prev = tree.root;
+  for (std::size_t i = 1; i < suffix.size(); ++i) {
+    const int idx = getNode(suffix[i]);
+    auto& tn = tree.nodes[static_cast<std::size_t>(idx)];
+    tn.server_side = true;
+    tn.parent = prev;
+    tree.server_chain.push_back(idx);
+    prev = idx;
+  }
+  return tree;
+}
+
+}  // namespace clickinc::topo

@@ -1,0 +1,60 @@
+// Equivalence classes and topology simplification (paper §5.3, App. B.2).
+//
+// Devices with identical wiring relative to the other classes are merged
+// (color refinement with hosts kept distinct, so ToRs serving different
+// servers stay separate while pod-local Aggs and the core layer collapse).
+// For a traffic spec the reduced graph becomes the client-side sub-tree +
+// server-side chain joined at the root EC (Fig. 9) that the placement DP
+// walks.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace clickinc::topo {
+
+// ec_of[node] = equivalence-class id; classes are contiguous from 0.
+std::vector<int> equivalenceClasses(const Topology& topo);
+
+struct TrafficSource {
+  int host = -1;     // source host node id
+  double volume = 1; // relative traffic volume (e.g. Mpps)
+};
+
+struct TrafficSpec {
+  std::vector<TrafficSource> sources;
+  int dst_host = -1;
+};
+
+// One node of the reduced placement tree.
+struct EcTreeNode {
+  int ec_id = -1;
+  std::vector<int> devices;             // merged physical node ids
+  const device::DeviceModel* model = nullptr;
+  const device::DeviceModel* bypass = nullptr;  // attached accelerator
+  int parent = -1;                      // toward the root (core EC)
+  std::vector<int> children;            // away from the root (client side)
+  double leaf_traffic = 0;              // volume entering at this leaf
+  bool server_side = false;
+};
+
+struct EcTree {
+  std::vector<EcTreeNode> nodes;
+  int root = -1;                   // the top EC shared by every path
+  std::vector<int> server_chain;   // indices from root (exclusive) to the
+                                   // device closest to the server
+  double total_traffic = 0;
+
+  const EcTreeNode& at(int i) const {
+    return nodes.at(static_cast<std::size_t>(i));
+  }
+  std::vector<int> clientLeaves() const;
+};
+
+// Builds the reduced tree for a traffic spec. Paths run source -> core ->
+// destination; programmable devices only (hosts are endpoints). Throws
+// PlacementError when a source cannot reach the destination.
+EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec);
+
+}  // namespace clickinc::topo

@@ -1,0 +1,87 @@
+// Data-center topology model: hosts, programmable switches, smartNICs and
+// bypass accelerator cards, with builders for the fat-tree / spine-leaf /
+// chain shapes the paper evaluates (Fig. 11 emulation topology included).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/model.h"
+
+namespace clickinc::topo {
+
+enum class NodeKind : std::uint8_t {
+  kHost,    // end server (runs the INC layer, not a placement target)
+  kSwitch,  // programmable switch ASIC
+  kNic,     // smartNIC in front of a host
+  kAccel,   // bypass FPGA card attached to a switch
+};
+
+const char* nodeKindName(NodeKind k);
+
+struct Node {
+  int id = -1;
+  std::string name;
+  NodeKind kind = NodeKind::kHost;
+  int layer = 0;  // 0=host/NIC, 1=ToR, 2=Agg, 3=Core
+  int pod = -1;
+  bool programmable = false;
+  device::DeviceModel model;  // meaningful when programmable
+  int attached_accel = -1;    // node id of a bypass kAccel, or -1
+};
+
+struct Link {
+  int a = -1;
+  int b = -1;
+  double gbps = 100.0;
+  double latency_ns = 1000.0;
+};
+
+class Topology {
+ public:
+  int addNode(Node n);  // assigns id, returns it
+  void addLink(int a, int b, double gbps = 100.0, double latency_ns = 1000.0);
+
+  const Node& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  Node& node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<int>& neighbors(int id) const {
+    return adj_.at(static_cast<std::size_t>(id));
+  }
+  const Link* linkBetween(int a, int b) const;
+  int findNode(const std::string& name) const;  // -1 if absent
+
+  // Shortest path by hop count (BFS); empty when unreachable.
+  std::vector<int> shortestPath(int src, int dst) const;
+
+  // --- builders ---
+
+  // Straight chain: host - d1 - d2 - ... - dn - host (Table 4 / Fig. 14).
+  static Topology chain(const std::vector<device::DeviceModel>& devices);
+
+  // Device-equal k-ary fat-tree (Appendix B.2): k pods, k/2 ToR + k/2 Agg
+  // per pod, (k/2)^2 cores, `hosts_per_tor` hosts per ToR.
+  static Topology fatTree(int k, int hosts_per_tor,
+                          const device::DeviceModel& tor_model,
+                          const device::DeviceModel& agg_model,
+                          const device::DeviceModel& core_model);
+
+  // Spine-leaf: every leaf connects to every spine.
+  static Topology spineLeaf(int spines, int leaves, int hosts_per_leaf,
+                            const device::DeviceModel& leaf_model,
+                            const device::DeviceModel& spine_model);
+
+  // The paper's emulation topology (Fig. 11): 3 pods x (2 ToR Tofino +
+  // 2 Agg TD4), 2 Tofino2 cores; pod0/pod1 hosts behind NFP smartNICs,
+  // pod1 ToRs' hosts with FPGA NICs, pod2 Aggs carrying bypass FPGAs.
+  static Topology paperEmulation();
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace clickinc::topo

@@ -1,0 +1,37 @@
+#include "util/bits.h"
+
+namespace clickinc {
+
+int bitsFor(std::uint64_t n) {
+  if (n <= 2) return 1;
+  int b = 0;
+  std::uint64_t v = n - 1;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
+
+std::uint64_t roundUpPow2(std::uint64_t n) {
+  if (n <= 1) return 1;
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t ceilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+std::uint64_t lowMask(int bits) {
+  if (bits >= 64) return ~std::uint64_t{0};
+  if (bits <= 0) return 0;
+  return (std::uint64_t{1} << bits) - 1;
+}
+
+std::uint64_t truncToWidth(std::uint64_t v, int bits) {
+  return v & lowMask(bits);
+}
+
+}  // namespace clickinc

@@ -1,0 +1,25 @@
+// Small bit-arithmetic helpers used by device resource accounting
+// (memory block packing, PHV container fitting) and the IR type checker.
+#pragma once
+
+#include <cstdint>
+
+namespace clickinc {
+
+// Number of bits needed to represent values in [0, n-1]; bitsFor(0|1) == 1.
+int bitsFor(std::uint64_t n);
+
+// Smallest power of two >= n (n == 0 maps to 1).
+std::uint64_t roundUpPow2(std::uint64_t n);
+
+// ceil(a / b) for positive b.
+std::uint64_t ceilDiv(std::uint64_t a, std::uint64_t b);
+
+// Mask with the low `bits` bits set; bits >= 64 yields all-ones.
+std::uint64_t lowMask(int bits);
+
+// Truncate v to `bits` bits (two's-complement wraparound semantics used by
+// the IR interpreter for fixed-width arithmetic).
+std::uint64_t truncToWidth(std::uint64_t v, int bits);
+
+}  // namespace clickinc

@@ -1,0 +1,108 @@
+#include "util/crc.h"
+
+#include <array>
+#include <cmath>
+
+namespace clickinc {
+namespace {
+
+std::array<std::uint16_t, 256> makeCrc16Table() {
+  std::array<std::uint16_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint16_t c = static_cast<std::uint16_t>(i << 8);
+    for (int b = 0; b < 8; ++b) {
+      c = (c & 0x8000) ? static_cast<std::uint16_t>((c << 1) ^ 0x1021)
+                       : static_cast<std::uint16_t>(c << 1);
+    }
+    t[static_cast<std::size_t>(i)] = c;
+  }
+  return t;
+}
+
+std::array<std::uint32_t, 256> makeCrc32Table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint16_t, 256>& crc16Table() {
+  static const auto t = makeCrc16Table();
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& crc32Table() {
+  static const auto t = makeCrc32Table();
+  return t;
+}
+
+}  // namespace
+
+std::uint16_t crc16(std::span<const std::uint8_t> data) {
+  std::uint16_t c = 0xFFFF;
+  for (std::uint8_t byte : data) {
+    c = static_cast<std::uint16_t>((c << 8) ^
+                                   crc16Table()[((c >> 8) ^ byte) & 0xFF]);
+  }
+  return c;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = crc32Table()[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+std::array<std::uint8_t, 8> leBytes(std::uint64_t key) {
+  std::array<std::uint8_t, 8> b{};
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(key >> (8 * i));
+  return b;
+}
+}  // namespace
+
+std::uint16_t crc16(std::uint64_t key) {
+  const auto b = leBytes(key);
+  return crc16(std::span<const std::uint8_t>(b.data(), b.size()));
+}
+
+std::uint32_t crc32(std::uint64_t key) {
+  const auto b = leBytes(key);
+  return crc32(std::span<const std::uint8_t>(b.data(), b.size()));
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t Rng::nextZipf(std::uint64_t n, double s) {
+  // Bounded power-law sampler: draw u uniform in (0,1], map through the
+  // inverse CDF of p(k) ~ (k+1)^-s approximated by its continuous integral.
+  // Exact Zipf normalization is unnecessary for workload skew emulation.
+  if (n <= 1) return 0;
+  const double u = nextDouble() + 1e-12;
+  if (std::abs(s - 1.0) < 1e-9) {
+    const double k = std::pow(static_cast<double>(n), u) - 1.0;
+    return static_cast<std::uint64_t>(k) % n;
+  }
+  const double exp = 1.0 - s;
+  const double nk = std::pow(static_cast<double>(n), exp);
+  const double k = std::pow(u * (nk - 1.0) + 1.0, 1.0 / exp) - 1.0;
+  const auto r = static_cast<std::uint64_t>(k);
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace clickinc

@@ -1,0 +1,57 @@
+// Hash primitives exposed to ClickINC programs (Table 8: _crc, _identity,
+// _randint) and used internally by sketches and match tables.
+//
+// The CRC implementations are table-driven and deterministic across
+// platforms so emulator runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace clickinc {
+
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over a byte span.
+std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+// CRC-32 (IEEE, poly 0xEDB88320) over a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Convenience overloads hashing a 64-bit key's little-endian bytes.
+std::uint16_t crc16(std::uint64_t key);
+std::uint32_t crc32(std::uint64_t key);
+
+// SplitMix64 finalizer: a cheap high-quality 64-bit mixer used where a
+// non-CRC hash family is wanted (e.g. second sketch row seeds).
+std::uint64_t mix64(std::uint64_t x);
+
+// Deterministic PRNG (SplitMix64 stream) for workload generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9E3779B97f4A7C15ULL;
+    return mix64(state_);
+  }
+
+  // Uniform in [0, n); n must be > 0.
+  std::uint64_t nextBelow(std::uint64_t n) { return next() % n; }
+
+  // Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Zipfian-distributed rank in [0, n) with exponent s (skewed workloads
+  // for the KVS experiments). Uses inverse-CDF over precomputed weights is
+  // too heavy for large n, so this uses the rejection-inversion-free
+  // approximation adequate for emulation: rank = floor(n * u^(1/(1-s))) is
+  // wrong for s>1, so we use the classic power-law transform on u.
+  std::uint64_t nextZipf(std::uint64_t n, double s);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace clickinc

@@ -1,0 +1,66 @@
+// Error types shared by the whole ClickINC toolchain.
+//
+// Compiler-style failures (bad source, impossible placement, resource
+// exhaustion) are reported as exceptions derived from Error so callers can
+// catch one family at API boundaries. Hot paths (the emulator's per-packet
+// interpreter) never throw; they return status enums instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace clickinc {
+
+// Root of all ClickINC failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+// Lexing / parsing / semantic failure in the user-facing language.
+class ParseError : public Error {
+ public:
+  ParseError(std::string what, int line, int col)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(col) + ": " + std::move(what)),
+        line_(line),
+        col_(col) {}
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  int line_ = 0;
+  int col_ = 0;
+};
+
+// Frontend lowering failure (e.g. unbounded loop that cannot be unrolled).
+class CompileError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Placement failure (no feasible deployment under device constraints).
+class PlacementError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Synthesis / deployment failure (conflicting user programs, unknown user).
+class SynthesisError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Internal invariant violation; indicates a bug in ClickINC itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+#define CLICKINC_CHECK(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) throw ::clickinc::InternalError(std::string("check `" \
+        #cond "` failed: ") + (msg));                                  \
+  } while (0)
+
+}  // namespace clickinc

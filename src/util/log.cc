@@ -1,0 +1,28 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace clickinc {
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void logMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[clickinc %s] %s\n", levelName(level), msg.c_str());
+}
+
+}  // namespace clickinc

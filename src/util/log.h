@@ -1,0 +1,28 @@
+// Leveled logger. Off by default at Debug level so emulator hot loops stay
+// quiet; benches raise verbosity explicitly when narrating sweeps.
+#pragma once
+
+#include <string>
+
+namespace clickinc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+void logMessage(LogLevel level, const std::string& msg);
+
+inline void logDebug(const std::string& msg) {
+  logMessage(LogLevel::kDebug, msg);
+}
+inline void logInfo(const std::string& msg) {
+  logMessage(LogLevel::kInfo, msg);
+}
+inline void logWarn(const std::string& msg) {
+  logMessage(LogLevel::kWarn, msg);
+}
+inline void logError(const std::string& msg) {
+  logMessage(LogLevel::kError, msg);
+}
+
+}  // namespace clickinc

@@ -1,0 +1,37 @@
+// String helpers for the lexer, profile parser, code generators and the
+// text tables printed by the benchmark harnesses. GCC 12 lacks std::format,
+// so `cat` provides the variadic formatting used throughout.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clickinc {
+
+std::vector<std::string> splitString(std::string_view s, char sep);
+std::string trimString(std::string_view s);
+std::string joinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+bool containsString(std::string_view s, std::string_view needle);
+std::string toLower(std::string_view s);
+
+// Render a double with fixed precision, trimming trailing zeros.
+std::string fmtDouble(double v, int precision = 3);
+
+// Concatenate stream-formattable values: cat("x=", 3, " y=", 4.5).
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+// Left-pad / right-pad to a column width (for table rendering).
+std::string padRight(std::string_view s, std::size_t width);
+std::string padLeft(std::string_view s, std::size_t width);
+
+}  // namespace clickinc

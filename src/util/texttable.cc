@@ -1,0 +1,51 @@
+#include "util/texttable.h"
+
+#include "util/strings.h"
+
+namespace clickinc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::addRule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto renderRule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto renderRow = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      line += " " + padRight(c, widths[i]) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = renderRule() + renderRow(header_) + renderRule();
+  for (const auto& row : rows_) {
+    if (row.rule_before) out += renderRule();
+    out += renderRow(row.cells);
+  }
+  out += renderRule();
+  return out;
+}
+
+}  // namespace clickinc

@@ -1,0 +1,31 @@
+// Minimal fixed-width text-table renderer. The benchmark harnesses print
+// the paper's tables through this so every bench binary produces aligned,
+// diffable rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clickinc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  // Insert a horizontal rule before the next row.
+  void addRule();
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace clickinc

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "apps/workloads.h"
+#include "backend/codegen.h"
+#include "core/service.h"
+#include "util/strings.h"
+
+namespace clickinc::core {
+namespace {
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  ServiceFixture() : svc_(topo::Topology::paperEmulation()) {}
+
+  topo::TrafficSpec trafficFor(std::vector<std::string> srcs,
+                               const std::string& dst) {
+    topo::TrafficSpec spec;
+    for (const auto& s : srcs) {
+      spec.sources.push_back({svc_.topology().findNode(s), 10.0});
+    }
+    spec.dst_host = svc_.topology().findNode(dst);
+    return spec;
+  }
+
+  ClickIncService svc_;
+};
+
+TEST_F(ServiceFixture, SubmitTemplateEndToEnd) {
+  const auto r = svc_.submitTemplate(
+      "DQAcc", {{"CacheDepth", 128}, {"CacheLen", 2}},
+      trafficFor({"pod0a"}, "pod2b"));
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_GT(r.user_id, 0);
+  EXPECT_FALSE(r.impact.affected_devices.empty());
+  EXPECT_FALSE(r.impact.affected_pods.empty());
+}
+
+TEST_F(ServiceFixture, DistributedExecutionMatchesSingleDeviceSemantics) {
+  const auto r = svc_.submitTemplate(
+      "DQAcc", {{"CacheDepth", 128}, {"CacheLen", 2}},
+      trafficFor({"pod0a"}, "pod2b"));
+  ASSERT_TRUE(r.ok) << r.failure;
+  const int src = svc_.topology().findNode("pod0a");
+  const int dst = svc_.topology().findNode("pod2b");
+
+  // Reference single-device execution.
+  const auto& prog = *svc_.deployments().at(r.user_id).prog;
+  ir::StateStore ref_store;
+  Rng ref_rng(1);
+  ir::Interpreter ref(&ref_store, &ref_rng);
+
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t value = (i * 13) % 37;
+    ir::PacketView ref_view;
+    ref_view.setField("hdr.value", value);
+    ref.runAll(prog, ref_view);
+
+    ir::PacketView net_view;
+    net_view.user_id = r.user_id;
+    net_view.setField("hdr._uid", static_cast<std::uint64_t>(r.user_id));
+    net_view.setField("hdr.value", value);
+    const auto pkt = svc_.emulator().send(src, dst, std::move(net_view), 64, 4);
+    const bool net_dropped = pkt.dropped;
+    const bool ref_dropped = ref_view.verdict == ir::Verdict::kDrop;
+    ASSERT_EQ(net_dropped, ref_dropped) << "packet " << i;
+  }
+}
+
+TEST_F(ServiceFixture, MultiUserIsolationOverTheNetwork) {
+  const auto a = svc_.submitTemplate(
+      "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
+      trafficFor({"pod0a"}, "pod2b"));
+  const auto b = svc_.submitTemplate(
+      "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
+      trafficFor({"pod0a"}, "pod2b"));
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  const int src = svc_.topology().findNode("pod0a");
+  const int dst = svc_.topology().findNode("pod2b");
+  auto send = [&](int user, std::uint64_t value) {
+    ir::PacketView view;
+    view.user_id = user;
+    view.setField("hdr._uid", static_cast<std::uint64_t>(user));
+    view.setField("hdr.value", value);
+    return svc_.emulator().send(src, dst, std::move(view), 64, 4);
+  };
+  EXPECT_TRUE(send(a.user_id, 7).delivered);
+  EXPECT_TRUE(send(b.user_id, 7).delivered);  // b's first sight of 7
+  EXPECT_TRUE(send(a.user_id, 7).dropped);
+  EXPECT_TRUE(send(b.user_id, 7).dropped);
+}
+
+TEST_F(ServiceFixture, RemoveFreesResourcesForNextProgram) {
+  const auto r1 = svc_.submitTemplate(
+      "MLAgg",
+      {{"NumAgg", 2048}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 0}},
+      trafficFor({"pod0a", "pod1a"}, "pod2b"));
+  ASSERT_TRUE(r1.ok) << r1.failure;
+  const double after_add = svc_.occupancy().remainingRatio();
+  const auto impact = svc_.remove(r1.user_id);
+  EXPECT_FALSE(impact.affected_devices.empty());
+  EXPECT_GT(svc_.occupancy().remainingRatio(), after_add);
+}
+
+TEST_F(ServiceFixture, StepGateSkipsFailedReplicaDevice) {
+  const auto r = svc_.submitTemplate(
+      "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
+      trafficFor({"pod0a"}, "pod2b"));
+  ASSERT_TRUE(r.ok) << r.failure;
+  const int src = svc_.topology().findNode("pod0a");
+  const int dst = svc_.topology().findNode("pod2b");
+  auto send = [&](std::uint64_t value) {
+    ir::PacketView view;
+    view.user_id = r.user_id;
+    view.setField("hdr._uid", static_cast<std::uint64_t>(r.user_id));
+    view.setField("hdr.value", value);
+    return svc_.emulator().send(src, dst, std::move(view), 64, 4);
+  };
+  // A replicated EC has > 1 device; failing one of a replicated pair must
+  // not break the program (the replica executes). Find a replicated
+  // assignment.
+  int replicated_dev = -1;
+  for (const auto& a : r.plan.assignments) {
+    if (a.on_device.size() > 1) {
+      replicated_dev = a.on_device.begin()->first;
+      break;
+    }
+  }
+  send(5);
+  if (replicated_dev >= 0) {
+    svc_.emulator().setFailed(replicated_dev, true);
+    // Traffic still processed: the duplicate is still dropped somewhere
+    // (another EC member or the surviving chain).
+    const auto pkt = send(5);
+    EXPECT_TRUE(pkt.dropped || pkt.delivered);
+    svc_.emulator().setFailed(replicated_dev, false);
+  }
+}
+
+// --- apps over the service ---
+
+TEST(Apps, DqaccFiltersDuplicatesInNetwork) {
+  ClickIncService svc(topo::Topology::paperEmulation());
+  apps::DqaccConfig cfg;
+  cfg.client_host = svc.topology().findNode("pod0a");
+  cfg.server_host = svc.topology().findNode("pod2b");
+  cfg.stream_len = 1000;
+  cfg.distinct_values = 100;
+  const auto r = apps::runDqacc(svc, cfg);
+  ASSERT_TRUE(r.deployed) << r.failure;
+  EXPECT_GT(r.filtered, 0u);
+  EXPECT_GT(r.dedup_ratio, 0.8);  // most duplicates are caught
+  EXPECT_GE(r.forwarded, cfg.distinct_values);  // all distinct survive
+}
+
+TEST(Apps, KvsCachesHotKeys) {
+  ClickIncService svc(topo::Topology::paperEmulation());
+  apps::KvsConfig cfg;
+  cfg.client_hosts = {svc.topology().findNode("pod0a"),
+                      svc.topology().findNode("pod1a")};
+  cfg.server_host = svc.topology().findNode("pod2b");
+  cfg.queries = 1500;
+  cfg.keyspace = 512;
+  cfg.zipf = 1.2;
+  cfg.cache_size = 64;
+  const auto r = apps::runKvs(svc, cfg);
+  ASSERT_TRUE(r.deployed) << r.failure;
+  EXPECT_GT(r.hit_ratio, 0.2);  // hot keys get cached and hit
+  EXPECT_GT(r.hits, 0u);
+  // Cache hits come back faster than full round trips to the server.
+  EXPECT_LT(r.avg_hit_latency_ns, r.avg_miss_latency_ns);
+}
+
+TEST(Apps, MlaggAggregatesInNetwork) {
+  ClickIncService svc(topo::Topology::paperEmulation());
+  apps::MlaggConfig cfg;
+  cfg.worker_hosts = {svc.topology().findNode("pod0a"),
+                      svc.topology().findNode("pod0b")};
+  cfg.server_host = svc.topology().findNode("pod2b");
+  cfg.rounds = 40;
+  cfg.dim = 8;
+  cfg.sparsity = 0.0;
+  const auto r = apps::runMlagg(svc, cfg);
+  ASSERT_TRUE(r.deployed) << r.failure;
+  EXPECT_GT(r.rounds_done, 0u);
+  EXPECT_GT(r.inc_aggregated, 0u);  // aggregation happened in the network
+}
+
+TEST(Apps, MlaggWithoutIncStillCompletesAtServer) {
+  ClickIncService svc(topo::Topology::paperEmulation());
+  apps::MlaggConfig cfg;
+  cfg.worker_hosts = {svc.topology().findNode("pod0a"),
+                      svc.topology().findNode("pod0b")};
+  cfg.server_host = svc.topology().findNode("pod2b");
+  cfg.rounds = 20;
+  cfg.dim = 8;
+  cfg.use_mlagg = false;
+  cfg.use_sparse = false;
+  const auto r = apps::runMlagg(svc, cfg);
+  ASSERT_TRUE(r.deployed);
+  EXPECT_EQ(r.inc_aggregated, 0u);
+  EXPECT_EQ(r.rounds_done, 20u);  // server aggregates everything
+}
+
+TEST(Apps, SparseEliminationReducesServerLoad) {
+  auto run = [](bool sparse) {
+    ClickIncService svc(topo::Topology::paperEmulation());
+    apps::MlaggConfig cfg;
+    cfg.worker_hosts = {svc.topology().findNode("pod0a"),
+                        svc.topology().findNode("pod0b")};
+    cfg.server_host = svc.topology().findNode("pod2b");
+    cfg.rounds = 30;
+    cfg.dim = 16;
+    cfg.sparsity = 0.75;
+    cfg.use_mlagg = false;
+    cfg.use_sparse = sparse;
+    return apps::runMlagg(svc, cfg);
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  ASSERT_TRUE(with.deployed) << with.failure;
+  ASSERT_TRUE(without.deployed) << without.failure;
+  EXPECT_LT(with.server_link_bytes, without.server_link_bytes * 0.8);
+}
+
+// --- backend codegen smoke-through-service ---
+
+TEST_F(ServiceFixture, GeneratesTargetCodeForDeployedDevice) {
+  const auto r = svc_.submitTemplate(
+      "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
+      trafficFor({"pod0a"}, "pod2b"));
+  ASSERT_TRUE(r.ok) << r.failure;
+  const int dev = *r.impact.affected_devices.begin();
+  auto& dp = svc_.deviceProgram(dev);
+  const auto p4 = backend::generate(backend::Target::kP4_16,
+                                    dp.executable(), &dp.parser());
+  EXPECT_NE(p4.find("control Ingress"), std::string::npos);
+  EXPECT_NE(p4.find("Register"), std::string::npos);
+  const auto microc =
+      backend::generate(backend::Target::kMicroC, dp.executable(), nullptr);
+  EXPECT_NE(microc.find("pif_plugin"), std::string::npos);
+  EXPECT_GT(backend::generatedLoc(backend::Target::kP4_16, dp.executable()),
+            50);
+}
+
+}  // namespace
+}  // namespace clickinc::core

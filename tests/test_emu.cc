@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "emu/emulator.h"
+#include "modules/templates.h"
+#include "util/strings.h"
+
+namespace clickinc::emu {
+namespace {
+
+// Minimal IR program: drop packets whose hdr.value is odd.
+std::shared_ptr<ir::IrProgram> dropOdd() {
+  auto prog = std::make_shared<ir::IrProgram>();
+  prog->name = "drop_odd";
+  prog->addField("hdr.value", 32);
+  ir::Instruction bit(ir::Opcode::kAnd, ir::Operand::var("lsb", 1),
+                      {ir::Operand::field("hdr.value", 32),
+                       ir::Operand::constant(1, 32)});
+  prog->instrs.push_back(bit);
+  ir::Instruction drop(ir::Opcode::kDrop, ir::Operand::none(), {});
+  drop.pred = ir::Operand::var("lsb", 1);
+  prog->instrs.push_back(drop);
+  return prog;
+}
+
+DeploymentEntry entryFor(const std::shared_ptr<ir::IrProgram>& prog,
+                         int user, int step_from, int step_to,
+                         std::vector<int> idxs = {}) {
+  DeploymentEntry e;
+  e.user_id = user;
+  e.prog = prog;
+  if (idxs.empty()) {
+    for (std::size_t i = 0; i < prog->instrs.size(); ++i) {
+      e.instr_idxs.push_back(static_cast<int>(i));
+    }
+  } else {
+    e.instr_idxs = std::move(idxs);
+  }
+  e.step_from = step_from;
+  e.step_to = step_to;
+  return e;
+}
+
+class EmuFixture : public ::testing::Test {
+ protected:
+  EmuFixture()
+      : topo_(topo::Topology::chain(
+            {device::makeTofino(), device::makeTofino()})),
+        emu_(&topo_, 11),
+        client_(topo_.findNode("client")),
+        server_(topo_.findNode("server")),
+        d0_(topo_.findNode("d0")),
+        d1_(topo_.findNode("d1")) {}
+
+  PacketResult send(int user, std::uint64_t value, int bytes = 100) {
+    ir::PacketView view;
+    view.user_id = user;
+    view.setField("hdr.value", value);
+    return emu_.send(client_, server_, std::move(view), bytes, bytes);
+  }
+
+  topo::Topology topo_;
+  Emulator emu_;
+  int client_, server_, d0_, d1_;
+};
+
+TEST_F(EmuFixture, DeliversWithoutDeployments) {
+  const auto r = send(-1, 2);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.final_node, server_);
+  EXPECT_EQ(r.hops, 3);
+  EXPECT_DOUBLE_EQ(r.inc_latency_ns, 0.0);
+}
+
+TEST_F(EmuFixture, DeployedProgramDropsMatchingTraffic) {
+  auto prog = dropOdd();
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+  EXPECT_TRUE(send(1, 2).delivered);
+  EXPECT_TRUE(send(1, 3).dropped);
+  // Dropped at the first device, not the server.
+  EXPECT_EQ(send(1, 5).final_node, d0_);
+}
+
+TEST_F(EmuFixture, UserFilterSkipsOtherTraffic) {
+  auto prog = dropOdd();
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+  // User 2's odd packet passes: snippet gated on user id.
+  EXPECT_TRUE(send(2, 3).delivered);
+}
+
+TEST_F(EmuFixture, StepGateRunsReplicaExactlyOnce) {
+  // Same counter program replicated on both devices; the packet must be
+  // counted once, by the first device.
+  auto prog = std::make_shared<ir::IrProgram>();
+  prog->name = "ctr";
+  ir::StateObject s;
+  s.name = "ctr";
+  s.kind = ir::StateKind::kRegister;
+  s.depth = 4;
+  const int sid = prog->addState(s);
+  prog->instrs.push_back(ir::Instruction(
+      ir::Opcode::kRegAdd, ir::Operand::var("n", 32),
+      {ir::Operand::constant(0, 8), ir::Operand::constant(1, 32)}, sid));
+
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+  emu_.deploy(d1_, entryFor(prog, 1, 0, 1));
+  send(1, 2);
+  send(1, 4);
+  EXPECT_EQ(emu_.storeOf(d0_).find("ctr")->regRead(0), 2u);
+  EXPECT_EQ(emu_.storeOf(d1_).find("ctr"), nullptr);  // replica skipped
+}
+
+TEST_F(EmuFixture, FailedDeviceSkippedReplicaTakesOver) {
+  auto prog = dropOdd();
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+  emu_.deploy(d1_, entryFor(prog, 1, 0, 1));
+  emu_.setFailed(d0_, true);
+  const auto r = send(1, 3);
+  EXPECT_TRUE(r.dropped);
+  EXPECT_EQ(r.final_node, d1_);  // the replica executed
+  emu_.setFailed(d0_, false);
+  EXPECT_EQ(send(1, 5).final_node, d0_);  // back to the primary
+}
+
+TEST_F(EmuFixture, ChainedSegmentsCarryParams) {
+  // Segment 1 computes lsb on d0; segment 2 drops on d1 using the carried
+  // temporary (the Param mechanism).
+  auto prog = dropOdd();
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1, {0}));
+  emu_.deploy(d1_, entryFor(prog, 1, 1, 2, {1}));
+  EXPECT_TRUE(send(1, 3).dropped);
+  EXPECT_EQ(send(1, 3).final_node, d1_);
+  EXPECT_TRUE(send(1, 2).delivered);
+}
+
+TEST_F(EmuFixture, LinkBusyAccountsBytes) {
+  emu_.resetStats();
+  send(-1, 2, /*bytes=*/1000);
+  // 1000 bytes over a 100 Gbps link: 80 ns per hop.
+  EXPECT_NEAR(emu_.linkBusyNs(client_, d0_), 80.0, 1e-9);
+  EXPECT_NEAR(emu_.linkBusyNs(d0_, d1_), 80.0, 1e-9);
+  EXPECT_NEAR(emu_.maxLinkBusyNs(), 80.0, 1e-9);
+  send(-1, 2, 1000);
+  EXPECT_NEAR(emu_.maxLinkBusyNs(), 160.0, 1e-9);
+}
+
+TEST_F(EmuFixture, BounceChargesReversePath) {
+  auto prog = std::make_shared<ir::IrProgram>();
+  prog->name = "bounce";
+  prog->instrs.push_back(
+      ir::Instruction(ir::Opcode::kSendBack, ir::Operand::none(), {}));
+  emu_.deploy(d1_, entryFor(prog, 1, 0, 1));
+  emu_.resetStats();
+  const auto r = send(1, 2, 1000);
+  EXPECT_TRUE(r.bounced);
+  EXPECT_EQ(r.final_node, client_);
+  // Forward client->d0->d1 plus reverse d1->d0->client: 2x each link.
+  EXPECT_NEAR(emu_.linkBusyNs(client_, d0_), 160.0, 1e-9);
+  EXPECT_NEAR(emu_.linkBusyNs(d0_, d1_), 160.0, 1e-9);
+  EXPECT_EQ(r.hops, 4);
+}
+
+TEST_F(EmuFixture, SparseDeleteShrinksWireBytesMidPath) {
+  // A program that deletes a field and shrinks hdr._len on d0: the second
+  // hop is charged at the reduced size.
+  auto prog = std::make_shared<ir::IrProgram>();
+  prog->name = "shrink";
+  prog->addField("hdr._len", 16);
+  ir::Instruction dec(ir::Opcode::kSub, ir::Operand::field("hdr._len", 16),
+                      {ir::Operand::field("hdr._len", 16),
+                       ir::Operand::constant(500, 16)});
+  prog->instrs.push_back(dec);
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+  emu_.resetStats();
+  const auto r = send(1, 2, 1000);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.wire_bytes_out, 500);
+  EXPECT_NEAR(emu_.linkBusyNs(client_, d0_), 80.0, 1e-9);  // full size
+  EXPECT_NEAR(emu_.linkBusyNs(d0_, d1_), 40.0, 1e-9);      // shrunk
+}
+
+TEST_F(EmuFixture, StatsAccumulateAndReset) {
+  auto prog = dropOdd();
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+  send(1, 2);
+  send(1, 3);
+  const auto& st = emu_.stats();
+  EXPECT_EQ(st.packets_sent, 2u);
+  EXPECT_EQ(st.packets_delivered, 1u);
+  EXPECT_EQ(st.packets_dropped, 1u);
+  EXPECT_GT(st.avgIncLatencyNs(), 0.0);
+  emu_.resetStats();
+  EXPECT_EQ(emu_.stats().packets_sent, 0u);
+  EXPECT_DOUBLE_EQ(emu_.maxLinkBusyNs(), 0.0);
+}
+
+TEST_F(EmuFixture, UndeployStopsProcessing) {
+  auto prog = dropOdd();
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+  EXPECT_TRUE(send(1, 3).dropped);
+  emu_.undeploy(d0_, 1);
+  EXPECT_TRUE(send(1, 3).delivered);
+}
+
+TEST(EmuBypass, AcceleratorProcessesAsPartOfSwitchHop) {
+  // A switch with an attached accelerator: snippets on the accel run when
+  // the packet traverses the switch.
+  topo::Topology t;
+  topo::Node h1;
+  h1.name = "h1";
+  h1.kind = topo::NodeKind::kHost;
+  const int a = t.addNode(h1);
+  topo::Node sw;
+  sw.name = "sw";
+  sw.kind = topo::NodeKind::kSwitch;
+  sw.programmable = true;
+  sw.model = device::makeTrident4();
+  const int s = t.addNode(sw);
+  topo::Node bf;
+  bf.name = "bf";
+  bf.kind = topo::NodeKind::kAccel;
+  bf.programmable = true;
+  bf.model = device::makeFpga();
+  const int acc = t.addNode(bf);
+  t.node(s).attached_accel = acc;
+  t.addLink(s, acc);
+  topo::Node h2;
+  h2.name = "h2";
+  h2.kind = topo::NodeKind::kHost;
+  const int b = t.addNode(h2);
+  t.addLink(a, s);
+  t.addLink(s, b);
+
+  Emulator emu(&t, 3);
+  auto prog = dropOdd();
+  emu.deploy(acc, entryFor(prog, 1, 0, 1));
+  ir::PacketView view;
+  view.user_id = 1;
+  view.setField("hdr.value", 3);
+  const auto r = emu.send(a, b, std::move(view), 64, 64);
+  EXPECT_TRUE(r.dropped);  // the bypass card's snippet fired
+}
+
+}  // namespace
+}  // namespace clickinc::emu

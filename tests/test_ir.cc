@@ -1,0 +1,541 @@
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/interp.h"
+#include "ir/program.h"
+#include "util/error.h"
+
+namespace clickinc::ir {
+namespace {
+
+using clickinc::Rng;
+
+Instruction mk(Opcode op, Operand dest, std::vector<Operand> srcs,
+               int state = -1) {
+  return Instruction(op, std::move(dest), std::move(srcs), state);
+}
+
+TEST(Opcode, EveryOpcodeHasConsistentInfo) {
+  for (int i = 0; i <= static_cast<int>(Opcode::kNop); ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto& info = opcodeInfo(op);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_GE(info.min_srcs, 0);
+    if (info.max_srcs >= 0) {
+      EXPECT_LE(info.min_srcs, info.max_srcs);
+    }
+  }
+}
+
+TEST(Opcode, ClassAssignmentsMatchPaperTables) {
+  EXPECT_EQ(opcodeClass(Opcode::kAdd), InstrClass::kBIN);
+  EXPECT_EQ(opcodeClass(Opcode::kMul), InstrClass::kBIC);
+  EXPECT_EQ(opcodeClass(Opcode::kFAdd), InstrClass::kBCA);
+  EXPECT_EQ(opcodeClass(Opcode::kRegAdd), InstrClass::kBSO);
+  EXPECT_EQ(opcodeClass(Opcode::kEmtLookup), InstrClass::kBEM);
+  EXPECT_EQ(opcodeClass(Opcode::kSemtWrite), InstrClass::kBSEM);
+  EXPECT_EQ(opcodeClass(Opcode::kTmtLookup), InstrClass::kBNEM);
+  EXPECT_EQ(opcodeClass(Opcode::kStmtWrite), InstrClass::kBSNEM);
+  EXPECT_EQ(opcodeClass(Opcode::kDmtLookup), InstrClass::kBDM);
+  EXPECT_EQ(opcodeClass(Opcode::kDrop), InstrClass::kBBPF);
+  EXPECT_EQ(opcodeClass(Opcode::kMirror), InstrClass::kBAPF);
+  EXPECT_EQ(opcodeClass(Opcode::kHashCrc16), InstrClass::kBAF);
+  EXPECT_EQ(opcodeClass(Opcode::kAesEnc), InstrClass::kBCF);
+}
+
+TEST(Program, VerifyAcceptsWellFormed) {
+  IrProgram p;
+  p.name = "ok";
+  p.addField("hdr.x", 32);
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("t0", 32),
+                        {Operand::field("hdr.x", 32)}));
+  p.instrs.push_back(mk(Opcode::kAdd, Operand::var("t1", 32),
+                        {Operand::var("t0", 32), Operand::constant(1, 32)}));
+  EXPECT_NO_THROW(p.verify());
+}
+
+TEST(Program, VerifyRejectsUseBeforeDef) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kAdd, Operand::var("t1", 32),
+                        {Operand::var("nope", 32), Operand::constant(1, 32)}));
+  EXPECT_THROW(p.verify(), InternalError);
+}
+
+TEST(Program, VerifyRejectsBadStateRef) {
+  IrProgram p;
+  p.instrs.push_back(
+      mk(Opcode::kRegRead, Operand::var("v", 32), {Operand::constant(0, 16)},
+         /*state=*/5));
+  EXPECT_THROW(p.verify(), InternalError);
+}
+
+TEST(Program, VerifyRejectsWidePredicate) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("c", 8),
+                        {Operand::constant(1, 8)}));
+  Instruction guarded = mk(Opcode::kAssign, Operand::var("t", 32),
+                           {Operand::constant(2, 32)});
+  guarded.pred = Operand::var("c", 8);  // must be 1-bit
+  p.instrs.push_back(guarded);
+  EXPECT_THROW(p.verify(), InternalError);
+}
+
+TEST(Program, StateRegistrationAndLookup) {
+  IrProgram p;
+  StateObject s;
+  s.name = "cms0";
+  s.kind = StateKind::kRegister;
+  s.depth = 1024;
+  const int id = p.addState(s);
+  EXPECT_EQ(id, 0);
+  ASSERT_NE(p.findState("cms0"), nullptr);
+  EXPECT_EQ(p.findState("cms0")->id, 0);
+  EXPECT_EQ(p.findState("other"), nullptr);
+}
+
+TEST(Program, StorageBits) {
+  StateObject reg;
+  reg.kind = StateKind::kRegister;
+  reg.depth = 100;
+  reg.value_width = 32;
+  EXPECT_EQ(reg.storageBits(), 3200u);
+
+  StateObject tbl;
+  tbl.kind = StateKind::kExactTable;
+  tbl.depth = 10;
+  tbl.key_width = 16;
+  tbl.value_width = 48;
+  EXPECT_EQ(tbl.storageBits(), 640u);
+}
+
+// --- dependency analysis ---
+
+IrProgram chainProgram() {
+  // t0 = hdr.a; t1 = t0+1; t2 = t1*2
+  IrProgram p;
+  p.addField("hdr.a", 32);
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("t0", 32),
+                        {Operand::field("hdr.a", 32)}));
+  p.instrs.push_back(mk(Opcode::kAdd, Operand::var("t1", 32),
+                        {Operand::var("t0", 32), Operand::constant(1, 32)}));
+  p.instrs.push_back(mk(Opcode::kMul, Operand::var("t2", 32),
+                        {Operand::var("t1", 32), Operand::constant(2, 32)}));
+  return p;
+}
+
+TEST(Analysis, RawDependencies) {
+  const auto p = chainProgram();
+  const auto g = buildDepGraph(p);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+}
+
+TEST(Analysis, StateSharingIsMutual) {
+  IrProgram p;
+  StateObject s;
+  s.name = "ctr";
+  s.kind = StateKind::kRegister;
+  s.depth = 16;
+  s.stateful = true;
+  const int sid = p.addState(s);
+  p.instrs.push_back(mk(Opcode::kRegAdd, Operand::var("c0", 32),
+                        {Operand::constant(0, 8), Operand::constant(1, 32)},
+                        sid));
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("x", 32),
+                        {Operand::constant(7, 32)}));
+  p.instrs.push_back(mk(Opcode::kRegRead, Operand::var("c1", 32),
+                        {Operand::constant(3, 8)}, sid));
+  const auto g = buildDepGraph(p);
+  EXPECT_TRUE(g.hasEdge(0, 2));
+  EXPECT_TRUE(g.hasEdge(2, 0));  // mutual
+  EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(Analysis, StatelessTableNotMutual) {
+  IrProgram p;
+  StateObject s;
+  s.name = "fwdtbl";
+  s.kind = StateKind::kExactTable;
+  s.stateful = false;  // control-plane populated
+  s.depth = 16;
+  const int sid = p.addState(s);
+  p.instrs.push_back(mk(Opcode::kEmtLookup, Operand::var("a", 32),
+                        {Operand::constant(1, 32)}, sid));
+  p.instrs.push_back(mk(Opcode::kEmtLookup, Operand::var("b", 32),
+                        {Operand::constant(2, 32)}, sid));
+  const auto g = buildDepGraph(p);
+  EXPECT_FALSE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(1, 0));
+}
+
+TEST(Analysis, WawAndWarOrdering) {
+  IrProgram p;
+  p.addField("hdr.v", 32);
+  // write hdr.v; read hdr.v; write hdr.v again.
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::field("hdr.v", 32),
+                        {Operand::constant(1, 32)}));
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("r", 32),
+                        {Operand::field("hdr.v", 32)}));
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::field("hdr.v", 32),
+                        {Operand::constant(2, 32)}));
+  const auto g = buildDepGraph(p);
+  EXPECT_TRUE(g.hasEdge(0, 1));  // RAW
+  EXPECT_TRUE(g.hasEdge(1, 2));  // WAR
+  EXPECT_TRUE(g.hasEdge(0, 2));  // WAW
+}
+
+TEST(Analysis, SccGroupsMutualStateUsers) {
+  IrProgram p;
+  StateObject s;
+  s.name = "agg";
+  s.kind = StateKind::kRegister;
+  s.depth = 8;
+  const int sid = p.addState(s);
+  p.instrs.push_back(mk(Opcode::kRegAdd, Operand::var("a", 32),
+                        {Operand::constant(0, 8), Operand::constant(1, 32)},
+                        sid));
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("lone", 32),
+                        {Operand::constant(5, 32)}));
+  p.instrs.push_back(mk(Opcode::kRegRead, Operand::var("b", 32),
+                        {Operand::constant(1, 8)}, sid));
+  const auto g = buildDepGraph(p);
+  const auto comps = stronglyConnectedComponents(g);
+  // Expect 2 components: {0,2} (state-sharing) and {1}.
+  ASSERT_EQ(comps.size(), 2u);
+  bool found_pair = false, found_single = false;
+  for (const auto& c : comps) {
+    if (c == std::vector<int>{0, 2}) found_pair = true;
+    if (c == std::vector<int>{1}) found_single = true;
+  }
+  EXPECT_TRUE(found_pair);
+  EXPECT_TRUE(found_single);
+}
+
+TEST(Analysis, SccTopologicalOrder) {
+  const auto p = chainProgram();
+  const auto g = buildDepGraph(p);
+  const auto comps = stronglyConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], std::vector<int>{0});
+  EXPECT_EQ(comps[1], std::vector<int>{1});
+  EXPECT_EQ(comps[2], std::vector<int>{2});
+}
+
+TEST(Analysis, ParamBitsAcrossCut) {
+  const auto p = chainProgram();
+  // Cut between instr 1 and 2: t1 (32b) crosses. t0 does not (unused after).
+  EXPECT_EQ(paramBitsAcrossCut(p, {0, 1}, {2}), 32);
+  // Cut between 0 and 1: only t0 crosses.
+  EXPECT_EQ(paramBitsAcrossCut(p, {0}, {1, 2}), 32);
+  // No temporaries cross an empty cut.
+  EXPECT_EQ(paramBitsAcrossCut(p, {}, {0, 1, 2}), 0);
+}
+
+TEST(Analysis, ParamBitsIgnoresHeaderFields) {
+  IrProgram p;
+  p.addField("hdr.a", 128);
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::field("hdr.a", 128),
+                        {Operand::constant(1, 128)}));
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("x", 32),
+                        {Operand::field("hdr.a", 128)}));
+  // hdr.a crossing the cut costs nothing: headers already travel.
+  EXPECT_EQ(paramBitsAcrossCut(p, {0}, {1}), 0);
+}
+
+// --- interpreter ---
+
+TEST(Interp, ArithmeticAndWidthTruncation) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("a", 8),
+                        {Operand::constant(0x1FF, 16)}));
+  p.instrs.push_back(mk(Opcode::kAdd, Operand::var("b", 8),
+                        {Operand::var("a", 8), Operand::constant(1, 8)}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_EQ(pkt.params.at("a"), 0xFFu);
+  EXPECT_EQ(pkt.params.at("b"), 0u);  // 0xFF + 1 truncated to 8 bits
+}
+
+TEST(Interp, PredicationSkipsAndNegates) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("c", 1),
+                        {Operand::constant(0, 1)}));
+  Instruction taken = mk(Opcode::kAssign, Operand::var("x", 32),
+                         {Operand::constant(11, 32)});
+  taken.pred = Operand::var("c", 1);
+  taken.pred_negate = true;  // executes because c == 0
+  Instruction skipped = mk(Opcode::kAssign, Operand::var("y", 32),
+                           {Operand::constant(22, 32)});
+  skipped.pred = Operand::var("c", 1);
+  p.instrs.push_back(taken);
+  p.instrs.push_back(skipped);
+
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  const auto stats = interp.runAll(p, pkt);
+  EXPECT_EQ(stats.executed, 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+  EXPECT_EQ(pkt.params.at("x"), 11u);
+  EXPECT_EQ(pkt.params.count("y"), 0u);
+}
+
+TEST(Interp, RegisterOps) {
+  IrProgram p;
+  StateObject s;
+  s.name = "r";
+  s.kind = StateKind::kRegister;
+  s.depth = 4;
+  s.value_width = 16;
+  const int sid = p.addState(s);
+  p.instrs.push_back(mk(Opcode::kRegWrite, Operand::none(),
+                        {Operand::constant(2, 8), Operand::constant(100, 16)},
+                        sid));
+  p.instrs.push_back(mk(Opcode::kRegAdd, Operand::var("n", 16),
+                        {Operand::constant(2, 8), Operand::constant(5, 16)},
+                        sid));
+  p.instrs.push_back(mk(Opcode::kRegRead, Operand::var("v", 16),
+                        {Operand::constant(2, 8)}, sid));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_EQ(pkt.params.at("n"), 105u);
+  EXPECT_EQ(pkt.params.at("v"), 105u);
+}
+
+TEST(Interp, ExactTableLookupHitMiss) {
+  IrProgram p;
+  StateObject s;
+  s.name = "cache";
+  s.kind = StateKind::kExactTable;
+  s.depth = 8;
+  const int sid = p.addState(s);
+  p.addField("hdr.key", 32);
+  p.instrs.push_back(mk(Opcode::kSemtWrite, Operand::none(),
+                        {Operand::constant(7, 32), Operand::constant(70, 32)},
+                        sid));
+  Instruction lk = mk(Opcode::kSemtLookup, Operand::var("v", 32),
+                      {Operand::field("hdr.key", 32)}, sid);
+  lk.dest2 = Operand::var("hit", 1);
+  p.instrs.push_back(lk);
+
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+
+  PacketView hitpkt;
+  hitpkt.setField("hdr.key", 7);
+  interp.runAll(p, hitpkt);
+  EXPECT_EQ(hitpkt.params.at("v"), 70u);
+  EXPECT_EQ(hitpkt.params.at("hit"), 1u);
+
+  PacketView misspkt;
+  misspkt.setField("hdr.key", 9);
+  interp.runAll(p, misspkt);
+  EXPECT_EQ(misspkt.params.at("v"), 0u);
+  EXPECT_EQ(misspkt.params.at("hit"), 0u);
+}
+
+TEST(Interp, TableCapacityRejectsWhenFull) {
+  StateObject s;
+  s.name = "tiny";
+  s.kind = StateKind::kExactTable;
+  s.depth = 2;
+  StateInstance inst(s);
+  inst.insert(1, 10);
+  inst.insert(2, 20);
+  inst.insert(3, 30);  // rejected: full
+  std::uint64_t v = 0;
+  EXPECT_FALSE(inst.lookup(3, &v));
+  EXPECT_TRUE(inst.lookup(1, &v));
+  EXPECT_EQ(v, 10u);
+  inst.insert(1, 11);  // overwrite allowed
+  EXPECT_TRUE(inst.lookup(1, &v));
+  EXPECT_EQ(v, 11u);
+}
+
+TEST(Interp, TernaryAndLpmMatch) {
+  StateObject s;
+  s.name = "t";
+  s.kind = StateKind::kTernaryTable;
+  s.key_width = 32;
+  StateInstance inst(s);
+  inst.insertLpm(0x0A000000, 8, 100);   // 10.0.0.0/8
+  inst.insertLpm(0x0A010000, 16, 200);  // 10.1.0.0/16
+  std::uint64_t v = 0;
+  ASSERT_TRUE(inst.matchTernary(0x0A010203, &v));
+  EXPECT_EQ(v, 200u);  // longest prefix wins (higher priority)
+  ASSERT_TRUE(inst.matchTernary(0x0A050607, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_FALSE(inst.matchTernary(0x0B000000, &v));
+}
+
+TEST(Interp, VerdictFirstWins) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kSendBack, Operand::none(), {}));
+  p.instrs.push_back(mk(Opcode::kDrop, Operand::none(), {}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_EQ(pkt.verdict, Verdict::kSendBack);
+}
+
+TEST(Interp, MirrorDoesNotConsumeVerdict) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kMirror, Operand::none(), {}));
+  p.instrs.push_back(mk(Opcode::kForward, Operand::none(), {}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_TRUE(pkt.mirrored);
+  EXPECT_EQ(pkt.verdict, Verdict::kForward);
+}
+
+TEST(Interp, ParamsCarryAcrossSnippets) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("t", 32),
+                        {Operand::constant(42, 32)}));
+  p.instrs.push_back(mk(Opcode::kAdd, Operand::var("u", 32),
+                        {Operand::var("t", 32), Operand::constant(1, 32)}));
+  StateStore s1, s2;
+  Rng rng(1);
+  Interpreter i1(&s1, &rng), i2(&s2, &rng);
+  PacketView pkt;
+  // Device 1 runs instr 0; device 2 runs instr 1 using the carried param.
+  i1.run(p, std::span<const Instruction>(p.instrs.data(), 1), pkt);
+  i2.run(p, std::span<const Instruction>(p.instrs.data() + 1, 1), pkt);
+  EXPECT_EQ(pkt.params.at("u"), 43u);
+}
+
+TEST(Interp, FloatOpsRoundTrip) {
+  IrProgram p;
+  // f = itof(6, scale=2) = 3.0; g = f * 2.0; i = ftoi(g) = 6
+  p.instrs.push_back(mk(Opcode::kItoF, Operand::var("f", 32),
+                        {Operand::constant(6, 32), Operand::constant(2, 32)}));
+  const std::uint32_t two = std::bit_cast<std::uint32_t>(2.0f);
+  p.instrs.push_back(mk(Opcode::kFMul, Operand::var("g", 32),
+                        {Operand::var("f", 32), Operand::constant(two, 32)}));
+  p.instrs.push_back(mk(Opcode::kFtoI, Operand::var("i", 32),
+                        {Operand::var("g", 32)}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_EQ(pkt.params.at("i"), 6u);
+}
+
+TEST(Interp, CryptoRoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 0xDEADBEEFCAFEF00DULL}) {
+    for (std::uint64_t k : {0ULL, 42ULL, ~0ULL}) {
+      EXPECT_EQ(toyDecrypt(toyEncrypt(v, k), k), v);
+      if (k != 0) {
+        EXPECT_NE(toyEncrypt(v, k), v);
+      }
+    }
+  }
+}
+
+TEST(Interp, HashOpsDeterministicAndBounded) {
+  IrProgram p;
+  p.addField("hdr.key", 32);
+  p.instrs.push_back(mk(Opcode::kHashCrc16, Operand::var("h", 16),
+                        {Operand::field("hdr.key", 32)}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView a, b;
+  a.setField("hdr.key", 99);
+  b.setField("hdr.key", 99);
+  interp.runAll(p, a);
+  interp.runAll(p, b);
+  EXPECT_EQ(a.params.at("h"), b.params.at("h"));
+  EXPECT_LE(a.params.at("h"), 0xFFFFu);
+}
+
+TEST(Interp, SelectAndCompare) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kCmpLt, Operand::var("c", 1),
+                        {Operand::constant(3, 32), Operand::constant(5, 32)}));
+  p.instrs.push_back(
+      mk(Opcode::kSelect, Operand::var("m", 32),
+         {Operand::var("c", 1), Operand::constant(3, 32),
+          Operand::constant(5, 32)}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_EQ(pkt.params.at("c"), 1u);
+  EXPECT_EQ(pkt.params.at("m"), 3u);
+}
+
+TEST(Interp, DivModByZeroYieldZero) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kDiv, Operand::var("d", 32),
+                        {Operand::constant(9, 32), Operand::constant(0, 32)}));
+  p.instrs.push_back(mk(Opcode::kMod, Operand::var("m", 32),
+                        {Operand::constant(9, 32), Operand::constant(0, 32)}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_EQ(pkt.params.at("d"), 0u);
+  EXPECT_EQ(pkt.params.at("m"), 0u);
+}
+
+TEST(Interp, SliceExtractsBits) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kSlice, Operand::var("s", 8),
+                        {Operand::constant(0xABCD, 16),
+                         Operand::constant(8, 8), Operand::constant(8, 8)}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_EQ(pkt.params.at("s"), 0xABu);
+}
+
+TEST(Interp, ChecksumFolds) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kChecksum, Operand::var("c", 16),
+                        {Operand::constant(0x10000, 32)}));
+  StateStore store;
+  Rng rng(1);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  interp.runAll(p, pkt);
+  // 0x10000 folds to 0x0001; ones' complement = 0xFFFE.
+  EXPECT_EQ(pkt.params.at("c"), 0xFFFEu);
+}
+
+TEST(Interp, StateStoreIsolatesInstances) {
+  StateObject s;
+  s.name = "x";
+  s.kind = StateKind::kRegister;
+  s.depth = 4;
+  StateStore a, b;
+  a.instantiate(s).regWrite(0, 1);
+  b.instantiate(s).regWrite(0, 2);
+  EXPECT_EQ(a.find("x")->regRead(0), 1u);
+  EXPECT_EQ(b.find("x")->regRead(0), 2u);
+  a.remove("x");
+  EXPECT_EQ(a.find("x"), nullptr);
+  EXPECT_NE(b.find("x"), nullptr);
+}
+
+}  // namespace
+}  // namespace clickinc::ir

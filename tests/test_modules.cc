@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include "ir/interp.h"
+#include "modules/autotune.h"
+#include "modules/profile.h"
+#include "modules/templates.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace clickinc::modules {
+namespace {
+
+using clickinc::Rng;
+using ir::Interpreter;
+using ir::PacketView;
+using ir::StateStore;
+using ir::Verdict;
+
+class KvsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prog_ = lib_.compileTemplate("KVS", "kvs0",
+                                 {{"CacheSize", 64}, {"ValDim", 4}, {"TH", 3}});
+  }
+
+  PacketView request(std::uint64_t key) {
+    PacketView pkt;
+    pkt.setField("hdr.op", 1);  // REQUEST
+    pkt.setField("hdr.key", key);
+    Interpreter interp(&store_, &rng_);
+    interp.runAll(prog_, pkt);
+    return pkt;
+  }
+
+  // Control-plane cache install: key -> slot plus value registers.
+  void install(std::uint64_t key, std::uint64_t slot,
+               std::vector<std::uint64_t> vals) {
+    store_.instantiate(*prog_.findState("kvs0_cache")).insert(key, slot);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      store_.instantiate(*prog_.findState(cat("kvs0_vals_t_r", i)))
+          .regWrite(slot, vals[i]);
+    }
+  }
+
+  ModuleLibrary lib_;
+  ir::IrProgram prog_;
+  StateStore store_;
+  Rng rng_{7};
+};
+
+TEST_F(KvsFixture, MissForwardsToServer) {
+  auto pkt = request(1234);
+  EXPECT_EQ(pkt.verdict, Verdict::kForward);
+}
+
+TEST_F(KvsFixture, HitRepliesWithCachedValue) {
+  install(42, 5, {10, 11, 12, 13});
+  auto pkt = request(42);
+  EXPECT_EQ(pkt.verdict, Verdict::kSendBack);
+  EXPECT_EQ(pkt.field("hdr.op"), 2u);  // REPLY
+  EXPECT_EQ(pkt.field("hdr.val.0"), 10u);
+  EXPECT_EQ(pkt.field("hdr.val.3"), 13u);
+}
+
+TEST_F(KvsFixture, HotMissedKeyReportedToCpuOnce) {
+  // Drive the same missed key past the heavy-hitter threshold (TH = 3).
+  Verdict final = Verdict::kNone;
+  int cpu_copies = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto pkt = request(777);
+    final = pkt.verdict;
+    // CopyToCpu does not change the forwarding verdict; the heavy hitter
+    // is visible through the bloom filter state instead.
+  }
+  EXPECT_EQ(final, Verdict::kForward);
+  // Bloom filter rows now contain the key's bits.
+  int set_rows = 0;
+  for (int r = 0; r < 3; ++r) {
+    auto* bf = store_.find(cat("kvs0_bf_r", r));
+    ASSERT_NE(bf, nullptr);
+    for (std::uint64_t i = 0; i < bf->spec().depth; ++i) {
+      if (bf->regRead(i) != 0) {
+        ++set_rows;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(set_rows, 3);
+  (void)cpu_copies;
+}
+
+TEST_F(KvsFixture, UpdateRefreshesValuesAndDrops) {
+  install(42, 5, {10, 11, 12, 13});
+  PacketView pkt;
+  pkt.setField("hdr.op", 3);  // UPDATE
+  pkt.setField("hdr.key", 42);
+  pkt.setField("hdr.val.0", 99);
+  pkt.setField("hdr.val.1", 98);
+  pkt.setField("hdr.val.2", 97);
+  pkt.setField("hdr.val.3", 96);
+  Interpreter interp(&store_, &rng_);
+  interp.runAll(prog_, pkt);
+  EXPECT_EQ(pkt.verdict, Verdict::kDrop);
+  auto read_back = request(42);
+  EXPECT_EQ(read_back.field("hdr.val.0"), 99u);
+}
+
+class MlaggFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prog_ = lib_.compileTemplate(
+        "MLAgg", "agg0",
+        {{"NumAgg", 64}, {"Dim", 4}, {"NumWorker", 2}, {"IsConvert", 0}});
+  }
+
+  PacketView send(std::uint64_t seq, std::uint64_t bitmap,
+                  std::vector<std::uint64_t> data, std::uint64_t op = 1) {
+    PacketView pkt;
+    pkt.setField("hdr.op", op);
+    pkt.setField("hdr.seq", seq);
+    pkt.setField("hdr.bitmap", bitmap);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      pkt.setField(cat("hdr.data.", i), data[i]);
+    }
+    Interpreter interp(&store_, &rng_);
+    interp.runAll(prog_, pkt);
+    return pkt;
+  }
+
+  ModuleLibrary lib_;
+  ir::IrProgram prog_;
+  StateStore store_;
+  Rng rng_{7};
+};
+
+TEST_F(MlaggFixture, FirstWorkerStoredAndDropped) {
+  auto pkt = send(100, 0b01, {1, 2, 3, 4});
+  EXPECT_EQ(pkt.verdict, Verdict::kDrop);
+  // Aggregator slot holds the data.
+  auto* data0 = store_.find("agg0_agg_data_t_r0");
+  ASSERT_NE(data0, nullptr);
+}
+
+TEST_F(MlaggFixture, LastWorkerTriggersBroadcastOfSum) {
+  send(100, 0b01, {1, 2, 3, 4});
+  auto pkt = send(100, 0b10, {10, 20, 30, 40});
+  EXPECT_EQ(pkt.verdict, Verdict::kSendBack);
+  EXPECT_EQ(pkt.field("hdr.op"), 2u);  // ACK
+  EXPECT_EQ(pkt.field("hdr.data.0"), 11u);
+  EXPECT_EQ(pkt.field("hdr.data.3"), 44u);
+  EXPECT_EQ(pkt.field("hdr.bitmap"), 0b11u);
+}
+
+TEST_F(MlaggFixture, DuplicateWorkerForwarded) {
+  send(100, 0b01, {1, 2, 3, 4});
+  auto pkt = send(100, 0b01, {1, 2, 3, 4});  // same worker again
+  EXPECT_EQ(pkt.verdict, Verdict::kForward);
+}
+
+TEST_F(MlaggFixture, AckFreesAggregatorSlot) {
+  send(100, 0b01, {1, 2, 3, 4});
+  send(100, 0b10, {1, 2, 3, 4});        // completes, slot freed on reply
+  auto pkt = send(100, 0b01, {5, 6, 7, 8});  // fresh round reuses the slot
+  EXPECT_EQ(pkt.verdict, Verdict::kDrop);
+}
+
+TEST_F(MlaggFixture, OverflowMirrorsAndForwards) {
+  send(200, 0b01, {0x7FFFFFFF, 2, 3, 4});
+  auto pkt = send(200, 0b10, {0x7FFFFFFF, 2, 3, 4});
+  EXPECT_TRUE(pkt.mirrored);
+  EXPECT_EQ(pkt.verdict, Verdict::kForward);
+}
+
+TEST(MlaggConvert, FloatConversionAppliedWhenEnabled) {
+  ModuleLibrary lib;
+  auto prog = lib.compileTemplate(
+      "MLAgg", "aggf",
+      {{"NumAgg", 16}, {"Dim", 2}, {"NumWorker", 2}, {"IsConvert", 1},
+       {"Scale", 256}});
+  StateStore store;
+  Rng rng(3);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  pkt.setField("hdr.op", 1);
+  pkt.setField("hdr.seq", 5);
+  pkt.setField("hdr.bitmap", 1);
+  const float v = 1.5f;
+  pkt.setField("hdr.data.0", std::bit_cast<std::uint32_t>(v));
+  pkt.setField("hdr.data.1", 0);
+  interp.runAll(prog, pkt);
+  // ftoi(1.5, scale 256) = 384 stored in the aggregator.
+  auto* data0 = store.find("aggf_agg_data_t_r0");
+  ASSERT_NE(data0, nullptr);
+  bool found = false;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (data0->regRead(i) == 384) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+class DqaccFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prog_ = lib_.compileTemplate("DQAcc", "dq0",
+                                 {{"CacheDepth", 64}, {"CacheLen", 4}});
+  }
+
+  Verdict query(std::uint64_t value) {
+    PacketView pkt;
+    pkt.setField("hdr.value", value);
+    Interpreter interp(&store_, &rng_);
+    interp.runAll(prog_, pkt);
+    return pkt.verdict;
+  }
+
+  ModuleLibrary lib_;
+  ir::IrProgram prog_;
+  StateStore store_;
+  Rng rng_{7};
+};
+
+TEST_F(DqaccFixture, FirstOccurrenceForwards) {
+  EXPECT_EQ(query(12345), Verdict::kForward);
+}
+
+TEST_F(DqaccFixture, DuplicateDropped) {
+  query(12345);
+  EXPECT_EQ(query(12345), Verdict::kDrop);
+}
+
+TEST_F(DqaccFixture, DistinctValuesPass) {
+  EXPECT_EQ(query(1), Verdict::kForward);
+  EXPECT_EQ(query(2), Verdict::kForward);
+  EXPECT_EQ(query(3), Verdict::kForward);
+  EXPECT_EQ(query(1), Verdict::kDrop);
+}
+
+TEST_F(DqaccFixture, RollingReplacementEvictsOldest) {
+  // Values hashing to one bucket beyond CacheLen=4 ways evict the oldest;
+  // with 64 buckets we just assert the cache keeps functioning under
+  // pressure and never wrongly drops a fresh value.
+  for (std::uint64_t v = 1000; v < 1400; ++v) {
+    EXPECT_EQ(query(v), Verdict::kForward) << v;
+  }
+}
+
+TEST(SparseMlagg, ZeroBlocksEliminated) {
+  ModuleLibrary lib;
+  lang::HeaderSpec hdr;
+  hdr.add("op", 8);
+  hdr.add("seq", 32);
+  hdr.add("bitmap", 32);
+  hdr.add("overflow", 8);
+  hdr.add("data", 32, 8);  // BlockNum=2 x BlockSize=4
+  auto prog = lib.compileUser(
+      sparseMlaggSource(), "sparse0", hdr,
+      {{"BlockNum", 2}, {"BlockSize", 4}, {"NumAgg", 16}, {"Dim", 8},
+       {"NumWorker", 2}, {"IsConvert", 0}, {"Scale", 1}, {"DATA", 1},
+       {"ACK", 2}, {"CheckOverflow", 1}});
+  StateStore store;
+  Rng rng(3);
+  Interpreter interp(&store, &rng);
+  PacketView pkt;
+  pkt.setField("hdr.op", 1);
+  pkt.setField("hdr.seq", 9);
+  pkt.setField("hdr.bitmap", 1);
+  pkt.setField("hdr._len", 32);
+  // Block 0 dense, block 1 all-zero.
+  for (int i = 0; i < 4; ++i) pkt.setField(cat("hdr.data.", i), 5);
+  for (int i = 4; i < 8; ++i) pkt.setField(cat("hdr.data.", i), 0);
+  interp.runAll(prog, pkt);
+  // The sparse block shrank the packet by 4 x 4 bytes.
+  EXPECT_EQ(pkt.field("hdr._len"), 32u - 16u);
+  // Aggregation still stored the dense data.
+  EXPECT_EQ(pkt.verdict, Verdict::kDrop);
+}
+
+TEST(Templates, LibraryListsAllThree) {
+  ModuleLibrary lib;
+  const auto names = lib.names();
+  EXPECT_EQ(names.size(), 3u);
+  EXPECT_NE(lib.find("KVS"), nullptr);
+  EXPECT_NE(lib.find("MLAgg"), nullptr);
+  EXPECT_NE(lib.find("DQAcc"), nullptr);
+  EXPECT_EQ(lib.find("NoSuch"), nullptr);
+}
+
+TEST(Templates, InstancesAreStateIsolated) {
+  ModuleLibrary lib;
+  auto a = lib.compileTemplate("DQAcc", "dq_a", {{"CacheDepth", 16}});
+  auto b = lib.compileTemplate("DQAcc", "dq_b", {{"CacheDepth", 16}});
+  for (const auto& sa : a.states) {
+    for (const auto& sb : b.states) {
+      EXPECT_NE(sa.name, sb.name);
+    }
+  }
+}
+
+// --- profiles ---
+
+TEST(Profile, ParsesPaperStyleKvsProfile) {
+  const std::string text = R"({
+    "app": "KVS",
+    "performance": {
+      "objective function": max 0.7 hit + 0.3 acc,
+      "content": >= 1000
+    },
+    "traffic": { "c1": 10 Mpps, "c2": 20 Mpps },
+    "packet_format": {
+      "network": "ethernet/ipv4/udp",
+      "khdr": { "key": "bit_128" },
+      "vhdr": { "val": "bit_32 x 16" }
+    },
+    "params": { "CacheSize": 5000 }
+  })";
+  const Profile p = parseProfile(text);
+  EXPECT_EQ(p.app, "KVS");
+  EXPECT_NE(p.objective.find("0.7 hit"), std::string::npos);
+  EXPECT_DOUBLE_EQ(p.performance.at("content"), 1000.0);
+  EXPECT_DOUBLE_EQ(p.traffic_mpps.at("c1"), 10.0);
+  EXPECT_DOUBLE_EQ(p.traffic_mpps.at("c2"), 20.0);
+  EXPECT_DOUBLE_EQ(p.totalTrafficMpps(), 30.0);
+  EXPECT_EQ(p.network, "ethernet/ipv4/udp");
+  const auto* key = p.header.find("key");
+  ASSERT_NE(key, nullptr);
+  EXPECT_EQ(key->width, 128);
+  const auto* val = p.header.find("val");
+  ASSERT_NE(val, nullptr);
+  EXPECT_EQ(val->width, 32);
+  EXPECT_EQ(val->count, 16);
+  EXPECT_EQ(p.params.at("CacheSize"), 5000u);
+}
+
+TEST(Profile, MalformedProfileRejected) {
+  EXPECT_THROW(parseProfile("not json"), ParseError);
+  EXPECT_THROW(parseProfile("{ \"app\": \"KVS\" "), ParseError);
+}
+
+TEST(Profile, ProfileDrivesTemplateCompilation) {
+  const Profile p = parseProfile(
+      "{ \"app\": \"DQAcc\", \"params\": { \"CacheDepth\": 128, "
+      "\"CacheLen\": 2 } }");
+  ModuleLibrary lib;
+  auto prog = lib.compileTemplate(p.app, "dq_prof", p.params);
+  // CacheLen=2 ways plus the pointer array.
+  EXPECT_EQ(prog.states.size(), 3u);
+  EXPECT_EQ(prog.states[0].depth, 128u);
+}
+
+// --- autotune ---
+
+TEST(Autotune, ZipfHitRatioMonotone) {
+  const double h1 = zipfCacheHitRatio(100, 0.99, 100000);
+  const double h2 = zipfCacheHitRatio(1000, 0.99, 100000);
+  const double h3 = zipfCacheHitRatio(10000, 0.99, 100000);
+  EXPECT_LT(h1, h2);
+  EXPECT_LT(h2, h3);
+  EXPECT_GT(h1, 0.0);
+  EXPECT_LE(h3, 1.0);
+  EXPECT_DOUBLE_EQ(zipfCacheHitRatio(100000, 0.99, 100000), 1.0);
+}
+
+TEST(Autotune, CmsAccuracyImprovesWithWidthAndRows) {
+  EXPECT_LT(cmsAccuracy(3, 256, 10000), cmsAccuracy(3, 4096, 10000));
+  EXPECT_LT(cmsAccuracy(1, 1024, 10000), cmsAccuracy(4, 1024, 10000));
+}
+
+TEST(Autotune, LearnedModelTracksGroundTruth) {
+  std::vector<Observation> obs;
+  for (std::uint64_t d = 16; d <= 65536; d *= 2) {
+    obs.push_back({static_cast<double>(d), zipfCacheHitRatio(d, 1.1, 65536)});
+  }
+  LearnedPerfModel m;
+  m.fit(obs);
+  for (const auto& o : obs) {
+    EXPECT_NEAR(m.predict(o.x), o.y, 0.15) << "x=" << o.x;
+  }
+}
+
+TEST(Autotune, TunedDepthMeetsTarget) {
+  const std::uint64_t depth = tuneKvsCacheDepth(0.8, 1.1, 65536);
+  EXPECT_GE(zipfCacheHitRatio(depth, 1.1, 65536), 0.7);
+  EXPECT_LT(depth, 65536u);  // does not just give up and cache everything
+}
+
+TEST(Autotune, TunedCmsWidthMeetsTarget) {
+  const std::uint64_t width = tuneCmsWidth(0.9, 3, 5000);
+  EXPECT_GE(cmsAccuracy(3, width, 5000), 0.85);
+}
+
+}  // namespace
+}  // namespace clickinc::modules

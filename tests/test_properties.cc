@@ -1,0 +1,317 @@
+// Property-based test sweeps (parameterized gtest) over the DESIGN.md
+// invariants: distributed-execution equivalence at every legal cut,
+// placement soundness across templates and traffic patterns, block-DAG
+// structural properties under varying thresholds, and interpreter
+// arithmetic width laws.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "device/validate.h"
+#include "ir/interp.h"
+#include "modules/templates.h"
+#include "place/blockdag.h"
+#include "place/intradevice.h"
+#include "place/treedp.h"
+#include "topo/ec.h"
+#include "util/bits.h"
+#include "util/strings.h"
+
+namespace clickinc {
+namespace {
+
+modules::ModuleLibrary& lib() {
+  static modules::ModuleLibrary instance;
+  return instance;
+}
+
+ir::IrProgram templateProgram(const std::string& name) {
+  if (name == "KVS") {
+    return lib().compileTemplate(
+        "KVS", "p",
+        {{"CacheSize", 128}, {"ValDim", 2}, {"TH", 4}});
+  }
+  if (name == "MLAgg") {
+    return lib().compileTemplate(
+        "MLAgg", "p",
+        {{"NumAgg", 64}, {"Dim", 4}, {"NumWorker", 2}});
+  }
+  return lib().compileTemplate("DQAcc", "p",
+                               {{"CacheDepth", 64}, {"CacheLen", 2}});
+}
+
+// Drives one packet with a workload-appropriate header.
+ir::PacketView packetFor(const std::string& tmpl, Rng* rng) {
+  ir::PacketView pkt;
+  if (tmpl == "KVS") {
+    pkt.setField("hdr.op", 1 + rng->nextBelow(3));
+    pkt.setField("hdr.key", rng->nextBelow(64));
+    pkt.setField("hdr.val.0", rng->nextBelow(1000));
+    pkt.setField("hdr.val.1", rng->nextBelow(1000));
+  } else if (tmpl == "MLAgg") {
+    pkt.setField("hdr.op", 1);
+    pkt.setField("hdr.seq", rng->nextBelow(16));
+    pkt.setField("hdr.bitmap", 1ull << rng->nextBelow(2));
+    for (int i = 0; i < 4; ++i) {
+      pkt.setField(cat("hdr.data.", i), rng->nextBelow(100));
+    }
+  } else {
+    pkt.setField("hdr.value", 1 + rng->nextBelow(32));
+  }
+  return pkt;
+}
+
+// --- Property 1: distributed execution == single-device execution -------
+//
+// For every block boundary of every template, running the prefix on one
+// "device" and the suffix on another (params carried in between) must
+// produce the same verdicts and header contents as single-device runs.
+
+class CutEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(CutEquivalence, PrefixSuffixMatchesWhole) {
+  const auto [tmpl, cut_index] = GetParam();
+  const auto prog = templateProgram(tmpl);
+  const auto dag = place::BlockDag::build(prog);
+  if (cut_index >= dag.size()) GTEST_SKIP() << "fewer blocks than cut";
+
+  const auto prefix = dag.instrsOf(0, cut_index);
+  const auto suffix = dag.instrsOf(cut_index, dag.size());
+
+  Rng traffic_a(123), traffic_b(123);
+  ir::StateStore whole_store, store_a, store_b;
+  Rng rng_w(5), rng_a(5), rng_b(5);
+  ir::Interpreter whole(&whole_store, &rng_w);
+  ir::Interpreter dev_a(&store_a, &rng_a);
+  ir::Interpreter dev_b(&store_b, &rng_b);
+
+  auto gather = [&](const std::vector<int>& idxs) {
+    std::vector<ir::Instruction> out;
+    for (int i : idxs) {
+      out.push_back(prog.instrs[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  };
+  const auto pre = gather(prefix);
+  const auto suf = gather(suffix);
+
+  for (int round = 0; round < 120; ++round) {
+    auto p1 = packetFor(tmpl, &traffic_a);
+    auto p2 = packetFor(tmpl, &traffic_b);
+    whole.runAll(prog, p1);
+    dev_a.run(prog, std::span<const ir::Instruction>(pre), p2);
+    dev_b.run(prog, std::span<const ir::Instruction>(suf), p2);
+    ASSERT_EQ(p1.verdict, p2.verdict) << tmpl << " round " << round;
+    ASSERT_EQ(p1.mirrored, p2.mirrored);
+    for (const auto& [name, value] : p1.fields) {
+      ASSERT_EQ(value, p2.field(name)) << name << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplatesAllCuts, CutEquivalence,
+    ::testing::Combine(::testing::Values("KVS", "MLAgg", "DQAcc"),
+                       ::testing::Values(1, 2, 3, 5, 8)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_cut" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Property 2: every DP placement validates on every device -----------
+
+struct PlacementCase {
+  std::string tmpl;
+  std::vector<std::string> sources;
+  std::string dst;
+};
+
+class PlacementSoundness : public ::testing::TestWithParam<PlacementCase> {};
+
+TEST_P(PlacementSoundness, EmittedPlansSatisfyChipConstraints) {
+  const auto& param = GetParam();
+  const auto topo = topo::Topology::paperEmulation();
+  topo::TrafficSpec spec;
+  for (const auto& s : param.sources) {
+    spec.sources.push_back({topo.findNode(s), 10.0});
+  }
+  spec.dst_host = topo.findNode(param.dst);
+
+  const auto prog = templateProgram(param.tmpl);
+  const auto dag = place::BlockDag::build(prog);
+  const auto tree = buildEcTree(topo, spec);
+  place::OccupancyMap occ(&topo);
+  const auto plan = placeProgram(dag, tree, topo, occ);
+  ASSERT_TRUE(plan.feasible) << plan.failure;
+
+  std::set<int> placed;
+  int root_path_count = 0;
+  for (const auto& a : plan.assignments) {
+    for (const auto& [dev, p] : a.on_device) {
+      if (p.instr_idxs.empty()) continue;
+      EXPECT_EQ(device::validatePlacement(topo.node(dev).model, prog,
+                                          p.instr_idxs, p.stage_of),
+                "")
+          << topo.node(dev).name;
+      for (int i : p.instr_idxs) placed.insert(i);
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      if (p.instr_idxs.empty()) continue;
+      EXPECT_EQ(device::validatePlacement(topo.node(dev).model, prog,
+                                          p.instr_idxs, p.stage_of),
+                "")
+          << topo.node(dev).name;
+      for (int i : p.instr_idxs) placed.insert(i);
+    }
+    root_path_count = std::max(root_path_count, a.to_block);
+  }
+  // Full program coverage along the spine.
+  EXPECT_EQ(root_path_count, dag.size());
+  EXPECT_EQ(placed.size(), prog.instrs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TemplatesByTraffic, PlacementSoundness,
+    ::testing::Values(
+        PlacementCase{"DQAcc", {"pod0a"}, "pod2b"},
+        PlacementCase{"DQAcc", {"pod0a", "pod1a"}, "pod2a"},
+        PlacementCase{"MLAgg", {"pod0a", "pod0b"}, "pod2b"},
+        PlacementCase{"MLAgg", {"pod0a", "pod1b"}, "pod2a"},
+        PlacementCase{"KVS", {"pod0a"}, "pod2b"},
+        PlacementCase{"KVS", {"pod0b", "pod1a"}, "pod2b"}),
+    [](const auto& info) {
+      return info.param.tmpl + "_" +
+             std::to_string(info.param.sources.size()) + "src_" +
+             std::to_string(info.index);
+    });
+
+// --- Property 3: block DAG structure under threshold sweeps -------------
+
+class BlockDagProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(BlockDagProperties, PartitionLegalityHolds) {
+  const auto [tmpl, threshold] = GetParam();
+  const auto prog = templateProgram(tmpl);
+  place::BlockDagOptions opts;
+  opts.max_block_instrs = threshold;
+  const auto dag = place::BlockDag::build(prog, opts);
+
+  // Union of blocks == program, no duplicates.
+  std::set<int> covered;
+  for (const auto& b : dag.blocks()) {
+    for (int i : b.instrs) {
+      EXPECT_TRUE(covered.insert(i).second);
+    }
+  }
+  EXPECT_EQ(covered.size(), prog.instrs.size());
+
+  // Deps point backwards in the linearization (App. B.1 legality).
+  for (const auto& b : dag.blocks()) {
+    for (int d : b.deps) EXPECT_LT(d, b.id);
+  }
+
+  // State-sharing instructions stay together regardless of threshold.
+  std::map<int, std::set<int>> blocks_of_state;
+  for (const auto& b : dag.blocks()) {
+    for (int i : b.instrs) {
+      const auto& ins = prog.instrs[static_cast<std::size_t>(i)];
+      if (ins.state_id >= 0 &&
+          prog.states[static_cast<std::size_t>(ins.state_id)].stateful) {
+        blocks_of_state[ins.state_id].insert(b.id);
+      }
+    }
+  }
+  for (const auto& [sid, bset] : blocks_of_state) {
+    EXPECT_EQ(bset.size(), 1u) << "state " << sid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdSweep, BlockDagProperties,
+    ::testing::Combine(::testing::Values("KVS", "MLAgg", "DQAcc"),
+                       ::testing::Values(1, 2, 4, 8, 16, 64)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Property 4: interpreter arithmetic respects operand widths ---------
+
+class WidthLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthLaws, AdditionWrapsAtWidth) {
+  const int width = GetParam();
+  ir::IrProgram p;
+  p.instrs.push_back(ir::Instruction(
+      ir::Opcode::kAdd, ir::Operand::var("x", width),
+      {ir::Operand::constant(lowMask(width), 64),
+       ir::Operand::constant(1, width)}));
+  p.instrs.push_back(ir::Instruction(
+      ir::Opcode::kSub, ir::Operand::var("y", width),
+      {ir::Operand::constant(0, width), ir::Operand::constant(1, width)}));
+  ir::StateStore store;
+  Rng rng(1);
+  ir::Interpreter interp(&store, &rng);
+  ir::PacketView pkt;
+  interp.runAll(p, pkt);
+  EXPECT_EQ(pkt.params.at("x"), 0u) << "max + 1 wraps to 0 at " << width;
+  EXPECT_EQ(pkt.params.at("y"), lowMask(width)) << "0 - 1 wraps to max";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthLaws,
+                         ::testing::Values(1, 8, 16, 24, 32, 48, 63),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// --- Property 5: isolation — two instances never interfere --------------
+
+class IsolationSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IsolationSweep, TwinInstancesBehaveIdenticallyButSeparately) {
+  const std::string tmpl = GetParam();
+  // Instance A alone vs instance A sharing a store with instance B: A's
+  // observable behaviour must be identical (memory isolation).
+  auto prog_a = lib().compileTemplate(
+      tmpl, "iso_a",
+      tmpl == "KVS"
+          ? std::map<std::string, std::uint64_t>{{"CacheSize", 64},
+                                                 {"ValDim", 2},
+                                                 {"TH", 3}}
+          : (tmpl == "MLAgg"
+                 ? std::map<std::string, std::uint64_t>{{"NumAgg", 32},
+                                                        {"Dim", 4},
+                                                        {"NumWorker", 2}}
+                 : std::map<std::string, std::uint64_t>{{"CacheDepth", 32},
+                                                        {"CacheLen", 2}}));
+  auto prog_b = lib().compileTemplate(
+      tmpl, "iso_b",
+      tmpl == "DQAcc"
+          ? std::map<std::string, std::uint64_t>{{"CacheDepth", 32},
+                                                 {"CacheLen", 2}}
+          : std::map<std::string, std::uint64_t>{});
+
+  ir::StateStore solo_store, shared_store;
+  Rng r1(9), r2(9), traffic1(44), traffic2(44), noise(91);
+  ir::Interpreter solo(&solo_store, &r1);
+  ir::Interpreter shared(&shared_store, &r2);
+
+  for (int round = 0; round < 150; ++round) {
+    auto p1 = packetFor(tmpl, &traffic1);
+    auto p2 = packetFor(tmpl, &traffic2);
+    solo.runAll(prog_a, p1);
+    // Interleave instance B noise into the shared store.
+    auto pb = packetFor(tmpl, &noise);
+    shared.runAll(prog_b, pb);
+    shared.runAll(prog_a, p2);
+    ASSERT_EQ(p1.verdict, p2.verdict) << tmpl << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Templates, IsolationSweep,
+                         ::testing::Values("KVS", "MLAgg", "DQAcc"));
+
+}  // namespace
+}  // namespace clickinc

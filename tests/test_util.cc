@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/crc.h"
+#include "util/strings.h"
+#include "util/texttable.h"
+
+namespace clickinc {
+namespace {
+
+TEST(Bits, BitsFor) {
+  EXPECT_EQ(bitsFor(0), 1);
+  EXPECT_EQ(bitsFor(1), 1);
+  EXPECT_EQ(bitsFor(2), 1);
+  EXPECT_EQ(bitsFor(3), 2);
+  EXPECT_EQ(bitsFor(4), 2);
+  EXPECT_EQ(bitsFor(5), 3);
+  EXPECT_EQ(bitsFor(256), 8);
+  EXPECT_EQ(bitsFor(257), 9);
+  EXPECT_EQ(bitsFor(65536), 16);
+}
+
+TEST(Bits, RoundUpPow2) {
+  EXPECT_EQ(roundUpPow2(0), 1u);
+  EXPECT_EQ(roundUpPow2(1), 1u);
+  EXPECT_EQ(roundUpPow2(2), 2u);
+  EXPECT_EQ(roundUpPow2(3), 4u);
+  EXPECT_EQ(roundUpPow2(1000), 1024u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceilDiv(10, 3), 4u);
+  EXPECT_EQ(ceilDiv(9, 3), 3u);
+  EXPECT_EQ(ceilDiv(1, 128), 1u);
+}
+
+TEST(Bits, LowMaskAndTrunc) {
+  EXPECT_EQ(lowMask(0), 0u);
+  EXPECT_EQ(lowMask(1), 1u);
+  EXPECT_EQ(lowMask(16), 0xFFFFu);
+  EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+  EXPECT_EQ(truncToWidth(0x1FF, 8), 0xFFu);
+  EXPECT_EQ(truncToWidth(0x100, 8), 0u);
+}
+
+TEST(Crc, Crc16KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") == 0x29B1.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16(std::span<const std::uint8_t>(data, 9)), 0x29B1);
+}
+
+TEST(Crc, Crc32KnownVector) {
+  // CRC-32/IEEE("123456789") == 0xCBF43926.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(data, 9)), 0xCBF43926u);
+}
+
+TEST(Crc, KeyOverloadsDeterministic) {
+  EXPECT_EQ(crc16(std::uint64_t{42}), crc16(std::uint64_t{42}));
+  EXPECT_EQ(crc32(std::uint64_t{42}), crc32(std::uint64_t{42}));
+  EXPECT_NE(crc32(std::uint64_t{42}), crc32(std::uint64_t{43}));
+}
+
+TEST(Crc, Mix64Bijective) {
+  // Distinct inputs keep distinct outputs on a sample.
+  std::uint64_t prev = mix64(0);
+  for (std::uint64_t i = 1; i < 1000; ++i) {
+    EXPECT_NE(mix64(i), prev);
+    prev = mix64(i);
+  }
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, ZipfBoundedAndSkewed) {
+  Rng rng(3);
+  const std::uint64_t n = 1000;
+  std::uint64_t low_half = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t v = rng.nextZipf(n, 1.1);
+    ASSERT_LT(v, n);
+    if (v < n / 10) ++low_half;
+  }
+  // Heavily skewed toward small ranks: >50% of mass in the lowest decile.
+  EXPECT_GT(low_half, static_cast<std::uint64_t>(samples / 2));
+}
+
+TEST(Strings, SplitJoinTrim) {
+  auto parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(joinStrings(parts, "/"), "a/b//c");
+  EXPECT_EQ(trimString("  hi \t\n"), "hi");
+  EXPECT_EQ(trimString(""), "");
+}
+
+TEST(Strings, Predicates) {
+  EXPECT_TRUE(startsWith("hdr.key", "hdr."));
+  EXPECT_FALSE(startsWith("hd", "hdr."));
+  EXPECT_TRUE(endsWith("prog.p4", ".p4"));
+  EXPECT_TRUE(containsString("abcdef", "cde"));
+  EXPECT_EQ(toLower("KVS"), "kvs");
+}
+
+TEST(Strings, FmtDouble) {
+  EXPECT_EQ(fmtDouble(1.5), "1.5");
+  EXPECT_EQ(fmtDouble(2.0), "2");
+  EXPECT_EQ(fmtDouble(0.125, 3), "0.125");
+  EXPECT_EQ(fmtDouble(1.0 / 3.0, 2), "0.33");
+}
+
+TEST(Strings, Cat) {
+  EXPECT_EQ(cat("x=", 3, ", y=", 4.5), "x=3, y=4.5");
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRule();
+  t.addRow({"b", "12345"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clickinc
