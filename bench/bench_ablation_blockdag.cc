@@ -33,7 +33,11 @@ int main() {
     dopts.max_block_instrs = threshold;
     const auto dag = place::BlockDag::build(prog, dopts);
     place::OccupancyMap occ(&topo);
-    const auto plan = place::placeProgram(dag, tree, topo, occ);
+    // Reference path: the sweep ablates block size, so the memoized fast
+    // path must not mask the per-threshold placement cost.
+    place::PlacementOptions opts;
+    opts.fast = false;
+    const auto plan = place::placeProgram(dag, tree, topo, occ, opts);
     table.addRow({cat(threshold), cat(dag.size()),
                   fmtDouble(plan.elapsed_ms, 2),
                   plan.feasible ? fmtDouble(plan.gain, 3) : "-",

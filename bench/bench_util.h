@@ -1,8 +1,13 @@
-// Shared helpers for the per-table/figure benchmark binaries.
+// Shared helpers for the per-table/figure benchmark binaries: text tables
+// for humans plus a minimal JSON writer so each bench can drop a
+// machine-readable BENCH_<name>.json for perf-trajectory tracking.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "util/strings.h"
 #include "util/texttable.h"
@@ -18,5 +23,100 @@ inline void printHeader(const std::string& title, const std::string& note) {
 inline void printTable(const TextTable& t) {
   std::printf("%s\n", t.render().c_str());
 }
+
+inline double medianOf(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+// Minimal streaming JSON writer — enough structure for flat benchmark
+// reports (nested objects/arrays, string/number/bool scalars). Emits
+// syntactically valid JSON as long as begin/end calls pair up.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject() { return open('{'); }
+  JsonWriter& endObject() { return close('}'); }
+  JsonWriter& beginArray() { return open('['); }
+  JsonWriter& endArray() { return close(']'); }
+
+  JsonWriter& key(const std::string& k) {
+    comma();
+    out_ += quote(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) { return raw(quote(v)); }
+  JsonWriter& value(const char* v) { return raw(quote(v)); }
+  JsonWriter& value(double v) { return raw(fmtDouble(v, 6)); }
+  JsonWriter& value(long v) { return raw(cat(v)); }
+  JsonWriter& value(int v) { return raw(cat(v)); }
+  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
+
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    return key(k).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool writeFile(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << out_ << "\n";
+    return f.good();
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': q += "\\\""; break;
+        case '\\': q += "\\\\"; break;
+        case '\n': q += "\\n"; break;
+        case '\t': q += "\\t"; break;
+        default: q += c;
+      }
+    }
+    q += '"';
+    return q;
+  }
+
+  void comma() {
+    if (need_comma_) out_ += ',';
+    need_comma_ = false;
+  }
+
+  JsonWriter& open(char c) {
+    if (!pending_value_) comma();
+    pending_value_ = false;
+    out_ += c;
+    need_comma_ = false;
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    pending_value_ = false;
+    return *this;
+  }
+
+  JsonWriter& raw(const std::string& s) {
+    if (!pending_value_) comma();
+    pending_value_ = false;
+    out_ += s;
+    need_comma_ = true;
+    return *this;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
 
 }  // namespace clickinc::bench

@@ -56,7 +56,8 @@ SubmitResult ClickIncService::submitProgram(
 
   const auto dag = place::BlockDag::build(prog);
   const auto tree = topo::buildEcTree(topo_, traffic);
-  result.plan = place::placeProgram(dag, tree, topo_, occ_, opts);
+  result.plan = place::placeProgram(dag, tree, topo_, occ_, opts, &arena_);
+  cumulative_stats_.add(result.plan.stats);
   if (!result.plan.feasible) {
     result.failure = result.plan.failure;
     return result;

@@ -68,6 +68,16 @@ class ClickIncService {
   const modules::ModuleLibrary& library() const { return lib_; }
   synth::DeviceProgram& deviceProgram(int node);
 
+  // The placement arena shared by every submit: reuses DP-table
+  // allocations between trials and carries the occupancy-keyed
+  // intra-placement memo, so identical templates from different users
+  // (Table 3/6 scenarios) skip repeated placeCompact searches. Cumulative
+  // cache statistics are accumulated in placementStats().
+  place::PlacementArena& placementArena() { return arena_; }
+  const place::PlacementStats& placementStats() const {
+    return cumulative_stats_;
+  }
+
   struct Deployed {
     std::shared_ptr<ir::IrProgram> prog;
     place::PlacementPlan plan;
@@ -86,6 +96,8 @@ class ClickIncService {
   emu::Emulator emu_;
   std::map<int, std::unique_ptr<synth::DeviceProgram>> device_programs_;
   std::map<int, Deployed> deployed_;
+  place::PlacementArena arena_;
+  place::PlacementStats cumulative_stats_;
   int next_user_ = 1;
 
   void deployPlan(int user, const std::shared_ptr<ir::IrProgram>& prog,

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <set>
+#include <unordered_map>
 
 #include "place/blockdag.h"
 #include "util/bits.h"
+#include "util/crc.h"
 #include "util/strings.h"
 #include "util/error.h"
 
@@ -149,6 +151,116 @@ IntraPlacement placeWholeDevice(const DeviceOccupancy& occ,
 }
 
 }  // namespace
+
+namespace {
+
+std::uint64_t foldValue(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ v);
+}
+
+std::uint64_t foldDemand(std::uint64_t h, const device::ResourceDemand& d) {
+  h = foldValue(h, static_cast<std::uint64_t>(d.salus));
+  h = foldValue(h, static_cast<std::uint64_t>(d.alus));
+  h = foldValue(h, static_cast<std::uint64_t>(d.hash_units));
+  h = foldValue(h, static_cast<std::uint64_t>(d.tables));
+  h = foldValue(h, static_cast<std::uint64_t>(d.gateways));
+  h = foldValue(h, static_cast<std::uint64_t>(d.special_fns));
+  h = foldValue(h, d.sram_bits);
+  h = foldValue(h, d.tcam_bits);
+  h = foldValue(h, static_cast<std::uint64_t>(d.micro_instrs));
+  h = foldValue(h, static_cast<std::uint64_t>(d.dsps));
+  h = foldValue(h, d.luts);
+  h = foldValue(h, d.ffs);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t occupancyFingerprint(const DeviceOccupancy& occ) {
+  std::uint64_t h = 0x5CA1AB1EULL;
+  const auto* bytes =
+      reinterpret_cast<const std::uint8_t*>(occ.model->name.data());
+  h = foldValue(h, crc32(std::span<const std::uint8_t>(
+                       bytes, occ.model->name.size())));
+  h = foldValue(h, static_cast<std::uint64_t>(occ.model->arch));
+  h = foldValue(h, static_cast<std::uint64_t>(occ.model->num_stages));
+  // Placement results also depend on the model's capability mask and
+  // memory-block rounding, so distinct models sharing a name must not
+  // collide.
+  h = foldValue(h, static_cast<std::uint64_t>(occ.model->supported));
+  h = foldValue(h, occ.model->sram_block_bits);
+  h = foldValue(h, occ.model->tcam_block_bits);
+  if (occ.model->arch == device::Arch::kPipeline) {
+    for (const auto& d : occ.free_stage) h = foldDemand(h, d);
+  } else {
+    h = foldDemand(h, occ.free_whole);
+  }
+  return h;
+}
+
+std::uint64_t segmentFingerprint(const ir::IrProgram& prog,
+                                 const ir::Analysis& an,
+                                 const std::vector<int>& instrs) {
+  std::uint64_t h = foldValue(0xC0FFEEULL, instrs.size());
+  // Local index of each member, so dependency edges hash positionally and
+  // the fingerprint is insensitive to the segment's absolute offset.
+  std::unordered_map<int, int> local;
+  local.reserve(instrs.size() * 2);
+  for (std::size_t k = 0; k < instrs.size(); ++k) {
+    local.emplace(instrs[k], static_cast<int>(k));
+  }
+  std::unordered_map<int, int> state_local;
+  std::vector<int> state_order;  // first-touch order of referenced states
+  for (std::size_t k = 0; k < instrs.size(); ++k) {
+    const auto& ins = prog.instrs[static_cast<std::size_t>(instrs[k])];
+    h = foldValue(h, static_cast<std::uint64_t>(ins.op));
+    int state_slot = -1;
+    if (ins.state_id >= 0) {
+      auto [it, inserted] =
+          state_local.emplace(ins.state_id,
+                              static_cast<int>(state_local.size()));
+      if (inserted) state_order.push_back(ins.state_id);
+      state_slot = it->second;
+    }
+    h = foldValue(h, static_cast<std::uint64_t>(state_slot + 1));
+    h = foldDemand(h, device::instrDemand(ins));
+    for (int j : an.dep.deps[static_cast<std::size_t>(instrs[k])]) {
+      auto it = local.find(j);
+      if (it == local.end()) continue;  // producer outside the segment
+      h = foldValue(h, (static_cast<std::uint64_t>(k) << 20) ^
+                           static_cast<std::uint64_t>(it->second));
+      h = foldValue(h, an.sameScc(instrs[k], j) ? 0x2 : 0x1);
+    }
+  }
+  for (int sid : state_order) {
+    h = foldDemand(h,
+                   device::stateDemand(
+                       prog.states[static_cast<std::size_t>(sid)]));
+  }
+  return h;
+}
+
+const IntraPlacement* IntraMemo::find(const MemoKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+const IntraPlacement& IntraMemo::put(const MemoKey& key,
+                                     IntraPlacement placement) {
+  if (map_.size() >= kMaxEntries) map_.clear();
+  return map_.insert_or_assign(key, std::move(placement)).first->second;
+}
+
+void IntraMemo::clear() {
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
 
 IntraPlacement placeCompact(const DeviceOccupancy& occ,
                             const ir::IrProgram& prog,

@@ -14,8 +14,10 @@
 // per-(stage, state) SALU/table demand is counted once.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "device/demand.h"
@@ -63,6 +65,59 @@ IntraPlacement placeExhaustive(const DeviceOccupancy& occ,
                                const std::vector<int>& instrs,
                                long max_steps, int min_stage = 0,
                                const ir::Analysis* an = nullptr);
+
+// Fingerprint of a device's full free-resource state: model identity plus
+// every per-stage (or whole-device) free vector. Two devices with equal
+// fingerprints behave identically under placeCompact/placeExhaustive, so
+// EC nodes with k identical replicas pay for one placement instead of k.
+std::uint64_t occupancyFingerprint(const DeviceOccupancy& occ);
+
+// Fingerprint of everything the intra-device placers consult about an
+// instruction list: per-instruction opcode / demand / state shape, the
+// dependency edges and SCC grouping restricted to the list (as local
+// indices), and each referenced state's storage demand. Deliberately
+// name-insensitive so identical templates submitted by different users
+// share memo entries across programs.
+std::uint64_t segmentFingerprint(const ir::IrProgram& prog,
+                                 const ir::Analysis& an,
+                                 const std::vector<int>& instrs);
+
+// 128-bit memo key: (device model + occupancy) x (segment content + search
+// options). Both halves are chained mix64 hashes.
+struct MemoKey {
+  std::uint64_t occ = 0;
+  std::uint64_t seg = 0;
+  bool operator==(const MemoKey&) const = default;
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const {
+    return static_cast<std::size_t>(k.occ ^ (k.seg * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+// Cross-device / cross-program intra-placement memo. Entries stay valid as
+// long as their key matches: committing resources changes a device's
+// occupancy fingerprint, so stale entries are simply never hit again.
+class IntraMemo {
+ public:
+  // Returns the cached placement or nullptr. Counts hits/misses.
+  const IntraPlacement* find(const MemoKey& key);
+  const IntraPlacement& put(const MemoKey& key, IntraPlacement placement);
+
+  long hits() const { return hits_; }
+  long misses() const { return misses_; }
+  std::size_t size() const { return map_.size(); }
+  void clear();
+
+ private:
+  // Wholesale eviction bound; placements are small and keyed by occupancy,
+  // so a simple cap beats LRU bookkeeping on this path.
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+  std::unordered_map<MemoKey, IntraPlacement, MemoKeyHash> map_;
+  long hits_ = 0;
+  long misses_ = 0;
+};
 
 // Subtracts a feasible placement from the device's free resources.
 void commitPlacement(DeviceOccupancy& occ, const ir::IrProgram& prog,

@@ -1,10 +1,10 @@
 #include "place/treedp.h"
 
 #include <chrono>
-#include <functional>
 #include <cmath>
 #include <limits>
 
+#include "util/crc.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -19,33 +19,39 @@ Weights adaptiveWeights(double remaining_ratio) {
 }
 
 OccupancyMap::OccupancyMap(const topo::Topology* topo) : topo_(topo) {
+  slot_of_.assign(static_cast<std::size_t>(topo->nodeCount()), -1);
   for (const auto& n : topo->nodes()) {
     if (n.programmable) {
-      map_.emplace(n.id, DeviceOccupancy::fresh(n.model));
+      slot_of_[static_cast<std::size_t>(n.id)] =
+          static_cast<int>(slots_.size());
+      slots_.push_back(DeviceOccupancy::fresh(n.model));
     }
   }
 }
 
 DeviceOccupancy& OccupancyMap::of(int node_id) {
-  auto it = map_.find(node_id);
-  CLICKINC_CHECK(it != map_.end(), "node is not programmable");
-  return it->second;
+  CLICKINC_CHECK(node_id >= 0 &&
+                     node_id < static_cast<int>(slot_of_.size()) &&
+                     slot_of_[static_cast<std::size_t>(node_id)] >= 0,
+                 "node is not programmable");
+  return slots_[static_cast<std::size_t>(
+      slot_of_[static_cast<std::size_t>(node_id)])];
 }
 
 const DeviceOccupancy& OccupancyMap::of(int node_id) const {
-  auto it = map_.find(node_id);
-  CLICKINC_CHECK(it != map_.end(), "node is not programmable");
-  return it->second;
+  CLICKINC_CHECK(node_id >= 0 &&
+                     node_id < static_cast<int>(slot_of_.size()) &&
+                     slot_of_[static_cast<std::size_t>(node_id)] >= 0,
+                 "node is not programmable");
+  return slots_[static_cast<std::size_t>(
+      slot_of_[static_cast<std::size_t>(node_id)])];
 }
 
 double OccupancyMap::remainingRatio() const {
-  if (map_.empty()) return 1.0;
+  if (slots_.empty()) return 1.0;
   double sum = 0;
-  for (const auto& [id, occ] : map_) {
-    (void)id;
-    sum += occ.remainingRatio();
-  }
-  return sum / static_cast<double>(map_.size());
+  for (const auto& occ : slots_) sum += occ.remainingRatio();
+  return sum / static_cast<double>(slots_.size());
 }
 
 std::vector<int> PlacementPlan::devicesUsed() const {
@@ -71,28 +77,51 @@ int PlacementPlan::blocksOn(int tree_node) const {
   return 0;
 }
 
+// Grants the placer references to the arena's private scratch buffers
+// without exposing them in the public header.
+class TreePlacerAccess {
+ public:
+  struct Buffers {
+    std::vector<double>& client_dp;
+    std::vector<int>& client_choice;
+    std::vector<double>& server_dp;
+    std::vector<int>& server_choice;
+    std::vector<detail::Segment>& seg_cache;
+    std::vector<std::uint64_t>& seg_fp;
+    std::vector<std::uint8_t>& seg_fp_set;
+    std::vector<double>& traffic_frac;
+    std::vector<double>& hop_order;
+  };
+  static Buffers buffers(PlacementArena& a) {
+    return {a.client_dp, a.client_choice, a.server_dp,  a.server_choice,
+            a.seg_cache, a.seg_fp,        a.seg_fp_set, a.traffic_frac,
+            a.hop_order};
+  }
+};
+
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// A memoized segment placement on one EC node.
-struct Segment {
-  bool feasible = false;
-  int bypass_from = -1;
-  std::map<int, IntraPlacement> on_device;
-  std::map<int, IntraPlacement> on_bypass;
-  double resource_score = 0;  // summed over replicated devices
-  int internal_cut_bits = 0;
-  long steps = 0;
-};
+using detail::Segment;
 
 class TreePlacer {
  public:
   TreePlacer(const BlockDag& dag, const topo::EcTree& tree,
              const topo::Topology& topo, const OccupancyMap& occ,
-             const PlacementOptions& opts)
-      : dag_(dag), tree_(tree), topo_(topo), occ_(occ), opts_(opts) {
+             const PlacementOptions& opts, PlacementArena* arena)
+      : t0_(std::chrono::steady_clock::now()),
+        dag_(dag),
+        tree_(tree),
+        topo_(topo),
+        occ_(occ),
+        opts_(opts),
+        arena_(arena != nullptr ? arena : &local_arena_),
+        buf_(TreePlacerAccess::buffers(*arena_)) {
     m_ = dag.size();
+    nn_ = static_cast<int>(tree.nodes.size());
+    stride_ = m_ + 1;
+    seg_stride_ = static_cast<long>(stride_) * stride_;
     analysis_ = ir::analyzeProgram(dag.prog());
     weights_ = opts.adaptive ? adaptiveWeights(occ.remainingRatio())
                              : opts.weights;
@@ -101,14 +130,25 @@ class TreePlacer {
     double cut_total = 0;
     for (int i = 1; i < m_; ++i) cut_total += dag.cutBits(i);
     cut_norm_ = std::max(1.0, cut_total);
-    seg_cache_.resize(tree_.nodes.size());
-    traffic_frac_.assign(tree_.nodes.size(), 0.0);
+    // Flat tables, one allocation each; assign() reuses arena capacity.
+    buf_.seg_cache.assign(
+        static_cast<std::size_t>(nn_) * static_cast<std::size_t>(seg_stride_),
+        Segment{});
+    buf_.seg_fp.assign(static_cast<std::size_t>(seg_stride_), 0);
+    buf_.seg_fp_set.assign(static_cast<std::size_t>(seg_stride_), 0);
+    buf_.client_dp.assign(
+        static_cast<std::size_t>(nn_) * static_cast<std::size_t>(stride_),
+        kInf);
+    buf_.client_choice.assign(
+        static_cast<std::size_t>(nn_) * static_cast<std::size_t>(stride_),
+        -1);
+    buf_.traffic_frac.assign(static_cast<std::size_t>(nn_), 0.0);
     computeTrafficFrac();
     computeHopOrder();
+    if (opts_.fast) computeOccFingerprints();
   }
 
   PlacementPlan run() {
-    const auto t0 = std::chrono::steady_clock::now();
     PlacementPlan plan;
     plan.weights_used = weights_;
 
@@ -124,31 +164,40 @@ class TreePlacer {
     // Server chain, backwards: T[t][j] = cost of placing [j, m) on chain
     // nodes t..end.
     const int chain_len = static_cast<int>(tree_.server_chain.size());
-    server_dp_.assign(static_cast<std::size_t>(chain_len) + 1,
-                      std::vector<double>(static_cast<std::size_t>(m_) + 1,
-                                          kInf));
-    server_choice_.assign(static_cast<std::size_t>(chain_len),
-                          std::vector<int>(static_cast<std::size_t>(m_) + 1,
-                                           -1));
-    server_dp_[static_cast<std::size_t>(chain_len)]
-              [static_cast<std::size_t>(m_)] = 0;
+    buf_.server_dp.assign(
+        static_cast<std::size_t>(chain_len + 1) *
+            static_cast<std::size_t>(stride_),
+        kInf);
+    buf_.server_choice.assign(static_cast<std::size_t>(std::max(chain_len, 1)) *
+                                  static_cast<std::size_t>(stride_),
+                              -1);
+    serverDp(chain_len, m_) = 0;
     for (int t = chain_len - 1; t >= 0; --t) {
       const int node = tree_.server_chain[static_cast<std::size_t>(t)];
       for (int j = 0; j <= m_; ++j) {
         for (int j2 = j; j2 <= m_; ++j2) {
-          const double tail = server_dp_[static_cast<std::size_t>(t) + 1]
-                                        [static_cast<std::size_t>(j2)];
+          const double tail = serverDp(t + 1, j2);
           if (tail == kInf) continue;
-          const double seg = segCost(node, j, j2);
-          if (seg == kInf) continue;
+          const Segment* s = cachedSegment(node, j, j2);
+          if (!s->feasible) {
+            // Early exit only on provably monotone causes: segments only
+            // grow with j2, so a failure that persists for supersets
+            // (unsupported opcode, non-programmable EC, stateful gating)
+            // rules out every larger j2. Resource-driven failures may
+            // not, so those keep scanning.
+            if (opts_.fast && s->monotone_infeasible) {
+              ++stats_.early_breaks;
+              break;
+            }
+            continue;
+          }
+          const double seg = segCostOf(node, s, j, j2);
           const double entry = entryCharge(node, j, j2);
           const double total = seg + entry + tail;
-          auto& cell = server_dp_[static_cast<std::size_t>(t)]
-                                 [static_cast<std::size_t>(j)];
+          double& cell = serverDp(t, j);
           if (total < cell) {
             cell = total;
-            server_choice_[static_cast<std::size_t>(t)]
-                          [static_cast<std::size_t>(j)] = j2;
+            serverChoice(t, j) = j2;
           }
         }
       }
@@ -157,14 +206,11 @@ class TreePlacer {
     // Join at the root.
     double best = kInf;
     int best_b = -1;
-    const auto& rootH = client_dp_.at(tree_.root);
     for (int b = 0; b <= m_; ++b) {
-      const double left = rootH[static_cast<std::size_t>(b)];
+      const double left = clientDp(tree_.root, b);
       if (left == kInf) continue;
-      const double right =
-          chain_len == 0
-              ? (b == m_ ? 0.0 : kInf)
-              : server_dp_[0][static_cast<std::size_t>(b)];
+      const double right = chain_len == 0 ? (b == m_ ? 0.0 : kInf)
+                                          : serverDp(0, b);
       if (right == kInf) continue;
       if (left + right < best) {
         best = left + right;
@@ -172,9 +218,11 @@ class TreePlacer {
       }
     }
     plan.steps = steps_;
+    plan.stats = stats_;
+    // Clocked from the constructor so table/fingerprint setup counts.
     plan.elapsed_ms =
         std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
+            std::chrono::steady_clock::now() - t0_)
             .count();
     if (best_b < 0) {
       plan.failure = "no feasible placement covers all paths";
@@ -186,8 +234,7 @@ class TreePlacer {
     int j = best_b;
     for (int t = 0; t < chain_len; ++t) {
       const int node = tree_.server_chain[static_cast<std::size_t>(t)];
-      const int j2 = server_choice_[static_cast<std::size_t>(t)]
-                                   [static_cast<std::size_t>(j)];
+      const int j2 = serverChoice(t, j);
       emitAssignment(node, j, j2, &plan);
       j = j2;
     }
@@ -203,111 +250,189 @@ class TreePlacer {
       cut += static_cast<double>(seg.internal_cut_bits) * 0.25;
       if (a.from_block > 0 && a.to_block > a.from_block) {
         cut += dag_.cutBits(a.from_block) *
-               traffic_frac_[static_cast<std::size_t>(a.tree_node)];
+               buf_.traffic_frac[static_cast<std::size_t>(a.tree_node)];
       }
     }
     plan.hr = res / score_norm_;
     plan.hp = cut / cut_norm_;
     plan.gain = weights_.wt * plan.ht - weights_.wr * plan.hr -
                 weights_.wp * plan.hp;
+    // plan.stats was snapshotted before backtracking: the re-probes made
+    // while emitting assignments are guaranteed hits and would inflate
+    // the published cache rates.
     return plan;
   }
 
  private:
+  std::chrono::steady_clock::time_point t0_;
   const BlockDag& dag_;
   const topo::EcTree& tree_;
   const topo::Topology& topo_;
   const OccupancyMap& occ_;
   PlacementOptions opts_;
+  PlacementArena local_arena_;
+  PlacementArena* arena_;
+  TreePlacerAccess::Buffers buf_;
   Weights weights_;
   int m_ = 0;
+  int nn_ = 0;
+  int stride_ = 1;
+  long seg_stride_ = 1;
   ir::Analysis analysis_;
   double score_norm_ = 1;
   double cut_norm_ = 1;
   long steps_ = 0;
+  PlacementStats stats_;
+  std::vector<std::uint64_t> occ_fp_;  // node id -> occupancy fingerprint
 
-  std::map<int, std::vector<double>> client_dp_;   // node -> H[j]
-  std::map<int, std::vector<int>> client_choice_;  // node -> chosen i per j
-  std::vector<std::vector<double>> server_dp_;
-  std::vector<std::vector<int>> server_choice_;
-  std::vector<std::map<long, Segment>> seg_cache_;  // per tree node
-  std::vector<double> traffic_frac_;
-  std::vector<double> hop_order_;
+  // --- flat-table accessors ---
 
-  void computeTrafficFrac() {
-    // Post-order accumulation of leaf traffic; server side carries all.
-    const double total = std::max(1e-9, tree_.total_traffic);
-    std::vector<double> subtree(tree_.nodes.size(), 0.0);
-    // Children lists give the client tree; iterate until fixpoint (tree is
-    // shallow; a simple repeated relaxation is fine and avoids recursion).
-    for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
-      subtree[i] = tree_.nodes[i].leaf_traffic;
-    }
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
-        double sum = tree_.nodes[i].leaf_traffic;
-        for (int c : tree_.nodes[i].children) {
-          sum += subtree[static_cast<std::size_t>(c)];
-        }
-        if (sum != subtree[i]) {
-          subtree[i] = sum;
-          changed = true;
-        }
-      }
-    }
-    for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
-      traffic_frac_[i] =
-          tree_.nodes[i].server_side ? 1.0 : subtree[i] / total;
-    }
-    traffic_frac_[static_cast<std::size_t>(tree_.root)] = 1.0;
+  double& clientDp(int node, int j) {
+    return buf_.client_dp[static_cast<std::size_t>(node) *
+                              static_cast<std::size_t>(stride_) +
+                          static_cast<std::size_t>(j)];
+  }
+  int& clientChoice(int node, int j) {
+    return buf_.client_choice[static_cast<std::size_t>(node) *
+                                  static_cast<std::size_t>(stride_) +
+                              static_cast<std::size_t>(j)];
+  }
+  double& serverDp(int t, int j) {
+    return buf_.server_dp[static_cast<std::size_t>(t) *
+                              static_cast<std::size_t>(stride_) +
+                          static_cast<std::size_t>(j)];
+  }
+  int& serverChoice(int t, int j) {
+    return buf_.server_choice[static_cast<std::size_t>(t) *
+                                  static_cast<std::size_t>(stride_) +
+                              static_cast<std::size_t>(j)];
+  }
+  Segment& segSlot(int node, int i, int j) {
+    return buf_.seg_cache[static_cast<std::size_t>(node) *
+                              static_cast<std::size_t>(seg_stride_) +
+                          static_cast<std::size_t>(i) *
+                              static_cast<std::size_t>(stride_) +
+                          static_cast<std::size_t>(j)];
   }
 
-  IntraPlacement placeOn(const DeviceOccupancy& occ,
-                         const std::vector<int>& instrs) {
+  void computeOccFingerprints() {
+    occ_fp_.assign(static_cast<std::size_t>(topo_.nodeCount()), 0);
+    for (const auto& n : topo_.nodes()) {
+      if (n.programmable) {
+        occ_fp_[static_cast<std::size_t>(n.id)] =
+            occupancyFingerprint(occ_.of(n.id));
+      }
+    }
+  }
+
+  // Content fingerprint of block range [i, j), salted with the search
+  // options that change placeOn results; computed lazily per range.
+  std::uint64_t segFp(int i, int j) {
+    const std::size_t idx = static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(stride_) +
+                            static_cast<std::size_t>(j);
+    if (!buf_.seg_fp_set[idx]) {
+      std::uint64_t h =
+          segmentFingerprint(dag_.prog(), analysis_, dag_.instrsOf(i, j));
+      h = mix64(h ^ (opts_.prune
+                         ? 0x51ULL
+                         : mix64(0x52ULL ^ static_cast<std::uint64_t>(
+                                               opts_.max_steps))));
+      buf_.seg_fp[idx] = h;
+      buf_.seg_fp_set[idx] = 1;
+    }
+    return buf_.seg_fp[idx];
+  }
+
+  // Single post-order traversal over the client tree (server-side nodes
+  // are forced to 1.0 below; they never appear in children lists).
+  void computeTrafficFrac() {
+    const double total = std::max(1e-9, tree_.total_traffic);
+    std::vector<double> subtree(tree_.nodes.size(), 0.0);
+    std::vector<int> order;
+    order.reserve(tree_.nodes.size());
+    std::vector<int> stack = {tree_.root};
+    while (!stack.empty()) {
+      const int n = stack.back();
+      stack.pop_back();
+      order.push_back(n);
+      for (int c : tree_.at(n).children) stack.push_back(c);
+    }
+    // Reverse pre-order visits every child before its parent.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int n = *it;
+      double sum = tree_.at(n).leaf_traffic;
+      for (int c : tree_.at(n).children) {
+        sum += subtree[static_cast<std::size_t>(c)];
+      }
+      subtree[static_cast<std::size_t>(n)] = sum;
+    }
+    for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
+      buf_.traffic_frac[i] =
+          tree_.nodes[i].server_side ? 1.0 : subtree[i] / total;
+    }
+    buf_.traffic_frac[static_cast<std::size_t>(tree_.root)] = 1.0;
+  }
+
+  // One intra-device placement of blocks [i, j) on `dev`, memoized by
+  // (occupancy fingerprint, segment fingerprint) on the fast path so every
+  // identical (device state, segment) pair pays for a single search.
+  IntraPlacement placeOn(int dev, int i, int j) {
+    const DeviceOccupancy& occ = occ_.of(dev);
+    MemoKey key;
+    if (opts_.fast) {
+      key = {occ_fp_[static_cast<std::size_t>(dev)], segFp(i, j)};
+      if (const IntraPlacement* hit = arena_->memo().find(key)) {
+        ++stats_.intra_memo_hits;
+        IntraPlacement p = *hit;
+        p.instr_idxs = dag_.instrsOf(i, j);  // remap to this program
+        p.steps = 0;                         // no search performed
+        return p;
+      }
+    }
+    ++stats_.intra_calls;
+    const std::vector<int> instrs = dag_.instrsOf(i, j);
     IntraPlacement p =
         opts_.prune ? placeCompact(occ, dag_.prog(), instrs, 0, &analysis_)
                     : placeExhaustive(occ, dag_.prog(), instrs,
                                       opts_.max_steps, 0, &analysis_);
     steps_ += p.steps;
+    if (opts_.fast) arena_->memo().put(key, p);
     return p;
   }
 
   const Segment* cachedSegment(int node, int i, int j) {
-    auto& cache = seg_cache_[static_cast<std::size_t>(node)];
-    const long key = static_cast<long>(i) * (m_ + 1) + j;
-    auto it = cache.find(key);
-    if (it != cache.end()) return &it->second;
-
-    Segment seg;
+    Segment& seg = segSlot(node, i, j);
+    ++stats_.seg_probes;
+    if (seg.state == Segment::State::kDone) return &seg;
+    ++stats_.seg_misses;
+    seg.state = Segment::State::kDone;
     if (i == j) {
       seg.feasible = true;
-      cache.emplace(key, std::move(seg));
-      return &cache.at(key);
+      return &seg;
     }
     const auto& tn = tree_.at(node);
     // Stateful segments need full traffic visibility: a partial-traffic
     // node (leaf branch) would hold a replica that never sees the other
     // paths' packets, breaking aggregation/caching semantics.
     if (dag_.statefulIn(i, j) &&
-        traffic_frac_[static_cast<std::size_t>(node)] < 0.999) {
-      cache.emplace(key, std::move(seg));
-      return &cache.at(key);
+        buf_.traffic_frac[static_cast<std::size_t>(node)] < 0.999) {
+      seg.monotone_infeasible = true;  // supersets stay stateful
+      return &seg;
     }
     // Non-programmable devices (plain switches on the path) can only pass
     // traffic through: empty segments only.
     for (int dev : tn.devices) {
       if (!topo_.node(dev).programmable) {
-        cache.emplace(key, std::move(seg));
-        return &cache.at(key);
+        seg.monotone_infeasible = true;
+        return &seg;
       }
     }
     // Try the whole segment on the EC's main devices.
     bool all_ok = true;
     std::map<int, IntraPlacement> main;
     for (int dev : tn.devices) {
-      IntraPlacement p = placeOn(occ_.of(dev), dag_.instrsOf(i, j));
+      IntraPlacement p = placeOn(dev, i, j);
       if (!p.feasible) {
         all_ok = false;
         break;
@@ -319,8 +444,7 @@ class TreePlacer {
       seg.on_device = std::move(main);
       seg.resource_score = dag_.scoreOf(i, j) *
                            static_cast<double>(tn.devices.size());
-      cache.emplace(key, std::move(seg));
-      return &cache.at(key);
+      return &seg;
     }
     // Overflow onto the bypass accelerator: main [i, k), bypass [k, j).
     if (tn.bypass != nullptr) {
@@ -333,8 +457,8 @@ class TreePlacer {
             ok = false;
             break;
           }
-          IntraPlacement pm = placeOn(occ_.of(dev), dag_.instrsOf(i, k));
-          IntraPlacement pa = placeOn(occ_.of(acc), dag_.instrsOf(k, j));
+          IntraPlacement pm = placeOn(dev, i, k);
+          IntraPlacement pa = placeOn(acc, k, j);
           if (!pm.feasible || !pa.feasible) {
             ok = false;
             break;
@@ -353,18 +477,36 @@ class TreePlacer {
         break;
       }
     }
-    cache.emplace(key, std::move(seg));
-    return &cache.at(key);
+    if (!seg.feasible) seg.monotone_infeasible = opsUnplaceable(tn, i, j);
+    return &seg;
+  }
+
+  // Some instruction in [i, j) is unsupported by the EC's main model and
+  // by its bypass (or there is none): no split of any superset can host
+  // it, so the infeasibility is monotone in j.
+  bool opsUnplaceable(const topo::EcTreeNode& tn, int i, int j) {
+    for (int idx : dag_.instrsOf(i, j)) {
+      const auto op = dag_.prog().instrs[static_cast<std::size_t>(idx)].op;
+      if (!tn.model->supportsOpcode(op) &&
+          (tn.bypass == nullptr || !tn.bypass->supportsOpcode(op))) {
+        return true;
+      }
+    }
+    return false;
   }
 
   double segCost(int node, int i, int j) {
-    const Segment* seg = cachedSegment(node, i, j);
+    return segCostOf(node, cachedSegment(node, i, j), i, j);
+  }
+
+  double segCostOf(int node, const Segment* seg, int i, int j) {
     if (!seg->feasible) return kInf;
     if (i == j) return 0;
     // Epsilon tie-break toward the earliest position on the path (the
     // paper packs user logic "as early as possible"; early aggregation
     // also drops traffic sooner).
-    const double eps = 1e-6 * hop_order_[static_cast<std::size_t>(node)] *
+    const double eps = 1e-6 *
+                       buf_.hop_order[static_cast<std::size_t>(node)] *
                        static_cast<double>(j - i);
     return weights_.wr * seg->resource_score / score_norm_ +
            weights_.wp * 0.25 *
@@ -374,24 +516,25 @@ class TreePlacer {
 
   // Distance of each node from the traffic sources: leaves first.
   void computeHopOrder() {
-    hop_order_.assign(tree_.nodes.size(), 0.0);
-    // Depth from root within the client tree.
+    buf_.hop_order.assign(tree_.nodes.size(), 0.0);
     std::vector<int> depth(tree_.nodes.size(), 0);
     int maxd = 0;
-    std::function<void(int)> walk = [&](int n) {
+    std::vector<int> stack = {tree_.root};
+    while (!stack.empty()) {
+      const int n = stack.back();
+      stack.pop_back();
       for (int c : tree_.at(n).children) {
         depth[static_cast<std::size_t>(c)] =
             depth[static_cast<std::size_t>(n)] + 1;
         maxd = std::max(maxd, depth[static_cast<std::size_t>(c)]);
-        walk(c);
+        stack.push_back(c);
       }
-    };
-    walk(tree_.root);
+    }
     for (std::size_t n = 0; n < tree_.nodes.size(); ++n) {
-      hop_order_[n] = static_cast<double>(maxd - depth[n]);
+      buf_.hop_order[n] = static_cast<double>(maxd - depth[n]);
     }
     for (std::size_t tpos = 0; tpos < tree_.server_chain.size(); ++tpos) {
-      hop_order_[static_cast<std::size_t>(tree_.server_chain[tpos])] =
+      buf_.hop_order[static_cast<std::size_t>(tree_.server_chain[tpos])] =
           static_cast<double>(maxd) + 1.0 + static_cast<double>(tpos);
     }
   }
@@ -399,13 +542,11 @@ class TreePlacer {
   double entryCharge(int node, int i, int j) {
     if (i <= 0 || i >= m_ || i == j) return 0;
     return weights_.wp * dag_.cutBits(i) *
-           traffic_frac_[static_cast<std::size_t>(node)] / cut_norm_;
+           buf_.traffic_frac[static_cast<std::size_t>(node)] / cut_norm_;
   }
 
   void solveClient(int node) {
     for (int c : tree_.at(node).children) solveClient(c);
-    std::vector<double> H(static_cast<std::size_t>(m_) + 1, kInf);
-    std::vector<int> choice(static_cast<std::size_t>(m_) + 1, -1);
     const auto& children = tree_.at(node).children;
     for (int j = 0; j <= m_; ++j) {
       for (int i = 0; i <= j; ++i) {
@@ -413,7 +554,7 @@ class TreePlacer {
         if (children.empty() && i != 0) break;
         double child_sum = 0;
         for (int c : children) {
-          const double hc = client_dp_.at(c)[static_cast<std::size_t>(i)];
+          const double hc = clientDp(c, i);
           if (hc == kInf) {
             child_sum = kInf;
             break;
@@ -424,14 +565,12 @@ class TreePlacer {
         const double seg = segCost(node, i, j);
         if (seg == kInf) continue;
         const double total = child_sum + seg + entryCharge(node, i, j);
-        if (total < H[static_cast<std::size_t>(j)]) {
-          H[static_cast<std::size_t>(j)] = total;
-          choice[static_cast<std::size_t>(j)] = i;
+        if (total < clientDp(node, j)) {
+          clientDp(node, j) = total;
+          clientChoice(node, j) = i;
         }
       }
     }
-    client_dp_[node] = std::move(H);
-    client_choice_[node] = std::move(choice);
   }
 
   void emitAssignment(int node, int i, int j, PlacementPlan* plan) {
@@ -448,7 +587,7 @@ class TreePlacer {
   }
 
   void backtrackClient(int node, int j, PlacementPlan* plan) {
-    const int i = client_choice_.at(node)[static_cast<std::size_t>(j)];
+    const int i = clientChoice(node, j);
     CLICKINC_CHECK(i >= 0, "no choice recorded");
     emitAssignment(node, i, j, plan);
     for (int c : tree_.at(node).children) backtrackClient(c, i, plan);
@@ -460,8 +599,9 @@ class TreePlacer {
 PlacementPlan placeProgram(const BlockDag& dag, const topo::EcTree& tree,
                            const topo::Topology& topo,
                            const OccupancyMap& occ,
-                           const PlacementOptions& opts) {
-  TreePlacer placer(dag, tree, topo, occ, opts);
+                           const PlacementOptions& opts,
+                           PlacementArena* arena) {
+  TreePlacer placer(dag, tree, topo, occ, opts, arena);
   return placer.run();
 }
 

@@ -9,8 +9,18 @@
 // resources (h_r, replication-aware), move few Param bytes across device
 // boundaries (h_p, liveness cuts x traffic share). Adaptive weights shift
 // ω_r up as devices fill (ω_r = 1 − 2^{r−1}).
+//
+// Hot-path layout: all DP tables and the per-(node, i, j) segment cache
+// are flat dense arrays (single allocation, O(1) probe), indexed
+//   node * (m+1)*(m+1) + i*(m+1) + j
+// for the segment cache and node * (m+1) + j for the client DP. Intra-
+// device placements are additionally memoized across devices and programs
+// by (occupancy fingerprint x segment fingerprint) — EC nodes with k
+// identical replicas pay for one placeCompact call instead of k, and
+// multi-program runs share results through a PlacementArena.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +42,7 @@ struct Weights {
 Weights adaptiveWeights(double remaining_ratio);
 
 // Free-resource ledger of every programmable device in the topology.
+// Dense-backed: of() is an O(1) index through a node-id -> slot table.
 class OccupancyMap {
  public:
   explicit OccupancyMap(const topo::Topology* topo);
@@ -45,14 +56,97 @@ class OccupancyMap {
 
  private:
   const topo::Topology* topo_;
-  std::map<int, DeviceOccupancy> map_;
+  std::vector<int> slot_of_;             // node id -> slot, -1 if not prog.
+  std::vector<DeviceOccupancy> slots_;   // node-id ascending
 };
 
 struct PlacementOptions {
   Weights weights;                 // used when adaptive == false
   bool adaptive = true;
   bool prune = true;               // pruned DP vs exhaustive (ablations)
+  // Fast path: replica/cross-program memoization plus monotone early-exit
+  // bounds on the server-chain DP. Plan semantics are identical to the
+  // reference path (fast == false), which is retained for the
+  // plan-equivalence regression tests and as a bisection aid.
+  bool fast = true;
   long max_steps = 20'000'000;     // budget for the exhaustive mode
+};
+
+// Cache/memo counters of one placement run (Table 3/6 scenarios read the
+// cumulative values off core::Service's arena).
+struct PlacementStats {
+  long intra_calls = 0;      // placeCompact/placeExhaustive invocations
+  long intra_memo_hits = 0;  // placements reused via the occupancy memo
+  long seg_probes = 0;       // segment-cache lookups
+  long seg_misses = 0;       // segment-cache fills
+  long early_breaks = 0;     // server-chain inner loops cut short
+
+  void add(const PlacementStats& o) {
+    intra_calls += o.intra_calls;
+    intra_memo_hits += o.intra_memo_hits;
+    seg_probes += o.seg_probes;
+    seg_misses += o.seg_misses;
+    early_breaks += o.early_breaks;
+  }
+
+  double intraMemoHitRate() const {
+    const long total = intra_calls + intra_memo_hits;
+    return total == 0 ? 0.0
+                      : static_cast<double>(intra_memo_hits) /
+                            static_cast<double>(total);
+  }
+  double segCacheHitRate() const {
+    return seg_probes == 0
+               ? 0.0
+               : static_cast<double>(seg_probes - seg_misses) /
+                     static_cast<double>(seg_probes);
+  }
+};
+
+namespace detail {
+
+// One memoized (node, i, j) segment placement; a slot of the flat cache.
+struct Segment {
+  enum class State : std::uint8_t { kUnset, kDone };
+  State state = State::kUnset;
+  bool feasible = false;
+  // Infeasible for a reason that provably persists for every superset
+  // [i, j2 > j): stateful gating, a non-programmable EC, or an opcode no
+  // device of the EC supports. Resource-driven failures are NOT monotone
+  // (placeCompact's atomic state-touch groups can shift under a larger
+  // segment), so only this flag licenses the server-chain early exit.
+  bool monotone_infeasible = false;
+  int bypass_from = -1;
+  std::map<int, IntraPlacement> on_device;
+  std::map<int, IntraPlacement> on_bypass;
+  double resource_score = 0;  // summed over replicated devices
+  int internal_cut_bits = 0;
+};
+
+}  // namespace detail
+
+// Reusable allocations plus the cross-program intra-placement memo.
+// core::Service threads one arena through every submit so repeated trials
+// skip both the large-table allocations and re-placing segments on devices
+// whose occupancy has not changed.
+class PlacementArena {
+ public:
+  IntraMemo& memo() { return memo_; }
+  const IntraMemo& memo() const { return memo_; }
+
+ private:
+  friend class TreePlacerAccess;
+  IntraMemo memo_;
+  // Scratch buffers; assign() reuses capacity between runs.
+  std::vector<double> client_dp;
+  std::vector<int> client_choice;
+  std::vector<double> server_dp;
+  std::vector<int> server_choice;
+  std::vector<detail::Segment> seg_cache;
+  std::vector<std::uint64_t> seg_fp;
+  std::vector<std::uint8_t> seg_fp_set;
+  std::vector<double> traffic_frac;
+  std::vector<double> hop_order;
 };
 
 struct NodeAssignment {
@@ -73,6 +167,7 @@ struct PlacementPlan {
   Weights weights_used;
   long steps = 0;
   double elapsed_ms = 0;
+  PlacementStats stats;
 
   // Physical devices hosting at least one block.
   std::vector<int> devicesUsed() const;
@@ -80,10 +175,13 @@ struct PlacementPlan {
 };
 
 // Runs the DP; does not mutate `occ` (call commitPlan to take resources).
+// Passing an arena reuses its buffers and shares its intra-placement memo
+// across calls; without one, a run-local arena is used.
 PlacementPlan placeProgram(const BlockDag& dag, const topo::EcTree& tree,
                            const topo::Topology& topo,
                            const OccupancyMap& occ,
-                           const PlacementOptions& opts = {});
+                           const PlacementOptions& opts = {},
+                           PlacementArena* arena = nullptr);
 
 void commitPlan(const PlacementPlan& plan, const ir::IrProgram& prog,
                 OccupancyMap& occ);

@@ -128,6 +128,18 @@ EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec) {
   }
   const int root_ec = suffix.front();
 
+  // One pass groups devices by class (ascending node id per class) so each
+  // EC materializes in O(|EC|) instead of re-scanning the whole topology.
+  std::vector<std::vector<int>> devices_of_ec;
+  for (int nid = 0; nid < topo.nodeCount(); ++nid) {
+    if (topo.node(nid).kind == NodeKind::kHost) continue;
+    const int e = ec[static_cast<std::size_t>(nid)];
+    if (e >= static_cast<int>(devices_of_ec.size())) {
+      devices_of_ec.resize(static_cast<std::size_t>(e) + 1);
+    }
+    devices_of_ec[static_cast<std::size_t>(e)].push_back(nid);
+  }
+
   EcTree tree;
   std::map<int, int> node_of_ec;  // ec id -> tree index
   auto getNode = [&](int e) -> int {
@@ -135,11 +147,8 @@ EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec) {
     if (it != node_of_ec.end()) return it->second;
     EcTreeNode tn;
     tn.ec_id = e;
-    for (int nid = 0; nid < topo.nodeCount(); ++nid) {
-      if (ec[static_cast<std::size_t>(nid)] == e &&
-          topo.node(nid).kind != NodeKind::kHost) {
-        tn.devices.push_back(nid);
-      }
+    if (e < static_cast<int>(devices_of_ec.size())) {
+      tn.devices = devices_of_ec[static_cast<std::size_t>(e)];
     }
     CLICKINC_CHECK(!tn.devices.empty(), "empty EC");
     const Node& rep = topo.node(tn.devices.front());

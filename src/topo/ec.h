@@ -40,6 +40,10 @@ struct EcTreeNode {
 };
 
 struct EcTree {
+  // Tree-node indices are dense [0, nodes.size()) in first-visit order
+  // (root first), and each node's `devices` list ascends by physical node
+  // id. The placement DP's flat tables index directly on these, so the
+  // ordering is part of the contract.
   std::vector<EcTreeNode> nodes;
   int root = -1;                   // the top EC shared by every path
   std::vector<int> server_chain;   // indices from root (exclusive) to the
@@ -49,6 +53,7 @@ struct EcTree {
   const EcTreeNode& at(int i) const {
     return nodes.at(static_cast<std::size_t>(i));
   }
+  int nodeCount() const { return static_cast<int>(nodes.size()); }
   std::vector<int> clientLeaves() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/service.h"
 #include "device/validate.h"
 #include "modules/templates.h"
 #include "place/blockdag.h"
@@ -341,6 +342,266 @@ TEST(AdaptiveWeights, ShiftTowardResourcesAsCapacityDrops) {
   const auto empty = adaptiveWeights(0.0);
   EXPECT_NEAR(empty.wr, 0.5, 1e-9);
   EXPECT_NEAR(empty.wp, 0.0, 1e-9);
+}
+
+// --- fast-path equivalence and memo fingerprints ---
+
+void expectPlacementsEqual(const IntraPlacement& a, const IntraPlacement& b,
+                           const std::string& where) {
+  EXPECT_EQ(a.feasible, b.feasible) << where;
+  EXPECT_EQ(a.instr_idxs, b.instr_idxs) << where;
+  EXPECT_EQ(a.stage_of, b.stage_of) << where;
+  EXPECT_EQ(a.stages_used, b.stages_used) << where;
+}
+
+void expectPlansEqual(const PlacementPlan& fast, const PlacementPlan& ref) {
+  ASSERT_EQ(fast.feasible, ref.feasible) << fast.failure << ref.failure;
+  if (!fast.feasible) return;
+  EXPECT_DOUBLE_EQ(fast.gain, ref.gain);
+  EXPECT_DOUBLE_EQ(fast.ht, ref.ht);
+  EXPECT_DOUBLE_EQ(fast.hr, ref.hr);
+  EXPECT_DOUBLE_EQ(fast.hp, ref.hp);
+  ASSERT_EQ(fast.assignments.size(), ref.assignments.size());
+  for (std::size_t k = 0; k < fast.assignments.size(); ++k) {
+    const auto& fa = fast.assignments[k];
+    const auto& ra = ref.assignments[k];
+    const std::string where = cat("assignment #", k, " on tree node ",
+                                  ra.tree_node);
+    EXPECT_EQ(fa.tree_node, ra.tree_node) << where;
+    EXPECT_EQ(fa.from_block, ra.from_block) << where;
+    EXPECT_EQ(fa.to_block, ra.to_block) << where;
+    EXPECT_EQ(fa.bypass_from, ra.bypass_from) << where;
+    ASSERT_EQ(fa.on_device.size(), ra.on_device.size()) << where;
+    for (const auto& [dev, rp] : ra.on_device) {
+      auto it = fa.on_device.find(dev);
+      ASSERT_NE(it, fa.on_device.end()) << where << " device " << dev;
+      expectPlacementsEqual(it->second, rp, cat(where, " device ", dev));
+    }
+    ASSERT_EQ(fa.on_bypass.size(), ra.on_bypass.size()) << where;
+    for (const auto& [dev, rp] : ra.on_bypass) {
+      auto it = fa.on_bypass.find(dev);
+      ASSERT_NE(it, fa.on_bypass.end()) << where << " bypass " << dev;
+      expectPlacementsEqual(it->second, rp, cat(where, " bypass ", dev));
+    }
+  }
+}
+
+// Every workload program from src/apps (MLAgg dense/sparse-sized, KVS,
+// DQAcc) must place identically on the fast path (memo + early exit) and
+// the retained reference path, across the heterogeneous paper topology,
+// a heterogeneous fat-tree, and a chain.
+class PlanEquivalence : public ::testing::Test {
+ protected:
+  static std::vector<ir::IrProgram> workloadPrograms() {
+    modules::ModuleLibrary lib;
+    std::vector<ir::IrProgram> progs;
+    progs.push_back(lib.compileTemplate(
+        "MLAgg", "agg_small",
+        {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}, {"IsConvert", 0}}));
+    progs.push_back(lib.compileTemplate(
+        "MLAgg", "agg_large",
+        {{"NumAgg", 512}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 0}}));
+    progs.push_back(lib.compileTemplate(
+        "KVS", "kvs",
+        {{"CacheSize", 100000}, {"ValDim", 4}, {"TH", 64}}));
+    progs.push_back(lib.compileTemplate(
+        "DQAcc", "dq", {{"CacheDepth", 1024}, {"CacheLen", 4}}));
+    return progs;
+  }
+
+  static topo::TrafficSpec specFor(const topo::Topology& topo,
+                                   const std::vector<std::string>& srcs,
+                                   const std::string& dst) {
+    topo::TrafficSpec spec;
+    for (const auto& s : srcs) spec.sources.push_back({topo.findNode(s), 10.0});
+    spec.dst_host = topo.findNode(dst);
+    return spec;
+  }
+
+  static void checkAllWorkloads(const topo::Topology& topo,
+                                const topo::TrafficSpec& spec) {
+    for (const auto& prog : workloadPrograms()) {
+      const auto dag = BlockDag::build(prog);
+      const auto tree = buildEcTree(topo, spec);
+      OccupancyMap occ(&topo);
+      PlacementOptions fast_opts;
+      fast_opts.fast = true;
+      PlacementOptions ref_opts;
+      ref_opts.fast = false;
+      const auto fast = placeProgram(dag, tree, topo, occ, fast_opts);
+      const auto ref = placeProgram(dag, tree, topo, occ, ref_opts);
+      SCOPED_TRACE(prog.name);
+      expectPlansEqual(fast, ref);
+    }
+  }
+};
+
+TEST_F(PlanEquivalence, PaperEmulationTopology) {
+  const auto topo = topo::Topology::paperEmulation();
+  checkAllWorkloads(topo, specFor(topo, {"pod0a", "pod1a"}, "pod2b"));
+  checkAllWorkloads(topo, specFor(topo, {"pod0a", "pod0b", "pod1b"}, "pod2a"));
+}
+
+TEST_F(PlanEquivalence, HeterogeneousFatTree) {
+  const auto topo = topo::Topology::fatTree(4, 2, device::makeTofino(),
+                                            device::makeTrident4(),
+                                            device::makeTofino2());
+  checkAllWorkloads(topo, specFor(topo, {"pod0h0", "pod1h0"}, "pod2h1"));
+}
+
+TEST_F(PlanEquivalence, TofinoChain) {
+  const std::vector<device::DeviceModel> chain(8, device::makeTofino());
+  const auto topo = topo::Topology::chain(chain);
+  checkAllWorkloads(topo, specFor(topo, {"client"}, "server"));
+}
+
+TEST_F(PlanEquivalence, SequentialCommitsWithSharedArena) {
+  // Multi-program runs share the occupancy-keyed memo through one arena;
+  // every trial must still match an arena-free reference placement even as
+  // commits change device occupancies between trials.
+  const auto topo = topo::Topology::paperEmulation();
+  const auto spec = specFor(topo, {"pod0a", "pod1a"}, "pod2b");
+  const auto tree = buildEcTree(topo, spec);
+  OccupancyMap occ_fast(&topo);
+  OccupancyMap occ_ref(&topo);
+  PlacementArena arena;
+  for (int k = 0; k < 4; ++k) {
+    modules::ModuleLibrary lib;
+    const auto prog = lib.compileTemplate(
+        "MLAgg", cat("agg", k),
+        {{"NumAgg", 512}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 0}});
+    const auto dag = BlockDag::build(prog);
+    PlacementOptions fast_opts;
+    fast_opts.fast = true;
+    PlacementOptions ref_opts;
+    ref_opts.fast = false;
+    const auto fast = placeProgram(dag, tree, topo, occ_fast, fast_opts,
+                                   &arena);
+    const auto ref = placeProgram(dag, tree, topo, occ_ref, ref_opts);
+    SCOPED_TRACE(cat("trial ", k));
+    expectPlansEqual(fast, ref);
+    if (!fast.feasible) break;
+    commitPlan(fast, prog, occ_fast);
+    commitPlan(ref, prog, occ_ref);
+  }
+  // Identical templates re-placed on changed occupancies must still have
+  // reused work: the arena memo sees hits from trial 2 onward.
+  EXPECT_GT(arena.memo().hits(), 0);
+}
+
+TEST(PlacementStats, FastPathReportsCacheCounters) {
+  const auto topo = topo::Topology::paperEmulation();
+  topo::TrafficSpec spec;
+  spec.sources = {{topo.findNode("pod0a"), 10.0},
+                  {topo.findNode("pod1a"), 10.0}};
+  spec.dst_host = topo.findNode("pod2b");
+  const auto tree = buildEcTree(topo, spec);
+  modules::ModuleLibrary lib;
+  const auto prog = lib.compileTemplate(
+      "MLAgg", "agg",
+      {{"NumAgg", 512}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 0}});
+  const auto dag = BlockDag::build(prog);
+  OccupancyMap occ(&topo);
+  PlacementOptions opts;
+  opts.fast = true;
+  const auto plan = placeProgram(dag, tree, topo, occ, opts);
+  ASSERT_TRUE(plan.feasible) << plan.failure;
+  EXPECT_GT(plan.stats.seg_probes, 0);
+  EXPECT_GT(plan.stats.intra_calls, 0);
+  // EC nodes in the paper topology hold >= 2 identical replicas, so the
+  // replica memo must fire.
+  EXPECT_GT(plan.stats.intra_memo_hits, 0);
+  EXPECT_GT(plan.stats.intraMemoHitRate(), 0.0);
+  EXPECT_GE(plan.stats.segCacheHitRate(), 0.0);
+  // The reference path reports direct calls only.
+  PlacementOptions ref;
+  ref.fast = false;
+  const auto slow = placeProgram(dag, tree, topo, occ, ref);
+  EXPECT_EQ(slow.stats.intra_memo_hits, 0);
+  EXPECT_EQ(slow.stats.early_breaks, 0);
+  EXPECT_GT(slow.stats.intra_calls, plan.stats.intra_calls);
+}
+
+TEST(OccupancyFingerprint, EqualStatesHashEqual) {
+  const auto model = device::makeTofino();
+  const auto a = DeviceOccupancy::fresh(model);
+  const auto b = DeviceOccupancy::fresh(model);
+  EXPECT_EQ(occupancyFingerprint(a), occupancyFingerprint(b));
+  // Different models differ.
+  const auto nfp = DeviceOccupancy::fresh(device::makeNfp());
+  EXPECT_NE(occupancyFingerprint(a), occupancyFingerprint(nfp));
+}
+
+TEST(OccupancyFingerprint, PerturbedOccupancyHashesDiffer) {
+  const auto prog = dqaccProgram();
+  const auto model = device::makeTofino();
+  auto occ = DeviceOccupancy::fresh(model);
+  const auto before = occupancyFingerprint(occ);
+  std::vector<int> all;
+  for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+    all.push_back(static_cast<int>(i));
+  }
+  const auto p = placeCompact(occ, prog, all);
+  ASSERT_TRUE(p.feasible);
+  commitPlacement(occ, prog, p);
+  EXPECT_NE(occupancyFingerprint(occ), before);
+  releasePlacement(occ, prog, p);
+  EXPECT_EQ(occupancyFingerprint(occ), before);
+}
+
+TEST(SegmentFingerprint, NameInsensitiveAcrossUsers) {
+  // Identical templates submitted under different user/instance names must
+  // fingerprint equal so the memo is shared across programs.
+  modules::ModuleLibrary lib;
+  const auto a = lib.compileTemplate(
+      "MLAgg", "mlagg_user1",
+      {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}, {"IsConvert", 0}});
+  const auto b = lib.compileTemplate(
+      "MLAgg", "mlagg_user2",
+      {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}, {"IsConvert", 0}});
+  const auto an_a = ir::analyzeProgram(a);
+  const auto an_b = ir::analyzeProgram(b);
+  std::vector<int> all_a, all_b;
+  for (std::size_t i = 0; i < a.instrs.size(); ++i) {
+    all_a.push_back(static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < b.instrs.size(); ++i) {
+    all_b.push_back(static_cast<int>(i));
+  }
+  EXPECT_EQ(segmentFingerprint(a, an_a, all_a),
+            segmentFingerprint(b, an_b, all_b));
+  // Different parameters produce different demands, hence different prints.
+  const auto c = lib.compileTemplate(
+      "MLAgg", "mlagg_user3",
+      {{"NumAgg", 256}, {"Dim", 4}, {"NumWorker", 2}, {"IsConvert", 0}});
+  const auto an_c = ir::analyzeProgram(c);
+  std::vector<int> all_c;
+  for (std::size_t i = 0; i < c.instrs.size(); ++i) {
+    all_c.push_back(static_cast<int>(i));
+  }
+  EXPECT_NE(segmentFingerprint(a, an_a, all_a),
+            segmentFingerprint(c, an_c, all_c));
+}
+
+TEST(ServiceArena, MemoSharedAcrossUsers) {
+  // Two users submitting the same template through the service share the
+  // occupancy-keyed memo: the second submit reuses first-submit work.
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+  topo::TrafficSpec spec;
+  spec.sources = {{svc.topology().findNode("pod0a"), 10.0}};
+  spec.dst_host = svc.topology().findNode("pod2b");
+  const auto r1 = svc.submitTemplate(
+      "MLAgg", {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}}, spec);
+  ASSERT_TRUE(r1.ok) << r1.failure;
+  const long hits_after_first = svc.placementArena().memo().hits();
+  const auto r2 = svc.submitTemplate(
+      "MLAgg", {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}}, spec);
+  ASSERT_TRUE(r2.ok) << r2.failure;
+  EXPECT_GT(svc.placementArena().memo().hits(), hits_after_first);
+  EXPECT_GT(r2.plan.stats.intra_memo_hits, 0);
+  const auto& cum = svc.placementStats();
+  EXPECT_EQ(cum.intra_memo_hits,
+            r1.plan.stats.intra_memo_hits + r2.plan.stats.intra_memo_hits);
 }
 
 // --- SMT baseline ---
