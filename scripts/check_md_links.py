@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Docs hygiene: fail on broken intra-repo markdown links.
+
+Scans README.md and docs/**/*.md (plus any extra paths given as
+arguments) for inline links/images `[text](target)`. For relative
+targets, checks the file exists; for `file#anchor` (or `#anchor`)
+targets, checks the anchor matches a heading in the target file using
+GitHub's slugging rules. External (scheme://, mailto:) links are
+skipped — CI must not depend on the network.
+
+Exit status: 0 clean, 1 any broken link. Stdlib only.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def heading_anchors(path):
+    """GitHub-style slugs for every heading in a markdown file."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence or not line.startswith("#"):
+                continue
+            text = line.lstrip("#").strip()
+            # Strip inline markdown: links, emphasis, code spans.
+            text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+            text = re.sub(r"[`*_]", "", text)
+            slug = text.lower()
+            slug = re.sub(r"[^\w\- ]", "", slug)
+            slug = slug.replace(" ", "-")
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Drop inline code spans before matching links.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(stripped):
+                yield lineno, m.group(1)
+
+
+def check_file(md_path, repo_root):
+    errors = []
+    for lineno, target in iter_links(md_path):
+        if EXTERNAL_RE.match(target):
+            continue
+        target_path, _, anchor = target.partition("#")
+        if target_path:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), target_path))
+            if not os.path.exists(resolved):
+                errors.append((lineno, target, "missing file"))
+                continue
+        else:
+            resolved = md_path
+        if anchor and resolved.endswith(".md"):
+            if anchor not in heading_anchors(resolved):
+                errors.append((lineno, target, "missing anchor"))
+    return errors
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    targets = sys.argv[1:]
+    if not targets:
+        targets = [os.path.join(repo_root, "README.md")]
+        docs = os.path.join(repo_root, "docs")
+        for dirpath, _, files in os.walk(docs):
+            targets.extend(
+                os.path.join(dirpath, f) for f in files if f.endswith(".md"))
+
+    broken = 0
+    checked = 0
+    for md in sorted(targets):
+        if not os.path.exists(md):
+            print(f"SKIP {md} (not found)")
+            continue
+        checked += 1
+        for lineno, target, why in check_file(md, repo_root):
+            rel = os.path.relpath(md, repo_root)
+            print(f"BROKEN {rel}:{lineno}: ({why}) -> {target}")
+            broken += 1
+    print(f"checked {checked} file(s), {broken} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ ClickIncService::ClickIncService(topo::Topology topo, std::uint64_t seed)
     : topo_(std::move(topo)),
       base_(synth::makeDefaultBase()),
       occ_(&topo_),
-      emu_(&topo_, seed) {}
+      emu_(&topo_, seed, &plan_cache_) {}
 
 synth::DeviceProgram& ClickIncService::deviceProgram(int node) {
   auto it = device_programs_.find(node);

@@ -78,6 +78,14 @@ class ClickIncService {
     return cumulative_stats_;
   }
 
+  // The compiled-execution-plan cache shared by every deployment: the
+  // emulator compiles each deployed segment once (per content
+  // fingerprint), so replicated snippets and identical templates from
+  // different users skip the IR decode entirely — the execution-side
+  // analogue of the placement arena above.
+  ir::ExecPlanCache& execPlanCache() { return plan_cache_; }
+  const ir::ExecPlanCache& execPlanCache() const { return plan_cache_; }
+
   struct Deployed {
     std::shared_ptr<ir::IrProgram> prog;
     place::PlacementPlan plan;
@@ -93,6 +101,7 @@ class ClickIncService {
   modules::ModuleLibrary lib_;
   synth::BaseProgram base_;
   place::OccupancyMap occ_;
+  ir::ExecPlanCache plan_cache_;  // must outlive emu_ (emulator keeps a ptr)
   emu::Emulator emu_;
   std::map<int, std::unique_ptr<synth::DeviceProgram>> device_programs_;
   std::map<int, Deployed> deployed_;

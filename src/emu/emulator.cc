@@ -6,12 +6,18 @@
 
 namespace clickinc::emu {
 
-Emulator::Emulator(const topo::Topology* topo, std::uint64_t seed)
-    : topo_(topo), rng_(seed) {}
+Emulator::Emulator(const topo::Topology* topo, std::uint64_t seed,
+                   ir::ExecPlanCache* plan_cache)
+    : topo_(topo),
+      rng_(seed),
+      plan_cache_(plan_cache != nullptr ? plan_cache : &own_cache_) {}
 
 void Emulator::deploy(int device_node, DeploymentEntry entry) {
   CLICKINC_CHECK(topo_->node(device_node).programmable,
                  "deploying on a non-programmable node");
+  if (entry.plan == nullptr && entry.prog != nullptr) {
+    entry.plan = plan_cache_->get(*entry.prog, entry.instr_idxs);
+  }
   deployments_[device_node].push_back(std::move(entry));
   // Keep snippets ordered by step so earlier program segments run first.
   auto& list = deployments_[device_node];
@@ -73,35 +79,125 @@ double Emulator::processAt(int node, ir::PacketView& view) {
   if (it == deployments_.end()) return 0;
   auto failed_it = failed_.find(node);
   if (failed_it != failed_.end() && failed_it->second) return 0;
+  return runEntriesOn(node, it->second, view);
+}
 
+bool Emulator::entryEligible(const DeploymentEntry& entry,
+                             const ir::PacketView& view) {
+  if (entry.user_id >= 0 && entry.user_id != view.user_id) return false;
+  // Step gate: execute only the expected next segment; skip segments the
+  // packet has already passed (replicas) — §6.
+  if (view.step >= entry.step_to) return false;
+  if (view.step != entry.step_from) return false;
+  return view.verdict == ir::Verdict::kNone;  // else already decided
+}
+
+std::vector<ir::Instruction> Emulator::materializeSegment(
+    const DeploymentEntry& entry) {
+  std::vector<ir::Instruction> segment;
+  segment.reserve(entry.instr_idxs.size());
+  for (int i : entry.instr_idxs) {
+    segment.push_back(entry.prog->instrs[static_cast<std::size_t>(i)]);
+  }
+  return segment;
+}
+
+double Emulator::runEntriesOn(int node,
+                              const std::vector<DeploymentEntry>& entries,
+                              ir::PacketView& view) {
   const auto& model = topo_->node(node).model;
   double latency = 0;
-  for (const auto& entry : it->second) {
-    if (entry.user_id >= 0 && entry.user_id != view.user_id) continue;
-    // Step gate: execute only the expected next segment; skip segments the
-    // packet has already passed (replicas) — §6.
-    if (view.step >= entry.step_to) continue;
-    if (view.step != entry.step_from) continue;
-    if (view.verdict != ir::Verdict::kNone) break;  // already decided
+  for (const auto& entry : entries) {
+    if (!entryEligible(entry, view)) continue;
 
-    std::vector<ir::Instruction> segment;
-    segment.reserve(entry.instr_idxs.size());
-    for (int i : entry.instr_idxs) {
-      segment.push_back(
-          entry.prog->instrs[static_cast<std::size_t>(i)]);
+    std::size_t seg_size;
+    if (use_reference_ || entry.plan == nullptr) {
+      // Reference path: re-decode the segment through the switch
+      // interpreter (cross-checked against the compiled path by the
+      // emulator equivalence tests).
+      const auto segment = materializeSegment(entry);
+      ir::Interpreter interp(&stores_[node], &rng_);
+      interp.run(*entry.prog, std::span<const ir::Instruction>(segment),
+                 view);
+      seg_size = segment.size();
+    } else {
+      entry.plan->run(&stores_[node], &rng_, view, scratch_);
+      seg_size = entry.plan->instrCount();
     }
-    ir::Interpreter interp(&stores_[node], &rng_);
-    interp.run(*entry.prog, std::span<const ir::Instruction>(segment),
-               view);
     view.step = entry.step_to;
     latency += model.base_latency_ns +
-               model.per_instr_ns * static_cast<double>(segment.size());
+               model.per_instr_ns * static_cast<double>(seg_size);
   }
-  if (latency == 0 && !it->second.empty()) {
+  if (latency == 0 && !entries.empty()) {
     // Device hosts INC but nothing matched: plain pipeline traversal.
     latency = model.base_latency_ns * 0.5;
   }
   return latency;
+}
+
+void Emulator::processBatchAt(int node,
+                              std::span<ir::PacketView* const> views,
+                              std::span<double> latency_out) {
+  auto it = deployments_.find(node);
+  if (it == deployments_.end()) return;
+  auto failed_it = failed_.find(node);
+  if (failed_it != failed_.end() && failed_it->second) return;
+
+  // Multiple entries on one device must run packet-major: with shared
+  // state, running all packets through entry A before any reaches entry B
+  // would leak later packets' writes into earlier packets' reads.
+  // Batching is only taken on the (common) single-entry device.
+  if (it->second.size() > 1) {
+    for (std::size_t k = 0; k < views.size(); ++k) {
+      latency_out[k] += runEntriesOn(node, it->second, *views[k]);
+    }
+    return;
+  }
+
+  const auto& model = topo_->node(node).model;
+  auto& added = batch_added_;
+  auto& eligible = batch_eligible_;
+  auto& eligible_idx = batch_eligible_idx_;
+  added.assign(views.size(), 0.0);
+  for (const auto& entry : it->second) {
+    eligible.clear();
+    eligible_idx.clear();
+    for (std::size_t k = 0; k < views.size(); ++k) {
+      if (!entryEligible(entry, *views[k])) continue;
+      eligible.push_back(views[k]);
+      eligible_idx.push_back(k);
+    }
+    if (eligible.empty()) continue;
+
+    std::size_t seg_size;
+    if (use_reference_ || entry.plan == nullptr) {
+      const auto segment = materializeSegment(entry);
+      ir::Interpreter interp(&stores_[node], &rng_);
+      for (ir::PacketView* view : eligible) {
+        interp.run(*entry.prog, std::span<const ir::Instruction>(segment),
+                   *view);
+      }
+      seg_size = segment.size();
+    } else {
+      entry.plan->runBatch(&stores_[node], &rng_,
+                           std::span<ir::PacketView* const>(eligible),
+                           scratch_);
+      seg_size = entry.plan->instrCount();
+    }
+    const double entry_latency =
+        model.base_latency_ns +
+        model.per_instr_ns * static_cast<double>(seg_size);
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      eligible[k]->step = entry.step_to;
+      added[eligible_idx[k]] += entry_latency;
+    }
+  }
+  for (std::size_t k = 0; k < views.size(); ++k) {
+    if (added[k] == 0 && !it->second.empty()) {
+      added[k] = model.base_latency_ns * 0.5;
+    }
+    latency_out[k] += added[k];
+  }
 }
 
 PacketResult Emulator::send(int src, int dst, ir::PacketView view,
@@ -177,6 +273,109 @@ PacketResult Emulator::send(int src, int dst, ir::PacketView view,
   stats_.useful_bytes_delivered += static_cast<std::uint64_t>(useful_bytes);
   finish(dst);
   return result;
+}
+
+std::vector<PacketResult> Emulator::sendBurst(
+    int src, int dst, std::vector<ir::PacketView> views, int wire_bytes,
+    int useful_bytes) {
+  const std::size_t n = views.size();
+  std::vector<PacketResult> results(n);
+  if (n == 0) return results;
+  stats_.packets_sent += n;
+  const auto path = topo_->shortestPath(src, dst);
+  CLICKINC_CHECK(!path.empty(), "no path in emulator");
+
+  std::vector<ir::PacketView> flight = std::move(views);
+  std::vector<bool> alive(n, true);
+  for (auto& view : flight) {
+    view.setField("hdr._len", static_cast<std::uint64_t>(wire_bytes));
+  }
+
+  auto finish = [&](std::size_t i, int at) {
+    results[i].view = std::move(flight[i]);
+    results[i].final_node = at;
+    results[i].wire_bytes_out =
+        static_cast<int>(results[i].view.field("hdr._len"));
+    stats_.total_latency_ns += results[i].latency_ns;
+    stats_.total_inc_latency_ns += results[i].inc_latency_ns;
+    alive[i] = false;
+  };
+
+  std::vector<ir::PacketView*> sub;
+  std::vector<std::size_t> sub_idx;
+  std::vector<double> sub_lat;
+
+  for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+    const int cur = path[h];
+    const int next = path[h + 1];
+    const topo::Link* link = topo_->linkBetween(cur, next);
+    const double hop_latency = link != nullptr ? link->latency_ns : 1000.0;
+
+    sub.clear();
+    sub_idx.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      chargeLink(cur, next, static_cast<int>(flight[i].field("hdr._len")));
+      results[i].latency_ns += hop_latency;
+      ++results[i].hops;
+      sub.push_back(&flight[i]);
+      sub_idx.push_back(i);
+    }
+    if (sub.empty()) break;
+
+    const auto& node = topo_->node(next);
+    if (node.programmable || node.kind != topo::NodeKind::kHost) {
+      sub_lat.assign(sub.size(), 0.0);
+      processBatchAt(next, std::span<ir::PacketView* const>(sub),
+                     std::span<double>(sub_lat));
+      if (node.attached_accel >= 0) {
+        processBatchAt(node.attached_accel,
+                       std::span<ir::PacketView* const>(sub),
+                       std::span<double>(sub_lat));
+      }
+      for (std::size_t k = 0; k < sub.size(); ++k) {
+        results[sub_idx[k]].latency_ns += sub_lat[k];
+        results[sub_idx[k]].inc_latency_ns += sub_lat[k];
+      }
+    }
+
+    for (std::size_t k = 0; k < sub.size(); ++k) {
+      const std::size_t i = sub_idx[k];
+      ir::PacketView& view = flight[i];
+      if (view.verdict == ir::Verdict::kDrop) {
+        results[i].dropped = true;
+        ++stats_.packets_dropped;
+        finish(i, next);
+        continue;
+      }
+      if (view.verdict == ir::Verdict::kSendBack) {
+        for (std::size_t back = h + 1; back > 0; --back) {
+          const int from = path[back];
+          const int to = path[back - 1];
+          chargeLink(from, to, static_cast<int>(view.field("hdr._len")));
+          results[i].latency_ns +=
+              topo_->linkBetween(from, to) != nullptr
+                  ? topo_->linkBetween(from, to)->latency_ns
+                  : 1000.0;
+          ++results[i].hops;
+        }
+        results[i].bounced = true;
+        ++stats_.packets_bounced;
+        stats_.useful_bytes_delivered +=
+            static_cast<std::uint64_t>(useful_bytes);
+        finish(i, src);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    results[i].delivered = true;
+    ++stats_.packets_delivered;
+    stats_.useful_bytes_delivered += static_cast<std::uint64_t>(useful_bytes);
+    finish(i, dst);
+  }
+  return results;
 }
 
 }  // namespace clickinc::emu

@@ -12,8 +12,10 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "ir/exec_plan.h"
 #include "ir/interp.h"
 #include "topo/topology.h"
 
@@ -26,6 +28,9 @@ struct DeploymentEntry {
   std::vector<int> instr_idxs;  // segment of prog
   int step_from = 0;            // block step gate (§6 replicated blocks)
   int step_to = 0;
+  // Precompiled execution plan for the segment. deploy() fills it from
+  // the plan cache; callers normally leave it null.
+  std::shared_ptr<const ir::ExecPlan> plan;
 };
 
 struct PacketResult {
@@ -61,9 +66,16 @@ struct EmuStats {
 
 class Emulator {
  public:
-  Emulator(const topo::Topology* topo, std::uint64_t seed);
+  // `plan_cache` shares compiled execution plans across devices and
+  // programs (core::Service threads its cache through here, the way the
+  // PlacementArena is threaded through the placer); when null the
+  // emulator uses a private cache.
+  Emulator(const topo::Topology* topo, std::uint64_t seed,
+           ir::ExecPlanCache* plan_cache = nullptr);
 
   // Deploys a snippet on a device; multiple snippets coexist (multi-user).
+  // Compiles (or fetches from the plan cache) the segment's ExecPlan, so
+  // replicas and repeated identical templates pay the decode cost once.
   void deploy(int device_node, DeploymentEntry entry);
   void undeploy(int device_node, int user_id);
   void clearDeployments();
@@ -78,6 +90,27 @@ class Emulator {
   PacketResult send(int src, int dst, ir::PacketView view, int wire_bytes,
                     int useful_bytes);
 
+  // Sends a burst of same-sized packets from `src` to `dst`. The burst
+  // advances hop by hop (hop-major): at each device the still-in-flight
+  // packets run through ExecPlan::runBatch back-to-back, amortizing state
+  // binding and register-file setup across the burst. Per-packet results
+  // (verdicts, latency, link charges, stats) are identical to sequential
+  // send() calls — packets execute in burst order at every device — except
+  // for the global RandInt draw order, which interleaves per hop instead
+  // of per packet.
+  std::vector<PacketResult> sendBurst(int src, int dst,
+                                      std::vector<ir::PacketView> views,
+                                      int wire_bytes, int useful_bytes);
+
+  // Diagnostic/reference mode: route execution through the retained
+  // switch interpreter (ir::Interpreter) instead of compiled plans. The
+  // equivalence tests cross-check both modes bit-for-bit.
+  void setReferenceInterpreter(bool on) { use_reference_ = on; }
+  bool referenceInterpreter() const { return use_reference_; }
+
+  ir::ExecPlanCache& planCache() { return *plan_cache_; }
+  const ir::ExecPlanCache& planCache() const { return *plan_cache_; }
+
   ir::StateStore& storeOf(int device_node);
   const EmuStats& stats() const { return stats_; }
   void resetStats();
@@ -89,6 +122,9 @@ class Emulator {
  private:
   const topo::Topology* topo_;
   Rng rng_;
+  ir::ExecPlanCache own_cache_;        // used when no shared cache given
+  ir::ExecPlanCache* plan_cache_;
+  bool use_reference_ = false;
   std::map<int, std::vector<DeploymentEntry>> deployments_;
   std::map<int, ir::StateStore> stores_;
   std::map<int, bool> failed_;
@@ -97,7 +133,31 @@ class Emulator {
 
   // Runs a device's snippets on the packet; returns added latency.
   double processAt(int node, ir::PacketView& view);
+  // The per-packet entry loop shared by processAt and the batched path.
+  double runEntriesOn(int node, const std::vector<DeploymentEntry>& entries,
+                      ir::PacketView& view);
+  // The single eligibility gate both execution paths consult: user
+  // filter, §6 step gates, and the already-decided check (verdicts never
+  // unset, so skipping per entry equals processAt's early break).
+  static bool entryEligible(const DeploymentEntry& entry,
+                            const ir::PacketView& view);
+  // Reference-path segment materialization (the seed's per-packet copy).
+  static std::vector<ir::Instruction> materializeSegment(
+      const DeploymentEntry& entry);
+  // Batched variant over the in-flight subset of a burst; appends each
+  // packet's added latency to `latency_out` (indexed like `views`).
+  // Devices hosting a single entry batch through ExecPlan::runBatch;
+  // multi-entry devices fall back to packet-major execution so results
+  // stay identical to sequential send() even when entries share state.
+  void processBatchAt(int node, std::span<ir::PacketView* const> views,
+                      std::span<double> latency_out);
   void chargeLink(int a, int b, int bytes);
+
+  ir::ExecPlan::Scratch scratch_;  // reused across every plan run
+  // Batch-path scratch, reused across device visits of a burst.
+  std::vector<double> batch_added_;
+  std::vector<ir::PacketView*> batch_eligible_;
+  std::vector<std::size_t> batch_eligible_idx_;
 };
 
 }  // namespace clickinc::emu

@@ -1,0 +1,585 @@
+#include "ir/exec_plan.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+#include "util/bits.h"
+#include "util/crc.h"
+
+// Threaded dispatch: GCC/Clang support computed goto (&&label), which
+// gives each opcode its own indirect-branch site and lets handlers inline
+// into the dispatch loop. Elsewhere we fall back to an indexed
+// function-pointer handler table.
+#if defined(__GNUC__) || defined(__clang__)
+#define CLICKINC_THREADED_DISPATCH 1
+#else
+#define CLICKINC_THREADED_DISPATCH 0
+#endif
+
+namespace clickinc::ir {
+namespace {
+
+// Every opcode, in exact enum order (static_assert below keeps it
+// honest). Drives the jump-label table, the function-pointer table, and
+// the handler definitions, so adding an opcode is one list entry plus one
+// handler (see docs/interpreter.md).
+#define CLICKINC_OPCODES(X)                                                  \
+  X(kAssign) X(kAdd) X(kSub) X(kAnd) X(kOr) X(kXor) X(kNot) X(kShl)          \
+  X(kShr) X(kSlice) X(kCmpLt) X(kCmpLe) X(kCmpEq) X(kCmpNe) X(kCmpGe)        \
+  X(kCmpGt) X(kMin) X(kMax) X(kSelect) X(kLAnd) X(kLOr) X(kLNot) X(kMul)     \
+  X(kDiv) X(kMod) X(kFAdd) X(kFSub) X(kFMul) X(kFDiv) X(kFtoI) X(kItoF)      \
+  X(kFSqrt) X(kFCmpLt) X(kRegRead) X(kRegWrite) X(kRegAdd) X(kRegClear)      \
+  X(kEmtLookup) X(kSemtLookup) X(kSemtWrite) X(kSemtDelete) X(kTmtLookup)    \
+  X(kLpmLookup) X(kStmtLookup) X(kStmtWrite) X(kDmtLookup) X(kDrop)          \
+  X(kForward) X(kSendBack) X(kCopyToCpu) X(kMirror) X(kMulticast)            \
+  X(kHashCrc16) X(kHashCrc32) X(kHashIdentity) X(kChecksum) X(kRandInt)      \
+  X(kAesEnc) X(kAesDec) X(kEcsEnc) X(kEcsDec) X(kNop)
+
+#define CLICKINC_COUNT_OP(op) +1
+constexpr std::size_t kOpcodeCount = 0 CLICKINC_OPCODES(CLICKINC_COUNT_OP);
+#undef CLICKINC_COUNT_OP
+static_assert(kOpcodeCount == static_cast<std::size_t>(Opcode::kNop) + 1,
+              "opcode dispatch list out of sync with the Opcode enum");
+
+float asF32(std::uint64_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+}
+std::uint64_t fromF32(float f) {
+  return static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(f));
+}
+
+// Per-run execution context: flat register file plus lazily-bound state
+// instances. Everything the handlers touch is a raw pointer — no map
+// lookups on the hot path.
+struct Ctx {
+  const ExecPlan* plan = nullptr;
+  const DecodedInstr* code = nullptr;
+  std::size_t ncode = 0;
+  const OpRef* refs = nullptr;
+  const std::uint64_t* imms = nullptr;
+  StateStore* store = nullptr;
+  Rng* rng = nullptr;
+  PacketView* pkt = nullptr;
+  std::uint64_t* regs = nullptr;
+  std::uint8_t* dirty = nullptr;
+  StateInstance** bound = nullptr;
+  std::vector<std::uint8_t>* bytes = nullptr;  // hash scratch, reused
+  ExecStats stats;
+};
+
+inline std::uint64_t rdRef(const Ctx& c, OpRef r) {
+  const std::uint32_t i = opRefIndex(r);
+  return opRefIsImm(r) ? c.imms[i] : c.regs[i];
+}
+
+// Source k of the current instruction.
+inline std::uint64_t src(const Ctx& c, const DecodedInstr& d, unsigned k) {
+  return rdRef(c, c.refs[d.srcs + k]);
+}
+
+inline void wr(Ctx& c, std::int32_t slot, std::int16_t width,
+               std::uint64_t v) {
+  if (slot < 0) return;
+  c.regs[slot] = width > 0 ? truncToWidth(v, width) : v;
+  c.dirty[slot] = 1;
+}
+
+inline void wrDest(Ctx& c, const DecodedInstr& d, std::uint64_t v) {
+  wr(c, d.dest, d.dest_width, v);
+}
+
+// Lazily binds the instruction's state instance — on first *executed*
+// touch, exactly like the reference interpreter, so a store never grows
+// instances for instructions that were predicated off.
+inline StateInstance* stateOf(Ctx& c, const DecodedInstr& d) {
+  if (d.state < 0) return nullptr;
+  StateInstance*& b = c.bound[d.state];
+  if (b == nullptr) b = &c.store->instantiate(c.plan->stateSpec(d.state));
+  return b;
+}
+
+inline void setVerdict(Ctx& c, Verdict v) {
+  if (c.pkt->verdict == Verdict::kNone) c.pkt->verdict = v;
+}
+
+// Serializes all sources little-endian byte-wise (matching the reference
+// hashValues) into the reused scratch buffer, then hashes.
+template <typename HashFn>
+std::uint64_t hashSrcs(Ctx& c, const DecodedInstr& d, HashFn fn) {
+  auto& bytes = *c.bytes;
+  bytes.clear();
+  for (unsigned k = 0; k < d.nsrc; ++k) {
+    const std::uint64_t v = src(c, d, k);
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  return fn(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+// --- per-opcode handlers (bit-identical to the Interpreter switch) ---
+
+#define H(name)                                  \
+  inline void h_##name([[maybe_unused]] Ctx& c,  \
+                       [[maybe_unused]] const DecodedInstr& d)
+
+H(kAssign) { wrDest(c, d, src(c, d, 0)); }
+H(kAdd) { wrDest(c, d, src(c, d, 0) + src(c, d, 1)); }
+H(kSub) { wrDest(c, d, src(c, d, 0) - src(c, d, 1)); }
+H(kAnd) { wrDest(c, d, src(c, d, 0) & src(c, d, 1)); }
+H(kOr) { wrDest(c, d, src(c, d, 0) | src(c, d, 1)); }
+H(kXor) { wrDest(c, d, src(c, d, 0) ^ src(c, d, 1)); }
+H(kNot) { wrDest(c, d, ~src(c, d, 0)); }
+H(kShl) {
+  const std::uint64_t s1 = src(c, d, 1);
+  wrDest(c, d, s1 >= 64 ? 0 : src(c, d, 0) << s1);
+}
+H(kShr) {
+  const std::uint64_t s1 = src(c, d, 1);
+  wrDest(c, d, s1 >= 64 ? 0 : src(c, d, 0) >> s1);
+}
+H(kSlice) {
+  wrDest(c, d, (src(c, d, 0) >> src(c, d, 1)) &
+                   lowMask(static_cast<int>(src(c, d, 2))));
+}
+H(kCmpLt) { wrDest(c, d, src(c, d, 0) < src(c, d, 1) ? 1 : 0); }
+H(kCmpLe) { wrDest(c, d, src(c, d, 0) <= src(c, d, 1) ? 1 : 0); }
+H(kCmpEq) { wrDest(c, d, src(c, d, 0) == src(c, d, 1) ? 1 : 0); }
+H(kCmpNe) { wrDest(c, d, src(c, d, 0) != src(c, d, 1) ? 1 : 0); }
+H(kCmpGe) { wrDest(c, d, src(c, d, 0) >= src(c, d, 1) ? 1 : 0); }
+H(kCmpGt) { wrDest(c, d, src(c, d, 0) > src(c, d, 1) ? 1 : 0); }
+H(kMin) { wrDest(c, d, std::min(src(c, d, 0), src(c, d, 1))); }
+H(kMax) { wrDest(c, d, std::max(src(c, d, 0), src(c, d, 1))); }
+H(kSelect) {
+  wrDest(c, d, (src(c, d, 0) & 1) ? src(c, d, 1) : src(c, d, 2));
+}
+H(kLAnd) { wrDest(c, d, (src(c, d, 0) & 1) & (src(c, d, 1) & 1)); }
+H(kLOr) { wrDest(c, d, (src(c, d, 0) & 1) | (src(c, d, 1) & 1)); }
+H(kLNot) { wrDest(c, d, (src(c, d, 0) & 1) ^ 1); }
+H(kMul) { wrDest(c, d, src(c, d, 0) * src(c, d, 1)); }
+H(kDiv) {
+  const std::uint64_t s1 = src(c, d, 1);
+  wrDest(c, d, s1 == 0 ? 0 : src(c, d, 0) / s1);
+}
+H(kMod) {
+  const std::uint64_t s1 = src(c, d, 1);
+  wrDest(c, d, s1 == 0 ? 0 : src(c, d, 0) % s1);
+}
+H(kFAdd) { wrDest(c, d, fromF32(asF32(src(c, d, 0)) + asF32(src(c, d, 1)))); }
+H(kFSub) { wrDest(c, d, fromF32(asF32(src(c, d, 0)) - asF32(src(c, d, 1)))); }
+H(kFMul) { wrDest(c, d, fromF32(asF32(src(c, d, 0)) * asF32(src(c, d, 1)))); }
+H(kFDiv) {
+  const float b = asF32(src(c, d, 1));
+  wrDest(c, d, b == 0.0f ? 0 : fromF32(asF32(src(c, d, 0)) / b));
+}
+H(kFtoI) {
+  const float scale =
+      d.nsrc > 1 ? static_cast<float>(src(c, d, 1)) : 1.0f;
+  wrDest(c, d, static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                   asF32(src(c, d, 0)) * scale)));
+}
+H(kItoF) {
+  const float scale =
+      d.nsrc > 1 ? static_cast<float>(src(c, d, 1)) : 1.0f;
+  wrDest(c, d, fromF32(static_cast<float>(
+                   static_cast<std::int64_t>(src(c, d, 0))) /
+               scale));
+}
+H(kFSqrt) {
+  const float f = asF32(src(c, d, 0));
+  wrDest(c, d, f < 0 ? 0 : fromF32(std::sqrt(f)));
+}
+H(kFCmpLt) {
+  wrDest(c, d, asF32(src(c, d, 0)) < asF32(src(c, d, 1)) ? 1 : 0);
+}
+H(kRegRead) {
+  auto* st = stateOf(c, d);
+  wrDest(c, d, st ? st->regRead(src(c, d, 0)) : 0);
+}
+H(kRegWrite) {
+  if (auto* st = stateOf(c, d)) st->regWrite(src(c, d, 0), src(c, d, 1));
+}
+H(kRegAdd) {
+  auto* st = stateOf(c, d);
+  wrDest(c, d, st ? st->regAdd(src(c, d, 0), src(c, d, 1)) : 0);
+}
+H(kRegClear) {
+  if (auto* st = stateOf(c, d)) st->regClear(src(c, d, 0));
+}
+inline void lookupCommon(Ctx& c, const DecodedInstr& d) {
+  auto* st = stateOf(c, d);
+  std::uint64_t val = 0;
+  const bool hit = st != nullptr && st->lookup(src(c, d, 0), &val);
+  wr(c, d.dest, d.dest_width, hit ? val : 0);
+  wr(c, d.dest2, d.dest2_width, hit ? 1 : 0);
+}
+H(kEmtLookup) { lookupCommon(c, d); }
+H(kSemtLookup) { lookupCommon(c, d); }
+H(kTmtLookup) { lookupCommon(c, d); }
+H(kLpmLookup) { lookupCommon(c, d); }
+H(kStmtLookup) { lookupCommon(c, d); }
+H(kDmtLookup) { lookupCommon(c, d); }
+H(kSemtWrite) {
+  if (auto* st = stateOf(c, d)) st->insert(src(c, d, 0), src(c, d, 1));
+}
+H(kStmtWrite) {
+  if (auto* st = stateOf(c, d)) st->insert(src(c, d, 0), src(c, d, 1));
+}
+H(kSemtDelete) {
+  if (auto* st = stateOf(c, d)) st->erase(src(c, d, 0));
+}
+H(kDrop) { setVerdict(c, Verdict::kDrop); }
+H(kForward) { setVerdict(c, Verdict::kForward); }
+H(kSendBack) { setVerdict(c, Verdict::kSendBack); }
+H(kCopyToCpu) { c.pkt->cpu_copied = true; }
+H(kMirror) { c.pkt->mirrored = true; }
+H(kMulticast) { setVerdict(c, Verdict::kMulticast); }
+H(kHashCrc16) {
+  wrDest(c, d, hashSrcs(c, d, [](auto span) {
+    return static_cast<std::uint64_t>(crc16(span));
+  }));
+}
+H(kHashCrc32) {
+  wrDest(c, d, hashSrcs(c, d, [](auto span) {
+    return static_cast<std::uint64_t>(crc32(span));
+  }));
+}
+H(kHashIdentity) { wrDest(c, d, src(c, d, 0)); }
+H(kChecksum) {
+  std::uint64_t sum = 0;
+  for (unsigned k = 0; k < d.nsrc; ++k) {
+    const std::uint64_t v = src(c, d, k);
+    sum += (v & 0xFFFF) + ((v >> 16) & 0xFFFF) + ((v >> 32) & 0xFFFF) +
+           ((v >> 48) & 0xFFFF);
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  wrDest(c, d, (~sum) & 0xFFFF);
+}
+H(kRandInt) {
+  const std::uint64_t bound = d.nsrc == 0 ? 0 : src(c, d, 0);
+  std::uint64_t r = c.rng ? c.rng->next() : 0;
+  if (bound > 0) r %= bound;
+  wrDest(c, d, r);
+}
+H(kAesEnc) {
+  wrDest(c, d, toyEncrypt(src(c, d, 0), d.nsrc > 1 ? src(c, d, 1) : 0));
+}
+H(kAesDec) {
+  wrDest(c, d, toyDecrypt(src(c, d, 0), d.nsrc > 1 ? src(c, d, 1) : 0));
+}
+H(kEcsEnc) {
+  wrDest(c, d, toyEncrypt(src(c, d, 0), d.nsrc > 1 ? src(c, d, 1) : 0));
+}
+H(kEcsDec) {
+  wrDest(c, d, toyDecrypt(src(c, d, 0), d.nsrc > 1 ? src(c, d, 1) : 0));
+}
+H(kNop) {}
+
+#undef H
+
+#if !CLICKINC_THREADED_DISPATCH
+using Handler = void (*)(Ctx&, const DecodedInstr&);
+constexpr Handler kHandlers[kOpcodeCount] = {
+#define CLICKINC_HANDLER_ENTRY(op) &h_##op,
+    CLICKINC_OPCODES(CLICKINC_HANDLER_ENTRY)
+#undef CLICKINC_HANDLER_ENTRY
+};
+#endif
+
+// Executes the whole decoded sequence for the packet bound in `c`.
+void execPacket(Ctx& c) {
+  const DecodedInstr* code = c.code;
+  const std::size_t n = c.ncode;
+#if CLICKINC_THREADED_DISPATCH
+  static const void* const kLabels[kOpcodeCount] = {
+#define CLICKINC_LABEL_ENTRY(op) &&L_##op,
+      CLICKINC_OPCODES(CLICKINC_LABEL_ENTRY)
+#undef CLICKINC_LABEL_ENTRY
+  };
+#endif
+  for (std::size_t ip = 0; ip < n; ++ip) {
+    const DecodedInstr& d = code[ip];
+    if (d.hasPred()) {
+      const bool hold = (rdRef(c, d.pred) & 1) != 0;
+      if (hold == d.predNegate()) {
+        ++c.stats.skipped;
+        continue;
+      }
+    }
+    ++c.stats.executed;
+#if CLICKINC_THREADED_DISPATCH
+    goto* kLabels[static_cast<std::size_t>(d.op)];
+#define CLICKINC_LABEL_CASE(op) \
+  L_##op : h_##op(c, d);        \
+  continue;
+    CLICKINC_OPCODES(CLICKINC_LABEL_CASE)
+#undef CLICKINC_LABEL_CASE
+#else
+    kHandlers[static_cast<std::size_t>(d.op)](c, d);
+#endif
+  }
+}
+
+}  // namespace
+
+ExecPlan ExecPlan::compile(const IrProgram& prog) {
+  std::vector<int> idxs(prog.instrs.size());
+  std::iota(idxs.begin(), idxs.end(), 0);
+  return compile(prog, idxs);
+}
+
+ExecPlan ExecPlan::compile(const IrProgram& prog,
+                           std::span<const int> instr_idxs) {
+  ExecPlan p;
+  p.code_.reserve(instr_idxs.size());
+  std::unordered_map<std::string, std::uint32_t> vars, fields;
+  std::unordered_map<int, std::int16_t> state_of;  // program id -> plan idx
+
+  auto slotFor = [&](const Operand& o) -> std::uint32_t {
+    auto& tab = o.isField() ? fields : vars;
+    auto it = tab.find(o.name);
+    if (it != tab.end()) return it->second;
+    const auto s = static_cast<std::uint32_t>(p.slots_.size());
+    p.slots_.push_back({o.name, ValueMap::hashKey(o.name), o.isField()});
+    tab.emplace(o.name, s);
+    return s;
+  };
+  auto refFor = [&](const Operand& o) -> OpRef {
+    if (o.isConst() || o.isNone()) {
+      const auto i = static_cast<std::uint32_t>(p.imms_.size());
+      p.imms_.push_back(o.isConst() ? o.value : 0);
+      return kOpRefImmBit | i;
+    }
+    return slotFor(o);
+  };
+
+  for (int idx : instr_idxs) {
+    const Instruction& ins = prog.instrs[static_cast<std::size_t>(idx)];
+    DecodedInstr d;
+    d.op = ins.op;
+    if (ins.pred) {
+      d.flags = DecodedInstr::kHasPred;
+      if (ins.pred_negate) d.flags |= DecodedInstr::kPredNegate;
+      d.pred = refFor(*ins.pred);
+    }
+    d.srcs = static_cast<std::uint32_t>(p.refs_.size());
+    d.nsrc = static_cast<std::uint16_t>(ins.srcs.size());
+    for (const Operand& s : ins.srcs) p.refs_.push_back(refFor(s));
+    if (!ins.dest.isNone()) {
+      d.dest = static_cast<std::int32_t>(slotFor(ins.dest));
+      d.dest_width = static_cast<std::int16_t>(std::max(ins.dest.width, 0));
+    }
+    if (!ins.dest2.isNone()) {
+      d.dest2 = static_cast<std::int32_t>(slotFor(ins.dest2));
+      d.dest2_width = static_cast<std::int16_t>(std::max(ins.dest2.width, 0));
+    }
+    if (ins.state_id >= 0 &&
+        ins.state_id < static_cast<int>(prog.states.size())) {
+      auto [it, inserted] = state_of.try_emplace(
+          ins.state_id, static_cast<std::int16_t>(p.states_.size()));
+      if (inserted) {
+        p.states_.push_back(
+            prog.states[static_cast<std::size_t>(ins.state_id)]);
+      }
+      d.state = it->second;
+    }
+    p.code_.push_back(d);
+  }
+  return p;
+}
+
+ExecStats ExecPlan::run(StateStore* store, Rng* rng, PacketView& pkt) const {
+  Scratch scratch;
+  return run(store, rng, pkt, scratch);
+}
+
+ExecStats ExecPlan::run(StateStore* store, Rng* rng, PacketView& pkt,
+                        Scratch& scratch) const {
+  PacketView* p = &pkt;
+  return runBatch(store, rng, std::span<PacketView* const>(&p, 1), scratch);
+}
+
+ExecStats ExecPlan::runBatch(StateStore* store, Rng* rng,
+                             std::span<PacketView> pkts) const {
+  Scratch scratch;
+  return runBatch(store, rng, pkts, scratch);
+}
+
+ExecStats ExecPlan::runBatch(StateStore* store, Rng* rng,
+                             std::span<PacketView> pkts,
+                             Scratch& scratch) const {
+  scratch.ptrs.clear();
+  scratch.ptrs.reserve(pkts.size());
+  for (PacketView& p : pkts) scratch.ptrs.push_back(&p);
+  return runBatch(store, rng, std::span<PacketView* const>(scratch.ptrs),
+                  scratch);
+}
+
+ExecStats ExecPlan::runBatch(StateStore* store, Rng* rng,
+                             std::span<PacketView* const> pkts) const {
+  Scratch scratch;
+  return runBatch(store, rng, pkts, scratch);
+}
+
+ExecStats ExecPlan::runBatch(StateStore* store, Rng* rng,
+                             std::span<PacketView* const> pkts,
+                             Scratch& scratch) const {
+  const std::size_t nslots = slots_.size();
+  // The bind loop writes every slot, so regs need sizing only; dirty bits
+  // are cleared per packet in the same loop. State bindings must reset
+  // per call — the store can differ between calls.
+  auto& regs = scratch.regs;
+  auto& dirty = scratch.dirty;
+  regs.resize(nslots);
+  dirty.resize(nslots);
+  scratch.bound.assign(states_.size(), nullptr);
+
+  Ctx c;
+  c.plan = this;
+  c.code = code_.data();
+  c.ncode = code_.size();
+  c.refs = refs_.data();
+  c.imms = imms_.data();
+  c.store = store;
+  c.rng = rng;
+  c.regs = regs.data();
+  c.dirty = dirty.data();
+  c.bound = scratch.bound.data();
+  c.bytes = &scratch.bytes;
+
+  ExecStats total;
+  for (PacketView* pv : pkts) {
+    // Bind: load every slot from the packet (missing names read as 0,
+    // like the reference env/field lookups). Slot hashes are precomputed,
+    // so a bind is one probe per slot.
+    for (std::size_t s = 0; s < nslots; ++s) {
+      const Slot& sl = slots_[s];
+      const ValueMap& map = sl.is_field ? pv->fields : pv->params;
+      auto it = map.findHashed(sl.name, sl.hash);
+      regs[s] = it == map.end() ? 0 : it->second;
+      dirty[s] = 0;
+    }
+    c.pkt = pv;
+    c.stats = ExecStats{};
+    execPacket(c);
+    // Write back only runtime-written slots, so the packet's key sets
+    // match the reference exactly (reads and predicated-off writes leave
+    // no trace). Pre-size the maps to avoid incremental rehashing while
+    // the temporaries pour in.
+    std::size_t dirty_vars = 0, dirty_fields = 0;
+    for (std::size_t s = 0; s < nslots; ++s) {
+      if (dirty[s]) ++(slots_[s].is_field ? dirty_fields : dirty_vars);
+    }
+    // Fresh maps (the common first-device case) take the probe-free bulk
+    // path: slot names are distinct by construction, so every dirty slot
+    // is a guaranteed-new key.
+    const bool params_fresh = pv->params.empty();
+    const bool fields_fresh = pv->fields.empty();
+    if (dirty_vars > 0) pv->params.reserve(pv->params.size() + dirty_vars);
+    if (dirty_fields > 0) {
+      pv->fields.reserve(pv->fields.size() + dirty_fields);
+    }
+    for (std::size_t s = 0; s < nslots; ++s) {
+      if (!dirty[s]) continue;
+      const Slot& sl = slots_[s];
+      ValueMap& map = sl.is_field ? pv->fields : pv->params;
+      if (sl.is_field ? fields_fresh : params_fresh) {
+        map.insertUnique(sl.name, sl.hash, regs[s]);
+      } else {
+        map.refHashed(sl.name, sl.hash) = regs[s];
+      }
+    }
+    total.executed += c.stats.executed;
+    total.skipped += c.stats.skipped;
+  }
+  return total;
+}
+
+namespace {
+
+// Two independently-salted mix64 chains.
+struct Fp128 {
+  std::uint64_t a = 0x9AE16A3B2F90404FULL;
+  std::uint64_t b = 0xC3A5C85C97CB3127ULL;
+  void mixIn(std::uint64_t v) {
+    a = mix64(a ^ v);
+    b = mix64(b + v);
+  }
+  void mixStr(const std::string& s) {
+    mixIn(s.size());
+    std::uint64_t w = 0;
+    int k = 0;
+    for (char ch : s) {
+      w |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(ch))
+           << (8 * k);
+      if (++k == 8) {
+        mixIn(w);
+        w = 0;
+        k = 0;
+      }
+    }
+    if (k != 0) mixIn(w);
+  }
+  void mixOperand(const Operand& o) {
+    mixIn(static_cast<std::uint64_t>(o.kind));
+    mixIn(static_cast<std::uint64_t>(o.width));
+    if (o.isConst()) {
+      mixIn(o.value);
+    } else {
+      mixStr(o.name);
+    }
+  }
+};
+
+}  // namespace
+
+std::array<std::uint64_t, 2> ExecPlan::fingerprint(
+    const IrProgram& prog, std::span<const int> instr_idxs) {
+  Fp128 fp;
+  fp.mixIn(instr_idxs.size());
+  for (int idx : instr_idxs) {
+    const Instruction& ins = prog.instrs[static_cast<std::size_t>(idx)];
+    fp.mixIn(static_cast<std::uint64_t>(ins.op));
+    fp.mixIn(ins.pred ? (ins.pred_negate ? 2u : 1u) : 0u);
+    if (ins.pred) fp.mixOperand(*ins.pred);
+    fp.mixOperand(ins.dest);
+    fp.mixOperand(ins.dest2);
+    fp.mixIn(ins.srcs.size());
+    for (const Operand& s : ins.srcs) fp.mixOperand(s);
+    if (ins.state_id >= 0 &&
+        ins.state_id < static_cast<int>(prog.states.size())) {
+      const StateObject& st =
+          prog.states[static_cast<std::size_t>(ins.state_id)];
+      fp.mixIn(static_cast<std::uint64_t>(st.kind));
+      fp.mixIn(st.stateful ? 1u : 0u);
+      fp.mixIn(st.depth);
+      fp.mixIn(static_cast<std::uint64_t>(st.key_width));
+      fp.mixIn(static_cast<std::uint64_t>(st.value_width));
+      fp.mixStr(st.name);
+    } else {
+      fp.mixIn(~0ULL);
+    }
+  }
+  return {fp.a, fp.b};
+}
+
+std::shared_ptr<const ExecPlan> ExecPlanCache::get(
+    const IrProgram& prog, std::span<const int> instr_idxs) {
+  const auto key = ExecPlan::fingerprint(prog, instr_idxs);
+  ++stats_.probes;
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  if (plans_.size() >= kMaxEntries) plans_.clear();
+  auto plan =
+      std::make_shared<const ExecPlan>(ExecPlan::compile(prog, instr_idxs));
+  ++stats_.compiles;
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+}  // namespace clickinc::ir

@@ -1,0 +1,191 @@
+// Precompiled execution plans: the emulator's interpreter fast path.
+//
+// ir::Interpreter (interp.h) re-decodes every operand on every packet —
+// each read is a string hash into the env/fields maps, each instruction
+// allocates a source-value vector, and each run() copies the whole Param
+// map. That per-packet decode cost is pure overhead once a snippet is
+// deployed: the instruction list never changes between packets.
+//
+// ExecPlan::compile() runs the decode exactly once. Every operand is
+// resolved to either an immediate-pool index or a dense *slot* in a flat
+// register file (one slot per distinct variable / header-field name), and
+// every instruction becomes a fixed-size DecodedInstr record. Execution is
+// a tight loop over the records with per-opcode threaded dispatch
+// (computed goto on GCC/Clang, an indexed function-pointer handler table
+// elsewhere) — no string hashing, no per-instruction allocation, no
+// re-decode.
+//
+// Semantics are bit-identical to the reference interpreter (proved by the
+// randomized equivalence tests in tests/test_ir.cc): identical Param maps
+// (including *which* keys exist — writes predicated off leave no trace),
+// identical header-field maps, identical verdict/mirror/CPU flags and
+// ExecStats, identical state-store contents (states are bound lazily, on
+// first executed touch, exactly like Interpreter::run).
+//
+// runBatch() amortizes the remaining per-packet setup (state binding,
+// scratch buffers) across a burst — the entry point the emulator's
+// sendBurst() and the Fig. 13 bench drive.
+//
+// Plans are self-contained (they copy the StateObject specs they
+// reference), so one plan can serve any StateStore and outlive the
+// IrProgram it was compiled from. ExecPlanCache memoizes plans under a
+// 128-bit content fingerprint of the compiled segment; core::Service
+// threads one cache through the emulator the way PlacementArena is
+// threaded through the placer, so replicas and repeated submissions of
+// identical templates pay the decode cost once.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/interp.h"
+#include "ir/program.h"
+
+namespace clickinc::ir {
+
+// A compile-time-resolved operand reference: either an index into the
+// plan's immediate pool (top bit set) or a register-file slot index.
+using OpRef = std::uint32_t;
+inline constexpr OpRef kOpRefImmBit = 0x8000'0000u;
+inline constexpr std::uint32_t opRefIndex(OpRef r) {
+  return r & ~kOpRefImmBit;
+}
+inline constexpr bool opRefIsImm(OpRef r) { return (r & kOpRefImmBit) != 0; }
+
+// One fully-decoded instruction. Fixed 32-byte layout, sources live
+// contiguously in the plan's ref pool at [srcs, srcs + nsrc).
+struct DecodedInstr {
+  Opcode op = Opcode::kNop;
+  std::uint8_t flags = 0;  // bit 0: has predicate, bit 1: predicate negated
+  std::uint16_t nsrc = 0;
+  OpRef pred = 0;             // valid iff flags bit 0
+  std::uint32_t srcs = 0;     // index of first source in the ref pool
+  std::int32_t dest = -1;     // slot, or -1 for no destination
+  std::int32_t dest2 = -1;    // hit/miss flag slot of table lookups
+  std::int16_t dest_width = 0;   // truncation width; 0 = none
+  std::int16_t dest2_width = 0;
+  std::int16_t state = -1;    // index into the plan's state-spec list
+
+  static constexpr std::uint8_t kHasPred = 1;
+  static constexpr std::uint8_t kPredNegate = 2;
+  bool hasPred() const { return (flags & kHasPred) != 0; }
+  bool predNegate() const { return (flags & kPredNegate) != 0; }
+};
+
+class ExecPlan {
+ public:
+  // One register-file slot: a distinct variable or header-field name.
+  // The name's ValueMap hash is computed once here so per-packet binds
+  // and write-backs never re-hash key strings.
+  struct Slot {
+    std::string name;
+    std::uint32_t hash = 0;
+    bool is_field = false;
+  };
+
+  // Compiles the whole program / a segment of it (indices into
+  // prog.instrs, in execution order — the same order the emulator's
+  // DeploymentEntry carries).
+  static ExecPlan compile(const IrProgram& prog);
+  static ExecPlan compile(const IrProgram& prog,
+                          std::span<const int> instr_idxs);
+
+  // Reusable per-run buffers (register file, dirty bits, state bindings,
+  // hash scratch). Passing the same instance across calls keeps run() and
+  // runBatch() allocation-free after warm-up — the emulator owns one and
+  // threads it through every deployed snippet. The overloads without a
+  // Scratch use a call-local one.
+  struct Scratch {
+    std::vector<std::uint64_t> regs;
+    std::vector<std::uint8_t> dirty;
+    std::vector<StateInstance*> bound;
+    std::vector<std::uint8_t> bytes;
+    std::vector<PacketView*> ptrs;
+  };
+
+  // Executes the plan against one packet. Same contract as
+  // Interpreter::run: the environment is seeded from pkt.params/fields
+  // and written back afterwards.
+  ExecStats run(StateStore* store, Rng* rng, PacketView& pkt) const;
+  ExecStats run(StateStore* store, Rng* rng, PacketView& pkt,
+                Scratch& scratch) const;
+
+  // Batched execution: state binding and scratch buffers are set up once
+  // and reused for every packet. Packets execute in order, so stateful
+  // results match back-to-back run() calls exactly.
+  ExecStats runBatch(StateStore* store, Rng* rng,
+                     std::span<PacketView> pkts) const;
+  ExecStats runBatch(StateStore* store, Rng* rng,
+                     std::span<PacketView> pkts, Scratch& scratch) const;
+  ExecStats runBatch(StateStore* store, Rng* rng,
+                     std::span<PacketView* const> pkts) const;
+  ExecStats runBatch(StateStore* store, Rng* rng,
+                     std::span<PacketView* const> pkts,
+                     Scratch& scratch) const;
+
+  std::size_t instrCount() const { return code_.size(); }
+  std::size_t slotCount() const { return slots_.size(); }
+  std::size_t stateCount() const { return states_.size(); }
+  const StateObject& stateSpec(int idx) const {
+    return states_[static_cast<std::size_t>(idx)];
+  }
+
+  // 128-bit content fingerprint of a segment — the plan-cache key. Covers
+  // everything execution consults: opcodes, predicates, operand kinds /
+  // names / widths / immediates, and referenced state specs. Two segments
+  // with equal fingerprints compile to interchangeable plans.
+  static std::array<std::uint64_t, 2> fingerprint(
+      const IrProgram& prog, std::span<const int> instr_idxs);
+
+ private:
+  std::vector<DecodedInstr> code_;
+  std::vector<OpRef> refs_;             // source-operand pool
+  std::vector<std::uint64_t> imms_;     // immediate pool
+  std::vector<Slot> slots_;             // register-file layout
+  std::vector<StateObject> states_;     // copied specs, bound lazily at run
+};
+
+// Fingerprint-keyed plan memo shared across deployments. Like the
+// placement memo it is capped and cleared wholesale; entries are
+// shared_ptr so a clear never invalidates plans already handed out.
+class ExecPlanCache {
+ public:
+  struct Stats {
+    std::uint64_t probes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t compiles = 0;
+    double hitRate() const {
+      return probes == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(probes);
+    }
+  };
+
+  // Returns the cached plan for this segment, compiling on miss.
+  std::shared_ptr<const ExecPlan> get(const IrProgram& prog,
+                                      std::span<const int> instr_idxs);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return plans_.size(); }
+  void clear() { plans_.clear(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::array<std::uint64_t, 2>& k) const {
+      return static_cast<std::size_t>(k[0] ^ (k[1] * 0x9E3779B97F4A7C15ULL));
+    }
+  };
+  static constexpr std::size_t kMaxEntries = 1u << 16;
+
+  std::unordered_map<std::array<std::uint64_t, 2>,
+                     std::shared_ptr<const ExecPlan>, KeyHash>
+      plans_;
+  Stats stats_;
+};
+
+}  // namespace clickinc::ir

@@ -207,7 +207,7 @@ ExecStats Interpreter::run(const IrProgram& prog,
                            PacketView& pkt) {
   ExecStats stats;
   // Local environment seeded from carried params.
-  std::unordered_map<std::string, std::uint64_t> env = pkt.params;
+  ValueMap env = pkt.params;
 
   auto read = [&](const Operand& o) -> std::uint64_t {
     switch (o.kind) {

@@ -12,6 +12,12 @@
 //
 // Hot path discipline: no exceptions, no allocation beyond the hash-map
 // operations inherent to table state.
+//
+// This switch interpreter is the *reference path*: it re-decodes every
+// operand on every packet and is kept as the executable specification.
+// The emulator's default engine is the precompiled fast path in
+// exec_plan.h, which is cross-checked against this implementation for
+// bit-identical results (see docs/interpreter.md).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "ir/program.h"
+#include "ir/valuemap.h"
 #include "util/crc.h"
 
 namespace clickinc::ir {
@@ -37,9 +44,12 @@ enum class Verdict : std::uint8_t {
 const char* verdictName(Verdict v);
 
 // The mutable view of one packet as it traverses INC devices.
+// Field/Param storage is a flat ValueMap: both interpreter paths hammer
+// these maps per packet, and the flat layout keeps copies and inserts
+// allocation-free on the hot path (see valuemap.h).
 struct PacketView {
-  std::unordered_map<std::string, std::uint64_t> fields;  // header fields
-  std::unordered_map<std::string, std::uint64_t> params;  // Param carry-over
+  ValueMap fields;  // header fields
+  ValueMap params;  // Param carry-over
   Verdict verdict = Verdict::kNone;
   bool mirrored = false;    // a mirror copy was emitted
   bool cpu_copied = false;  // a copy was punted to the control CPU

@@ -66,6 +66,45 @@ TEST_F(ServiceFixture, DistributedExecutionMatchesSingleDeviceSemantics) {
   }
 }
 
+TEST_F(ServiceFixture, ExecPlanCacheThreadedThroughEmulator) {
+  // The service's plan cache IS the emulator's cache (threaded the way
+  // the placement arena is), and deploying a program compiles its
+  // segments through it. Replicated segments (multi-path common prefix,
+  // §6 replicas) are content-identical and must hit instead of
+  // recompiling. Note cross-user sharing is deliberately absent here:
+  // exec-plan fingerprints are name-sensitive (state/Param names key the
+  // runtime stores), unlike the placement memo's name-blind segments.
+  EXPECT_EQ(&svc_.execPlanCache(), &svc_.emulator().planCache());
+
+  const auto r = svc_.submitTemplate(
+      "DQAcc", {{"CacheDepth", 128}, {"CacheLen", 2}},
+      trafficFor({"pod0a"}, "pod2b"));
+  ASSERT_TRUE(r.ok) << r.failure;
+  const auto stats = svc_.execPlanCache().stats();
+  EXPECT_GT(stats.compiles, 0u);
+  EXPECT_EQ(stats.probes, stats.hits + stats.compiles);
+
+  // Redeploying the same program's snippets (e.g. a replica on another
+  // device) reuses cached plans.
+  const auto& deployed = svc_.deployments().at(r.user_id);
+  const auto before = svc_.execPlanCache().stats();
+  for (const auto& a : deployed.plan.assignments) {
+    for (const auto& [dev, p] : a.on_device) {
+      if (p.instr_idxs.empty()) continue;
+      emu::DeploymentEntry entry;
+      entry.user_id = r.user_id;
+      entry.prog = deployed.prog;
+      entry.instr_idxs = p.instr_idxs;
+      entry.step_from = 90;  // parked step range: never executed
+      entry.step_to = 91;
+      svc_.emulator().deploy(dev, std::move(entry));
+    }
+  }
+  const auto after = svc_.execPlanCache().stats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.compiles, before.compiles);
+}
+
 TEST_F(ServiceFixture, MultiUserIsolationOverTheNetwork) {
   const auto a = svc_.submitTemplate(
       "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},

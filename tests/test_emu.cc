@@ -201,6 +201,225 @@ TEST_F(EmuFixture, UndeployStopsProcessing) {
   EXPECT_TRUE(send(1, 3).delivered);
 }
 
+// --- compiled-plan execution path (exec_plan fast path) ---
+
+// Stateful aggregator: ctr[0] += hdr.value, then drop every 3rd packet.
+std::shared_ptr<ir::IrProgram> aggAndDropThird() {
+  auto prog = std::make_shared<ir::IrProgram>();
+  prog->name = "agg3";
+  prog->addField("hdr.value", 32);
+  ir::StateObject s;
+  s.name = "acc";
+  s.kind = ir::StateKind::kRegister;
+  s.depth = 2;
+  const int sid = prog->addState(s);
+  prog->instrs.push_back(ir::Instruction(
+      ir::Opcode::kRegAdd, ir::Operand::var("sum", 32),
+      {ir::Operand::constant(0, 8), ir::Operand::field("hdr.value", 32)},
+      sid));
+  prog->instrs.push_back(ir::Instruction(
+      ir::Opcode::kRegAdd, ir::Operand::var("n", 32),
+      {ir::Operand::constant(1, 8), ir::Operand::constant(1, 32)}, sid));
+  prog->instrs.push_back(
+      ir::Instruction(ir::Opcode::kMod, ir::Operand::var("m", 32),
+                      {ir::Operand::var("n", 32),
+                       ir::Operand::constant(3, 32)}));
+  prog->instrs.push_back(
+      ir::Instruction(ir::Opcode::kCmpEq, ir::Operand::var("third", 1),
+                      {ir::Operand::var("m", 32),
+                       ir::Operand::constant(0, 32)}));
+  ir::Instruction drop(ir::Opcode::kDrop, ir::Operand::none(), {});
+  drop.pred = ir::Operand::var("third", 1);
+  prog->instrs.push_back(drop);
+  return prog;
+}
+
+TEST(EmuExecPlan, CompiledPathMatchesReferenceInterpreter) {
+  auto run = [](bool reference) {
+    topo::Topology topo = topo::Topology::chain(
+        {device::makeTofino(), device::makeTofino()});
+    Emulator emu(&topo, 11);
+    emu.setReferenceInterpreter(reference);
+    auto prog = aggAndDropThird();
+    emu.deploy(topo.findNode("d0"), entryFor(prog, 1, 0, 1));
+    const int client = topo.findNode("client");
+    const int server = topo.findNode("server");
+
+    std::vector<PacketResult> results;
+    for (int i = 0; i < 20; ++i) {
+      ir::PacketView view;
+      view.user_id = 1;
+      view.setField("hdr.value", static_cast<std::uint64_t>(i * 7 + 1));
+      results.push_back(
+          emu.send(client, server, std::move(view), 100, 100));
+    }
+    std::uint64_t sum = emu.storeOf(topo.findNode("d0"))
+                            .find("acc")
+                            ->regRead(0);
+    return std::make_tuple(std::move(results), sum, emu.stats());
+  };
+
+  auto [ref_results, ref_sum, ref_stats] = run(true);
+  auto [fast_results, fast_sum, fast_stats] = run(false);
+
+  EXPECT_EQ(ref_sum, fast_sum);
+  EXPECT_EQ(ref_stats.packets_dropped, fast_stats.packets_dropped);
+  EXPECT_EQ(ref_stats.packets_delivered, fast_stats.packets_delivered);
+  EXPECT_DOUBLE_EQ(ref_stats.total_latency_ns, fast_stats.total_latency_ns);
+  ASSERT_EQ(ref_results.size(), fast_results.size());
+  for (std::size_t i = 0; i < ref_results.size(); ++i) {
+    EXPECT_EQ(ref_results[i].dropped, fast_results[i].dropped) << i;
+    EXPECT_EQ(ref_results[i].final_node, fast_results[i].final_node) << i;
+    EXPECT_EQ(ref_results[i].view.params, fast_results[i].view.params) << i;
+    EXPECT_EQ(ref_results[i].view.fields, fast_results[i].view.fields) << i;
+    EXPECT_DOUBLE_EQ(ref_results[i].latency_ns, fast_results[i].latency_ns)
+        << i;
+  }
+}
+
+TEST_F(EmuFixture, SendBurstMatchesSequentialSends) {
+  auto prog = aggAndDropThird();
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+
+  // Sequential sends on this emulator...
+  std::vector<PacketResult> seq;
+  for (int i = 0; i < 15; ++i) {
+    ir::PacketView view;
+    view.user_id = 1;
+    view.setField("hdr.value", static_cast<std::uint64_t>(i + 1));
+    seq.push_back(emu_.send(client_, server_, std::move(view), 200, 200));
+  }
+  const auto seq_stats = emu_.stats();
+  const double seq_busy = emu_.maxLinkBusyNs();
+  const std::uint64_t seq_sum =
+      emu_.storeOf(d0_).find("acc")->regRead(0);
+
+  // ...must match one burst on a fresh emulator over the same topology.
+  Emulator burst_emu(&topo_, 11);
+  burst_emu.deploy(d0_, entryFor(prog, 1, 0, 1));
+  std::vector<ir::PacketView> views;
+  for (int i = 0; i < 15; ++i) {
+    ir::PacketView view;
+    view.user_id = 1;
+    view.setField("hdr.value", static_cast<std::uint64_t>(i + 1));
+    views.push_back(std::move(view));
+  }
+  const auto burst =
+      burst_emu.sendBurst(client_, server_, std::move(views), 200, 200);
+
+  ASSERT_EQ(burst.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].delivered, burst[i].delivered) << i;
+    EXPECT_EQ(seq[i].dropped, burst[i].dropped) << i;
+    EXPECT_EQ(seq[i].final_node, burst[i].final_node) << i;
+    EXPECT_EQ(seq[i].hops, burst[i].hops) << i;
+    EXPECT_DOUBLE_EQ(seq[i].latency_ns, burst[i].latency_ns) << i;
+    EXPECT_EQ(seq[i].view.params, burst[i].view.params) << i;
+    EXPECT_EQ(seq[i].view.fields, burst[i].view.fields) << i;
+  }
+  EXPECT_EQ(burst_emu.stats().packets_sent, seq_stats.packets_sent);
+  EXPECT_EQ(burst_emu.stats().packets_dropped, seq_stats.packets_dropped);
+  EXPECT_EQ(burst_emu.stats().packets_delivered,
+            seq_stats.packets_delivered);
+  EXPECT_DOUBLE_EQ(burst_emu.maxLinkBusyNs(), seq_busy);
+  EXPECT_EQ(burst_emu.storeOf(d0_).find("acc")->regRead(0), seq_sum);
+}
+
+TEST_F(EmuFixture, SendBurstPacketMajorOnMultiEntryDevice) {
+  // Two step-gated segments of one program on the SAME device sharing a
+  // register: segment A accumulates acc += hdr.value, segment B reads acc
+  // into a param. Hop-major bursts must still run each packet through
+  // both segments before the next packet (packet-major per device), or
+  // later packets' writes leak into earlier packets' reads.
+  auto prog = std::make_shared<ir::IrProgram>();
+  prog->name = "accread";
+  prog->addField("hdr.value", 32);
+  ir::StateObject s;
+  s.name = "acc";
+  s.kind = ir::StateKind::kRegister;
+  s.depth = 1;
+  const int sid = prog->addState(s);
+  prog->instrs.push_back(ir::Instruction(
+      ir::Opcode::kRegAdd, ir::Operand::var("a", 32),
+      {ir::Operand::constant(0, 8), ir::Operand::field("hdr.value", 32)},
+      sid));
+  prog->instrs.push_back(
+      ir::Instruction(ir::Opcode::kRegRead, ir::Operand::var("out", 32),
+                      {ir::Operand::constant(0, 8)}, sid));
+
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1, {0}));
+  emu_.deploy(d0_, entryFor(prog, 1, 1, 2, {1}));
+  std::vector<PacketResult> seq;
+  for (std::uint64_t v : {10ull, 5ull}) {
+    ir::PacketView view;
+    view.user_id = 1;
+    view.setField("hdr.value", v);
+    seq.push_back(emu_.send(client_, server_, std::move(view), 100, 100));
+  }
+  EXPECT_EQ(seq[0].view.params.at("out"), 10u);
+  EXPECT_EQ(seq[1].view.params.at("out"), 15u);
+
+  Emulator burst_emu(&topo_, 11);
+  burst_emu.deploy(d0_, entryFor(prog, 1, 0, 1, {0}));
+  burst_emu.deploy(d0_, entryFor(prog, 1, 1, 2, {1}));
+  std::vector<ir::PacketView> views;
+  for (std::uint64_t v : {10ull, 5ull}) {
+    ir::PacketView view;
+    view.user_id = 1;
+    view.setField("hdr.value", v);
+    views.push_back(std::move(view));
+  }
+  const auto burst =
+      burst_emu.sendBurst(client_, server_, std::move(views), 100, 100);
+  ASSERT_EQ(burst.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].view.params, burst[i].view.params) << i;
+    EXPECT_DOUBLE_EQ(seq[i].latency_ns, burst[i].latency_ns) << i;
+  }
+}
+
+TEST_F(EmuFixture, SendBurstBouncesAndDropsLikeSend) {
+  // Bounce on d1, drop odd on d0: exercises mid-burst early exits.
+  auto dropper = dropOdd();
+  auto bounce = std::make_shared<ir::IrProgram>();
+  bounce->name = "bounce";
+  bounce->instrs.push_back(
+      ir::Instruction(ir::Opcode::kSendBack, ir::Operand::none(), {}));
+  emu_.deploy(d0_, entryFor(dropper, 1, 0, 1));
+  emu_.deploy(d1_, entryFor(bounce, 1, 1, 2));
+
+  std::vector<ir::PacketView> views;
+  for (int i = 0; i < 6; ++i) {
+    ir::PacketView view;
+    view.user_id = 1;
+    view.setField("hdr.value", static_cast<std::uint64_t>(i));
+    views.push_back(std::move(view));
+  }
+  const auto r = emu_.sendBurst(client_, server_, std::move(views), 100, 100);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (i % 2 == 1) {
+      EXPECT_TRUE(r[i].dropped) << i;
+      EXPECT_EQ(r[i].final_node, d0_) << i;
+    } else {
+      EXPECT_TRUE(r[i].bounced) << i;
+      EXPECT_EQ(r[i].final_node, client_) << i;
+      EXPECT_EQ(r[i].hops, 4) << i;
+    }
+  }
+  EXPECT_EQ(emu_.stats().packets_dropped, 3u);
+  EXPECT_EQ(emu_.stats().packets_bounced, 3u);
+}
+
+TEST_F(EmuFixture, PlanCacheSharedAcrossReplicaDeployments) {
+  auto prog = dropOdd();
+  emu_.deploy(d0_, entryFor(prog, 1, 0, 1));
+  emu_.deploy(d1_, entryFor(prog, 1, 0, 1));  // replica: same segment
+  const auto& stats = emu_.planCache().stats();
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(emu_.planCache().size(), 1u);
+}
+
 TEST(EmuBypass, AcceleratorProcessesAsPartOfSwitchHop) {
   // A switch with an attached accelerator: snippets on the accel run when
   // the packet traverses the switch.

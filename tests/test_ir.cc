@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include "ir/analysis.h"
+#include "ir/exec_plan.h"
 #include "ir/interp.h"
 #include "ir/program.h"
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace clickinc::ir {
 namespace {
@@ -520,6 +522,327 @@ TEST(Interp, ChecksumFolds) {
   interp.runAll(p, pkt);
   // 0x10000 folds to 0x0001; ones' complement = 0xFFFE.
   EXPECT_EQ(pkt.params.at("c"), 0xFFFEu);
+}
+
+// --- compiled execution plans (exec_plan.h) ---
+//
+// Property-style equivalence: randomized programs and packet batches run
+// through both the reference switch interpreter and the compiled plan must
+// produce bit-identical registers (Param maps), header fields, verdicts,
+// stats, and state-store contents.
+
+// Random straight-line program over every opcode family. Table keys and
+// register indices are drawn from a small domain so lookups hit and the
+// probes below can enumerate the state contents.
+IrProgram randomProgram(clickinc::Rng& rng, int ninstr) {
+  IrProgram p;
+  p.name = "rand";
+  for (int f = 0; f < 4; ++f) p.addField(cat("hdr.f", f), 32);
+
+  auto addState = [&](const char* name, StateKind kind, int depth) {
+    StateObject s;
+    s.name = name;
+    s.kind = kind;
+    s.depth = static_cast<std::uint64_t>(depth);
+    s.key_width = 16;
+    s.value_width = 32;
+    return p.addState(s);
+  };
+  const int reg_id = addState("reg", StateKind::kRegister, 8);
+  const int emt_id = addState("emt", StateKind::kExactTable, 6);
+  const int tmt_id = addState("tmt", StateKind::kTernaryTable, 8);
+  const int dmt_id = addState("dmt", StateKind::kDirectTable, 8);
+
+  std::vector<std::string> vars;
+  auto randSrc = [&]() -> Operand {
+    const auto pick = rng.nextBelow(4);
+    if (pick == 0 || vars.empty()) {
+      return Operand::constant(rng.nextBelow(16), 32);
+    }
+    if (pick == 1) {
+      return Operand::field(cat("hdr.f", rng.nextBelow(4)), 32);
+    }
+    return Operand::var(vars[rng.nextBelow(vars.size())], 32);
+  };
+
+  const Opcode kPool[] = {
+      Opcode::kAssign,   Opcode::kAdd,        Opcode::kSub,
+      Opcode::kAnd,      Opcode::kOr,         Opcode::kXor,
+      Opcode::kNot,      Opcode::kShl,        Opcode::kShr,
+      Opcode::kSlice,    Opcode::kCmpLt,      Opcode::kCmpEq,
+      Opcode::kCmpGt,    Opcode::kMin,        Opcode::kMax,
+      Opcode::kSelect,   Opcode::kLAnd,       Opcode::kLOr,
+      Opcode::kLNot,     Opcode::kMul,        Opcode::kDiv,
+      Opcode::kMod,      Opcode::kFAdd,       Opcode::kFMul,
+      Opcode::kFtoI,     Opcode::kItoF,       Opcode::kFSqrt,
+      Opcode::kFCmpLt,   Opcode::kRegRead,    Opcode::kRegWrite,
+      Opcode::kRegAdd,   Opcode::kRegClear,   Opcode::kEmtLookup,
+      Opcode::kSemtLookup, Opcode::kSemtWrite, Opcode::kSemtDelete,
+      Opcode::kTmtLookup, Opcode::kStmtLookup, Opcode::kStmtWrite,
+      Opcode::kDmtLookup, Opcode::kDrop,       Opcode::kForward,
+      Opcode::kSendBack, Opcode::kCopyToCpu,  Opcode::kMirror,
+      Opcode::kHashCrc16, Opcode::kHashCrc32, Opcode::kHashIdentity,
+      Opcode::kChecksum, Opcode::kRandInt,    Opcode::kAesEnc,
+      Opcode::kAesDec,   Opcode::kNop,
+  };
+  const std::size_t npool = sizeof(kPool) / sizeof(kPool[0]);
+
+  for (int i = 0; i < ninstr; ++i) {
+    const Opcode op = kPool[rng.nextBelow(npool)];
+    const auto& info = opcodeInfo(op);
+    Instruction ins;
+    ins.op = op;
+    const int max_srcs = info.max_srcs < 0 ? 4 : info.max_srcs;
+    const int nsrc =
+        info.min_srcs +
+        static_cast<int>(rng.nextBelow(
+            static_cast<std::uint64_t>(max_srcs - info.min_srcs) + 1));
+    for (int s = 0; s < nsrc; ++s) ins.srcs.push_back(randSrc());
+
+    if (info.has_dest) {
+      if (rng.nextBelow(4) == 0) {
+        ins.dest = Operand::field(cat("hdr.f", rng.nextBelow(4)), 32);
+      } else {
+        std::string name = cat("t", i);
+        ins.dest =
+            Operand::var(name, 1 + static_cast<int>(rng.nextBelow(32)));
+        vars.push_back(std::move(name));
+      }
+    }
+    switch (opcodeClass(op)) {
+      case InstrClass::kBSO: ins.state_id = reg_id; break;
+      case InstrClass::kBEM:
+      case InstrClass::kBSEM: ins.state_id = emt_id; break;
+      case InstrClass::kBNEM:
+      case InstrClass::kBSNEM: ins.state_id = tmt_id; break;
+      case InstrClass::kBDM: ins.state_id = dmt_id; break;
+      default: break;
+    }
+    // Occasionally drop the state reference to cover the null-state path.
+    if (ins.state_id >= 0 && rng.nextBelow(10) == 0) ins.state_id = -1;
+    if (info.state != StateAccess::kNone && info.has_dest &&
+        rng.nextBelow(2) == 0) {
+      std::string hit = cat("hit", i);
+      ins.dest2 = Operand::var(hit, 1);
+      vars.push_back(std::move(hit));
+    }
+    if (rng.nextBelow(3) == 0) {
+      ins.pred = randSrc();
+      ins.pred_negate = rng.nextBelow(2) == 0;
+    }
+    p.instrs.push_back(std::move(ins));
+  }
+  return p;
+}
+
+PacketView randomPacket(clickinc::Rng& rng) {
+  PacketView pkt;
+  for (int f = 0; f < 4; ++f) {
+    pkt.setField(cat("hdr.f", f), rng.nextBelow(16));
+  }
+  pkt.params["carried"] = rng.nextBelow(100);
+  pkt.user_id = 1;
+  return pkt;
+}
+
+void expectSamePacket(const PacketView& ref, const PacketView& got) {
+  EXPECT_EQ(ref.params, got.params);
+  EXPECT_EQ(ref.fields, got.fields);
+  EXPECT_EQ(ref.verdict, got.verdict);
+  EXPECT_EQ(ref.mirrored, got.mirrored);
+  EXPECT_EQ(ref.cpu_copied, got.cpu_copied);
+}
+
+// Compares every state the program declares: instance existence (lazy
+// binding must not differ), register cells, and table contents over the
+// small key domain the generator draws from.
+void expectSameStores(const StateStore& ref, const StateStore& got,
+                      const IrProgram& prog) {
+  for (const auto& spec : prog.states) {
+    const StateInstance* a = ref.find(spec.name);
+    const StateInstance* b = got.find(spec.name);
+    ASSERT_EQ(a == nullptr, b == nullptr) << spec.name;
+    if (a == nullptr) continue;
+    EXPECT_EQ(a->entryCount(), b->entryCount()) << spec.name;
+    if (spec.kind == StateKind::kRegister ||
+        spec.kind == StateKind::kDirectTable) {
+      for (std::uint64_t i = 0; i < spec.depth; ++i) {
+        EXPECT_EQ(a->regRead(i), b->regRead(i)) << spec.name << "[" << i
+                                                << "]";
+      }
+    } else {
+      for (std::uint64_t key = 0; key < 64; ++key) {
+        std::uint64_t va = 0, vb = 0;
+        const bool ha = a->lookup(key, &va);
+        const bool hb = b->lookup(key, &vb);
+        EXPECT_EQ(ha, hb) << spec.name << " key " << key;
+        if (ha && hb) {
+          EXPECT_EQ(va, vb) << spec.name << " key " << key;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExecPlan, MatchesReferenceOnRandomPrograms) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    clickinc::Rng gen(seed);
+    const IrProgram prog = randomProgram(gen, 40);
+    const ExecPlan plan = ExecPlan::compile(prog);
+
+    StateStore ref_store, plan_store;
+    clickinc::Rng ref_rng(seed * 1000 + 7), plan_rng(seed * 1000 + 7);
+    Interpreter ref(&ref_store, &ref_rng);
+
+    clickinc::Rng pkt_gen(seed + 99);
+    for (int i = 0; i < 12; ++i) {
+      PacketView a = randomPacket(pkt_gen);
+      PacketView b = a;
+      const ExecStats sa = ref.runAll(prog, a);
+      const ExecStats sb = plan.run(&plan_store, &plan_rng, b);
+      EXPECT_EQ(sa.executed, sb.executed) << "seed " << seed;
+      EXPECT_EQ(sa.skipped, sb.skipped) << "seed " << seed;
+      expectSamePacket(a, b);
+    }
+    expectSameStores(ref_store, plan_store, prog);
+  }
+}
+
+TEST(ExecPlan, BatchMatchesSequentialReference) {
+  for (std::uint64_t seed = 20; seed <= 26; ++seed) {
+    clickinc::Rng gen(seed);
+    const IrProgram prog = randomProgram(gen, 32);
+    const ExecPlan plan = ExecPlan::compile(prog);
+
+    clickinc::Rng pkt_gen(seed);
+    std::vector<PacketView> ref_pkts, plan_pkts;
+    for (int i = 0; i < 16; ++i) {
+      ref_pkts.push_back(randomPacket(pkt_gen));
+      plan_pkts.push_back(ref_pkts.back());
+    }
+
+    StateStore ref_store, plan_store;
+    clickinc::Rng ref_rng(seed * 31), plan_rng(seed * 31);
+    Interpreter ref(&ref_store, &ref_rng);
+    ExecStats ref_total;
+    for (auto& pkt : ref_pkts) {
+      const auto s = ref.runAll(prog, pkt);
+      ref_total.executed += s.executed;
+      ref_total.skipped += s.skipped;
+    }
+    const ExecStats plan_total = plan.runBatch(
+        &plan_store, &plan_rng, std::span<PacketView>(plan_pkts));
+
+    EXPECT_EQ(ref_total.executed, plan_total.executed);
+    EXPECT_EQ(ref_total.skipped, plan_total.skipped);
+    for (std::size_t i = 0; i < ref_pkts.size(); ++i) {
+      expectSamePacket(ref_pkts[i], plan_pkts[i]);
+    }
+    expectSameStores(ref_store, plan_store, prog);
+  }
+}
+
+TEST(ExecPlan, SegmentedPlansCarryParamsLikeReference) {
+  for (std::uint64_t seed = 40; seed <= 44; ++seed) {
+    clickinc::Rng gen(seed);
+    const IrProgram prog = randomProgram(gen, 30);
+    const int n = static_cast<int>(prog.instrs.size());
+    const int cut1 = n / 3, cut2 = 2 * n / 3;
+    std::vector<std::vector<int>> segments(3);
+    for (int i = 0; i < n; ++i) {
+      segments[static_cast<std::size_t>(i < cut1 ? 0 : i < cut2 ? 1 : 2)]
+          .push_back(i);
+    }
+
+    // Per-segment stores model distinct devices; params carry in the view.
+    StateStore ref_stores[3], plan_stores[3];
+    clickinc::Rng ref_rng(seed), plan_rng(seed);
+    clickinc::Rng pkt_gen(seed + 5);
+    PacketView a = randomPacket(pkt_gen);
+    PacketView b = a;
+    for (int s = 0; s < 3; ++s) {
+      std::vector<Instruction> seg;
+      for (int i : segments[static_cast<std::size_t>(s)]) {
+        seg.push_back(prog.instrs[static_cast<std::size_t>(i)]);
+      }
+      Interpreter ref(&ref_stores[s], &ref_rng);
+      ref.run(prog, std::span<const Instruction>(seg), a);
+
+      const ExecPlan plan =
+          ExecPlan::compile(prog, segments[static_cast<std::size_t>(s)]);
+      plan.run(&plan_stores[s], &plan_rng, b);
+    }
+    expectSamePacket(a, b);
+    for (int s = 0; s < 3; ++s) {
+      expectSameStores(ref_stores[s], plan_stores[s], prog);
+    }
+  }
+}
+
+TEST(ExecPlan, PredicatedOffWritesLeaveNoTrace) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("c", 1),
+                        {Operand::constant(0, 1)}));
+  Instruction skipped = mk(Opcode::kAssign, Operand::var("ghost", 32),
+                           {Operand::constant(9, 32)});
+  skipped.pred = Operand::var("c", 1);
+  p.instrs.push_back(skipped);
+  // A state op that never executes must not instantiate its state.
+  StateObject s;
+  s.name = "never";
+  s.kind = StateKind::kRegister;
+  s.depth = 4;
+  const int sid = p.addState(s);
+  Instruction reg = mk(Opcode::kRegAdd, Operand::var("n", 32),
+                       {Operand::constant(0, 8), Operand::constant(1, 32)},
+                       sid);
+  reg.pred = Operand::var("c", 1);
+  p.instrs.push_back(reg);
+
+  const ExecPlan plan = ExecPlan::compile(p);
+  StateStore store;
+  clickinc::Rng rng(1);
+  PacketView pkt;
+  const auto stats = plan.run(&store, &rng, pkt);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(pkt.params.count("ghost"), 0u);
+  EXPECT_EQ(pkt.params.count("n"), 0u);
+  EXPECT_EQ(store.find("never"), nullptr);  // lazy binding, like reference
+}
+
+TEST(ExecPlan, CacheHitsOnIdenticalSegmentsAndKeysOnContent) {
+  clickinc::Rng gen(7);
+  IrProgram prog = randomProgram(gen, 20);
+  std::vector<int> all(prog.instrs.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+
+  ExecPlanCache cache;
+  const auto p1 = cache.get(prog, all);
+  const auto p2 = cache.get(prog, all);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(cache.stats().probes, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().compiles, 1u);
+
+  // A structurally identical copy hits too (content keying, not identity).
+  IrProgram copy = prog;
+  const auto p3 = cache.get(copy, all);
+  EXPECT_EQ(p1.get(), p3.get());
+
+  // Changing an immediate misses.
+  for (auto& ins : copy.instrs) {
+    for (auto& src0 : ins.srcs) {
+      if (src0.isConst()) {
+        src0.value ^= 0x5A5A;
+        goto changed;
+      }
+    }
+  }
+changed:
+  const auto p4 = cache.get(copy, all);
+  EXPECT_NE(p1.get(), p4.get());
+  EXPECT_EQ(cache.stats().compiles, 2u);
 }
 
 TEST(Interp, StateStoreIsolatesInstances) {
