@@ -22,6 +22,7 @@
 #include "ir/exec_plan.h"
 #include "modules/templates.h"
 #include "topo/topology.h"
+#include "util/thread_pool.h"
 
 namespace clickinc {
 namespace {
@@ -227,6 +228,136 @@ bool samePacket(const ir::PacketView& a, const ir::PacketView& b) {
   return a.params == b.params && a.fields == b.fields &&
          a.verdict == b.verdict && a.mirrored == b.mirrored &&
          a.cpu_copied == b.cpu_copied;
+}
+
+// --- parallel emulation: device-disjoint flows over a worker pool ---
+//
+// The multi-tenant regime sendBursts() parallelizes: k flows, each on its
+// own client-device-server chain, each device running the deployed
+// program against its own state store. Aggregate packets/sec across the
+// whole fleet, per pool size; results are bit-identical across thread
+// counts (asserted in tests/test_parallel.cc, spot-checked here).
+struct ParEmuResult {
+  std::string name;
+  int flows = 0;
+  std::size_t packets_per_flow = 0;
+  double median_1t_pps = 0;
+  double median_2t_pps = 0;
+  double median_4t_pps = 0;
+  double speedup_2t = 0;
+  double speedup_4t = 0;
+  bool identical = false;  // 4-thread results == sequential results
+};
+
+topo::Topology disjointChains(int k) {
+  topo::Topology t;
+  for (int i = 0; i < k; ++i) {
+    Node c;
+    c.name = cat("client", i);
+    c.kind = NodeKind::kHost;
+    const int cid = t.addNode(c);
+    Node d;
+    d.name = cat("dev", i);
+    d.kind = NodeKind::kSwitch;
+    d.programmable = true;
+    d.model = device::makeTofino();
+    const int did = t.addNode(d);
+    Node s;
+    s.name = cat("server", i);
+    s.kind = NodeKind::kHost;
+    const int sid = t.addNode(s);
+    t.addLink(cid, did);
+    t.addLink(did, sid);
+  }
+  return t;
+}
+
+ParEmuResult measureParallelEmu(const std::string& name,
+                                const ir::IrProgram& prog, int flows,
+                                std::size_t packets_per_flow, int reps) {
+  ParEmuResult r;
+  r.name = name;
+  r.flows = flows;
+  r.packets_per_flow = packets_per_flow;
+
+  const auto topo = disjointChains(flows);
+  auto shared = std::make_shared<ir::IrProgram>(prog);
+  std::vector<int> idxs(prog.instrs.size());
+  for (std::size_t i = 0; i < idxs.size(); ++i) idxs[i] = static_cast<int>(i);
+
+  std::vector<std::vector<ir::PacketView>> base(
+      static_cast<std::size_t>(flows));
+  for (int f = 0; f < flows; ++f) {
+    base[static_cast<std::size_t>(f)] =
+        makePackets(prog, packets_per_flow,
+                    0xE14 + static_cast<std::uint64_t>(f));
+  }
+
+  auto runOnce = [&](util::ThreadPool* pool,
+                     std::vector<std::vector<emu::PacketResult>>* out) {
+    emu::Emulator emu(&topo, 7);
+    emu.setThreadPool(pool);
+    for (int f = 0; f < flows; ++f) {
+      emu::DeploymentEntry entry;
+      entry.user_id = 1;
+      entry.prog = shared;
+      entry.instr_idxs = idxs;
+      entry.step_from = 0;
+      entry.step_to = 1;
+      emu.deploy(topo.findNode(cat("dev", f)), entry);
+    }
+    std::vector<emu::Burst> bursts(static_cast<std::size_t>(flows));
+    for (int f = 0; f < flows; ++f) {
+      auto& b = bursts[static_cast<std::size_t>(f)];
+      b.src = topo.findNode(cat("client", f));
+      b.dst = topo.findNode(cat("server", f));
+      b.views = base[static_cast<std::size_t>(f)];
+      b.wire_bytes = 100;
+      b.useful_bytes = 100;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = emu.sendBursts(std::move(bursts));
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (out != nullptr) *out = std::move(results);
+    const double total =
+        static_cast<double>(flows) * static_cast<double>(packets_per_flow);
+    return s > 0 ? total / s : 0.0;
+  };
+
+  std::vector<double> pps_1t, pps_2t, pps_4t;
+  std::vector<std::vector<emu::PacketResult>> seq_out, par_out;
+  {
+    util::ThreadPool pool2(2);
+    util::ThreadPool pool4(4);
+    for (int rep = 0; rep < reps; ++rep) {
+      pps_1t.push_back(runOnce(nullptr, rep == 0 ? &seq_out : nullptr));
+      pps_2t.push_back(runOnce(&pool2, nullptr));
+      pps_4t.push_back(runOnce(&pool4, rep == 0 ? &par_out : nullptr));
+    }
+  }
+  r.identical = seq_out.size() == par_out.size();
+  for (std::size_t f = 0; r.identical && f < seq_out.size(); ++f) {
+    if (seq_out[f].size() != par_out[f].size()) {
+      r.identical = false;
+      break;
+    }
+    for (std::size_t i = 0; i < seq_out[f].size(); ++i) {
+      if (!samePacket(seq_out[f][i].view, par_out[f][i].view) ||
+          seq_out[f][i].latency_ns != par_out[f][i].latency_ns ||
+          seq_out[f][i].dropped != par_out[f][i].dropped) {
+        r.identical = false;
+        break;
+      }
+    }
+  }
+  r.median_1t_pps = bench::medianOf(pps_1t);
+  r.median_2t_pps = bench::medianOf(pps_2t);
+  r.median_4t_pps = bench::medianOf(pps_4t);
+  r.speedup_2t = r.median_1t_pps > 0 ? r.median_2t_pps / r.median_1t_pps : 0;
+  r.speedup_4t = r.median_1t_pps > 0 ? r.median_4t_pps / r.median_1t_pps : 0;
+  return r;
 }
 
 InterpResult measureInterp(const std::string& name,
@@ -452,10 +583,42 @@ int main() {
   }
   bench::printTable(emu_table);
 
+  // Parallel emulation: device-disjoint flows across a worker pool. The
+  // aggregate throughput scales with min(threads, flows) when the
+  // hardware provides the cores; results stay bit-identical.
+  bench::printHeader(
+      "Parallel emulation — device-disjoint flows via sendBursts",
+      cat("4 flows on disjoint client-device-server chains, one burst "
+          "each; aggregate pkt/s.\nHardware threads on this machine: ",
+          util::ThreadPool::hardwareConcurrency(), "."));
+
+  const int par_flows = 4;
+  const std::size_t par_packets = npackets / 2;
+  std::vector<ParEmuResult> par_results;
+  par_results.push_back(measureParallelEmu(
+      "mlagg_dim32_largest_fig13", programs[1].second, par_flows,
+      par_packets, reps));
+  par_results.push_back(measureParallelEmu("kvs", programs[2].second,
+                                           par_flows, par_packets, reps));
+
+  TextTable par_table({"workload", "1 thread (pkt/s)", "2 threads (pkt/s)",
+                       "4 threads (pkt/s)", "speedup 2t", "speedup 4t",
+                       "identical"});
+  for (const auto& r : par_results) {
+    par_table.addRow(
+        {r.name, fmtDouble(r.median_1t_pps, 0),
+         fmtDouble(r.median_2t_pps, 0), fmtDouble(r.median_4t_pps, 0),
+         cat(fmtDouble(r.speedup_2t, 2), "x"),
+         cat(fmtDouble(r.speedup_4t, 2), "x"),
+         r.identical ? "yes" : "NO"});
+  }
+  bench::printTable(par_table);
+
   // Machine-readable trajectory record (schema: docs/benchmarks.md).
   bench::JsonWriter json;
   json.beginObject();
   json.kv("bench", "fig13_performance");
+  json.kv("hardware_threads", util::ThreadPool::hardwareConcurrency());
   json.kv("smoke", smoke);
   json.kv("rounds", rounds);
   json.key("configs").beginArray();
@@ -506,6 +669,24 @@ int main() {
     json.kv("median_burst_pps", r.median_burst_pps);
     json.kv("speedup_compiled", r.speedup_compiled);
     json.kv("speedup_burst", r.speedup_burst);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  json.key("parallel_emulator").beginObject();
+  json.kv("flows", par_flows);
+  json.kv("packets_per_flow", static_cast<long>(par_packets));
+  json.kv("reps", reps);
+  json.key("workloads").beginArray();
+  for (const auto& r : par_results) {
+    json.beginObject();
+    json.kv("name", r.name);
+    json.kv("median_1t_pps", r.median_1t_pps);
+    json.kv("median_2t_pps", r.median_2t_pps);
+    json.kv("median_4t_pps", r.median_4t_pps);
+    json.kv("speedup_2t", r.speedup_2t);
+    json.kv("speedup_4t", r.speedup_4t);
+    json.kv("identical", r.identical);
     json.endObject();
   }
   json.endArray();

@@ -18,6 +18,7 @@
 #include "place/smt_baseline.h"
 #include "place/treedp.h"
 #include "topo/ec.h"
+#include "util/thread_pool.h"
 
 namespace clickinc {
 namespace {
@@ -66,7 +67,31 @@ struct WorkloadResult {
   long seg_probes = 0;
   long seg_misses = 0;
   long early_breaks = 0;
+  // Worker-pool fast path (cold arena per run, like median_fast_ms).
+  double median_par2_ms = 0;
+  double median_par4_ms = 0;
+  double speedup_par4 = 0;  // sequential fast / 4-thread fast
+  bool parallel_identical = false;  // 4-thread plan == sequential plan
+  long parallel_tasks = 0;          // tasks dispatched in one 4-thread run
 };
+
+// Quick structural identity check (the exhaustive bit-level assertions
+// live in tests/test_parallel.cc; the bench just refuses to publish a
+// speedup for a divergent plan).
+bool samePlan(const place::PlacementPlan& a, const place::PlacementPlan& b) {
+  if (a.feasible != b.feasible || a.gain != b.gain || a.steps != b.steps ||
+      a.assignments.size() != b.assignments.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < a.assignments.size(); ++k) {
+    if (a.assignments[k].tree_node != b.assignments[k].tree_node ||
+        a.assignments[k].from_block != b.assignments[k].from_block ||
+        a.assignments[k].to_block != b.assignments[k].to_block) {
+      return false;
+    }
+  }
+  return true;
+}
 
 WorkloadResult measureWorkload(const std::string& name,
                                const ir::IrProgram& prog,
@@ -117,7 +142,37 @@ WorkloadResult measureWorkload(const std::string& name,
     warm_ms.push_back(timeOnce(fast_opts, &warm, nullptr));
   }
 
+  // Worker-pool runs: same cold-arena regime as median_fast_ms, with the
+  // tree DP fanned out over 2 and 4 threads. Plans are bit-identical to
+  // the sequential fast path (asserted in tests/test_parallel.cc and
+  // spot-checked here), so any delta is pure wall-clock.
+  std::vector<double> par2_ms, par4_ms;
+  place::PlacementPlan par_plan;
+  {
+    util::ThreadPool pool2(2);
+    place::PlacementOptions opts2 = fast_opts;
+    opts2.pool = &pool2;
+    for (int i = 0; i < reps; ++i) {
+      place::PlacementArena cold;
+      par2_ms.push_back(timeOnce(opts2, &cold, nullptr));
+    }
+    util::ThreadPool pool4(4);
+    place::PlacementOptions opts4 = fast_opts;
+    opts4.pool = &pool4;
+    for (int i = 0; i < reps; ++i) {
+      place::PlacementArena cold;
+      par4_ms.push_back(timeOnce(opts4, &cold, &par_plan));
+    }
+  }
+
   r.feasible = fast_plan.feasible;
+  r.median_par2_ms = bench::medianOf(par2_ms);
+  r.median_par4_ms = bench::medianOf(par4_ms);
+  r.speedup_par4 = r.median_par4_ms > 0
+                       ? bench::medianOf(fast_ms) / r.median_par4_ms
+                       : 0;
+  r.parallel_identical = samePlan(par_plan, fast_plan);
+  r.parallel_tasks = par_plan.stats.parallel_tasks;
   r.median_ref_ms = bench::medianOf(ref_ms);
   r.median_fast_ms = bench::medianOf(fast_ms);
   r.median_warm_ms = bench::medianOf(warm_ms);
@@ -253,11 +308,35 @@ int main() {
   }
   bench::printTable(fastTable);
 
+  // Worker-pool placement: the same cold-arena fast path with the tree DP
+  // fanned out (sibling subtrees, per-node segment fills, server-chain
+  // rows). Plans are bit-identical across thread counts; this machine
+  // has hardwareConcurrency() threads, so the 2t/4t columns only show
+  // real speedups when the hardware provides the cores.
+  bench::printHeader(
+      "Parallel placement — worker-pool tree DP (cold arena)",
+      cat("Medians over ", kReps, " runs; pool of 2 and 4 threads vs the "
+          "sequential fast path.\nHardware threads on this machine: ",
+          util::ThreadPool::hardwareConcurrency(), "."));
+  TextTable parTable({"workload", "fast 1t (ms)", "fast 2t (ms)",
+                      "fast 4t (ms)", "speedup (4t)", "pool tasks",
+                      "identical"});
+  for (const auto& r : results) {
+    parTable.addRow({r.name, fmtDouble(r.median_fast_ms, 3),
+                     fmtDouble(r.median_par2_ms, 3),
+                     fmtDouble(r.median_par4_ms, 3),
+                     cat(fmtDouble(r.speedup_par4, 2), "x"),
+                     cat(r.parallel_tasks),
+                     r.parallel_identical ? "yes" : "NO"});
+  }
+  bench::printTable(parTable);
+
   // Machine-readable trajectory record.
   bench::JsonWriter json;
   json.beginObject();
   json.kv("bench", "fig14_compile_time");
   json.kv("reps", kReps);
+  json.kv("hardware_threads", util::ThreadPool::hardwareConcurrency());
   json.key("workloads").beginArray();
   for (const auto& r : results) {
     json.beginObject();
@@ -276,6 +355,11 @@ int main() {
     json.kv("seg_probes", r.seg_probes);
     json.kv("seg_misses", r.seg_misses);
     json.kv("early_breaks", r.early_breaks);
+    json.kv("median_parallel_2t_ms", r.median_par2_ms);
+    json.kv("median_parallel_4t_ms", r.median_par4_ms);
+    json.kv("speedup_parallel_4t", r.speedup_par4);
+    json.kv("parallel_plans_identical", r.parallel_identical);
+    json.kv("parallel_tasks_4t", r.parallel_tasks);
     json.endObject();
   }
   json.endArray();

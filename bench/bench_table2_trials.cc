@@ -9,12 +9,13 @@
 // toolchain compiles each template first-try (trials = errors = 0-1) in
 // milliseconds.
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "device/validate.h"
 #include "modules/templates.h"
 #include "place/intradevice.h"
-#include <cstdio>
 
 namespace clickinc {
 namespace {
@@ -92,6 +93,10 @@ int naiveDeveloperTrials(const ir::IrProgram& prog,
 
 int main() {
   using namespace clickinc;
+  // Smoke mode (CI): cap the scripted-developer campaign lower; the
+  // measured ClickINC rows and the JSON schema are exercised unchanged.
+  const bool smoke = std::getenv("CLICKINC_BENCH_SMOKE") != nullptr;
+  const int trial_cap = smoke ? 120 : 500;
   bench::printHeader(
       "Table 2 — development trials and time (P4-16 manual vs ClickINC)",
       "Substituted metric: 'trials' for P4-16 counts scripted "
@@ -115,11 +120,19 @@ int main() {
       {"DQAcc", "DQAcc", {{"CacheDepth", 512}, {"CacheLen", 4}}},
   };
 
+  struct Row {
+    std::string name;
+    int manual_trials = 0;
+    bool clickinc_ok = false;
+    double clickinc_ms = 0;
+  };
+  std::vector<Row> rows;
+
   TextTable table({"app", "P4-16 trials (scripted)", "ClickINC trials",
                    "ClickINC compile+place (ms)"});
   for (const auto& app : apps) {
     const auto prog = lib.compileTemplate(app.tmpl, "t2", app.params);
-    const int manual = naiveDeveloperTrials(prog, tofino);
+    const int manual = naiveDeveloperTrials(prog, tofino, trial_cap);
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto prog2 = lib.compileTemplate(app.tmpl, "t2b", app.params);
@@ -134,7 +147,31 @@ int main() {
                           .count();
     table.addRow({app.name, cat(manual), placed.feasible ? "1" : "n/a",
                   fmtDouble(ms, 2)});
+    rows.push_back({app.name, manual, placed.feasible, ms});
   }
   bench::printTable(table);
+
+  // Machine-readable trajectory record (schema: docs/benchmarks.md).
+  bench::JsonWriter json;
+  json.beginObject();
+  json.kv("bench", "table2_trials");
+  json.kv("smoke", smoke);
+  json.kv("trial_cap", trial_cap);
+  json.key("apps").beginArray();
+  for (const auto& r : rows) {
+    json.beginObject();
+    json.kv("name", r.name);
+    json.kv("p4_trials_scripted", r.manual_trials);
+    json.kv("clickinc_trials", r.clickinc_ok ? 1 : -1);
+    json.kv("clickinc_compile_place_ms", r.clickinc_ms);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  if (json.writeFile("BENCH_table2.json")) {
+    std::printf("wrote BENCH_table2.json\n");
+  } else {
+    std::printf("WARNING: could not write BENCH_table2.json\n");
+  }
   return 0;
 }

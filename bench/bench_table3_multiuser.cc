@@ -5,86 +5,219 @@
 // ClickINC rows are fully measured (automatic placement + synthesis).
 // The paper's manual/P4-16 rows came from a human study; they are shown
 // as reference values.
+//
+// The scenario also doubles as the multi-user benchmark for the
+// worker-pool placement path: the whole six-submission sequence is run at
+// concurrency 1 and concurrency 4 (fresh service each), with identical
+// plans required. Set CLICKINC_BENCH_SMOKE=1 for a single-rep CI run;
+// either way a machine-readable BENCH_table3.json is written.
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "core/service.h"
+#include "util/thread_pool.h"
 
-int main() {
-  using namespace clickinc;
-  bench::printHeader(
-      "Table 3 — multi-user program placement over the Fig. 11 topology",
-      "ClickINC: measured automatic placement (all six instances). Paper's "
-      "manual-P4 reference:\n2-31 trials and minutes-to-hours per instance; "
-      "ClickINC <10s, error-free, for all six.");
+namespace clickinc {
+namespace {
 
-  core::ClickIncService svc(topo::Topology::paperEmulation());
-  auto host = [&](const char* n) { return svc.topology().findNode(n); };
-  auto traffic = [&](std::vector<int> srcs, int dst) {
-    topo::TrafficSpec spec;
-    for (int s : srcs) spec.sources.push_back({s, 10.0});
-    spec.dst_host = dst;
-    return spec;
-  };
+struct Instance {
+  const char* label;
+  const char* tmpl;
+  std::map<std::string, std::uint64_t> params;
+  std::vector<const char*> srcs;
+  const char* dst;
+};
 
-  struct Instance {
-    const char* label;
-    const char* tmpl;
-    std::map<std::string, std::uint64_t> params;
-    topo::TrafficSpec spec;
-  };
+struct InstanceResult {
+  std::string label;
+  bool ok = false;
+  std::string failure;
+  double ms = 0;
+  std::vector<std::string> devices;
+  double hr = 0, hp = 0, gain = 0;
+};
+
+struct ScenarioResult {
+  std::vector<InstanceResult> instances;
+  double total_ms = 0;
+  int placed = 0;
+  place::PlacementStats stats;
+};
+
+std::vector<Instance> instanceSet() {
   const std::map<std::string, std::uint64_t> kvs_params = {
       {"CacheSize", 1024}, {"ValDim", 4}, {"TH", 32}};
   const std::map<std::string, std::uint64_t> dq_params = {
       {"CacheDepth", 1024}, {"CacheLen", 4}};
   const std::map<std::string, std::uint64_t> agg_params = {
       {"NumAgg", 1024}, {"Dim", 8}, {"NumWorker", 2}};
+  return {
+      {"KVS0", "KVS", kvs_params, {"pod0a", "pod1a"}, "pod2b"},
+      {"DQAcc0", "DQAcc", dq_params, {"pod0a", "pod0b"}, "pod2b"},
+      {"MLAgg0", "MLAgg", agg_params, {"pod0b", "pod1b"}, "pod2b"},
+      {"DQAcc1", "DQAcc", dq_params, {"pod0b", "pod1a"}, "pod2b"},
+      {"MLAgg1", "MLAgg", agg_params, {"pod1a", "pod1b"}, "pod2b"},
+      {"KVS1", "KVS", kvs_params, {"pod0b", "pod1b"}, "pod2b"},
+  };
+}
 
-  std::vector<Instance> instances;
-  instances.push_back({"KVS0", "KVS", kvs_params,
-                       traffic({host("pod0a"), host("pod1a")}, host("pod2b"))});
-  instances.push_back({"DQAcc0", "DQAcc", dq_params,
-                       traffic({host("pod0a"), host("pod0b")}, host("pod2b"))});
-  instances.push_back({"MLAgg0", "MLAgg", agg_params,
-                       traffic({host("pod0b"), host("pod1b")}, host("pod2b"))});
-  instances.push_back({"DQAcc1", "DQAcc", dq_params,
-                       traffic({host("pod0b"), host("pod1a")}, host("pod2b"))});
-  instances.push_back({"MLAgg1", "MLAgg", agg_params,
-                       traffic({host("pod1a"), host("pod1b")}, host("pod2b"))});
-  instances.push_back({"KVS1", "KVS", kvs_params,
-                       traffic({host("pod0b"), host("pod1b")}, host("pod2b"))});
+// One full six-submission scenario against a fresh service.
+ScenarioResult runScenario(int concurrency) {
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+  svc.setConcurrency(concurrency);
+  ScenarioResult out;
+  for (const auto& inst : instanceSet()) {
+    topo::TrafficSpec spec;
+    for (const char* s : inst.srcs) {
+      spec.sources.push_back({svc.topology().findNode(s), 10.0});
+    }
+    spec.dst_host = svc.topology().findNode(inst.dst);
 
-  TextTable table({"instance", "time (ms)", "devices", "h_r (resource)",
-                   "h_p (comm)", "gain"});
-  double total_ms = 0;
-  int placed = 0;
-  for (const auto& inst : instances) {
     const auto t0 = std::chrono::steady_clock::now();
-    const auto r = svc.submitTemplate(inst.tmpl, inst.params, inst.spec);
+    const auto r = svc.submitTemplate(inst.tmpl, inst.params, spec);
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
-    total_ms += ms;
+    out.total_ms += ms;
+    InstanceResult ir;
+    ir.label = inst.label;
+    ir.ok = r.ok;
+    ir.ms = ms;
     if (!r.ok) {
-      table.addRow({inst.label, fmtDouble(ms, 1), "FAILED: " + r.failure,
-                    "-", "-", "-"});
+      ir.failure = r.failure;
+      out.instances.push_back(std::move(ir));
       continue;
     }
-    ++placed;
-    std::vector<std::string> names;
+    ++out.placed;
     for (int d : r.plan.devicesUsed()) {
-      names.push_back(svc.topology().node(d).name);
+      ir.devices.push_back(svc.topology().node(d).name);
     }
-    std::sort(names.begin(), names.end());
-    names.erase(std::unique(names.begin(), names.end()), names.end());
-    table.addRow({inst.label, fmtDouble(ms, 1), joinStrings(names, ","),
-                  fmtDouble(r.plan.hr, 3), fmtDouble(r.plan.hp, 3),
-                  fmtDouble(r.plan.gain, 3)});
+    std::sort(ir.devices.begin(), ir.devices.end());
+    ir.devices.erase(std::unique(ir.devices.begin(), ir.devices.end()),
+                     ir.devices.end());
+    ir.hr = r.plan.hr;
+    ir.hp = r.plan.hp;
+    ir.gain = r.plan.gain;
+    out.instances.push_back(std::move(ir));
+  }
+  out.stats = svc.placementStats();
+  return out;
+}
+
+bool sameOutcomes(const ScenarioResult& a, const ScenarioResult& b) {
+  if (a.instances.size() != b.instances.size()) return false;
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    if (a.instances[i].ok != b.instances[i].ok ||
+        a.instances[i].gain != b.instances[i].gain ||
+        a.instances[i].devices != b.instances[i].devices) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace clickinc
+
+int main() {
+  using namespace clickinc;
+  const bool smoke = std::getenv("CLICKINC_BENCH_SMOKE") != nullptr;
+  const int reps = smoke ? 1 : 3;
+  bench::printHeader(
+      "Table 3 — multi-user program placement over the Fig. 11 topology",
+      "ClickINC: measured automatic placement (all six instances). Paper's "
+      "manual-P4 reference:\n2-31 trials and minutes-to-hours per instance; "
+      "ClickINC <10s, error-free, for all six.");
+
+  // Sequential reference scenario (reported in the table) plus repeated
+  // timed runs at concurrency 1 and 4 for the worker-pool trajectory.
+  const ScenarioResult seq = runScenario(1);
+
+  TextTable table({"instance", "time (ms)", "devices", "h_r (resource)",
+                   "h_p (comm)", "gain"});
+  for (const auto& inst : seq.instances) {
+    if (!inst.ok) {
+      table.addRow({inst.label, fmtDouble(inst.ms, 1),
+                    "FAILED: " + inst.failure, "-", "-", "-"});
+      continue;
+    }
+    table.addRow({inst.label, fmtDouble(inst.ms, 1),
+                  joinStrings(inst.devices, ","), fmtDouble(inst.hr, 3),
+                  fmtDouble(inst.hp, 3), fmtDouble(inst.gain, 3)});
   }
   bench::printTable(table);
   std::printf("ClickINC placed %d/6 instances automatically in %s ms total "
               "(paper: <10 s, zero trials-and-error).\n\n",
-              placed, fmtDouble(total_ms, 1).c_str());
+              seq.placed, fmtDouble(seq.total_ms, 1).c_str());
+
+  std::vector<double> ms_1t, ms_4t;
+  bool identical = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto r1 = runScenario(1);
+    const auto r4 = runScenario(4);
+    ms_1t.push_back(r1.total_ms);
+    ms_4t.push_back(r4.total_ms);
+    identical = identical && sameOutcomes(r1, r4) && sameOutcomes(r1, seq);
+  }
+  const double median_1t = bench::medianOf(ms_1t);
+  const double median_4t = bench::medianOf(ms_4t);
+  bench::printHeader(
+      "Worker-pool placement — six-submission scenario end to end",
+      cat("Median of ", reps, " runs; fresh service per run. Hardware "
+          "threads on this machine: ",
+          util::ThreadPool::hardwareConcurrency(), "."));
+  TextTable par({"concurrency", "total (ms)", "speedup", "plans identical"});
+  par.addRow({"1", fmtDouble(median_1t, 1), "1.00x", "-"});
+  par.addRow({"4", fmtDouble(median_4t, 1),
+              cat(fmtDouble(median_4t > 0 ? median_1t / median_4t : 0, 2),
+                  "x"),
+              identical ? "yes" : "NO"});
+  bench::printTable(par);
+
+  // Machine-readable trajectory record (schema: docs/benchmarks.md).
+  bench::JsonWriter json;
+  json.beginObject();
+  json.kv("bench", "table3_multiuser");
+  json.kv("smoke", smoke);
+  json.kv("reps", reps);
+  json.kv("hardware_threads", util::ThreadPool::hardwareConcurrency());
+  json.kv("placed", seq.placed);
+  json.kv("total_ms", seq.total_ms);
+  json.kv("intra_memo_hit_rate", seq.stats.intraMemoHitRate());
+  json.kv("seg_cache_hit_rate", seq.stats.segCacheHitRate());
+  json.key("instances").beginArray();
+  for (const auto& inst : seq.instances) {
+    json.beginObject();
+    json.kv("label", inst.label);
+    json.kv("ok", inst.ok);
+    json.kv("ms", inst.ms);
+    if (inst.ok) {
+      json.key("devices").beginArray();
+      for (const auto& d : inst.devices) json.value(d);
+      json.endArray();
+      json.kv("hr", inst.hr);
+      json.kv("hp", inst.hp);
+      json.kv("gain", inst.gain);
+    } else {
+      json.kv("failure", inst.failure);
+    }
+    json.endObject();
+  }
+  json.endArray();
+  json.key("parallel").beginObject();
+  json.kv("median_total_ms_concurrency1", median_1t);
+  json.kv("median_total_ms_concurrency4", median_4t);
+  json.kv("speedup_concurrency4",
+          median_4t > 0 ? median_1t / median_4t : 0.0);
+  json.kv("plans_identical", identical);
+  json.endObject();
+  json.endObject();
+  if (json.writeFile("BENCH_table3.json")) {
+    std::printf("wrote BENCH_table3.json\n");
+  } else {
+    std::printf("WARNING: could not write BENCH_table3.json\n");
+  }
   return 0;
 }

@@ -8,6 +8,8 @@
 // hosts anything before or after is touched — the paper's observation
 // that MD "is more likely to incur global traffic interruption".
 #include <algorithm>
+#include <cstdlib>
+
 #include "bench_util.h"
 #include "core/service.h"
 
@@ -53,6 +55,12 @@ std::string podsText(const std::set<int>& pods) {
 
 int main() {
   using namespace clickinc;
+  // Smoke mode (CI): smaller template parameters — the step structure,
+  // impact accounting, and JSON schema are exercised unchanged.
+  const bool smoke = std::getenv("CLICKINC_BENCH_SMOKE") != nullptr;
+  const std::uint64_t kvs_cache = smoke ? 4096 : 100000;
+  const std::uint64_t dq_depth = smoke ? 512 : 4096;
+  const std::uint64_t num_agg = smoke ? 256 : 2048;
   bench::printHeader(
       "Table 6 — incremental (ID) vs monolithic (MD) deployment impact",
       "Paper shape: identical for the first adds; from +MLAgg1 on, MD "
@@ -63,17 +71,18 @@ int main() {
   // path; MLAgg1 float-converted so it needs the pod1 FPGA NICs).
   const std::vector<ProgramSpec> programs = {
       {"KVS",
-       {{"CacheSize", 100000}, {"ValDim", 4}, {"TH", 64}},
+       {{"CacheSize", kvs_cache}, {"ValDim", 4}, {"TH", 64}},
        {"pod0a", "pod1a"},
        "pod2a"},
-      {"DQAcc", {{"CacheDepth", 4096}, {"CacheLen", 4}}, {"pod1a"}, "pod2b"},
+      {"DQAcc", {{"CacheDepth", dq_depth}, {"CacheLen", 4}}, {"pod1a"},
+       "pod2b"},
       {"MLAgg",  // MLAgg1: float gradients
-       {{"NumAgg", 2048}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 1},
+       {{"NumAgg", num_agg}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 1},
         {"Scale", 256}},
        {"pod1a", "pod1b"},
        "pod2b"},
       {"MLAgg",  // MLAgg2: integer gradients
-       {{"NumAgg", 2048}, {"Dim", 8}, {"NumWorker", 2}},
+       {{"NumAgg", num_agg}, {"Dim", 8}, {"NumWorker", 2}},
        {"pod0a", "pod0b"},
        "pod2a"},
   };
@@ -155,8 +164,52 @@ int main() {
                   podsText(md_impacts[s].affected_pods)});
   }
   bench::printTable(table);
+  bool md_geq_id = true;
+  for (std::size_t s = 2; s < steps.size(); ++s) {
+    md_geq_id =
+        md_geq_id &&
+        md_impacts[s].affected_devices.size() >=
+            id_impacts[s].affected_devices.size() &&
+        md_impacts[s].affected_pods.size() >=
+            id_impacts[s].affected_pods.size();
+  }
   std::printf("Shape check: from +MLAgg1 onward MD affects >= ID on every "
               "column (paper: 50-75%% less\ntraffic affected with "
-              "incremental deployment).\n\n");
+              "incremental deployment): %s\n\n",
+              md_geq_id ? "holds" : "VIOLATED");
+
+  // Machine-readable trajectory record (schema: docs/benchmarks.md).
+  bench::JsonWriter json;
+  json.beginObject();
+  json.kv("bench", "table6_incremental");
+  json.kv("smoke", smoke);
+  json.kv("md_geq_id_from_mlagg1", md_geq_id);
+  json.key("steps").beginArray();
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    json.beginObject();
+    json.kv("label", steps[s].label);
+    json.kv("id_devices", static_cast<long>(
+                              id_impacts[s].affected_devices.size()));
+    json.kv("id_other_inc",
+            static_cast<long>(id_impacts[s].affected_users.size()));
+    json.key("id_pods").beginArray();
+    for (int p : id_impacts[s].affected_pods) json.value(p);
+    json.endArray();
+    json.kv("md_devices", static_cast<long>(
+                              md_impacts[s].affected_devices.size()));
+    json.kv("md_other_inc",
+            static_cast<long>(md_impacts[s].affected_users.size()));
+    json.key("md_pods").beginArray();
+    for (int p : md_impacts[s].affected_pods) json.value(p);
+    json.endArray();
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  if (json.writeFile("BENCH_table6.json")) {
+    std::printf("wrote BENCH_table6.json\n");
+  } else {
+    std::printf("WARNING: could not write BENCH_table6.json\n");
+  }
   return 0;
 }

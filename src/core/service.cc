@@ -1,5 +1,6 @@
 #include "core/service.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "place/blockdag.h"
@@ -48,6 +49,18 @@ SubmitResult ClickIncService::submitSource(
   return submitProgram(std::move(prog), traffic, opts);
 }
 
+void ClickIncService::setConcurrency(int threads) {
+  if (threads == 0) threads = util::ThreadPool::hardwareConcurrency();
+  concurrency_ = std::max(1, threads);
+  if (concurrency_ <= 1) {
+    emu_.setThreadPool(nullptr);
+    pool_.reset();
+    return;
+  }
+  pool_ = std::make_unique<util::ThreadPool>(concurrency_);
+  emu_.setThreadPool(pool_.get());
+}
+
 SubmitResult ClickIncService::submitProgram(
     ir::IrProgram prog, const topo::TrafficSpec& traffic,
     const place::PlacementOptions& opts) {
@@ -56,7 +69,10 @@ SubmitResult ClickIncService::submitProgram(
 
   const auto dag = place::BlockDag::build(prog);
   const auto tree = topo::buildEcTree(topo_, traffic);
-  result.plan = place::placeProgram(dag, tree, topo_, occ_, opts, &arena_);
+  place::PlacementOptions run_opts = opts;
+  if (run_opts.pool == nullptr) run_opts.pool = pool_.get();
+  result.plan =
+      place::placeProgram(dag, tree, topo_, occ_, run_opts, &arena_);
   cumulative_stats_.add(result.plan.stats);
   if (!result.plan.feasible) {
     result.failure = result.plan.failure;

@@ -18,6 +18,7 @@
 #include "place/treedp.h"
 #include "synth/synthesizer.h"
 #include "topo/ec.h"
+#include "util/thread_pool.h"
 
 namespace clickinc::core {
 
@@ -61,6 +62,16 @@ class ClickIncService {
 
   // Removes a user program (lazy per §6 unless eager requested).
   Impact remove(int user_id, bool lazy = true);
+
+  // Concurrency knob for both sides of the pipeline: placements run the
+  // worker-pool tree DP (sibling subtrees / segment fills / server-chain
+  // rows as tasks) and the emulator parallelizes device-disjoint bursts
+  // in sendBursts(). 1 (the default) is strictly sequential; 0 resolves
+  // to the hardware thread count. Results are bit-identical across
+  // settings — parallelism changes wall-clock, never plans or packets.
+  void setConcurrency(int threads);
+  int concurrency() const { return concurrency_; }
+  util::ThreadPool* threadPool() { return pool_.get(); }
 
   const topo::Topology& topology() const { return topo_; }
   emu::Emulator& emulator() { return emu_; }
@@ -107,6 +118,8 @@ class ClickIncService {
   std::map<int, Deployed> deployed_;
   place::PlacementArena arena_;
   place::PlacementStats cumulative_stats_;
+  std::unique_ptr<util::ThreadPool> pool_;  // set by setConcurrency(>1)
+  int concurrency_ = 1;
   int next_user_ = 1;
 
   void deployPlan(int user, const std::shared_ptr<ir::IrProgram>& prog,

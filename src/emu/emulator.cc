@@ -1,8 +1,10 @@
 #include "emu/emulator.h"
 
 #include <algorithm>
+#include <set>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace clickinc::emu {
 
@@ -10,7 +12,8 @@ Emulator::Emulator(const topo::Topology* topo, std::uint64_t seed,
                    ir::ExecPlanCache* plan_cache)
     : topo_(topo),
       rng_(seed),
-      plan_cache_(plan_cache != nullptr ? plan_cache : &own_cache_) {}
+      plan_cache_(plan_cache != nullptr ? plan_cache : &own_cache_),
+      stores_(static_cast<std::size_t>(topo->nodeCount())) {}
 
 void Emulator::deploy(int device_node, DeploymentEntry entry) {
   CLICKINC_CHECK(topo_->node(device_node).programmable,
@@ -45,7 +48,10 @@ void Emulator::setFailed(int device_node, bool failed) {
 }
 
 ir::StateStore& Emulator::storeOf(int device_node) {
-  return stores_[device_node];
+  CLICKINC_CHECK(device_node >= 0 &&
+                     device_node < static_cast<int>(stores_.size()),
+                 "state store for a node outside the topology");
+  return stores_[static_cast<std::size_t>(device_node)];
 }
 
 void Emulator::resetStats() {
@@ -79,7 +85,7 @@ double Emulator::processAt(int node, ir::PacketView& view) {
   if (it == deployments_.end()) return 0;
   auto failed_it = failed_.find(node);
   if (failed_it != failed_.end() && failed_it->second) return 0;
-  return runEntriesOn(node, it->second, view);
+  return runEntriesOn(node, it->second, view, scratch_);
 }
 
 bool Emulator::entryEligible(const DeploymentEntry& entry,
@@ -104,8 +110,10 @@ std::vector<ir::Instruction> Emulator::materializeSegment(
 
 double Emulator::runEntriesOn(int node,
                               const std::vector<DeploymentEntry>& entries,
-                              ir::PacketView& view) {
+                              ir::PacketView& view,
+                              ir::ExecPlan::Scratch& scratch) {
   const auto& model = topo_->node(node).model;
+  ir::StateStore& store = storeOf(node);
   double latency = 0;
   for (const auto& entry : entries) {
     if (!entryEligible(entry, view)) continue;
@@ -116,12 +124,12 @@ double Emulator::runEntriesOn(int node,
       // interpreter (cross-checked against the compiled path by the
       // emulator equivalence tests).
       const auto segment = materializeSegment(entry);
-      ir::Interpreter interp(&stores_[node], &rng_);
+      ir::Interpreter interp(&store, &rng_);
       interp.run(*entry.prog, std::span<const ir::Instruction>(segment),
                  view);
       seg_size = segment.size();
     } else {
-      entry.plan->run(&stores_[node], &rng_, view, scratch_);
+      entry.plan->run(&store, &rng_, view, scratch);
       seg_size = entry.plan->instrCount();
     }
     view.step = entry.step_to;
@@ -137,7 +145,7 @@ double Emulator::runEntriesOn(int node,
 
 void Emulator::processBatchAt(int node,
                               std::span<ir::PacketView* const> views,
-                              std::span<double> latency_out) {
+                              std::span<double> latency_out, BurstCtx& ctx) {
   auto it = deployments_.find(node);
   if (it == deployments_.end()) return;
   auto failed_it = failed_.find(node);
@@ -149,15 +157,17 @@ void Emulator::processBatchAt(int node,
   // Batching is only taken on the (common) single-entry device.
   if (it->second.size() > 1) {
     for (std::size_t k = 0; k < views.size(); ++k) {
-      latency_out[k] += runEntriesOn(node, it->second, *views[k]);
+      latency_out[k] += runEntriesOn(node, it->second, *views[k],
+                                     ctx.scratch);
     }
     return;
   }
 
   const auto& model = topo_->node(node).model;
-  auto& added = batch_added_;
-  auto& eligible = batch_eligible_;
-  auto& eligible_idx = batch_eligible_idx_;
+  ir::StateStore& store = storeOf(node);
+  auto& added = ctx.batch_added;
+  auto& eligible = ctx.batch_eligible;
+  auto& eligible_idx = ctx.batch_eligible_idx;
   added.assign(views.size(), 0.0);
   for (const auto& entry : it->second) {
     eligible.clear();
@@ -172,16 +182,16 @@ void Emulator::processBatchAt(int node,
     std::size_t seg_size;
     if (use_reference_ || entry.plan == nullptr) {
       const auto segment = materializeSegment(entry);
-      ir::Interpreter interp(&stores_[node], &rng_);
+      ir::Interpreter interp(&store, &rng_);
       for (ir::PacketView* view : eligible) {
         interp.run(*entry.prog, std::span<const ir::Instruction>(segment),
                    *view);
       }
       seg_size = segment.size();
     } else {
-      entry.plan->runBatch(&stores_[node], &rng_,
+      entry.plan->runBatch(&store, &rng_,
                            std::span<ir::PacketView* const>(eligible),
-                           scratch_);
+                           ctx.scratch);
       seg_size = entry.plan->instrCount();
     }
     const double entry_latency =
@@ -275,13 +285,14 @@ PacketResult Emulator::send(int src, int dst, ir::PacketView view,
   return result;
 }
 
-std::vector<PacketResult> Emulator::sendBurst(
-    int src, int dst, std::vector<ir::PacketView> views, int wire_bytes,
-    int useful_bytes) {
+std::vector<PacketResult> Emulator::runBurst(int src, int dst,
+                                             std::vector<ir::PacketView> views,
+                                             int wire_bytes, int useful_bytes,
+                                             BurstCtx& ctx) {
   const std::size_t n = views.size();
   std::vector<PacketResult> results(n);
   if (n == 0) return results;
-  stats_.packets_sent += n;
+  ctx.counters.packets_sent += n;
   const auto path = topo_->shortestPath(src, dst);
   CLICKINC_CHECK(!path.empty(), "no path in emulator");
 
@@ -296,8 +307,8 @@ std::vector<PacketResult> Emulator::sendBurst(
     results[i].final_node = at;
     results[i].wire_bytes_out =
         static_cast<int>(results[i].view.field("hdr._len"));
-    stats_.total_latency_ns += results[i].latency_ns;
-    stats_.total_inc_latency_ns += results[i].inc_latency_ns;
+    ctx.finishes.push_back(
+        {results[i].latency_ns, results[i].inc_latency_ns});
     alive[i] = false;
   };
 
@@ -315,7 +326,8 @@ std::vector<PacketResult> Emulator::sendBurst(
     sub_idx.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (!alive[i]) continue;
-      chargeLink(cur, next, static_cast<int>(flight[i].field("hdr._len")));
+      ctx.charges.push_back(
+          {cur, next, static_cast<int>(flight[i].field("hdr._len"))});
       results[i].latency_ns += hop_latency;
       ++results[i].hops;
       sub.push_back(&flight[i]);
@@ -327,11 +339,11 @@ std::vector<PacketResult> Emulator::sendBurst(
     if (node.programmable || node.kind != topo::NodeKind::kHost) {
       sub_lat.assign(sub.size(), 0.0);
       processBatchAt(next, std::span<ir::PacketView* const>(sub),
-                     std::span<double>(sub_lat));
+                     std::span<double>(sub_lat), ctx);
       if (node.attached_accel >= 0) {
         processBatchAt(node.attached_accel,
                        std::span<ir::PacketView* const>(sub),
-                       std::span<double>(sub_lat));
+                       std::span<double>(sub_lat), ctx);
       }
       for (std::size_t k = 0; k < sub.size(); ++k) {
         results[sub_idx[k]].latency_ns += sub_lat[k];
@@ -344,7 +356,7 @@ std::vector<PacketResult> Emulator::sendBurst(
       ir::PacketView& view = flight[i];
       if (view.verdict == ir::Verdict::kDrop) {
         results[i].dropped = true;
-        ++stats_.packets_dropped;
+        ++ctx.counters.packets_dropped;
         finish(i, next);
         continue;
       }
@@ -352,7 +364,8 @@ std::vector<PacketResult> Emulator::sendBurst(
         for (std::size_t back = h + 1; back > 0; --back) {
           const int from = path[back];
           const int to = path[back - 1];
-          chargeLink(from, to, static_cast<int>(view.field("hdr._len")));
+          ctx.charges.push_back(
+              {from, to, static_cast<int>(view.field("hdr._len"))});
           results[i].latency_ns +=
               topo_->linkBetween(from, to) != nullptr
                   ? topo_->linkBetween(from, to)->latency_ns
@@ -360,8 +373,8 @@ std::vector<PacketResult> Emulator::sendBurst(
           ++results[i].hops;
         }
         results[i].bounced = true;
-        ++stats_.packets_bounced;
-        stats_.useful_bytes_delivered +=
+        ++ctx.counters.packets_bounced;
+        ctx.counters.useful_bytes_delivered +=
             static_cast<std::uint64_t>(useful_bytes);
         finish(i, src);
       }
@@ -371,10 +384,154 @@ std::vector<PacketResult> Emulator::sendBurst(
   for (std::size_t i = 0; i < n; ++i) {
     if (!alive[i]) continue;
     results[i].delivered = true;
-    ++stats_.packets_delivered;
-    stats_.useful_bytes_delivered += static_cast<std::uint64_t>(useful_bytes);
+    ++ctx.counters.packets_delivered;
+    ctx.counters.useful_bytes_delivered +=
+        static_cast<std::uint64_t>(useful_bytes);
     finish(i, dst);
   }
+  return results;
+}
+
+void Emulator::applyBurstEffects(const BurstCtx& ctx) {
+  // Replay in recorded order: per-accumulator addition sequences are then
+  // exactly the sequential path's, so double sums match bit for bit.
+  for (const auto& c : ctx.charges) chargeLink(c.a, c.b, c.bytes);
+  stats_.packets_sent += ctx.counters.packets_sent;
+  stats_.packets_delivered += ctx.counters.packets_delivered;
+  stats_.packets_dropped += ctx.counters.packets_dropped;
+  stats_.packets_bounced += ctx.counters.packets_bounced;
+  stats_.useful_bytes_delivered += ctx.counters.useful_bytes_delivered;
+  for (const auto& [latency, inc] : ctx.finishes) {
+    stats_.total_latency_ns += latency;
+    stats_.total_inc_latency_ns += inc;
+  }
+}
+
+std::vector<PacketResult> Emulator::sendBurst(
+    int src, int dst, std::vector<ir::PacketView> views, int wire_bytes,
+    int useful_bytes) {
+  burst_ctx_.resetEffects();
+  auto results = runBurst(src, dst, std::move(views), wire_bytes,
+                          useful_bytes, burst_ctx_);
+  applyBurstEffects(burst_ctx_);
+  return results;
+}
+
+bool Emulator::deploymentsUseRandom() const {
+  for (const auto& [node, entries] : deployments_) {
+    (void)node;
+    for (const auto& entry : entries) {
+      if (entry.prog == nullptr) continue;
+      for (int i : entry.instr_idxs) {
+        if (entry.prog->instrs[static_cast<std::size_t>(i)].op ==
+            ir::Opcode::kRandInt) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> Emulator::processingNodesOnPath(
+    const std::vector<int>& path) const {
+  std::vector<int> nodes;
+  for (std::size_t h = 1; h < path.size(); ++h) {
+    const auto& node = topo_->node(path[h]);
+    if (node.programmable || node.kind != topo::NodeKind::kHost) {
+      nodes.push_back(path[h]);
+      if (node.attached_accel >= 0) nodes.push_back(node.attached_accel);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::vector<std::vector<PacketResult>> Emulator::sendBursts(
+    std::vector<Burst> bursts) {
+  const std::size_t n = bursts.size();
+  std::vector<std::vector<PacketResult>> results(n);
+  if (n == 0) return results;
+
+  // A burst mutates only the state stores of its path's processing nodes
+  // (hosts pass traffic through untouched), so bursts with disjoint
+  // processing-node sets can run concurrently. RandInt draws come from
+  // the one shared Rng, whose order no schedule could preserve — any
+  // deployed RandInt forces the sequential path.
+  const bool parallel = pool_ != nullptr && n > 1 && !deploymentsUseRandom();
+
+  if (!parallel) {
+    // Sequential: no grouping to compute (runBurst resolves paths
+    // itself); just run in order with per-burst contexts and replay.
+    std::vector<BurstCtx> ctxs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = runBurst(bursts[i].src, bursts[i].dst,
+                            std::move(bursts[i].views), bursts[i].wire_bytes,
+                            bursts[i].useful_bytes, ctxs[i]);
+    }
+    for (const auto& ctx : ctxs) applyBurstEffects(ctx);
+    return results;
+  }
+
+  std::vector<std::vector<int>> touched(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto path = topo_->shortestPath(bursts[i].src, bursts[i].dst);
+    CLICKINC_CHECK(!path.empty(), "no path in emulator");
+    touched[i] = processingNodesOnPath(path);
+  }
+
+  // Frontier grouping: a burst goes into the group right after the last
+  // (highest-indexed) group it aliases — which is disjoint by that very
+  // maximality — or opens a new one. Every conflicting predecessor then
+  // sits in a strictly earlier group, and groups execute in order, so
+  // aliasing bursts keep their sequential relative order on every shared
+  // store. (First-fit would not: a later burst could slip into an earlier
+  // group it happens to be disjoint with, overtaking a conflicting
+  // predecessor parked further back.)
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::set<int>> group_nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t g = 0;
+    for (std::size_t k = groups.size(); k-- > 0;) {
+      bool aliases = false;
+      for (int node : touched[i]) {
+        if (group_nodes[k].count(node) != 0) {
+          aliases = true;
+          break;
+        }
+      }
+      if (aliases) {
+        g = k + 1;
+        break;
+      }
+    }
+    if (g == groups.size()) {
+      groups.emplace_back();
+      group_nodes.emplace_back();
+    }
+    groups[g].push_back(i);
+    group_nodes[g].insert(touched[i].begin(), touched[i].end());
+  }
+
+  std::vector<BurstCtx> ctxs(n);
+  for (const auto& group : groups) {
+    auto runOne = [&](std::size_t i) {
+      results[i] = runBurst(bursts[i].src, bursts[i].dst,
+                            std::move(bursts[i].views), bursts[i].wire_bytes,
+                            bursts[i].useful_bytes, ctxs[i]);
+    };
+    if (group.size() > 1) {
+      pool_->parallelFor(group.size(),
+                         [&](std::size_t k) { runOne(group[k]); });
+    } else {
+      for (std::size_t i : group) runOne(i);
+    }
+  }
+
+  // All effects replay in original burst order — identical to calling
+  // sendBurst() once per element.
+  for (const auto& ctx : ctxs) applyBurstEffects(ctx);
   return results;
 }
 

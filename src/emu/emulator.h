@@ -8,16 +8,29 @@
 // (bits / rate), every device adds its processing latency; a run's
 // throughput is useful-bits-delivered divided by the bottleneck's busy
 // time — preserving the *shape* of Fig. 13 without vendor-timing claims.
+//
+// Concurrency: state stores are per-device, so bursts whose paths share
+// no processing device never touch the same mutable state. sendBursts()
+// exploits exactly that — device-disjoint bursts run as parallel tasks on
+// an attached util::ThreadPool, each against its own deferred-effects
+// context, and the link/stats accumulators are replayed in burst order
+// afterwards so results and stats are bit-identical to the sequential
+// path (see docs/interpreter.md, "Threading model").
 #pragma once
 
 #include <map>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "ir/exec_plan.h"
 #include "ir/interp.h"
 #include "topo/topology.h"
+
+namespace clickinc::util {
+class ThreadPool;
+}
 
 namespace clickinc::emu {
 
@@ -64,6 +77,15 @@ struct EmuStats {
   }
 };
 
+// One flow's worth of same-sized packets for sendBursts().
+struct Burst {
+  int src = -1;
+  int dst = -1;
+  std::vector<ir::PacketView> views;
+  int wire_bytes = 0;
+  int useful_bytes = 0;
+};
+
 class Emulator {
  public:
   // `plan_cache` shares compiled execution plans across devices and
@@ -84,6 +106,12 @@ class Emulator {
   // through); replicated blocks downstream pick the work up (§6).
   void setFailed(int device_node, bool failed);
 
+  // Worker pool for sendBursts(); nullptr (default) = sequential. The
+  // pool is borrowed, not owned. Single-packet send() and single-flow
+  // sendBurst() are unaffected.
+  void setThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* threadPool() const { return pool_; }
+
   // Sends one packet from host `src` to host `dst`. `wire_bytes` is the
   // initial packet size; `useful_bytes` the application payload counted
   // toward goodput on delivery/bounce.
@@ -101,6 +129,16 @@ class Emulator {
   std::vector<PacketResult> sendBurst(int src, int dst,
                                       std::vector<ir::PacketView> views,
                                       int wire_bytes, int useful_bytes);
+
+  // Runs several flows' bursts. Semantically identical to calling
+  // sendBurst() once per element in order — bit-identical results, stats,
+  // and link accounting — but when a thread pool is attached, bursts
+  // whose paths share no processing device (and no bypass card) execute
+  // as parallel tasks; bursts that alias a device keep their relative
+  // order, and the whole call falls back to sequential execution when any
+  // deployed snippet consumes the shared Rng (RandInt), whose draw order
+  // could not otherwise be preserved.
+  std::vector<std::vector<PacketResult>> sendBursts(std::vector<Burst> bursts);
 
   // Diagnostic/reference mode: route execution through the retained
   // switch interpreter (ir::Interpreter) instead of compiled plans. The
@@ -120,13 +158,40 @@ class Emulator {
   double linkBusyNs(int a, int b) const;
 
  private:
+  // Per-burst execution context: reusable scratch plus the burst's
+  // deferred side effects. Bursts running as parallel tasks each own one;
+  // the recorded charges/finishes are replayed into the emulator's
+  // accumulators in burst order, reproducing the sequential path's exact
+  // floating-point addition sequence.
+  struct BurstCtx {
+    ir::ExecPlan::Scratch scratch;
+    std::vector<double> batch_added;
+    std::vector<ir::PacketView*> batch_eligible;
+    std::vector<std::size_t> batch_eligible_idx;
+
+    struct Charge {
+      int a, b, bytes;
+    };
+    std::vector<Charge> charges;               // in charge order
+    std::vector<std::pair<double, double>> finishes;  // (latency, inc) in
+                                                      // finish order
+    EmuStats counters;  // integer tallies; double sums come from finishes
+
+    void resetEffects() {
+      charges.clear();
+      finishes.clear();
+      counters = EmuStats{};
+    }
+  };
+
   const topo::Topology* topo_;
   Rng rng_;
   ir::ExecPlanCache own_cache_;        // used when no shared cache given
   ir::ExecPlanCache* plan_cache_;
+  util::ThreadPool* pool_ = nullptr;
   bool use_reference_ = false;
   std::map<int, std::vector<DeploymentEntry>> deployments_;
-  std::map<int, ir::StateStore> stores_;
+  std::vector<ir::StateStore> stores_;  // dense, node-indexed (O(1) storeOf)
   std::map<int, bool> failed_;
   std::map<std::pair<int, int>, double> link_busy_ns_;
   EmuStats stats_;
@@ -135,7 +200,7 @@ class Emulator {
   double processAt(int node, ir::PacketView& view);
   // The per-packet entry loop shared by processAt and the batched path.
   double runEntriesOn(int node, const std::vector<DeploymentEntry>& entries,
-                      ir::PacketView& view);
+                      ir::PacketView& view, ir::ExecPlan::Scratch& scratch);
   // The single eligibility gate both execution paths consult: user
   // filter, §6 step gates, and the already-decided check (verdicts never
   // unset, so skipping per entry equals processAt's early break).
@@ -150,14 +215,23 @@ class Emulator {
   // multi-entry devices fall back to packet-major execution so results
   // stay identical to sequential send() even when entries share state.
   void processBatchAt(int node, std::span<ir::PacketView* const> views,
-                      std::span<double> latency_out);
+                      std::span<double> latency_out, BurstCtx& ctx);
   void chargeLink(int a, int b, int bytes);
 
-  ir::ExecPlan::Scratch scratch_;  // reused across every plan run
-  // Batch-path scratch, reused across device visits of a burst.
-  std::vector<double> batch_added_;
-  std::vector<ir::PacketView*> batch_eligible_;
-  std::vector<std::size_t> batch_eligible_idx_;
+  // One burst's hop-major walk, all link/stats effects deferred into ctx.
+  std::vector<PacketResult> runBurst(int src, int dst,
+                                     std::vector<ir::PacketView> views,
+                                     int wire_bytes, int useful_bytes,
+                                     BurstCtx& ctx);
+  // Replays a context's recorded effects into the shared accumulators.
+  void applyBurstEffects(const BurstCtx& ctx);
+  // Any deployed snippet containing RandInt (forces sequential bursts).
+  bool deploymentsUseRandom() const;
+  // Processing nodes (devices + bypass cards) a src->dst burst can touch.
+  std::vector<int> processingNodesOnPath(const std::vector<int>& path) const;
+
+  ir::ExecPlan::Scratch scratch_;  // reused across every send()
+  BurstCtx burst_ctx_;             // reused across single-flow sendBurst()
 };
 
 }  // namespace clickinc::emu

@@ -240,26 +240,136 @@ std::uint64_t segmentFingerprint(const ir::IrProgram& prog,
   return h;
 }
 
+IntraMemo::Claim IntraMemo::claim(const MemoKey& key, IntraPlacement* out) {
+  Shard& shard = shardOf(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(key);
+  Entry& entry = it->second;
+  Claim c;
+  c.entry = &entry;
+  c.shard = static_cast<int>(&shard - shards_.data());
+  if (inserted) {
+    ++shard.misses;
+    c.leader = true;
+    return c;
+  }
+  if (!entry.ready) {
+    // In-flight: another thread claimed this key and is computing it.
+    // Wait it out — the follower would otherwise redo the exact same
+    // search, so blocking costs no more than computing and keeps
+    // intra_calls/steps deterministic. Node-based map entries are
+    // address-stable across concurrent inserts, and the waiter count
+    // shields the slot from eviction until every claimant (blocked or
+    // woken-but-unscheduled) has copied its result out.
+    ++entry.waiters;
+    shard.ready_cv.wait(lock, [&] { return entry.ready; });
+    --entry.waiters;
+  }
+  if (entry.failed) {
+    // The previous leader threw instead of publishing a result. Take
+    // over leadership; any other waiters re-block on !ready.
+    entry.ready = false;
+    entry.failed = false;
+    ++shard.misses;
+    c.leader = true;
+    return c;
+  }
+  ++shard.hits;
+  *out = entry.placement;
+  return c;
+}
+
+void IntraMemo::publish(const Claim& claim, const IntraPlacement& placement) {
+  Shard& shard = shards_[static_cast<std::size_t>(claim.shard)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMaxEntriesPerShard) evictReady(shard);
+  Entry& entry = *static_cast<Entry*>(claim.entry);
+  entry.placement = placement;
+  entry.ready = true;
+  shard.ready_cv.notify_all();
+}
+
+void IntraMemo::publishError(const Claim& claim) {
+  Shard& shard = shards_[static_cast<std::size_t>(claim.shard)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& entry = *static_cast<Entry*>(claim.entry);
+  entry.failed = true;
+  entry.ready = true;  // wakes waiters; the first re-leads and resets
+  shard.ready_cv.notify_all();
+}
+
+void IntraMemo::evictReady(Shard& shard) {
+  // Wholesale eviction of published entries. In-flight slots (not ready)
+  // and slots with registered waiters survive: a follower may hold a
+  // pointer from before it blocked — or may have been notified but not
+  // yet rescheduled, which is why ready alone is not a safe criterion.
+  for (auto it = shard.map.begin(); it != shard.map.end();) {
+    if (it->second.ready && it->second.waiters == 0) {
+      it = shard.map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 const IntraPlacement* IntraMemo::find(const MemoKey& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
+  Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || !it->second.ready || it->second.failed) {
+    ++shard.misses;
     return nullptr;
   }
-  ++hits_;
-  return &it->second;
+  ++shard.hits;
+  return &it->second.placement;
 }
 
 const IntraPlacement& IntraMemo::put(const MemoKey& key,
                                      IntraPlacement placement) {
-  if (map_.size() >= kMaxEntries) map_.clear();
-  return map_.insert_or_assign(key, std::move(placement)).first->second;
+  Shard& shard = shardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMaxEntriesPerShard) evictReady(shard);
+  Entry& entry = shard.map[key];
+  entry.placement = std::move(placement);
+  entry.ready = true;
+  entry.failed = false;
+  return entry.placement;
+}
+
+long IntraMemo::hits() const {
+  long total = 0;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.hits;
+  }
+  return total;
+}
+
+long IntraMemo::misses() const {
+  long total = 0;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.misses;
+  }
+  return total;
+}
+
+std::size_t IntraMemo::size() const {
+  std::size_t total = 0;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.map.size();
+  }
+  return total;
 }
 
 void IntraMemo::clear() {
-  map_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+    s.hits = 0;
+    s.misses = 0;
+  }
 }
 
 IntraPlacement placeCompact(const DeviceOccupancy& occ,

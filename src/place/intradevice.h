@@ -14,8 +14,11 @@
 // per-(stage, state) SALU/table demand is counted once.
 #pragma once
 
+#include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +28,7 @@
 #include "device/validate.h"
 #include "ir/analysis.h"
 #include "ir/program.h"
+#include "util/crc.h"
 
 namespace clickinc::place {
 
@@ -99,24 +103,79 @@ struct MemoKeyHash {
 // Cross-device / cross-program intra-placement memo. Entries stay valid as
 // long as their key matches: committing resources changes a device's
 // occupancy fingerprint, so stale entries are simply never hit again.
+//
+// Thread-safe and sharded by occupancy fingerprint (all segments of one
+// device state land in one shard, so the worker-pool placement path
+// contends only when threads genuinely work the same device class). The
+// claim/publish pair gives exactly-once compute semantics: for a fixed
+// multiset of requests the number of placeCompact invocations equals the
+// number of distinct keys regardless of thread interleaving, which is
+// what keeps PlacementStats and plan.steps bit-identical between the
+// sequential and parallel placement paths.
 class IntraMemo {
  public:
-  // Returns the cached placement or nullptr. Counts hits/misses.
+  // Handle of a claimed-but-unpublished slot (leader == true). The
+  // claimant MUST publish() exactly once; followers block on the slot
+  // until it does.
+  struct Claim {
+    bool leader = false;
+
+   private:
+    friend class IntraMemo;
+    void* entry = nullptr;
+    int shard = -1;
+  };
+
+  // Exactly-once lookup. On a hit (or after waiting out another thread's
+  // in-flight compute) copies the placement into *out and returns a
+  // non-leader claim. On a miss, reserves the slot and returns a leader
+  // claim: the caller computes the placement and publish()es it — or, if
+  // the computation throws, publishError()s so waiters elect a new
+  // leader instead of inheriting a fabricated result.
+  Claim claim(const MemoKey& key, IntraPlacement* out);
+  void publish(const Claim& claim, const IntraPlacement& placement);
+  void publishError(const Claim& claim);
+
+  // Single-threaded convenience API (used by tests and one-shot callers).
+  // The returned pointer is invalidated by the next mutation of the
+  // key's shard — copy immediately.
   const IntraPlacement* find(const MemoKey& key);
   const IntraPlacement& put(const MemoKey& key, IntraPlacement placement);
 
-  long hits() const { return hits_; }
-  long misses() const { return misses_; }
-  std::size_t size() const { return map_.size(); }
-  void clear();
+  long hits() const;
+  long misses() const;
+  std::size_t size() const;
+  void clear();  // callers must be quiescent (no in-flight claims)
 
  private:
-  // Wholesale eviction bound; placements are small and keyed by occupancy,
-  // so a simple cap beats LRU bookkeeping on this path.
-  static constexpr std::size_t kMaxEntries = 1 << 16;
-  std::unordered_map<MemoKey, IntraPlacement, MemoKeyHash> map_;
-  long hits_ = 0;
-  long misses_ = 0;
+  // Wholesale eviction bound per shard; placements are small and keyed by
+  // occupancy, so a simple cap beats LRU bookkeeping on this path. Only
+  // published entries with no registered waiters are evicted — a blocked
+  // follower (or one woken but not yet rescheduled) holds a pointer to
+  // its slot.
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kMaxEntriesPerShard = (1 << 16) / kShards;
+
+  struct Entry {
+    IntraPlacement placement;
+    bool ready = false;
+    bool failed = false;  // leader threw; next claimant re-leads
+    int waiters = 0;      // claims blocked on (or waking for) this slot
+  };
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable ready_cv;
+    std::unordered_map<MemoKey, Entry, MemoKeyHash> map;
+    long hits = 0;
+    long misses = 0;
+  };
+
+  Shard& shardOf(const MemoKey& key) {
+    return shards_[static_cast<std::size_t>(mix64(key.occ)) % kShards];
+  }
+  static void evictReady(Shard& shard);
+
+  mutable std::array<Shard, kShards> shards_;
 };
 
 // Subtracts a feasible placement from the device's free resources.

@@ -3,10 +3,12 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/crc.h"
 #include "util/error.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace clickinc::place {
 
@@ -118,6 +120,12 @@ class TreePlacer {
         opts_(opts),
         arena_(arena != nullptr ? arena : &local_arena_),
         buf_(TreePlacerAccess::buffers(*arena_)) {
+    // The pool drives only the fast path: the reference path (fast ==
+    // false) is the executable specification and stays strictly
+    // sequential. A 1-thread pool degenerates to sequential execution.
+    pool_ = opts.fast && opts.pool != nullptr && opts.pool->threadCount() > 1
+                ? opts.pool
+                : nullptr;
     m_ = dag.size();
     nn_ = static_cast<int>(tree.nodes.size());
     stride_ = m_ + 1;
@@ -146,6 +154,7 @@ class TreePlacer {
     computeTrafficFrac();
     computeHopOrder();
     if (opts_.fast) computeOccFingerprints();
+    if (pool_ != nullptr) precomputeSegFingerprints();
   }
 
   PlacementPlan run() {
@@ -158,8 +167,10 @@ class TreePlacer {
       return plan;
     }
 
+    WorkCtx ctx;
+
     // Client side (includes the root).
-    solveClient(tree_.root);
+    solveClient(tree_.root, ctx);
 
     // Server chain, backwards: T[t][j] = cost of placing [j, m) on chain
     // nodes t..end.
@@ -174,32 +185,20 @@ class TreePlacer {
     serverDp(chain_len, m_) = 0;
     for (int t = chain_len - 1; t >= 0; --t) {
       const int node = tree_.server_chain[static_cast<std::size_t>(t)];
-      for (int j = 0; j <= m_; ++j) {
-        for (int j2 = j; j2 <= m_; ++j2) {
-          const double tail = serverDp(t + 1, j2);
-          if (tail == kInf) continue;
-          const Segment* s = cachedSegment(node, j, j2);
-          if (!s->feasible) {
-            // Early exit only on provably monotone causes: segments only
-            // grow with j2, so a failure that persists for supersets
-            // (unsupported opcode, non-programmable EC, stateful gating)
-            // rules out every larger j2. Resource-driven failures may
-            // not, so those keep scanning.
-            if (opts_.fast && s->monotone_infeasible) {
-              ++stats_.early_breaks;
-              break;
-            }
-            continue;
-          }
-          const double seg = segCostOf(node, s, j, j2);
-          const double entry = entryCharge(node, j, j2);
-          const double total = seg + entry + tail;
-          double& cell = serverDp(t, j);
-          if (total < cell) {
-            cell = total;
-            serverChoice(t, j) = j2;
-          }
-        }
+      if (pool_ != nullptr) {
+        // Rows j are independent: row j probes only segments [j, j2) and
+        // writes only T[t][j], so each runs as one task, keeping its own
+        // scan order (and early-exit behavior) identical to the
+        // sequential loop. Contexts merge in row order.
+        const std::size_t rows = static_cast<std::size_t>(m_) + 1;
+        std::vector<WorkCtx> sub(rows);
+        ctx.stats.parallel_tasks += static_cast<long>(rows);
+        pool_->parallelFor(rows, [&](std::size_t j) {
+          serverRow(t, node, static_cast<int>(j), sub[j]);
+        });
+        for (auto& s : sub) ctx.merge(s);
+      } else {
+        for (int j = 0; j <= m_; ++j) serverRow(t, node, j, ctx);
       }
     }
 
@@ -217,8 +216,9 @@ class TreePlacer {
         best_b = b;
       }
     }
-    plan.steps = steps_;
-    plan.stats = stats_;
+    ctx.stats.threads_used = pool_ != nullptr ? pool_->threadCount() : 1;
+    plan.steps = ctx.steps;
+    plan.stats = ctx.stats;
     // Clocked from the constructor so table/fingerprint setup counts.
     plan.elapsed_ms =
         std::chrono::duration<double, std::milli>(
@@ -230,12 +230,12 @@ class TreePlacer {
     }
 
     // Backtrack client side then server chain.
-    backtrackClient(tree_.root, best_b, &plan);
+    backtrackClient(tree_.root, best_b, &plan, ctx);
     int j = best_b;
     for (int t = 0; t < chain_len; ++t) {
       const int node = tree_.server_chain[static_cast<std::size_t>(t)];
       const int j2 = serverChoice(t, j);
-      emitAssignment(node, j, j2, &plan);
+      emitAssignment(node, j, j2, &plan, ctx);
       j = j2;
     }
 
@@ -245,7 +245,7 @@ class TreePlacer {
     double cut = 0;
     for (const auto& a : plan.assignments) {
       const Segment& seg = *cachedSegment(a.tree_node, a.from_block,
-                                          a.to_block);
+                                          a.to_block, ctx);
       res += seg.resource_score;
       cut += static_cast<double>(seg.internal_cut_bits) * 0.25;
       if (a.from_block > 0 && a.to_block > a.from_block) {
@@ -264,6 +264,21 @@ class TreePlacer {
   }
 
  private:
+  // Per-task accumulation of search counters. Parallel sections give each
+  // task its own context and merge them in task order, so every counter's
+  // total is identical to the sequential run's (integer sums commute; the
+  // work set itself is identical thanks to the memo's exactly-once
+  // claims).
+  struct WorkCtx {
+    PlacementStats stats;
+    long steps = 0;
+
+    void merge(const WorkCtx& o) {
+      stats.add(o.stats);
+      steps += o.steps;
+    }
+  };
+
   std::chrono::steady_clock::time_point t0_;
   const BlockDag& dag_;
   const topo::EcTree& tree_;
@@ -273,6 +288,7 @@ class TreePlacer {
   PlacementArena local_arena_;
   PlacementArena* arena_;
   TreePlacerAccess::Buffers buf_;
+  util::ThreadPool* pool_ = nullptr;
   Weights weights_;
   int m_ = 0;
   int nn_ = 0;
@@ -281,8 +297,6 @@ class TreePlacer {
   ir::Analysis analysis_;
   double score_norm_ = 1;
   double cut_norm_ = 1;
-  long steps_ = 0;
-  PlacementStats stats_;
   std::vector<std::uint64_t> occ_fp_;  // node id -> occupancy fingerprint
 
   // --- flat-table accessors ---
@@ -326,7 +340,9 @@ class TreePlacer {
   }
 
   // Content fingerprint of block range [i, j), salted with the search
-  // options that change placeOn results; computed lazily per range.
+  // options that change placeOn results; computed lazily per range on the
+  // sequential path. The parallel path precomputes every range up front
+  // (precomputeSegFingerprints), so this lazy fill never races.
   std::uint64_t segFp(int i, int j) {
     const std::size_t idx = static_cast<std::size_t>(i) *
                                 static_cast<std::size_t>(stride_) +
@@ -342,6 +358,22 @@ class TreePlacer {
       buf_.seg_fp_set[idx] = 1;
     }
     return buf_.seg_fp[idx];
+  }
+
+  // Eagerly fingerprint every block range so parallel tasks read the
+  // tables without synchronization. Distinct (i, j) slots are distinct
+  // memory locations, so the fill itself fans out on the pool; the
+  // parallelFor join publishes the writes to every later task.
+  void precomputeSegFingerprints() {
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(static_cast<std::size_t>(m_ + 1) *
+                  static_cast<std::size_t>(m_ + 2) / 2);
+    for (int i = 0; i <= m_; ++i) {
+      for (int j = i; j <= m_; ++j) pairs.push_back({i, j});
+    }
+    pool_->parallelFor(pairs.size(), [&](std::size_t k) {
+      segFp(pairs[k].first, pairs[k].second);
+    });
   }
 
   // Single post-order traversal over the client tree (server-side nodes
@@ -376,36 +408,56 @@ class TreePlacer {
 
   // One intra-device placement of blocks [i, j) on `dev`, memoized by
   // (occupancy fingerprint, segment fingerprint) on the fast path so every
-  // identical (device state, segment) pair pays for a single search.
-  IntraPlacement placeOn(int dev, int i, int j) {
+  // identical (device state, segment) pair pays for a single search. The
+  // memo claim is exactly-once even under the pool: concurrent requests
+  // for one key elect a single leader to run the search and the rest wait
+  // for its published result, keeping intra_calls / steps deterministic.
+  IntraPlacement placeOn(int dev, int i, int j, WorkCtx& ctx) {
     const DeviceOccupancy& occ = occ_.of(dev);
     MemoKey key;
+    IntraMemo::Claim claim;
     if (opts_.fast) {
       key = {occ_fp_[static_cast<std::size_t>(dev)], segFp(i, j)};
-      if (const IntraPlacement* hit = arena_->memo().find(key)) {
-        ++stats_.intra_memo_hits;
-        IntraPlacement p = *hit;
-        p.instr_idxs = dag_.instrsOf(i, j);  // remap to this program
-        p.steps = 0;                         // no search performed
-        return p;
+      IntraPlacement cached;
+      claim = arena_->memo().claim(key, &cached);
+      if (!claim.leader) {
+        ++ctx.stats.intra_memo_hits;
+        cached.instr_idxs = dag_.instrsOf(i, j);  // remap to this program
+        cached.steps = 0;                         // no search performed
+        return cached;
       }
     }
-    ++stats_.intra_calls;
+    ++ctx.stats.intra_calls;
     const std::vector<int> instrs = dag_.instrsOf(i, j);
-    IntraPlacement p =
-        opts_.prune ? placeCompact(occ, dag_.prog(), instrs, 0, &analysis_)
-                    : placeExhaustive(occ, dag_.prog(), instrs,
-                                      opts_.max_steps, 0, &analysis_);
-    steps_ += p.steps;
-    if (opts_.fast) arena_->memo().put(key, p);
+    IntraPlacement p;
+    try {
+      p = opts_.prune
+              ? placeCompact(occ, dag_.prog(), instrs, 0, &analysis_)
+              : placeExhaustive(occ, dag_.prog(), instrs, opts_.max_steps, 0,
+                                &analysis_);
+    } catch (...) {
+      // Followers may be blocked on this claim; never leave it
+      // unpublished — but never cache a fabricated result either (the
+      // arena memo outlives this run). publishError wakes waiters and
+      // lets the next claimant re-lead.
+      if (opts_.fast) arena_->memo().publishError(claim);
+      throw;
+    }
+    ctx.steps += p.steps;
+    if (opts_.fast) arena_->memo().publish(claim, p);
     return p;
   }
 
-  const Segment* cachedSegment(int node, int i, int j) {
+  // `count_probe == false` is the parallel prefill: it fills the slot
+  // (counting the miss) without counting a lookup, so that the DP loop's
+  // own probe — now a guaranteed hit — keeps seg_probes identical to the
+  // sequential run.
+  const Segment* cachedSegment(int node, int i, int j, WorkCtx& ctx,
+                               bool count_probe = true) {
     Segment& seg = segSlot(node, i, j);
-    ++stats_.seg_probes;
+    if (count_probe) ++ctx.stats.seg_probes;
     if (seg.state == Segment::State::kDone) return &seg;
-    ++stats_.seg_misses;
+    ++ctx.stats.seg_misses;
     seg.state = Segment::State::kDone;
     if (i == j) {
       seg.feasible = true;
@@ -432,7 +484,7 @@ class TreePlacer {
     bool all_ok = true;
     std::map<int, IntraPlacement> main;
     for (int dev : tn.devices) {
-      IntraPlacement p = placeOn(dev, i, j);
+      IntraPlacement p = placeOn(dev, i, j, ctx);
       if (!p.feasible) {
         all_ok = false;
         break;
@@ -457,8 +509,8 @@ class TreePlacer {
             ok = false;
             break;
           }
-          IntraPlacement pm = placeOn(dev, i, k);
-          IntraPlacement pa = placeOn(acc, k, j);
+          IntraPlacement pm = placeOn(dev, i, k, ctx);
+          IntraPlacement pa = placeOn(acc, k, j, ctx);
           if (!pm.feasible || !pa.feasible) {
             ok = false;
             break;
@@ -495,8 +547,8 @@ class TreePlacer {
     return false;
   }
 
-  double segCost(int node, int i, int j) {
-    return segCostOf(node, cachedSegment(node, i, j), i, j);
+  double segCost(int node, int i, int j, WorkCtx& ctx) {
+    return segCostOf(node, cachedSegment(node, i, j, ctx), i, j);
   }
 
   double segCostOf(int node, const Segment* seg, int i, int j) {
@@ -545,9 +597,54 @@ class TreePlacer {
            buf_.traffic_frac[static_cast<std::size_t>(node)] / cut_norm_;
   }
 
-  void solveClient(int node) {
-    for (int c : tree_.at(node).children) solveClient(c);
+  // Fills the segment slots the node's DP loop will probe. The pair list
+  // is derived from the children's finished DP tables — exactly the set
+  // the sequential loop would touch, no more — so cache counters match
+  // the sequential run and no segment is computed speculatively.
+  void prefillNodeSegments(int node, WorkCtx& ctx) {
     const auto& children = tree_.at(node).children;
+    std::vector<std::uint8_t> i_ok(static_cast<std::size_t>(m_) + 1, 1);
+    for (int i = 0; i <= m_; ++i) {
+      for (int c : children) {
+        if (clientDp(c, i) == kInf) {
+          i_ok[static_cast<std::size_t>(i)] = 0;
+          break;
+        }
+      }
+    }
+    std::vector<std::pair<int, int>> pairs;
+    for (int j = 0; j <= m_; ++j) {
+      for (int i = 0; i <= j; ++i) {
+        if (children.empty() && i != 0) break;
+        if (!i_ok[static_cast<std::size_t>(i)]) continue;
+        pairs.push_back({i, j});
+      }
+    }
+    if (pairs.size() < 2) return;
+    std::vector<WorkCtx> sub(pairs.size());
+    ctx.stats.parallel_tasks += static_cast<long>(pairs.size());
+    pool_->parallelFor(pairs.size(), [&](std::size_t k) {
+      cachedSegment(node, pairs[k].first, pairs[k].second, sub[k],
+                    /*count_probe=*/false);
+    });
+    for (auto& s : sub) ctx.merge(s);
+  }
+
+  void solveClient(int node, WorkCtx& ctx) {
+    const auto& children = tree_.at(node).children;
+    if (pool_ != nullptr && children.size() > 1) {
+      // Sibling subtrees touch disjoint DP rows and segment slots; each
+      // solves in its own task (recursively fanning out further).
+      std::vector<WorkCtx> sub(children.size());
+      ctx.stats.parallel_tasks += static_cast<long>(children.size());
+      pool_->parallelFor(children.size(), [&](std::size_t k) {
+        solveClient(children[static_cast<std::size_t>(k)], sub[k]);
+      });
+      for (auto& s : sub) ctx.merge(s);
+    } else {
+      for (int c : children) solveClient(c, ctx);
+    }
+    if (pool_ != nullptr) prefillNodeSegments(node, ctx);
     for (int j = 0; j <= m_; ++j) {
       for (int i = 0; i <= j; ++i) {
         // Leaves must start the program themselves.
@@ -562,7 +659,7 @@ class TreePlacer {
           child_sum += hc;
         }
         if (child_sum == kInf) continue;
-        const double seg = segCost(node, i, j);
+        const double seg = segCost(node, i, j, ctx);
         if (seg == kInf) continue;
         const double total = child_sum + seg + entryCharge(node, i, j);
         if (total < clientDp(node, j)) {
@@ -573,12 +670,44 @@ class TreePlacer {
     }
   }
 
-  void emitAssignment(int node, int i, int j, PlacementPlan* plan) {
+  // One row of the server-chain DP: T[t][j] over all j2. Kept as the
+  // single implementation for both the sequential loop and the
+  // row-parallel path so scan order and early exits cannot diverge.
+  void serverRow(int t, int node, int j, WorkCtx& ctx) {
+    for (int j2 = j; j2 <= m_; ++j2) {
+      const double tail = serverDp(t + 1, j2);
+      if (tail == kInf) continue;
+      const Segment* s = cachedSegment(node, j, j2, ctx);
+      if (!s->feasible) {
+        // Early exit only on provably monotone causes: segments only
+        // grow with j2, so a failure that persists for supersets
+        // (unsupported opcode, non-programmable EC, stateful gating)
+        // rules out every larger j2. Resource-driven failures may
+        // not, so those keep scanning.
+        if (opts_.fast && s->monotone_infeasible) {
+          ++ctx.stats.early_breaks;
+          break;
+        }
+        continue;
+      }
+      const double seg = segCostOf(node, s, j, j2);
+      const double entry = entryCharge(node, j, j2);
+      const double total = seg + entry + tail;
+      double& cell = serverDp(t, j);
+      if (total < cell) {
+        cell = total;
+        serverChoice(t, j) = j2;
+      }
+    }
+  }
+
+  void emitAssignment(int node, int i, int j, PlacementPlan* plan,
+                      WorkCtx& ctx) {
     NodeAssignment a;
     a.tree_node = node;
     a.from_block = i;
     a.to_block = j;
-    const Segment* seg = cachedSegment(node, i, j);
+    const Segment* seg = cachedSegment(node, i, j, ctx);
     CLICKINC_CHECK(seg->feasible, "backtracked into infeasible segment");
     a.bypass_from = seg->bypass_from;
     a.on_device = seg->on_device;
@@ -586,11 +715,11 @@ class TreePlacer {
     plan->assignments.push_back(std::move(a));
   }
 
-  void backtrackClient(int node, int j, PlacementPlan* plan) {
+  void backtrackClient(int node, int j, PlacementPlan* plan, WorkCtx& ctx) {
     const int i = clientChoice(node, j);
     CLICKINC_CHECK(i >= 0, "no choice recorded");
-    emitAssignment(node, i, j, plan);
-    for (int c : tree_.at(node).children) backtrackClient(c, i, plan);
+    emitAssignment(node, i, j, plan, ctx);
+    for (int c : tree_.at(node).children) backtrackClient(c, i, plan, ctx);
   }
 };
 

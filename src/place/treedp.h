@@ -30,6 +30,10 @@
 #include "topo/ec.h"
 #include "topo/topology.h"
 
+namespace clickinc::util {
+class ThreadPool;
+}
+
 namespace clickinc::place {
 
 struct Weights {
@@ -70,6 +74,13 @@ struct PlacementOptions {
   // plan-equivalence regression tests and as a bisection aid.
   bool fast = true;
   long max_steps = 20'000'000;     // budget for the exhaustive mode
+  // Worker pool for the parallel fast path (fast == true only; the
+  // reference path stays strictly sequential). Sibling client subtrees,
+  // per-node segment fills, and server-chain DP rows run as pool tasks;
+  // plans, steps, and the search counters below are bit-identical to the
+  // sequential fast path (see docs/placement.md, "Threading model").
+  // nullptr = sequential. The pool is borrowed, not owned.
+  util::ThreadPool* pool = nullptr;
 };
 
 // Cache/memo counters of one placement run (Table 3/6 scenarios read the
@@ -80,6 +91,14 @@ struct PlacementStats {
   long seg_probes = 0;       // segment-cache lookups
   long seg_misses = 0;       // segment-cache fills
   long early_breaks = 0;     // server-chain inner loops cut short
+  // Parallel-run accounting. Every search counter above is accumulated in
+  // a per-task (per-thread) PlacementStats and merged in task order, so
+  // the totals stay bit-identical to a sequential run; these two fields
+  // describe the execution mode itself and are the only ones that differ
+  // between thread counts.
+  int threads_used = 1;      // pool concurrency of the run (1 = sequential)
+  long parallel_tasks = 0;   // subtree solves / segment fills / DP rows
+                             // dispatched to the pool
 
   void add(const PlacementStats& o) {
     intra_calls += o.intra_calls;
@@ -87,6 +106,9 @@ struct PlacementStats {
     seg_probes += o.seg_probes;
     seg_misses += o.seg_misses;
     early_breaks += o.early_breaks;
+    threads_used = threads_used > o.threads_used ? threads_used
+                                                 : o.threads_used;
+    parallel_tasks += o.parallel_tasks;
   }
 
   double intraMemoHitRate() const {

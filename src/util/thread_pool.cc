@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace clickinc::util {
+
+int ThreadPool::hardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads == 0 ? hardwareConcurrency() : std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::runOne(Job& job) {
+  const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+  if (i >= job.n) return false;
+  std::exception_ptr error;
+  try {
+    (*job.fn)(i);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  if (error != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job.error == nullptr) job.error = error;
+  }
+  // acq_rel: the final increment's release pairs with the join's acquire
+  // load, publishing every iteration's writes to the caller. Notify
+  // under the mutex so the waiter cannot slip between its predicate
+  // check and the wait.
+  if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    job.done_cv.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || !open_jobs_.empty(); });
+    if (stop_) return;
+    // LIFO: nested jobs (pushed by tasks of the outer job) drain first,
+    // which keeps the recursion in the placement DP cache-friendly.
+    std::shared_ptr<Job> job = open_jobs_.back();
+    if (job->next.load(std::memory_order_relaxed) >= job->n) {
+      open_jobs_.pop_back();
+      continue;
+    }
+    lock.unlock();
+    while (runOne(*job)) {
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+  // The caller participates until the job has no unclaimed work, then
+  // waits for in-flight iterations on other threads to finish.
+  while (runOne(*job)) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = std::find(open_jobs_.begin(), open_jobs_.end(), job);
+  if (it != open_jobs_.end()) open_jobs_.erase(it);
+  job->done_cv.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == job->n;
+  });
+  if (job->error != nullptr) std::rethrow_exception(job->error);
+}
+
+}  // namespace clickinc::util

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "util/bits.h"
 #include "util/crc.h"
 #include "util/strings.h"
 #include "util/texttable.h"
+#include "util/thread_pool.h"
 
 namespace clickinc {
 namespace {
@@ -126,6 +130,61 @@ TEST(Strings, FmtDouble) {
 
 TEST(Strings, Cat) {
   EXPECT_EQ(cat("x=", 3, ", y=", 4.5), "x=3, y=4.5");
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  util::ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallelFor(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // inline: no synchronization
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // The placement DP nests: subtree tasks fan out their node's segment
+  // fills on the same pool. Every (outer, inner) pair must run once.
+  util::ThreadPool pool(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallelFor(kOuter, [&](std::size_t o) {
+    pool.parallelFor(kInner, [&](std::size_t i) {
+      hits[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t k = 0; k < hits.size(); ++k) {
+    EXPECT_EQ(hits[k].load(), 1) << k;
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterAllIndicesRun) {
+  util::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallelFor(64,
+                                [&](std::size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 7) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);  // the failure does not cancel the rest
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), util::ThreadPool::hardwareConcurrency());
+  EXPECT_GE(pool.threadCount(), 1);
 }
 
 TEST(TextTable, RendersAligned) {
