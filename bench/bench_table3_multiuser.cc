@@ -63,45 +63,87 @@ std::vector<Instance> instanceSet() {
   };
 }
 
-// One full six-submission scenario against a fresh service.
-ScenarioResult runScenario(int concurrency) {
-  core::ClickIncService svc(topo::Topology::paperEmulation());
-  svc.setConcurrency(concurrency);
-  ScenarioResult out;
+std::vector<core::SubmitRequest> requestSet(
+    const core::ClickIncService& svc) {
+  std::vector<core::SubmitRequest> reqs;
   for (const auto& inst : instanceSet()) {
     topo::TrafficSpec spec;
     for (const char* s : inst.srcs) {
       spec.sources.push_back({svc.topology().findNode(s), 10.0});
     }
     spec.dst_host = svc.topology().findNode(inst.dst);
+    reqs.push_back(
+        core::SubmitRequest::fromTemplate(inst.tmpl, inst.params, spec));
+  }
+  return reqs;
+}
 
+void recordInstance(const core::ClickIncService& svc, const char* label,
+                    const core::SubmitResult& r, double ms,
+                    ScenarioResult* out) {
+  out->total_ms += ms;
+  InstanceResult ir;
+  ir.label = label;
+  ir.ok = r.ok;
+  ir.ms = ms;
+  if (!r.ok) {
+    ir.failure = r.error.message();
+    out->instances.push_back(std::move(ir));
+    return;
+  }
+  ++out->placed;
+  for (int d : r.plan.devicesUsed()) {
+    ir.devices.push_back(svc.topology().node(d).name);
+  }
+  std::sort(ir.devices.begin(), ir.devices.end());
+  ir.devices.erase(std::unique(ir.devices.begin(), ir.devices.end()),
+                   ir.devices.end());
+  ir.hr = r.plan.hr;
+  ir.hp = r.plan.hp;
+  ir.gain = r.plan.gain;
+  out->instances.push_back(std::move(ir));
+}
+
+// One full six-submission scenario against a fresh service, one
+// synchronous submit at a time (the placement itself may use the pool).
+ScenarioResult runScenario(int concurrency) {
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+  svc.setConcurrency(concurrency);
+  ScenarioResult out;
+  auto reqs = requestSet(svc);
+  const auto& insts = instanceSet();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
     const auto t0 = std::chrono::steady_clock::now();
-    const auto r = svc.submitTemplate(inst.tmpl, inst.params, spec);
+    const auto r = svc.submit(std::move(reqs[i]));
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
-    out.total_ms += ms;
-    InstanceResult ir;
-    ir.label = inst.label;
-    ir.ok = r.ok;
-    ir.ms = ms;
-    if (!r.ok) {
-      ir.failure = r.failure;
-      out.instances.push_back(std::move(ir));
-      continue;
-    }
-    ++out.placed;
-    for (int d : r.plan.devicesUsed()) {
-      ir.devices.push_back(svc.topology().node(d).name);
-    }
-    std::sort(ir.devices.begin(), ir.devices.end());
-    ir.devices.erase(std::unique(ir.devices.begin(), ir.devices.end()),
-                     ir.devices.end());
-    ir.hr = r.plan.hr;
-    ir.hp = r.plan.hp;
-    ir.gain = r.plan.gain;
-    out.instances.push_back(std::move(ir));
+    recordInstance(svc, insts[i].label, r, ms, &out);
   }
+  out.stats = svc.placementStats();
+  return out;
+}
+
+// The same six tenants through the pipelined path: submitAll compiles
+// every request concurrently against one occupancy snapshot and commits
+// in request order — results must be bit-identical to runScenario.
+ScenarioResult runPipelined(int concurrency) {
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+  svc.setConcurrency(concurrency);
+  ScenarioResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = svc.submitAll(requestSet(svc));
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  const auto& insts = instanceSet();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // Per-instance wall-clock is not meaningful under pipelining; charge
+    // the batch time evenly so the table still renders.
+    recordInstance(svc, insts[i].label, results[i],
+                   total_ms / static_cast<double>(results.size()), &out);
+  }
+  out.total_ms = total_ms;
   out.stats = svc.placementStats();
   return out;
 }
@@ -176,6 +218,38 @@ int main() {
               identical ? "yes" : "NO"});
   bench::printTable(par);
 
+  // Pipelined submission sweep: the same six tenants through submitAll,
+  // which overlaps the per-tenant compile stages (parse -> lower -> DAG ->
+  // speculative placement) on the worker pool and serializes only the
+  // commit stage. Outcomes must stay bit-identical to one-at-a-time
+  // submits.
+  std::vector<double> pipe_ms_1t, pipe_ms_4t;
+  bool pipe_identical = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto p1 = runPipelined(1);
+    const auto p4 = runPipelined(4);
+    pipe_ms_1t.push_back(p1.total_ms);
+    pipe_ms_4t.push_back(p4.total_ms);
+    pipe_identical =
+        pipe_identical && sameOutcomes(p1, seq) && sameOutcomes(p4, seq);
+  }
+  const double pipe_median_1t = bench::medianOf(pipe_ms_1t);
+  const double pipe_median_4t = bench::medianOf(pipe_ms_4t);
+  bench::printHeader(
+      "Pipelined submissions — submitAll over the six-tenant batch",
+      cat("Median of ", reps, " runs; fresh service per run. Concurrency 1 "
+          "falls back to sequential submits."));
+  TextTable pipe(
+      {"concurrency", "total (ms)", "speedup", "results identical"});
+  pipe.addRow({"1", fmtDouble(pipe_median_1t, 1), "1.00x", "-"});
+  pipe.addRow(
+      {"4", fmtDouble(pipe_median_4t, 1),
+       cat(fmtDouble(pipe_median_4t > 0 ? pipe_median_1t / pipe_median_4t : 0,
+                     2),
+           "x"),
+       pipe_identical ? "yes" : "NO"});
+  bench::printTable(pipe);
+
   // Machine-readable trajectory record (schema: docs/benchmarks.md).
   bench::JsonWriter json;
   json.beginObject();
@@ -212,6 +286,13 @@ int main() {
   json.kv("speedup_concurrency4",
           median_4t > 0 ? median_1t / median_4t : 0.0);
   json.kv("plans_identical", identical);
+  json.endObject();
+  json.key("pipelined").beginObject();
+  json.kv("median_total_ms_concurrency1", pipe_median_1t);
+  json.kv("median_total_ms_concurrency4", pipe_median_4t);
+  json.kv("speedup_concurrency4",
+          pipe_median_4t > 0 ? pipe_median_1t / pipe_median_4t : 0.0);
+  json.kv("results_identical_to_sequential", pipe_identical);
   json.endObject();
   json.endObject();
   if (json.writeFile("BENCH_table3.json")) {

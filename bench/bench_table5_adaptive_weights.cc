@@ -70,7 +70,8 @@ int main() {
     for (const auto& inst : seq) {
       place::PlacementOptions opts;
       opts.adaptive = adaptive;
-      const auto r = svc.submitTemplate(inst.tmpl, inst.params, spec, opts);
+      const auto r = svc.submit(core::SubmitRequest::fromTemplate(
+          inst.tmpl, inst.params, spec, opts));
       auto& col = adaptive ? adaptive_col : fixed_col;
       col.push_back(r.ok ? describePlan(svc, r.plan) : "/");
     }

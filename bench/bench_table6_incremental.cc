@@ -101,14 +101,14 @@ int main() {
   for (std::size_t s = 0; s < steps.size(); ++s) {
     if (steps[s].add) {
       const auto& p = programs[id_users.size()];
-      const auto r = id_svc.submitTemplate(
-          p.tmpl, p.params, specFor(id_svc, p.srcs, p.dst));
+      const auto r = id_svc.submit(core::SubmitRequest::fromTemplate(
+          p.tmpl, p.params, specFor(id_svc, p.srcs, p.dst)));
       id_users.push_back(r.ok ? r.user_id : -1);
       id_impacts.push_back(r.impact);
     } else {
       const int user = id_users[static_cast<std::size_t>(
           steps[s].remove_index)];
-      id_impacts.push_back(id_svc.remove(user));
+      id_impacts.push_back(id_svc.remove(user).impact);
     }
   }
 
@@ -131,8 +131,8 @@ int main() {
     std::set<int> users;
     for (int idx : active) {
       const auto& p = programs[static_cast<std::size_t>(idx)];
-      const auto r = md_svc.submitTemplate(
-          p.tmpl, p.params, specFor(md_svc, p.srcs, p.dst));
+      const auto r = md_svc.submit(core::SubmitRequest::fromTemplate(
+          p.tmpl, p.params, specFor(md_svc, p.srcs, p.dst)));
       if (r.ok) {
         for (int d : r.impact.affected_devices) devices.insert(d);
         users.insert(r.user_id);

@@ -17,10 +17,10 @@ int main() {
   spec.sources = {{svc.topology().findNode("pod0a"), 10.0}};
   spec.dst_host = svc.topology().findNode("pod2b");
 
-  const auto tenant_a = svc.submitTemplate(
-      "DQAcc", {{"CacheDepth", 256}, {"CacheLen", 2}}, spec);
-  const auto tenant_b = svc.submitTemplate(
-      "DQAcc", {{"CacheDepth", 256}, {"CacheLen", 2}}, spec);
+  const auto tenant_a = svc.submit(core::SubmitRequest::fromTemplate(
+      "DQAcc", {{"CacheDepth", 256}, {"CacheLen", 2}}, spec));
+  const auto tenant_b = svc.submit(core::SubmitRequest::fromTemplate(
+      "DQAcc", {{"CacheDepth", 256}, {"CacheLen", 2}}, spec));
   if (!tenant_a.ok || !tenant_b.ok) {
     std::printf("placement failed\n");
     return 1;

@@ -79,10 +79,10 @@ MlaggResult runMlagg(core::ClickIncService& svc, const MlaggConfig& cfg) {
                                 : cat("agg = MLAgg(NumAgg, Dim, 0, 1)\n",
                                       "agg(hdr)\n"))
               : std::string(kSparseOnly);
-      const auto submitted = svc.submitSource(source, mlaggHeader(cfg.dim),
-                                              consts, traffic);
+      const auto submitted = svc.submit(core::SubmitRequest::fromSource(
+          source, mlaggHeader(cfg.dim), consts, traffic));
       if (!submitted.ok) {
-        result.failure = submitted.failure;
+        result.failure = submitted.error.message();
         return result;
       }
       group_user[static_cast<std::size_t>(g)] = submitted.user_id;
@@ -158,13 +158,14 @@ KvsResult runKvs(core::ClickIncService& svc, const KvsConfig& cfg) {
   for (int c : cfg.client_hosts) traffic.sources.push_back({c, 10.0});
   traffic.dst_host = cfg.server_host;
 
-  const auto submitted = svc.submitTemplate(
-      "KVS", {{"CacheSize", cfg.cache_size},
-              {"ValDim", static_cast<std::uint64_t>(cfg.val_dim)},
-              {"TH", cfg.hot_threshold}},
-      traffic);
+  const auto submitted = svc.submit(core::SubmitRequest::fromTemplate(
+      "KVS",
+      {{"CacheSize", cfg.cache_size},
+       {"ValDim", static_cast<std::uint64_t>(cfg.val_dim)},
+       {"TH", cfg.hot_threshold}},
+      traffic));
   if (!submitted.ok) {
-    result.failure = submitted.failure;
+    result.failure = submitted.error.message();
     return result;
   }
   result.deployed = true;
@@ -267,12 +268,11 @@ DqaccResult runDqacc(core::ClickIncService& svc, const DqaccConfig& cfg) {
   traffic.sources.push_back({cfg.client_host, 10.0});
   traffic.dst_host = cfg.server_host;
 
-  const auto submitted = svc.submitTemplate(
-      "DQAcc",
-      {{"CacheDepth", cfg.cache_depth}, {"CacheLen", cfg.cache_len}},
-      traffic);
+  const auto submitted = svc.submit(core::SubmitRequest::fromTemplate(
+      "DQAcc", {{"CacheDepth", cfg.cache_depth}, {"CacheLen", cfg.cache_len}},
+      traffic));
   if (!submitted.ok) {
-    result.failure = submitted.failure;
+    result.failure = submitted.error.message();
     return result;
   }
   result.deployed = true;

@@ -1,0 +1,79 @@
+#include "core/api.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace clickinc::core {
+
+const char* toString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kParseError: return "ParseError";
+    case ErrorCode::kLowerError: return "LowerError";
+    case ErrorCode::kUnknownTemplate: return "UnknownTemplate";
+    case ErrorCode::kInfeasible: return "Infeasible";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kUnknownUser: return "UnknownUser";
+    case ErrorCode::kDeployFailed: return "DeployFailed";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "?";
+}
+
+const char* toString(Stage stage) {
+  switch (stage) {
+    case Stage::kNone: return "none";
+    case Stage::kCompile: return "compile";
+    case Stage::kCommit: return "commit";
+    case Stage::kDeploy: return "deploy";
+    case Stage::kRemove: return "remove";
+  }
+  return "?";
+}
+
+std::string ServiceError::message() const {
+  if (ok()) return "ok";
+  std::string out = cat("[", toString(stage), "] ", toString(code));
+  if (!detail.empty()) out += cat(": ", detail);
+  return out;
+}
+
+SubmitRequest SubmitRequest::fromTemplate(
+    std::string name, std::map<std::string, std::uint64_t> params,
+    topo::TrafficSpec traffic, place::PlacementOptions options) {
+  SubmitRequest req;
+  req.kind = Kind::kTemplate;
+  req.template_name = std::move(name);
+  req.params = std::move(params);
+  req.traffic = std::move(traffic);
+  req.options = options;
+  return req;
+}
+
+SubmitRequest SubmitRequest::fromSource(
+    std::string source, lang::HeaderSpec header,
+    std::map<std::string, std::uint64_t> constants, topo::TrafficSpec traffic,
+    place::PlacementOptions options) {
+  SubmitRequest req;
+  req.kind = Kind::kSource;
+  req.source = std::move(source);
+  req.header = std::move(header);
+  req.constants = std::move(constants);
+  req.traffic = std::move(traffic);
+  req.options = options;
+  return req;
+}
+
+SubmitRequest SubmitRequest::fromProgram(ir::IrProgram program,
+                                         topo::TrafficSpec traffic,
+                                         place::PlacementOptions options) {
+  SubmitRequest req;
+  req.kind = Kind::kProgram;
+  req.program = std::move(program);
+  req.traffic = std::move(traffic);
+  req.options = options;
+  return req;
+}
+
+}  // namespace clickinc::core

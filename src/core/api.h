@@ -1,0 +1,132 @@
+// Tenant-facing submission API types (paper §3: INC as a service).
+//
+// A submission is one tagged SubmitRequest — a provider template with
+// parameter overrides, user-written ClickINC source, or an already
+// compiled IR program — plus the tenant's traffic spec and placement
+// options. The service runs it through a two-stage pipeline:
+//
+//   compile  parse -> lower -> block DAG -> tree-DP placement. Pure with
+//            respect to service state (works on an occupancy snapshot),
+//            so independent tenants compile concurrently.
+//   commit   serialized, in request order: validate the candidate plan
+//            against current occupancy (re-placing at most once on a
+//            conflict — optimistic concurrency), claim resources,
+//            synthesize per-device programs, deploy to the emulator.
+//
+// Every failure is a structured ServiceError{code, stage, detail} threaded
+// up from the frontend / placer / synthesizer, so callers and tests can
+// assert on causes instead of string-matching. See docs/service.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/program.h"
+#include "lang/lower.h"
+#include "place/treedp.h"
+#include "topo/ec.h"
+
+namespace clickinc::core {
+
+// What went wrong. kResourceExhausted is the placement-level distinction
+// that matters operationally: the program is placeable in principle but
+// not under current occupancy (retry after removals), whereas kInfeasible
+// is structural (unsupported opcode on every path device, stateful segment
+// on partial traffic, no programmable device) and retrying cannot help.
+enum class ErrorCode {
+  kOk = 0,
+  kParseError,         // lexing / parsing / semantic error in the source
+  kLowerError,         // frontend lowering failure (e.g. unbounded loop)
+  kUnknownTemplate,    // template name not in the module library
+  kInfeasible,         // structurally unplaceable on this topology/traffic
+  kResourceExhausted,  // unplaceable under current device occupancy
+  kUnknownUser,        // remove() of an id with no active deployment
+  kDeployFailed,       // synthesis / emulator deployment failure
+  kInternal,           // invariant violation inside ClickINC
+};
+
+// Which pipeline stage reported the error.
+enum class Stage {
+  kNone = 0,
+  kCompile,  // parse -> lower -> block DAG -> speculative placement
+  kCommit,   // occupancy validation + resource claim (serialized)
+  kDeploy,   // synthesis + emulator deployment
+  kRemove,   // remove() path
+};
+
+const char* toString(ErrorCode code);
+const char* toString(Stage stage);
+
+struct ServiceError {
+  ErrorCode code = ErrorCode::kOk;
+  Stage stage = Stage::kNone;
+  std::string detail;
+
+  bool ok() const { return code == ErrorCode::kOk; }
+  // One-line human-readable form: "[commit] ResourceExhausted: ...".
+  std::string message() const;
+};
+
+// One tenant submission: exactly one payload (selected by `kind`) plus the
+// traffic spec and placement options. Use the from*() factories.
+struct SubmitRequest {
+  enum class Kind { kTemplate, kSource, kProgram };
+  Kind kind = Kind::kTemplate;
+
+  // kTemplate: a provider template with parameter overrides.
+  std::string template_name;
+  std::map<std::string, std::uint64_t> params;
+
+  // kSource: user-written ClickINC source (may instantiate templates).
+  std::string source;
+  lang::HeaderSpec header;
+  std::map<std::string, std::uint64_t> constants;
+
+  // kProgram: an already-compiled IR program (name chosen by the caller).
+  ir::IrProgram program;
+
+  topo::TrafficSpec traffic;
+  place::PlacementOptions options;  // options.pool is borrowed, not owned
+
+  static SubmitRequest fromTemplate(
+      std::string name, std::map<std::string, std::uint64_t> params,
+      topo::TrafficSpec traffic, place::PlacementOptions options = {});
+  static SubmitRequest fromSource(
+      std::string source, lang::HeaderSpec header,
+      std::map<std::string, std::uint64_t> constants,
+      topo::TrafficSpec traffic, place::PlacementOptions options = {});
+  static SubmitRequest fromProgram(ir::IrProgram program,
+                                   topo::TrafficSpec traffic,
+                                   place::PlacementOptions options = {});
+};
+
+// Who/what a deployment step touched (Table 6 accounting).
+struct Impact {
+  std::set<int> affected_devices;  // executables changed
+  std::set<int> affected_users;    // co-resident INC programs
+  std::set<int> affected_pods;     // pods whose traffic crosses the devices
+};
+
+struct SubmitResult {
+  int user_id = -1;     // assigned at commit; the would-be id on failure
+  bool ok = false;
+  ServiceError error;   // code == kOk iff ok
+  place::PlacementPlan plan;
+  Impact impact;
+  double compile_ms = 0;
+  // The commit stage discarded the speculative plan and re-placed against
+  // live occupancy (an earlier commit changed it, or the guessed user id
+  // was off because an earlier in-batch request failed). At most one
+  // re-place happens per submission.
+  bool recompiled = false;
+};
+
+struct RemoveResult {
+  bool ok = false;
+  ServiceError error;
+  Impact impact;
+};
+
+}  // namespace clickinc::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "place/blockdag.h"
 #include "util/error.h"
@@ -9,11 +10,65 @@
 
 namespace clickinc::core {
 
+namespace {
+
+double msSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Maps the in-flight exception (call from a catch block only) onto the
+// structured error taxonomy. Order matters: most-derived first.
+ServiceError errorFromCurrentException(Stage stage) {
+  try {
+    throw;
+  } catch (const UnknownTemplateError& e) {
+    return {ErrorCode::kUnknownTemplate, stage, e.what()};
+  } catch (const ParseError& e) {
+    return {ErrorCode::kParseError, stage, e.what()};
+  } catch (const CompileError& e) {
+    return {ErrorCode::kLowerError, stage, e.what()};
+  } catch (const PlacementError& e) {
+    return {ErrorCode::kInfeasible, stage, e.what()};
+  } catch (const SynthesisError& e) {
+    return {ErrorCode::kDeployFailed, stage, e.what()};
+  } catch (const std::exception& e) {
+    return {ErrorCode::kInternal, stage, e.what()};
+  } catch (...) {
+    return {ErrorCode::kInternal, stage, "unknown exception"};
+  }
+}
+
+ServiceError placementFailure(const place::PlacementPlan& plan, Stage stage) {
+  return {plan.resource_limited ? ErrorCode::kResourceExhausted
+                                : ErrorCode::kInfeasible,
+          stage, plan.failure};
+}
+
+}  // namespace
+
+// Output of the compile stage: everything the commit stage needs to
+// validate and deploy without recomputing, or a structured compile error.
+// The block DAG holds a pointer into *prog, so the program is heap-pinned.
+struct ClickIncService::Speculative {
+  std::shared_ptr<ir::IrProgram> prog;
+  place::BlockDag dag;
+  topo::EcTree tree;
+  place::PlacementPlan plan;
+  ServiceError error;  // frontend failure; placement failures live in plan
+  int guessed_user = -1;
+  std::uint64_t snapshot_version = 0;
+  double compile_ms = 0;
+};
+
 ClickIncService::ClickIncService(topo::Topology topo, std::uint64_t seed)
     : topo_(std::move(topo)),
       base_(synth::makeDefaultBase()),
       occ_(&topo_),
       emu_(&topo_, seed, &plan_cache_) {}
+
+ClickIncService::~ClickIncService() { waitForAsync(); }
 
 synth::DeviceProgram& ClickIncService::deviceProgram(int node) {
   auto it = device_programs_.find(node);
@@ -26,68 +81,408 @@ synth::DeviceProgram& ClickIncService::deviceProgram(int node) {
   return *it->second;
 }
 
-SubmitResult ClickIncService::submitTemplate(
-    const std::string& tmpl,
-    const std::map<std::string, std::uint64_t>& params,
-    const topo::TrafficSpec& traffic, const place::PlacementOptions& opts) {
-  const auto t0 = std::chrono::steady_clock::now();
-  ir::IrProgram prog =
-      lib_.compileTemplate(tmpl, cat(toLower(tmpl), "_", next_user_), params);
-  auto result = submitProgram(std::move(prog), traffic, opts);
-  result.compile_ms += std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
-  return result;
-}
-
-SubmitResult ClickIncService::submitSource(
-    const std::string& source, const lang::HeaderSpec& hdr,
-    const std::map<std::string, std::uint64_t>& constants,
-    const topo::TrafficSpec& traffic, const place::PlacementOptions& opts) {
-  ir::IrProgram prog =
-      lib_.compileUser(source, cat("user_", next_user_), hdr, constants);
-  return submitProgram(std::move(prog), traffic, opts);
-}
-
 void ClickIncService::setConcurrency(int threads) {
+  waitForAsync();
   if (threads == 0) threads = util::ThreadPool::hardwareConcurrency();
+  // mu_ excludes in-flight submits/commits; compile stages that already
+  // pinned the old pool keep it alive through their shared_ptr copy.
+  std::lock_guard<std::mutex> lock(mu_);
   concurrency_ = std::max(1, threads);
   if (concurrency_ <= 1) {
     emu_.setThreadPool(nullptr);
     pool_.reset();
     return;
   }
-  pool_ = std::make_unique<util::ThreadPool>(concurrency_);
+  pool_ = std::make_shared<util::ThreadPool>(concurrency_);
   emu_.setThreadPool(pool_.get());
+}
+
+ir::IrProgram ClickIncService::compileFrontend(SubmitRequest& req,
+                                               int user) const {
+  switch (req.kind) {
+    case SubmitRequest::Kind::kTemplate:
+      return lib_.compileTemplate(
+          req.template_name, cat(toLower(req.template_name), "_", user),
+          req.params);
+    case SubmitRequest::Kind::kSource:
+      return lib_.compileUser(req.source, cat("user_", user), req.header,
+                              req.constants);
+    case SubmitRequest::Kind::kProgram:
+      // Moved, not copied: kProgram submissions are compiled exactly once
+      // (the rename re-lower path excludes them).
+      return std::move(req.program);
+  }
+  throw InternalError("unhandled SubmitRequest kind");
+}
+
+// --- the public surface -------------------------------------------------
+
+SubmitResult ClickIncService::submit(SubmitRequest req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitLocked(req);
+}
+
+SubmissionTicket ClickIncService::submitAsync(SubmitRequest req) {
+  auto task = std::make_shared<std::packaged_task<SubmitResult()>>(
+      [this, r = std::move(req)]() mutable {
+        return submitStaged(std::move(r));
+      });
+  SubmissionTicket ticket(task->get_future().share());
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::lock_guard<std::mutex> lock(async_mu_);
+  // Reap workers whose tasks already finished so a long-lived service
+  // does not accumulate unjoined threads between waitForAsync() calls.
+  for (auto it = async_workers_.begin(); it != async_workers_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = async_workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  async_workers_.push_back(
+      {std::thread([task, done] {
+         (*task)();
+         done->store(true, std::memory_order_release);
+       }),
+       done});
+  return ticket;
+}
+
+void ClickIncService::waitForAsync() {
+  std::vector<AsyncWorker> workers;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    workers.swap(async_workers_);
+  }
+  for (auto& w : workers) {
+    if (w.thread.joinable()) w.thread.join();
+  }
+}
+
+std::vector<SubmitResult> ClickIncService::submitAll(
+    std::vector<SubmitRequest> requests) {
+  std::vector<SubmitResult> out;
+  out.reserve(requests.size());
+
+  // Stage 1: speculative compiles, all against one occupancy snapshot.
+  // User ids are guessed assuming every earlier request succeeds; the
+  // commit stage corrects the rare miss (an earlier in-batch failure).
+  // The pool is pinned (shared_ptr copy) for the whole batch so a
+  // concurrent setConcurrency cannot destroy it mid-compile.
+  place::OccupancyMap snapshot(&topo_);
+  std::uint64_t version = 0;
+  int base_user = 1;
+  std::shared_ptr<util::ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pool = pool_;
+    snapshot = occ_;
+    version = occ_version_;
+    base_user = next_user_;
+  }
+  if (pool == nullptr || pool->threadCount() <= 1 || requests.size() <= 1) {
+    for (auto& req : requests) out.push_back(submit(std::move(req)));
+    return out;
+  }
+  std::vector<Speculative> specs(requests.size());
+  pool->parallelFor(requests.size(), [&](std::size_t i) {
+    specs[i] = compileSpeculative(requests[i],
+                                  base_user + static_cast<int>(i), snapshot,
+                                  version, pool.get());
+  });
+
+  // Stage 2: serialized commits in request order — deterministic user
+  // ids, occupancy evolution, and deployment order.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    out.push_back(commitSpeculative(std::move(specs[i]), requests[i]));
+  }
+  return out;
+}
+
+RemoveResult ClickIncService::remove(int user_id, bool lazy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoveResult out;
+  auto it = deployed_.find(user_id);
+  if (it == deployed_.end()) {
+    out.error = {ErrorCode::kUnknownUser, Stage::kRemove,
+                 cat("user ", user_id, " has no active deployment")};
+    return out;
+  }
+
+  for (const auto& a : it->second.plan.assignments) {
+    auto touch = [&](int device) {
+      const auto stats = deviceProgram(device).removeUser(user_id, lazy);
+      out.impact.affected_devices.insert(device);
+      for (int u : stats.other_users_affected) {
+        out.impact.affected_users.insert(u);
+      }
+      // Even lazy removal affects co-resident programs when the strip is
+      // later enforced; report active co-residents for Table 6 parity.
+      for (int u : deviceProgram(device).activeUsers()) {
+        if (u != user_id) out.impact.affected_users.insert(u);
+      }
+      emu_.undeploy(device, user_id);
+    };
+    for (const auto& [dev, p] : a.on_device) {
+      if (!p.instr_idxs.empty()) touch(dev);
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      if (!p.instr_idxs.empty()) touch(dev);
+    }
+  }
+  out.impact.affected_pods = podsCrossing(out.impact.affected_devices);
+  // Resources are recorded as released immediately (§6), even when the
+  // data-plane strip is deferred (lazy enforcement).
+  const auto& prog = *it->second.prog;
+  for (const auto& a : it->second.plan.assignments) {
+    for (const auto& [dev, p] : a.on_device) {
+      if (!p.instr_idxs.empty()) {
+        place::releasePlacement(occ_.of(dev), prog, p);
+      }
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      if (!p.instr_idxs.empty()) {
+        place::releasePlacement(occ_.of(dev), prog, p);
+      }
+    }
+  }
+  ++occ_version_;
+  deployed_.erase(it);
+  out.ok = true;
+  return out;
+}
+
+// --- legacy shims -------------------------------------------------------
+
+SubmitResult ClickIncService::submitTemplate(
+    const std::string& tmpl,
+    const std::map<std::string, std::uint64_t>& params,
+    const topo::TrafficSpec& traffic, const place::PlacementOptions& opts) {
+  return submit(SubmitRequest::fromTemplate(tmpl, params, traffic, opts));
+}
+
+SubmitResult ClickIncService::submitSource(
+    const std::string& source, const lang::HeaderSpec& hdr,
+    const std::map<std::string, std::uint64_t>& constants,
+    const topo::TrafficSpec& traffic, const place::PlacementOptions& opts) {
+  return submit(
+      SubmitRequest::fromSource(source, hdr, constants, traffic, opts));
 }
 
 SubmitResult ClickIncService::submitProgram(
     ir::IrProgram prog, const topo::TrafficSpec& traffic,
     const place::PlacementOptions& opts) {
+  return submit(SubmitRequest::fromProgram(std::move(prog), traffic, opts));
+}
+
+// --- pipeline stages ----------------------------------------------------
+
+// Sync path: with the lock held for the whole submission, live occupancy
+// IS the snapshot, so the speculative plan is the committed plan and no
+// recompile can happen. This is also the reference semantics submitAll
+// must reproduce bit-identically.
+SubmitResult ClickIncService::submitLocked(SubmitRequest& req) {
+  const auto t0 = std::chrono::steady_clock::now();
   SubmitResult result;
   result.user_id = next_user_;
 
-  const auto dag = place::BlockDag::build(prog);
-  const auto tree = topo::buildEcTree(topo_, traffic);
-  place::PlacementOptions run_opts = opts;
-  if (run_opts.pool == nullptr) run_opts.pool = pool_.get();
-  result.plan =
-      place::placeProgram(dag, tree, topo_, occ_, run_opts, &arena_);
-  cumulative_stats_.add(result.plan.stats);
-  if (!result.plan.feasible) {
-    result.failure = result.plan.failure;
+  std::shared_ptr<ir::IrProgram> prog;
+  try {
+    prog = std::make_shared<ir::IrProgram>(compileFrontend(req, next_user_));
+  } catch (...) {
+    result.error = errorFromCurrentException(Stage::kCompile);
+    result.compile_ms = msSince(t0);
     return result;
   }
-  place::commitPlan(result.plan, prog, occ_);
 
-  auto shared = std::make_shared<ir::IrProgram>(std::move(prog));
-  deployPlan(next_user_, shared, result.plan, &result.impact);
-  deployed_[next_user_] = {shared, result.plan, traffic};
-  result.impact.affected_pods =
-      podsCrossing(result.impact.affected_devices);
-  result.ok = true;
-  ++next_user_;
+  try {
+    const auto dag = place::BlockDag::build(*prog);
+    const auto tree = topo::buildEcTree(topo_, req.traffic);
+    place::PlacementOptions run_opts = req.options;
+    if (run_opts.pool == nullptr) run_opts.pool = pool_.get();
+    result.plan =
+        place::placeProgram(dag, tree, topo_, occ_, run_opts, &arena_);
+  } catch (...) {
+    // buildEcTree throws PlacementError for structurally hopeless traffic
+    // (unreachable destination, no device on any path).
+    result.error = errorFromCurrentException(Stage::kCompile);
+    result.compile_ms = msSince(t0);
+    return result;
+  }
+  cumulative_stats_.add(result.plan.stats);
+  if (!result.plan.feasible) {
+    result.error = placementFailure(result.plan, Stage::kCompile);
+    result.compile_ms = msSince(t0);
+    return result;
+  }
+
+  commitAndDeployLocked(&result, prog, req.traffic);
+  result.compile_ms = msSince(t0);
   return result;
+}
+
+ClickIncService::Speculative ClickIncService::compileSpeculative(
+    SubmitRequest& req, int guessed_user,
+    const place::OccupancyMap& snapshot, std::uint64_t snapshot_version,
+    util::ThreadPool* pool) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Speculative spec;
+  spec.guessed_user = guessed_user;
+  spec.snapshot_version = snapshot_version;
+  try {
+    spec.prog =
+        std::make_shared<ir::IrProgram>(compileFrontend(req, guessed_user));
+  } catch (...) {
+    spec.error = errorFromCurrentException(Stage::kCompile);
+    spec.compile_ms = msSince(t0);
+    return spec;
+  }
+  try {
+    spec.dag = place::BlockDag::build(*spec.prog);
+    spec.tree = topo::buildEcTree(topo_, req.traffic);
+
+    // Private scratch over the service-wide memo: the DP tables are not
+    // shareable between concurrent placements, but the intra-placement
+    // memo is thread-safe, so concurrent tenants compiling identical
+    // segments against the same snapshot pay for one placeCompact
+    // between them.
+    place::PlacementArena arena(arena_.memoHandle());
+    place::PlacementOptions run_opts = req.options;
+    if (run_opts.pool == nullptr) run_opts.pool = pool;
+    spec.plan = place::placeProgram(spec.dag, spec.tree, topo_, snapshot,
+                                    run_opts, &arena);
+  } catch (...) {
+    spec.error = errorFromCurrentException(Stage::kCompile);
+  }
+  spec.compile_ms = msSince(t0);
+  return spec;
+}
+
+SubmitResult ClickIncService::submitStaged(SubmitRequest req) {
+  place::OccupancyMap snapshot(&topo_);
+  std::uint64_t version = 0;
+  int guessed = 1;
+  std::shared_ptr<util::ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pool = pool_;
+    snapshot = occ_;
+    version = occ_version_;
+    guessed = next_user_;
+  }
+  Speculative spec =
+      compileSpeculative(req, guessed, snapshot, version, pool.get());
+  std::lock_guard<std::mutex> lock(mu_);
+  return commitSpeculative(std::move(spec), req);
+}
+
+SubmitResult ClickIncService::commitSpeculative(Speculative&& spec,
+                                                SubmitRequest& req) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SubmitResult result;
+  result.user_id = next_user_;
+  result.compile_ms = spec.compile_ms;
+  if (!spec.error.ok()) {
+    // Frontend failures are deterministic regardless of user id or
+    // occupancy; report them as-is.
+    result.error = spec.error;
+    return result;
+  }
+
+  // The guessed user id seeds program and state-prefix names; a miss
+  // (an earlier in-batch request failed) means the speculative program
+  // carries the wrong prefixes, so re-lower with the real id. Placement
+  // is name-blind, but the plan's instruction indices must reference the
+  // program actually deployed — re-place rather than assume the lowering
+  // emitted the identical instruction order.
+  const bool rename = spec.guessed_user != next_user_ &&
+                      req.kind != SubmitRequest::Kind::kProgram;
+  if (rename) {
+    try {
+      spec.prog =
+          std::make_shared<ir::IrProgram>(compileFrontend(req, next_user_));
+    } catch (...) {
+      result.error = errorFromCurrentException(Stage::kCommit);
+      result.compile_ms += msSince(t0);
+      return result;
+    }
+    spec.dag = place::BlockDag::build(*spec.prog);
+  }
+
+  // Optimistic-concurrency validation: any occupancy mutation since the
+  // snapshot (a commit, remove, or rollback) invalidates the speculative
+  // plan — both resource feasibility and the adaptive weights depend on
+  // occupancy — so re-place against live state, exactly as a sequential
+  // submit would have. The commit stage is serialized, so this happens
+  // at most once per submission.
+  if (rename || occ_version_ != spec.snapshot_version) {
+    try {
+      place::PlacementOptions run_opts = req.options;
+      if (run_opts.pool == nullptr) run_opts.pool = pool_.get();
+      spec.plan = place::placeProgram(spec.dag, spec.tree, topo_, occ_,
+                                      run_opts, &arena_);
+    } catch (...) {
+      result.error = errorFromCurrentException(Stage::kCommit);
+      result.compile_ms += msSince(t0);
+      return result;
+    }
+    result.recompiled = true;
+  }
+  cumulative_stats_.add(spec.plan.stats);
+  result.plan = std::move(spec.plan);
+  if (!result.plan.feasible) {
+    result.error = placementFailure(
+        result.plan, result.recompiled ? Stage::kCommit : Stage::kCompile);
+    result.compile_ms += msSince(t0);
+    return result;
+  }
+
+  commitAndDeployLocked(&result, spec.prog, req.traffic);
+  result.compile_ms += msSince(t0);
+  return result;
+}
+
+void ClickIncService::commitAndDeployLocked(
+    SubmitResult* result, const std::shared_ptr<ir::IrProgram>& prog,
+    const topo::TrafficSpec& traffic) {
+  place::commitPlan(result->plan, *prog, occ_);
+  ++occ_version_;
+  const int user = next_user_;
+  result->user_id = user;
+  try {
+    deployPlan(user, prog, result->plan, &result->impact);
+  } catch (...) {
+    result->error = errorFromCurrentException(Stage::kDeploy);
+    rollbackDeployLocked(user, prog, result->plan);
+    result->impact = Impact{};
+    return;
+  }
+  deployed_[user] = {prog, result->plan, traffic};
+  result->impact.affected_pods = podsCrossing(result->impact.affected_devices);
+  result->ok = true;
+  ++next_user_;
+}
+
+// Best-effort unwind of a half-applied deployment: strip the user from
+// every device program and the emulator, and return the claimed
+// resources. The user id was never published, so co-resident programs
+// only see a lazy-strip enforcement.
+void ClickIncService::rollbackDeployLocked(
+    int user, const std::shared_ptr<ir::IrProgram>& prog,
+    const place::PlacementPlan& plan) {
+  for (const auto& a : plan.assignments) {
+    auto strip = [&](int device, const place::IntraPlacement& p) {
+      if (p.instr_idxs.empty()) return;
+      deviceProgram(device).removeUser(user, /*lazy=*/false);
+      emu_.undeploy(device, user);
+      place::releasePlacement(occ_.of(device), *prog, p);
+    };
+    for (const auto& [dev, p] : a.on_device) strip(dev, p);
+    for (const auto& [dev, p] : a.on_bypass) strip(dev, p);
+  }
+  ++occ_version_;
 }
 
 void ClickIncService::deployPlan(
@@ -128,50 +523,6 @@ void ClickIncService::deployPlan(
       deployTo(dev, p, split, a.to_block);
     }
   }
-}
-
-Impact ClickIncService::remove(int user_id, bool lazy) {
-  Impact impact;
-  auto it = deployed_.find(user_id);
-  if (it == deployed_.end()) return impact;
-
-  for (const auto& a : it->second.plan.assignments) {
-    auto touch = [&](int device) {
-      const auto stats = deviceProgram(device).removeUser(user_id, lazy);
-      impact.affected_devices.insert(device);
-      for (int u : stats.other_users_affected) impact.affected_users.insert(u);
-      // Even lazy removal affects co-resident programs when the strip is
-      // later enforced; report active co-residents for Table 6 parity.
-      for (int u : deviceProgram(device).activeUsers()) {
-        if (u != user_id) impact.affected_users.insert(u);
-      }
-      emu_.undeploy(device, user_id);
-    };
-    for (const auto& [dev, p] : a.on_device) {
-      if (!p.instr_idxs.empty()) touch(dev);
-    }
-    for (const auto& [dev, p] : a.on_bypass) {
-      if (!p.instr_idxs.empty()) touch(dev);
-    }
-  }
-  impact.affected_pods = podsCrossing(impact.affected_devices);
-  // Resources are recorded as released immediately (§6), even when the
-  // data-plane strip is deferred (lazy enforcement).
-  const auto& prog = *it->second.prog;
-  for (const auto& a : it->second.plan.assignments) {
-    for (const auto& [dev, p] : a.on_device) {
-      if (!p.instr_idxs.empty()) {
-        place::releasePlacement(occ_.of(dev), prog, p);
-      }
-    }
-    for (const auto& [dev, p] : a.on_bypass) {
-      if (!p.instr_idxs.empty()) {
-        place::releasePlacement(occ_.of(dev), prog, p);
-      }
-    }
-  }
-  deployed_.erase(it);
-  return impact;
 }
 
 std::set<int> ClickIncService::podsCrossing(

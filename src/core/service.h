@@ -1,17 +1,36 @@
 // ClickIncService: the One-Big-INC façade (paper §3, Fig. 2/3).
 //
-// Users submit a template name or ClickINC source plus a traffic spec;
-// the service compiles to IR, builds the block DAG, places it over the
-// reduced EC tree with the DP of §5, synthesizes per-device programs
-// (base + guarded user snippets, §6), and deploys the snippets onto the
-// emulated network. Removal is annotation-driven and lazy by default.
+// Tenants submit a SubmitRequest (template | source | compiled IR, plus a
+// traffic spec); the service runs a two-stage pipeline:
+//
+//   compile  parse -> lower -> block DAG -> tree-DP placement (§5),
+//            against an occupancy snapshot — pure with respect to shared
+//            service state, so independent tenants compile concurrently
+//            on the shared worker pool.
+//   commit   serialized: validate the candidate plan against live
+//            occupancy (optimistic concurrency — re-place at most once on
+//            conflict), claim resources, synthesize per-device programs
+//            (§6) and deploy onto the emulated network.
+//
+// submit() is the synchronous convenience, submitAsync() returns a
+// joinable SubmissionTicket, and submitAll() compiles a batch of tenants
+// concurrently and commits deterministically in request order — results
+// are bit-identical to sequential submits. Failures are structured
+// ServiceErrors (core/api.h). Removal is annotation-driven and lazy by
+// default. See docs/service.md for the lifecycle and error taxonomy.
 #pragma once
 
+#include <atomic>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "core/api.h"
 #include "emu/emulator.h"
 #include "modules/profile.h"
 #include "modules/templates.h"
@@ -22,53 +41,97 @@
 
 namespace clickinc::core {
 
-// Who/what a deployment step touched (Table 6 accounting).
-struct Impact {
-  std::set<int> affected_devices;  // executables changed
-  std::set<int> affected_users;    // co-resident INC programs
-  std::set<int> affected_pods;     // pods whose traffic crosses the devices
-};
+// Joinable handle of one in-flight asynchronous submission. Copyable;
+// every copy refers to the same eventual SubmitResult. The result is
+// produced exactly once; get() blocks until it is ready.
+class SubmissionTicket {
+ public:
+  enum class Status { kInvalid, kPending, kReady };
 
-struct SubmitResult {
-  int user_id = -1;
-  bool ok = false;
-  std::string failure;
-  place::PlacementPlan plan;
-  Impact impact;
-  double compile_ms = 0;
+  SubmissionTicket() = default;
+
+  bool valid() const { return fut_.valid(); }
+  Status status() const {
+    if (!fut_.valid()) return Status::kInvalid;
+    return fut_.wait_for(std::chrono::seconds(0)) == std::future_status::ready
+               ? Status::kReady
+               : Status::kPending;
+  }
+  bool done() const { return status() == Status::kReady; }
+  void wait() const {
+    if (fut_.valid()) fut_.wait();
+  }
+  // Blocks until the submission committed (or failed) and returns its
+  // result; valid across repeated calls and across ticket copies.
+  const SubmitResult& get() const { return fut_.get(); }
+
+ private:
+  friend class ClickIncService;
+  explicit SubmissionTicket(std::shared_future<SubmitResult> fut)
+      : fut_(std::move(fut)) {}
+
+  std::shared_future<SubmitResult> fut_;
 };
 
 class ClickIncService {
  public:
   explicit ClickIncService(topo::Topology topo, std::uint64_t seed = 42);
+  ~ClickIncService();  // joins outstanding submitAsync() submissions
+  ClickIncService(const ClickIncService&) = delete;
+  ClickIncService& operator=(const ClickIncService&) = delete;
 
-  // Submits a provider template configured with parameter overrides.
+  // Synchronous submission: compile + commit under the service lock.
+  // Never throws for tenant-caused failures — inspect result.error.
+  SubmitResult submit(SubmitRequest req);
+
+  // Asynchronous submission: compiles on a background thread against an
+  // occupancy snapshot, then joins the serialized commit stage. Tickets
+  // outstanding at destruction time are joined by the destructor.
+  SubmissionTicket submitAsync(SubmitRequest req);
+
+  // Batch submission. With concurrency > 1 the compile stage of every
+  // request runs in parallel on the worker pool; commits apply in request
+  // order, so results (plans, occupancy, user ids, emulator state) are
+  // bit-identical to submitting the same requests sequentially.
+  std::vector<SubmitResult> submitAll(std::vector<SubmitRequest> requests);
+
+  // Joins every submitAsync() submission issued so far.
+  void waitForAsync();
+
+  // --- legacy single-shot overloads (thin shims over SubmitRequest) ---
+
+  [[deprecated("build a core::SubmitRequest and call submit()")]]
   SubmitResult submitTemplate(const std::string& tmpl,
                               const std::map<std::string, std::uint64_t>& params,
                               const topo::TrafficSpec& traffic,
                               const place::PlacementOptions& opts = {});
 
-  // Submits user-written ClickINC source (may instantiate templates).
+  [[deprecated("build a core::SubmitRequest and call submit()")]]
   SubmitResult submitSource(const std::string& source,
                             const lang::HeaderSpec& hdr,
                             const std::map<std::string, std::uint64_t>& constants,
                             const topo::TrafficSpec& traffic,
                             const place::PlacementOptions& opts = {});
 
-  // Submits an already-compiled IR program.
+  [[deprecated("build a core::SubmitRequest and call submit()")]]
   SubmitResult submitProgram(ir::IrProgram prog,
                              const topo::TrafficSpec& traffic,
                              const place::PlacementOptions& opts = {});
 
-  // Removes a user program (lazy per §6 unless eager requested).
-  Impact remove(int user_id, bool lazy = true);
+  // Removes a user program (lazy per §6 unless eager requested). Unknown
+  // ids yield ErrorCode::kUnknownUser instead of silently succeeding.
+  RemoveResult remove(int user_id, bool lazy = true);
 
-  // Concurrency knob for both sides of the pipeline: placements run the
-  // worker-pool tree DP (sibling subtrees / segment fills / server-chain
-  // rows as tasks) and the emulator parallelizes device-disjoint bursts
-  // in sendBursts(). 1 (the default) is strictly sequential; 0 resolves
-  // to the hardware thread count. Results are bit-identical across
-  // settings — parallelism changes wall-clock, never plans or packets.
+  // Concurrency knob for the whole pipeline: submitAll()/submitAsync()
+  // compile tenants concurrently, placements run the worker-pool tree DP,
+  // and the emulator parallelizes device-disjoint bursts in sendBursts().
+  // 1 (the default) is strictly sequential; 0 resolves to the hardware
+  // thread count. Results are bit-identical across settings — parallelism
+  // changes wall-clock, never plans or packets. Joins outstanding async
+  // submissions and excludes in-flight submits before swapping the pool
+  // (in-flight compile stages keep the old pool alive via shared_ptr);
+  // do not call concurrently with an in-flight submitAll() or while
+  // driving the emulator from another thread.
   void setConcurrency(int threads);
   int concurrency() const { return concurrency_; }
   util::ThreadPool* threadPool() { return pool_.get(); }
@@ -79,11 +142,13 @@ class ClickIncService {
   const modules::ModuleLibrary& library() const { return lib_; }
   synth::DeviceProgram& deviceProgram(int node);
 
-  // The placement arena shared by every submit: reuses DP-table
-  // allocations between trials and carries the occupancy-keyed
+  // The placement arena shared by every commit-stage placement: reuses
+  // DP-table allocations between trials and carries the occupancy-keyed
   // intra-placement memo, so identical templates from different users
-  // (Table 3/6 scenarios) skip repeated placeCompact searches. Cumulative
-  // cache statistics are accumulated in placementStats().
+  // (Table 3/6 scenarios) skip repeated placeCompact searches. Pipelined
+  // speculative compiles share the memo through private arenas (see
+  // place::PlacementArena). Cumulative cache statistics are accumulated
+  // in placementStats().
   place::PlacementArena& placementArena() { return arena_; }
   const place::PlacementStats& placementStats() const {
     return cumulative_stats_;
@@ -108,6 +173,42 @@ class ClickIncService {
   std::set<int> podsCrossing(const std::set<int>& devices) const;
 
  private:
+  struct Speculative;  // compile-stage output (defined in service.cc)
+
+  // Frontend compile of a request's payload for a given user id (the id
+  // seeds program / state-prefix names). Throws lang errors. A kProgram
+  // payload is *moved out* of the request — legal because that kind
+  // never reaches the rename re-lower path (the caller names it).
+  ir::IrProgram compileFrontend(SubmitRequest& req, int user) const;
+
+  // Whole pipeline under the lock (sync path; zero recompiles possible).
+  SubmitResult submitLocked(SubmitRequest& req);
+
+  // Stage 1: pure compile against an occupancy snapshot; safe to run
+  // concurrently with other compiles (not with commits of *this* request).
+  // `pool` is the caller's pinned copy of the service pool (may be null).
+  Speculative compileSpeculative(SubmitRequest& req, int guessed_user,
+                                 const place::OccupancyMap& snapshot,
+                                 std::uint64_t snapshot_version,
+                                 util::ThreadPool* pool);
+
+  // Stage 2 (lock held): validate + claim + synthesize + deploy.
+  SubmitResult commitSpeculative(Speculative&& spec, SubmitRequest& req);
+
+  // Snapshot-compile then serialized commit (submitAsync path).
+  SubmitResult submitStaged(SubmitRequest req);
+
+  // Claims resources, deploys, registers the user. On deploy failure the
+  // partial deployment is rolled back and *result carries the error.
+  void commitAndDeployLocked(SubmitResult* result,
+                             const std::shared_ptr<ir::IrProgram>& prog,
+                             const topo::TrafficSpec& traffic);
+  void rollbackDeployLocked(int user, const std::shared_ptr<ir::IrProgram>& prog,
+                            const place::PlacementPlan& plan);
+
+  void deployPlan(int user, const std::shared_ptr<ir::IrProgram>& prog,
+                  const place::PlacementPlan& plan, Impact* impact);
+
   topo::Topology topo_;
   modules::ModuleLibrary lib_;
   synth::BaseProgram base_;
@@ -118,12 +219,31 @@ class ClickIncService {
   std::map<int, Deployed> deployed_;
   place::PlacementArena arena_;
   place::PlacementStats cumulative_stats_;
-  std::unique_ptr<util::ThreadPool> pool_;  // set by setConcurrency(>1)
+  // Set by setConcurrency(>1). shared_ptr so a pool swap cannot destroy
+  // a pool an in-flight compile stage is still running on — readers pin
+  // a copy under mu_ and keep it for the duration of the stage.
+  std::shared_ptr<util::ThreadPool> pool_;
   int concurrency_ = 1;
   int next_user_ = 1;
 
-  void deployPlan(int user, const std::shared_ptr<ir::IrProgram>& prog,
-                  const place::PlacementPlan& plan, Impact* impact);
+  // Serializes the commit stage and every mutation of the shared state
+  // above (occupancy, deployments, device programs, emulator, arena).
+  std::mutex mu_;
+  // Bumped on every occupancy mutation (commit / remove / rollback); the
+  // commit stage re-places a speculative plan iff the version moved since
+  // its snapshot — the optimistic-concurrency validation.
+  std::uint64_t occ_version_ = 0;
+
+  // submitAsync worker bookkeeping: each worker flags `done` when its
+  // task finishes, and the next submitAsync() reaps (joins) finished
+  // workers so a long-lived service does not accumulate unjoined
+  // threads. waitForAsync()/the destructor join everything.
+  struct AsyncWorker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex async_mu_;
+  std::vector<AsyncWorker> async_workers_;
 };
 
 }  // namespace clickinc::core

@@ -254,7 +254,7 @@ ir::IrProgram ModuleLibrary::compileTemplate(
     const std::string& name, const std::string& program_name,
     const std::map<std::string, std::uint64_t>& overrides) const {
   const TemplateEntry* e = entry(name);
-  if (e == nullptr) throw CompileError("unknown template: " + name);
+  if (e == nullptr) throw UnknownTemplateError("unknown template: " + name);
 
   std::map<std::string, std::uint64_t> params = e->defaults;
   for (const auto& [k, v] : overrides) params[k] = v;

@@ -226,6 +226,19 @@ class TreePlacer {
             .count();
     if (best_b < 0) {
       plan.failure = "no feasible placement covers all paths";
+      // Classify the failure for the service's error taxonomy: a probed
+      // segment that failed placement without being monotone-infeasible
+      // failed for resource (capacity) reasons. The set of probed
+      // segments is identical between the sequential and worker-pool
+      // paths (seg_probes/seg_misses parity), so this flag is
+      // deterministic across thread counts.
+      for (const auto& seg : buf_.seg_cache) {
+        if (seg.state == Segment::State::kDone && !seg.feasible &&
+            !seg.monotone_infeasible) {
+          plan.resource_limited = true;
+          break;
+        }
+      }
       return plan;
     }
 

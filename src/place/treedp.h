@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -151,14 +152,28 @@ struct Segment {
 // core::Service threads one arena through every submit so repeated trials
 // skip both the large-table allocations and re-placing segments on devices
 // whose occupancy has not changed.
+//
+// The memo is held by shared_ptr so several arenas can share one memo
+// while keeping private scratch buffers: IntraMemo is thread-safe
+// (sharded, exactly-once claim/publish) but the DP tables are not, so the
+// service's pipelined submit path gives every concurrent speculative
+// compile its own arena constructed over the service-wide memo — six
+// tenants submitting three distinct templates pay for one placeCompact
+// per distinct (occupancy, segment) key across the whole batch.
 class PlacementArena {
  public:
-  IntraMemo& memo() { return memo_; }
-  const IntraMemo& memo() const { return memo_; }
+  PlacementArena() : memo_(std::make_shared<IntraMemo>()) {}
+  // An arena with private scratch sharing `memo` (must be non-null).
+  explicit PlacementArena(std::shared_ptr<IntraMemo> memo)
+      : memo_(std::move(memo)) {}
+
+  IntraMemo& memo() { return *memo_; }
+  const IntraMemo& memo() const { return *memo_; }
+  const std::shared_ptr<IntraMemo>& memoHandle() const { return memo_; }
 
  private:
   friend class TreePlacerAccess;
-  IntraMemo memo_;
+  std::shared_ptr<IntraMemo> memo_;
   // Scratch buffers; assign() reuses capacity between runs.
   std::vector<double> client_dp;
   std::vector<int> client_choice;
@@ -183,6 +198,14 @@ struct NodeAssignment {
 struct PlacementPlan {
   bool feasible = false;
   std::string failure;
+  // When infeasible: true if some probed segment failed placement for a
+  // resource (capacity) reason — the program is placeable in principle but
+  // not under the occupancy it was placed against. False means the failure
+  // is structural (every failing segment was monotone-infeasible:
+  // unsupported opcode, non-programmable EC, stateful gating) and no
+  // amount of freed resources can help. core::Service maps this to its
+  // ResourceExhausted vs Infeasible error codes.
+  bool resource_limited = false;
   std::vector<NodeAssignment> assignments;
   double gain = 0;
   double ht = 0, hr = 0, hp = 0;

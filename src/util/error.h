@@ -39,6 +39,14 @@ class CompileError : public Error {
   using Error::Error;
 };
 
+// Template instantiation of a name the module library does not know.
+// Derives from CompileError so existing catch sites keep working; the
+// service maps it to its own structured UnknownTemplate code.
+class UnknownTemplateError : public CompileError {
+ public:
+  using CompileError::CompileError;
+};
+
 // Placement failure (no feasible deployment under device constraints).
 class PlacementError : public Error {
  public:

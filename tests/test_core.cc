@@ -26,20 +26,20 @@ class ServiceFixture : public ::testing::Test {
 };
 
 TEST_F(ServiceFixture, SubmitTemplateEndToEnd) {
-  const auto r = svc_.submitTemplate(
+  const auto r = svc_.submit(SubmitRequest::fromTemplate(
       "DQAcc", {{"CacheDepth", 128}, {"CacheLen", 2}},
-      trafficFor({"pod0a"}, "pod2b"));
-  ASSERT_TRUE(r.ok) << r.failure;
+      trafficFor({"pod0a"}, "pod2b")));
+  ASSERT_TRUE(r.ok) << r.error.message();
   EXPECT_GT(r.user_id, 0);
   EXPECT_FALSE(r.impact.affected_devices.empty());
   EXPECT_FALSE(r.impact.affected_pods.empty());
 }
 
 TEST_F(ServiceFixture, DistributedExecutionMatchesSingleDeviceSemantics) {
-  const auto r = svc_.submitTemplate(
+  const auto r = svc_.submit(SubmitRequest::fromTemplate(
       "DQAcc", {{"CacheDepth", 128}, {"CacheLen", 2}},
-      trafficFor({"pod0a"}, "pod2b"));
-  ASSERT_TRUE(r.ok) << r.failure;
+      trafficFor({"pod0a"}, "pod2b")));
+  ASSERT_TRUE(r.ok) << r.error.message();
   const int src = svc_.topology().findNode("pod0a");
   const int dst = svc_.topology().findNode("pod2b");
 
@@ -76,10 +76,10 @@ TEST_F(ServiceFixture, ExecPlanCacheThreadedThroughEmulator) {
   // runtime stores), unlike the placement memo's name-blind segments.
   EXPECT_EQ(&svc_.execPlanCache(), &svc_.emulator().planCache());
 
-  const auto r = svc_.submitTemplate(
+  const auto r = svc_.submit(SubmitRequest::fromTemplate(
       "DQAcc", {{"CacheDepth", 128}, {"CacheLen", 2}},
-      trafficFor({"pod0a"}, "pod2b"));
-  ASSERT_TRUE(r.ok) << r.failure;
+      trafficFor({"pod0a"}, "pod2b")));
+  ASSERT_TRUE(r.ok) << r.error.message();
   const auto stats = svc_.execPlanCache().stats();
   EXPECT_GT(stats.compiles, 0u);
   EXPECT_EQ(stats.probes, stats.hits + stats.compiles);
@@ -106,14 +106,14 @@ TEST_F(ServiceFixture, ExecPlanCacheThreadedThroughEmulator) {
 }
 
 TEST_F(ServiceFixture, MultiUserIsolationOverTheNetwork) {
-  const auto a = svc_.submitTemplate(
+  const auto a = svc_.submit(SubmitRequest::fromTemplate(
       "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
-      trafficFor({"pod0a"}, "pod2b"));
-  const auto b = svc_.submitTemplate(
+      trafficFor({"pod0a"}, "pod2b")));
+  const auto b = svc_.submit(SubmitRequest::fromTemplate(
       "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
-      trafficFor({"pod0a"}, "pod2b"));
-  ASSERT_TRUE(a.ok) << a.failure;
-  ASSERT_TRUE(b.ok) << b.failure;
+      trafficFor({"pod0a"}, "pod2b")));
+  ASSERT_TRUE(a.ok) << a.error.message();
+  ASSERT_TRUE(b.ok) << b.error.message();
   const int src = svc_.topology().findNode("pod0a");
   const int dst = svc_.topology().findNode("pod2b");
   auto send = [&](int user, std::uint64_t value) {
@@ -130,22 +130,23 @@ TEST_F(ServiceFixture, MultiUserIsolationOverTheNetwork) {
 }
 
 TEST_F(ServiceFixture, RemoveFreesResourcesForNextProgram) {
-  const auto r1 = svc_.submitTemplate(
+  const auto r1 = svc_.submit(SubmitRequest::fromTemplate(
       "MLAgg",
       {{"NumAgg", 2048}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 0}},
-      trafficFor({"pod0a", "pod1a"}, "pod2b"));
-  ASSERT_TRUE(r1.ok) << r1.failure;
+      trafficFor({"pod0a", "pod1a"}, "pod2b")));
+  ASSERT_TRUE(r1.ok) << r1.error.message();
   const double after_add = svc_.occupancy().remainingRatio();
-  const auto impact = svc_.remove(r1.user_id);
-  EXPECT_FALSE(impact.affected_devices.empty());
+  const auto removed = svc_.remove(r1.user_id);
+  ASSERT_TRUE(removed.ok) << removed.error.message();
+  EXPECT_FALSE(removed.impact.affected_devices.empty());
   EXPECT_GT(svc_.occupancy().remainingRatio(), after_add);
 }
 
 TEST_F(ServiceFixture, StepGateSkipsFailedReplicaDevice) {
-  const auto r = svc_.submitTemplate(
+  const auto r = svc_.submit(SubmitRequest::fromTemplate(
       "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
-      trafficFor({"pod0a"}, "pod2b"));
-  ASSERT_TRUE(r.ok) << r.failure;
+      trafficFor({"pod0a"}, "pod2b")));
+  ASSERT_TRUE(r.ok) << r.error.message();
   const int src = svc_.topology().findNode("pod0a");
   const int dst = svc_.topology().findNode("pod2b");
   auto send = [&](std::uint64_t value) {
@@ -265,10 +266,10 @@ TEST(Apps, SparseEliminationReducesServerLoad) {
 // --- backend codegen smoke-through-service ---
 
 TEST_F(ServiceFixture, GeneratesTargetCodeForDeployedDevice) {
-  const auto r = svc_.submitTemplate(
+  const auto r = svc_.submit(SubmitRequest::fromTemplate(
       "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
-      trafficFor({"pod0a"}, "pod2b"));
-  ASSERT_TRUE(r.ok) << r.failure;
+      trafficFor({"pod0a"}, "pod2b")));
+  ASSERT_TRUE(r.ok) << r.error.message();
   const int dev = *r.impact.affected_devices.begin();
   auto& dp = svc_.deviceProgram(dev);
   const auto p4 = backend::generate(backend::Target::kP4_16,

@@ -590,13 +590,13 @@ TEST(ServiceArena, MemoSharedAcrossUsers) {
   topo::TrafficSpec spec;
   spec.sources = {{svc.topology().findNode("pod0a"), 10.0}};
   spec.dst_host = svc.topology().findNode("pod2b");
-  const auto r1 = svc.submitTemplate(
-      "MLAgg", {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}}, spec);
-  ASSERT_TRUE(r1.ok) << r1.failure;
+  const auto r1 = svc.submit(core::SubmitRequest::fromTemplate(
+      "MLAgg", {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}}, spec));
+  ASSERT_TRUE(r1.ok) << r1.error.message();
   const long hits_after_first = svc.placementArena().memo().hits();
-  const auto r2 = svc.submitTemplate(
-      "MLAgg", {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}}, spec);
-  ASSERT_TRUE(r2.ok) << r2.failure;
+  const auto r2 = svc.submit(core::SubmitRequest::fromTemplate(
+      "MLAgg", {{"NumAgg", 128}, {"Dim", 4}, {"NumWorker", 2}}, spec));
+  ASSERT_TRUE(r2.ok) << r2.error.message();
   EXPECT_GT(svc.placementArena().memo().hits(), hits_after_first);
   EXPECT_GT(r2.plan.stats.intra_memo_hits, 0);
   const auto& cum = svc.placementStats();
