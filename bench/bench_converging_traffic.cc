@@ -1,0 +1,302 @@
+// Converging-traffic throughput — the emulator's many-to-one regime.
+//
+// k flows, each with its own programmable smartNIC (per-flow sparse
+// compression stand-in), all feeding ONE aggregation switch running the
+// MLAgg template, then a server (paper Fig. 13 case 5 wiring, NetRPC /
+// ATP-style aggregation services). Every flow aliases the switch, so the
+// pre-pipelining executor (PR 3) collapses the whole call to sequential;
+// the stage-pipelined sendBursts overlaps NIC stages of later bursts
+// with the switch's serialized aggregation, and superinstruction fusion
+// (PR 5) trims the dispatch cost of both stages.
+//
+// Sweeps flows x pool size x {pipelined, grouped} x {fused, unfused},
+// spot-checks bit-identity against the sequential path, and writes
+// BENCH_converging.json (schema: docs/benchmarks.md). The recorded host
+// object tells readers how many cores the numbers were taken on —
+// pipelined speedups are ~1x on a 1-core container by construction.
+// Set CLICKINC_BENCH_SMOKE=1 for a fast CI run that keeps the JSON
+// schema exercised.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "device/model.h"
+#include "emu/emulator.h"
+#include "modules/templates.h"
+#include "topo/topology.h"
+#include "util/thread_pool.h"
+
+namespace clickinc {
+namespace {
+
+using topo::Node;
+using topo::NodeKind;
+
+// client_i — nic_i — agg switch — server.
+topo::Topology convergingTopology(int flows) {
+  topo::Topology t;
+  Node sw;
+  sw.name = "agg";
+  sw.kind = NodeKind::kSwitch;
+  sw.programmable = true;
+  sw.model = device::makeTofino();
+  const int swid = t.addNode(sw);
+  Node server;
+  server.name = "server";
+  server.kind = NodeKind::kHost;
+  const int sid = t.addNode(server);
+  t.addLink(swid, sid);
+  for (int f = 0; f < flows; ++f) {
+    Node c;
+    c.name = cat("client", f);
+    c.kind = NodeKind::kHost;
+    const int cid = t.addNode(c);
+    Node nic;
+    nic.name = cat("nic", f);
+    nic.kind = NodeKind::kNic;
+    nic.programmable = true;
+    nic.model = device::makeNfp();
+    const int nid = t.addNode(nic);
+    t.addLink(cid, nid);
+    t.addLink(nid, swid);
+  }
+  return t;
+}
+
+// Per-NIC compression stand-in: per-dimension threshold/mask chains
+// (the shape of sparse-gradient preprocessing; rich in fusable pairs).
+ir::IrProgram nicCompressProgram(int dim) {
+  ir::IrProgram p;
+  p.name = "niccomp";
+  ir::StateObject s;
+  s.name = "nic_seen";
+  s.kind = ir::StateKind::kRegister;
+  s.depth = 2;
+  const int sid = p.addState(s);
+  p.instrs.push_back(ir::Instruction(
+      ir::Opcode::kRegAdd, ir::Operand::var("nseen", 32),
+      {ir::Operand::constant(0, 8), ir::Operand::constant(1, 32)}, sid));
+  for (int d = 0; d < dim; ++d) {
+    const auto field = cat("hdr.data.", d);
+    p.addField(field, 32);
+    p.instrs.push_back(ir::Instruction(
+        ir::Opcode::kShr, ir::Operand::var(cat("m", d), 32),
+        {ir::Operand::field(field, 32), ir::Operand::constant(4, 32)}));
+    p.instrs.push_back(ir::Instruction(
+        ir::Opcode::kCmpEq, ir::Operand::var(cat("z", d), 1),
+        {ir::Operand::var(cat("m", d), 32), ir::Operand::constant(0, 32)}));
+    p.instrs.push_back(ir::Instruction(
+        ir::Opcode::kSelect, ir::Operand::var(cat("v", d), 32),
+        {ir::Operand::var(cat("z", d), 1), ir::Operand::constant(0, 32),
+         ir::Operand::field(field, 32)}));
+    p.instrs.push_back(ir::Instruction(
+        ir::Opcode::kAssign, ir::Operand::field(field, 32),
+        {ir::Operand::var(cat("v", d), 32)}));
+  }
+  return p;
+}
+
+struct SweepPoint {
+  int flows = 0;
+  int threads = 0;      // 0 = no pool (sequential)
+  bool pipelined = true;
+  bool fused = true;
+  double median_pps = 0;
+  double speedup = 0;   // vs the same-flows sequential unfused baseline
+  bool identical = true;  // spot-check vs sequential (when measured)
+};
+
+bool samePacket(const ir::PacketView& a, const ir::PacketView& b) {
+  return a.params == b.params && a.fields == b.fields &&
+         a.verdict == b.verdict && a.mirrored == b.mirrored &&
+         a.cpu_copied == b.cpu_copied;
+}
+
+}  // namespace
+}  // namespace clickinc
+
+int main() {
+  using namespace clickinc;
+  const bool smoke = std::getenv("CLICKINC_BENCH_SMOKE") != nullptr;
+  const int dim = 32;
+  const std::size_t packets_per_flow = smoke ? 128 : 4096;
+  const int reps = smoke ? 3 : 7;
+  const std::vector<int> flow_counts = smoke ? std::vector<int>{2, 4}
+                                             : std::vector<int>{2, 4, 8};
+
+  bench::printHeader(
+      "Converging traffic — pipelined + fused sendBursts, many-to-one "
+      "MLAgg",
+      cat("Per-flow smartNIC compression -> one aggregation switch "
+          "(MLAgg dim-", dim, ") -> server.\nAggregate pkt/s across "
+          "flows; baseline = sequential unfused (the PR 2 compiled "
+          "path).\nHardware threads on this machine: ",
+          util::ThreadPool::hardwareConcurrency(),
+          " — pipelined speedups need >1 core to show."));
+
+  modules::ModuleLibrary lib;
+  auto mlagg = std::make_shared<ir::IrProgram>(
+      lib.compileTemplate("MLAgg", "agg_c", {{"NumAgg", 512},
+                                             {"Dim", dim},
+                                             {"NumWorker", 2},
+                                             {"IsConvert", 0}}));
+
+  TextTable table({"flows", "threads", "executor", "fusion",
+                   "pkt/s (median)", "speedup", "identical"});
+  std::vector<SweepPoint> points;
+
+  for (int flows : flow_counts) {
+    const auto topo = convergingTopology(flows);
+    auto nic_prog =
+        std::make_shared<ir::IrProgram>(nicCompressProgram(dim));
+
+    auto makeBursts = [&] {
+      Rng rng(0xC0B + static_cast<std::uint64_t>(flows));
+      std::vector<emu::Burst> bursts;
+      for (int f = 0; f < flows; ++f) {
+        emu::Burst b;
+        b.src = topo.findNode(cat("client", f));
+        b.dst = topo.findNode("server");
+        b.wire_bytes = 100 + 4 * dim;
+        b.useful_bytes = 4 * dim;
+        for (std::size_t p = 0; p < packets_per_flow; ++p) {
+          ir::PacketView view;
+          view.user_id = 1;
+          view.setField("hdr.op", 1);
+          view.setField("hdr.seq", rng.nextBelow(256));
+          view.setField("hdr.bitmap", 1u << (f % 2));
+          view.setField("hdr.overflow", 0);
+          for (int d = 0; d < dim; ++d) {
+            view.setField(cat("hdr.data.", d), rng.nextBelow(1u << 10));
+          }
+          b.views.push_back(std::move(view));
+        }
+        bursts.push_back(std::move(b));
+      }
+      return bursts;
+    };
+
+    auto runOnce = [&](util::ThreadPool* pool, bool fuse, bool pipeline,
+                       std::vector<std::vector<emu::PacketResult>>* out) {
+      emu::Emulator emu(&topo, 7);
+      emu.setOptions({.fuse_plans = fuse, .pipeline_bursts = pipeline});
+      emu.setThreadPool(pool);
+      auto entryFor = [&](const std::shared_ptr<ir::IrProgram>& p,
+                          int step_from, int step_to) {
+        emu::DeploymentEntry e;
+        e.user_id = 1;
+        e.prog = p;
+        for (std::size_t i = 0; i < p->instrs.size(); ++i) {
+          e.instr_idxs.push_back(static_cast<int>(i));
+        }
+        e.step_from = step_from;
+        e.step_to = step_to;
+        return e;
+      };
+      for (int f = 0; f < flows; ++f) {
+        emu.deploy(topo.findNode(cat("nic", f)), entryFor(nic_prog, 0, 1));
+      }
+      emu.deploy(topo.findNode("agg"), entryFor(mlagg, 1, 2));
+      auto bursts = makeBursts();
+      const auto t0 = std::chrono::steady_clock::now();
+      auto results = emu.sendBursts(std::move(bursts));
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (out != nullptr) *out = std::move(results);
+      const double total = static_cast<double>(flows) *
+                           static_cast<double>(packets_per_flow);
+      return s > 0 ? total / s : 0.0;
+    };
+
+    struct Config {
+      int threads;
+      bool pipelined;
+      bool fused;
+    };
+    std::vector<Config> configs = {{0, true, false},  // baseline (PR 2)
+                                   {0, true, true},   // fusion only
+                                   {2, true, true},   {4, true, true},
+                                   {4, false, true}};  // PR 3 grouped
+    std::vector<std::vector<emu::PacketResult>> seq_out, check_out;
+    double baseline = 0;
+    for (const auto& cfg : configs) {
+      std::unique_ptr<util::ThreadPool> pool;
+      if (cfg.threads > 0) {
+        pool = std::make_unique<util::ThreadPool>(cfg.threads);
+      }
+      std::vector<double> pps;
+      const bool check = cfg.threads == 4 && cfg.pipelined;
+      for (int rep = 0; rep < reps; ++rep) {
+        const bool record_seq =
+            rep == 0 && cfg.threads == 0 && !cfg.fused;
+        pps.push_back(runOnce(pool.get(), cfg.fused, cfg.pipelined,
+                              record_seq ? &seq_out
+                              : (check && rep == 0) ? &check_out
+                                                    : nullptr));
+      }
+      SweepPoint pt;
+      pt.flows = flows;
+      pt.threads = cfg.threads;
+      pt.pipelined = cfg.pipelined;
+      pt.fused = cfg.fused;
+      pt.median_pps = bench::medianOf(pps);
+      if (cfg.threads == 0 && !cfg.fused) baseline = pt.median_pps;
+      pt.speedup = baseline > 0 ? pt.median_pps / baseline : 0;
+      if (check) {
+        pt.identical = seq_out.size() == check_out.size();
+        for (std::size_t f = 0; pt.identical && f < seq_out.size(); ++f) {
+          if (seq_out[f].size() != check_out[f].size()) {
+            pt.identical = false;
+            break;
+          }
+          for (std::size_t i = 0; i < seq_out[f].size(); ++i) {
+            if (!samePacket(seq_out[f][i].view, check_out[f][i].view) ||
+                seq_out[f][i].latency_ns != check_out[f][i].latency_ns) {
+              pt.identical = false;
+              break;
+            }
+          }
+        }
+      }
+      points.push_back(pt);
+      table.addRow({cat(flows), cfg.threads == 0 ? "seq" : cat(cfg.threads),
+                    cfg.pipelined ? "pipelined" : "grouped",
+                    cfg.fused ? "on" : "off", fmtDouble(pt.median_pps, 0),
+                    cat(fmtDouble(pt.speedup, 2), "x"),
+                    check ? (pt.identical ? "yes" : "NO") : "-"});
+    }
+  }
+  bench::printTable(table);
+
+  bench::JsonWriter json;
+  json.beginObject();
+  json.kv("bench", "converging_traffic");
+  bench::writeHostObject(json, 4);
+  json.kv("smoke", smoke);
+  json.kv("dim", dim);
+  json.kv("packets_per_flow", static_cast<long>(packets_per_flow));
+  json.kv("reps", reps);
+  json.kv("switch_instrs", static_cast<long>(mlagg->instrs.size()));
+  json.key("sweep").beginArray();
+  for (const auto& pt : points) {
+    json.beginObject();
+    json.kv("flows", pt.flows);
+    json.kv("threads", pt.threads);
+    json.kv("executor", pt.pipelined ? "pipelined" : "grouped");
+    json.kv("fused", pt.fused);
+    json.kv("median_pps", pt.median_pps);
+    json.kv("speedup_vs_seq_unfused", pt.speedup);
+    json.kv("identical", pt.identical);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  if (json.writeFile("BENCH_converging.json")) {
+    std::printf("wrote BENCH_converging.json\n");
+  } else {
+    std::printf("WARNING: could not write BENCH_converging.json\n");
+  }
+  return 0;
+}

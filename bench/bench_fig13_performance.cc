@@ -144,12 +144,16 @@ std::vector<ir::PacketView> makePackets(const ir::IrProgram& prog,
 struct EmuPathResult {
   std::string name;
   std::size_t instrs = 0;
+  std::size_t fused_pairs = 0;   // superinstruction pairs in the plan
   std::size_t packets = 0;
   double median_reference_pps = 0;  // reference interpreter, send()
-  double median_compiled_pps = 0;   // compiled plans, send()
-  double median_burst_pps = 0;      // compiled plans, sendBurst()
+  double median_compiled_pps = 0;   // unfused plans, send() (PR 2 path)
+  double median_fused_pps = 0;      // fused plans, send()
+  double median_burst_pps = 0;      // unfused plans, sendBurst() (PR 2)
+  double median_burst_fused_pps = 0;  // fused plans, sendBurst()
   double speedup_compiled = 0;
   double speedup_burst = 0;
+  double speedup_fusion = 0;  // fused burst vs unfused burst (PR 2 best)
 };
 
 EmuPathResult measureEmuPath(const std::string& name,
@@ -158,6 +162,7 @@ EmuPathResult measureEmuPath(const std::string& name,
   EmuPathResult r;
   r.name = name;
   r.instrs = prog.instrs.size();
+  r.fused_pairs = ir::ExecPlan::compile(prog, {.fuse = true}).fusedPairs();
   r.packets = npackets;
 
   auto topo = topo::Topology::chain({device::makeTofino()});
@@ -170,9 +175,12 @@ EmuPathResult measureEmuPath(const std::string& name,
 
   const auto base = makePackets(prog, npackets, 0xE13);
 
-  auto timeMode = [&](int mode) {  // 0 = reference, 1 = compiled, 2 = burst
+  // reference = retained seed path; the fuse knob sweeps the
+  // superinstruction peephole on the compiled plans.
+  auto timeMode = [&](bool reference, bool fuse, bool burst) {
     emu::Emulator emu(&topo, 7);
-    emu.setReferenceInterpreter(mode == 0);
+    emu.setOptions({.fuse_plans = fuse, .pipeline_bursts = true});
+    emu.setReferenceInterpreter(reference);
     emu::DeploymentEntry entry;
     entry.user_id = 1;
     entry.prog = shared;
@@ -182,18 +190,18 @@ EmuPathResult measureEmuPath(const std::string& name,
     emu.deploy(dev, entry);
     auto views = base;
     const auto t0 = std::chrono::steady_clock::now();
-    if (mode == 2) {
+    if (burst) {
       // Bounded bursts (a switch drains its rx queue), so the in-flight
       // set stays cache-resident.
       constexpr std::size_t kBurst = 256;
       for (std::size_t at = 0; at < views.size(); at += kBurst) {
         const std::size_t n = std::min(kBurst, views.size() - at);
-        std::vector<ir::PacketView> burst(
+        std::vector<ir::PacketView> one(
             std::make_move_iterator(views.begin() +
                                     static_cast<std::ptrdiff_t>(at)),
             std::make_move_iterator(views.begin() +
                                     static_cast<std::ptrdiff_t>(at + n)));
-        emu.sendBurst(client, server, std::move(burst), 100, 100);
+        emu.sendBurst(client, server, std::move(one), 100, 100);
       }
     } else {
       for (auto& view : views) {
@@ -206,21 +214,29 @@ EmuPathResult measureEmuPath(const std::string& name,
     return s > 0 ? static_cast<double>(npackets) / s : 0.0;
   };
 
-  std::vector<double> ref_pps, compiled_pps, burst_pps;
+  std::vector<double> ref_pps, compiled_pps, fused_pps, burst_pps,
+      burst_fused_pps;
   for (int rep = 0; rep < reps; ++rep) {
-    ref_pps.push_back(timeMode(0));
-    compiled_pps.push_back(timeMode(1));
-    burst_pps.push_back(timeMode(2));
+    ref_pps.push_back(timeMode(true, false, false));
+    compiled_pps.push_back(timeMode(false, false, false));
+    fused_pps.push_back(timeMode(false, true, false));
+    burst_pps.push_back(timeMode(false, false, true));
+    burst_fused_pps.push_back(timeMode(false, true, true));
   }
   r.median_reference_pps = bench::medianOf(ref_pps);
   r.median_compiled_pps = bench::medianOf(compiled_pps);
+  r.median_fused_pps = bench::medianOf(fused_pps);
   r.median_burst_pps = bench::medianOf(burst_pps);
+  r.median_burst_fused_pps = bench::medianOf(burst_fused_pps);
   r.speedup_compiled = r.median_reference_pps > 0
                            ? r.median_compiled_pps / r.median_reference_pps
                            : 0;
   r.speedup_burst = r.median_reference_pps > 0
                         ? r.median_burst_pps / r.median_reference_pps
                         : 0;
+  r.speedup_fusion = r.median_burst_pps > 0
+                         ? r.median_burst_fused_pps / r.median_burst_pps
+                         : 0;
   return r;
 }
 
@@ -357,6 +373,209 @@ ParEmuResult measureParallelEmu(const std::string& name,
   r.median_4t_pps = bench::medianOf(pps_4t);
   r.speedup_2t = r.median_1t_pps > 0 ? r.median_2t_pps / r.median_1t_pps : 0;
   r.speedup_4t = r.median_1t_pps > 0 ? r.median_4t_pps / r.median_1t_pps : 0;
+  return r;
+}
+
+// --- converging traffic: many-to-one flows through one aggregation
+// switch, each with a private smartNIC stage ---
+//
+// The regime the stage-pipelined sendBursts targets (MLAgg's
+// many-to-one, paper Fig. 13 case 5): per-flow compression on the NIC
+// overlaps with the shared switch's serialized aggregation. The PR 2
+// baseline is the sequential unfused path (grouped execution collapses
+// aliasing flows to sequential anyway); the sweep measures what fusion
+// alone, and fusion + pipelining per pool size, buy on top.
+struct ConvResult {
+  int flows = 0;
+  std::size_t packets_per_flow = 0;
+  std::size_t nic_instrs = 0;
+  std::size_t switch_instrs = 0;
+  double median_seq_unfused_pps = 0;  // PR 2 compiled path
+  double median_seq_fused_pps = 0;
+  double median_pipe_2t_pps = 0;      // fused + pipelined
+  double median_pipe_4t_pps = 0;
+  double median_grouped_4t_pps = 0;   // PR 3 executor (pipeline off)
+  double speedup_fused = 0;           // seq fused vs seq unfused
+  double speedup_fused_pipelined = 0;  // best pipelined vs seq unfused
+  bool identical = false;
+};
+
+// Per-NIC compression stand-in: per-dimension shift/compare/select/mask
+// chains — the shape of sparse-gradient thresholding, and rich in
+// fusable pairs like the real frontend output.
+ir::IrProgram nicCompressProgram(int dim) {
+  ir::IrProgram p;
+  p.name = "niccomp";
+  ir::StateObject s;
+  s.name = "nic_seen";
+  s.kind = ir::StateKind::kRegister;
+  s.depth = 2;
+  const int sid = p.addState(s);
+  p.instrs.push_back(ir::Instruction(
+      ir::Opcode::kRegAdd, ir::Operand::var("nseen", 32),
+      {ir::Operand::constant(0, 8), ir::Operand::constant(1, 32)}, sid));
+  for (int d = 0; d < dim; ++d) {
+    const auto field = cat("hdr.data.", d);
+    p.addField(field, 32);
+    p.instrs.push_back(ir::Instruction(
+        ir::Opcode::kShr, ir::Operand::var(cat("m", d), 32),
+        {ir::Operand::field(field, 32), ir::Operand::constant(4, 32)}));
+    p.instrs.push_back(ir::Instruction(
+        ir::Opcode::kCmpEq, ir::Operand::var(cat("z", d), 1),
+        {ir::Operand::var(cat("m", d), 32), ir::Operand::constant(0, 32)}));
+    p.instrs.push_back(ir::Instruction(
+        ir::Opcode::kSelect, ir::Operand::var(cat("v", d), 32),
+        {ir::Operand::var(cat("z", d), 1), ir::Operand::constant(0, 32),
+         ir::Operand::field(field, 32)}));
+    p.instrs.push_back(ir::Instruction(
+        ir::Opcode::kAssign, ir::Operand::field(field, 32),
+        {ir::Operand::var(cat("v", d), 32)}));
+  }
+  return p;
+}
+
+ConvResult measureConverging(const ir::IrProgram& switch_prog, int dim,
+                             int flows, std::size_t packets_per_flow,
+                             int reps) {
+  ConvResult r;
+  r.flows = flows;
+  r.packets_per_flow = packets_per_flow;
+
+  // client_i — nic_i — agg switch — server.
+  topo::Topology t;
+  Node sw;
+  sw.name = "agg";
+  sw.kind = NodeKind::kSwitch;
+  sw.programmable = true;
+  sw.model = device::makeTofino();
+  const int swid = t.addNode(sw);
+  Node server;
+  server.name = "server";
+  server.kind = NodeKind::kHost;
+  const int sid = t.addNode(server);
+  t.addLink(swid, sid);
+  for (int f = 0; f < flows; ++f) {
+    Node c;
+    c.name = cat("client", f);
+    c.kind = NodeKind::kHost;
+    const int cid = t.addNode(c);
+    Node nic;
+    nic.name = cat("nic", f);
+    nic.kind = NodeKind::kNic;
+    nic.programmable = true;
+    nic.model = device::makeNfp();
+    const int nid = t.addNode(nic);
+    t.addLink(cid, nid);
+    t.addLink(nid, swid);
+  }
+
+  auto nic_prog = std::make_shared<ir::IrProgram>(nicCompressProgram(dim));
+  auto sw_prog = std::make_shared<ir::IrProgram>(switch_prog);
+  r.nic_instrs = nic_prog->instrs.size();
+  r.switch_instrs = sw_prog->instrs.size();
+
+  auto makeConvBursts = [&] {
+    Rng rng(0xC13);
+    std::vector<emu::Burst> bursts;
+    for (int f = 0; f < flows; ++f) {
+      emu::Burst b;
+      b.src = t.findNode(cat("client", f));
+      b.dst = t.findNode("server");
+      b.wire_bytes = 100 + 4 * dim;
+      b.useful_bytes = 4 * dim;
+      for (std::size_t p = 0; p < packets_per_flow; ++p) {
+        ir::PacketView view;
+        view.user_id = 1;
+        view.setField("hdr.op", 1);
+        view.setField("hdr.seq", rng.nextBelow(256));
+        view.setField("hdr.bitmap", 1u << (f % 2));
+        view.setField("hdr.overflow", 0);
+        for (int d = 0; d < dim; ++d) {
+          view.setField(cat("hdr.data.", d), rng.nextBelow(1u << 10));
+        }
+        b.views.push_back(std::move(view));
+      }
+      bursts.push_back(std::move(b));
+    }
+    return bursts;
+  };
+
+  auto runOnce = [&](util::ThreadPool* pool, bool fuse, bool pipeline,
+                     std::vector<std::vector<emu::PacketResult>>* out) {
+    emu::Emulator emu(&t, 7);
+    emu.setOptions({.fuse_plans = fuse, .pipeline_bursts = pipeline});
+    emu.setThreadPool(pool);
+    auto entryFor = [&](const std::shared_ptr<ir::IrProgram>& p,
+                        int step_from, int step_to) {
+      emu::DeploymentEntry e;
+      e.user_id = 1;
+      e.prog = p;
+      for (std::size_t i = 0; i < p->instrs.size(); ++i) {
+        e.instr_idxs.push_back(static_cast<int>(i));
+      }
+      e.step_from = step_from;
+      e.step_to = step_to;
+      return e;
+    };
+    for (int f = 0; f < flows; ++f) {
+      emu.deploy(t.findNode(cat("nic", f)), entryFor(nic_prog, 0, 1));
+    }
+    emu.deploy(swid, entryFor(sw_prog, 1, 2));
+    auto bursts = makeConvBursts();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = emu.sendBursts(std::move(bursts));
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (out != nullptr) *out = std::move(results);
+    const double total = static_cast<double>(flows) *
+                         static_cast<double>(packets_per_flow);
+    return s > 0 ? total / s : 0.0;
+  };
+
+  std::vector<double> seq_unfused, seq_fused, pipe2, pipe4, grouped4;
+  std::vector<std::vector<emu::PacketResult>> seq_out, pipe_out;
+  {
+    util::ThreadPool pool2(2);
+    util::ThreadPool pool4(4);
+    for (int rep = 0; rep < reps; ++rep) {
+      seq_unfused.push_back(
+          runOnce(nullptr, false, true, rep == 0 ? &seq_out : nullptr));
+      seq_fused.push_back(runOnce(nullptr, true, true, nullptr));
+      pipe2.push_back(runOnce(&pool2, true, true, nullptr));
+      pipe4.push_back(
+          runOnce(&pool4, true, true, rep == 0 ? &pipe_out : nullptr));
+      grouped4.push_back(runOnce(&pool4, true, false, nullptr));
+    }
+  }
+  r.identical = seq_out.size() == pipe_out.size();
+  for (std::size_t f = 0; r.identical && f < seq_out.size(); ++f) {
+    if (seq_out[f].size() != pipe_out[f].size()) {
+      r.identical = false;
+      break;
+    }
+    for (std::size_t i = 0; i < seq_out[f].size(); ++i) {
+      if (!samePacket(seq_out[f][i].view, pipe_out[f][i].view) ||
+          seq_out[f][i].latency_ns != pipe_out[f][i].latency_ns ||
+          seq_out[f][i].dropped != pipe_out[f][i].dropped) {
+        r.identical = false;
+        break;
+      }
+    }
+  }
+  r.median_seq_unfused_pps = bench::medianOf(seq_unfused);
+  r.median_seq_fused_pps = bench::medianOf(seq_fused);
+  r.median_pipe_2t_pps = bench::medianOf(pipe2);
+  r.median_pipe_4t_pps = bench::medianOf(pipe4);
+  r.median_grouped_4t_pps = bench::medianOf(grouped4);
+  r.speedup_fused = r.median_seq_unfused_pps > 0
+                        ? r.median_seq_fused_pps / r.median_seq_unfused_pps
+                        : 0;
+  const double best_pipe = std::max(r.median_pipe_2t_pps,
+                                    r.median_pipe_4t_pps);
+  r.speedup_fused_pipelined =
+      r.median_seq_unfused_pps > 0 ? best_pipe / r.median_seq_unfused_pps
+                                   : 0;
   return r;
 }
 
@@ -559,27 +778,36 @@ int main() {
 
   // End-to-end emulator execution: the retained reference path re-copies
   // and re-decodes the deployed segment per packet (the seed behavior);
-  // the fast path runs precompiled plans, optionally batched.
+  // the fast path runs precompiled plans, optionally fused (the
+  // superinstruction peephole) and batched.
   bench::printHeader(
-      "Emulator execution fast path — compiled plans + batched sends",
+      "Emulator execution fast path — compiled plans, fusion sweep, "
+      "batched sends",
       "Packets/sec through Emulator::send/sendBurst with the program "
       "deployed on one emulated Tofino.\nReference = retained seed path "
-      "(per-packet segment copy + switch interpreter).");
+      "(per-packet segment copy + switch interpreter); compiled/burst = "
+      "the PR 2 unfused plans;\nfused = superinstruction peephole on "
+      "(bit-identical, fewer dispatches).");
 
   std::vector<EmuPathResult> emu_results;
   for (const auto& [name, prog] : programs) {
     emu_results.push_back(measureEmuPath(name, prog, npackets, reps));
   }
-  TextTable emu_table({"workload", "instrs", "reference (pkt/s)",
-                       "compiled (pkt/s)", "burst (pkt/s)", "speedup",
-                       "burst speedup"});
+  TextTable emu_table({"workload", "instrs", "fused pairs",
+                       "reference (pkt/s)", "compiled (pkt/s)",
+                       "fused (pkt/s)", "burst (pkt/s)",
+                       "fused burst (pkt/s)", "burst speedup",
+                       "fusion speedup"});
   for (const auto& r : emu_results) {
     emu_table.addRow(
-        {r.name, cat(r.instrs), fmtDouble(r.median_reference_pps, 0),
+        {r.name, cat(r.instrs), cat(r.fused_pairs),
+         fmtDouble(r.median_reference_pps, 0),
          fmtDouble(r.median_compiled_pps, 0),
+         fmtDouble(r.median_fused_pps, 0),
          fmtDouble(r.median_burst_pps, 0),
-         cat(fmtDouble(r.speedup_compiled, 2), "x"),
-         cat(fmtDouble(r.speedup_burst, 2), "x")});
+         fmtDouble(r.median_burst_fused_pps, 0),
+         cat(fmtDouble(r.speedup_burst, 2), "x"),
+         cat(fmtDouble(r.speedup_fusion, 2), "x")});
   }
   bench::printTable(emu_table);
 
@@ -614,11 +842,44 @@ int main() {
   }
   bench::printTable(par_table);
 
+  // Converging traffic: the MLAgg many-to-one regime — per-flow smartNIC
+  // compression feeding one shared aggregation switch. The old executor
+  // collapsed this to sequential (every flow aliases the switch); the
+  // stage-pipelined executor overlaps NIC stages with the switch's
+  // serialized aggregation. Baseline = the PR 2 compiled path
+  // (sequential, unfused).
+  bench::printHeader(
+      "Converging traffic — fused + pipelined sendBursts on shared-device "
+      "flows",
+      cat("Per-flow NIC compression -> one aggregation switch -> server; "
+          "aggregate pkt/s across flows.\nHardware threads on this "
+          "machine: ", util::ThreadPool::hardwareConcurrency(),
+          " (pipelining needs >1 core to show)."));
+
+  const auto conv = measureConverging(programs[1].second, 32, par_flows,
+                                      par_packets, reps);
+  TextTable conv_table({"flows", "seq unfused (pkt/s)",
+                        "seq fused (pkt/s)", "pipelined 2t (pkt/s)",
+                        "pipelined 4t (pkt/s)", "grouped 4t (pkt/s)",
+                        "fusion speedup", "fused+pipelined speedup",
+                        "identical"});
+  conv_table.addRow({cat(conv.flows),
+                     fmtDouble(conv.median_seq_unfused_pps, 0),
+                     fmtDouble(conv.median_seq_fused_pps, 0),
+                     fmtDouble(conv.median_pipe_2t_pps, 0),
+                     fmtDouble(conv.median_pipe_4t_pps, 0),
+                     fmtDouble(conv.median_grouped_4t_pps, 0),
+                     cat(fmtDouble(conv.speedup_fused, 2), "x"),
+                     cat(fmtDouble(conv.speedup_fused_pipelined, 2), "x"),
+                     conv.identical ? "yes" : "NO"});
+  bench::printTable(conv_table);
+
   // Machine-readable trajectory record (schema: docs/benchmarks.md).
   bench::JsonWriter json;
   json.beginObject();
   json.kv("bench", "fig13_performance");
   json.kv("hardware_threads", util::ThreadPool::hardwareConcurrency());
+  bench::writeHostObject(json, 4);  // largest pool the sweeps attach
   json.kv("smoke", smoke);
   json.kv("rounds", rounds);
   json.key("configs").beginArray();
@@ -664,11 +925,15 @@ int main() {
     json.beginObject();
     json.kv("name", r.name);
     json.kv("instrs", static_cast<long>(r.instrs));
+    json.kv("fused_pairs", static_cast<long>(r.fused_pairs));
     json.kv("median_reference_pps", r.median_reference_pps);
     json.kv("median_compiled_pps", r.median_compiled_pps);
+    json.kv("median_fused_pps", r.median_fused_pps);
     json.kv("median_burst_pps", r.median_burst_pps);
+    json.kv("median_burst_fused_pps", r.median_burst_fused_pps);
     json.kv("speedup_compiled", r.speedup_compiled);
     json.kv("speedup_burst", r.speedup_burst);
+    json.kv("speedup_fusion", r.speedup_fusion);
     json.endObject();
   }
   json.endArray();
@@ -690,6 +955,21 @@ int main() {
     json.endObject();
   }
   json.endArray();
+  json.endObject();
+  json.key("converging").beginObject();
+  json.kv("flows", conv.flows);
+  json.kv("packets_per_flow", static_cast<long>(conv.packets_per_flow));
+  json.kv("reps", reps);
+  json.kv("nic_instrs", static_cast<long>(conv.nic_instrs));
+  json.kv("switch_instrs", static_cast<long>(conv.switch_instrs));
+  json.kv("median_seq_unfused_pps", conv.median_seq_unfused_pps);
+  json.kv("median_seq_fused_pps", conv.median_seq_fused_pps);
+  json.kv("median_pipelined_2t_pps", conv.median_pipe_2t_pps);
+  json.kv("median_pipelined_4t_pps", conv.median_pipe_4t_pps);
+  json.kv("median_grouped_4t_pps", conv.median_grouped_4t_pps);
+  json.kv("speedup_fused", conv.speedup_fused);
+  json.kv("speedup_fused_pipelined", conv.speedup_fused_pipelined);
+  json.kv("identical", conv.identical);
   json.endObject();
   json.endObject();
   if (json.writeFile("BENCH_fig13.json")) {

@@ -335,6 +335,7 @@ int main() {
   bench::JsonWriter json;
   json.beginObject();
   json.kv("bench", "fig14_compile_time");
+  bench::writeHostObject(json, 4);  // placement sweeps attach 2/4-thread pools
   json.kv("reps", kReps);
   json.kv("hardware_threads", util::ThreadPool::hardwareConcurrency());
   json.key("workloads").beginArray();

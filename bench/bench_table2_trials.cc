@@ -155,6 +155,7 @@ int main() {
   bench::JsonWriter json;
   json.beginObject();
   json.kv("bench", "table2_trials");
+  bench::writeHostObject(json, 1);  // no worker pool in this bench
   json.kv("smoke", smoke);
   json.kv("trial_cap", trial_cap);
   json.key("apps").beginArray();

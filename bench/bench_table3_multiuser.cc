@@ -254,6 +254,7 @@ int main() {
   bench::JsonWriter json;
   json.beginObject();
   json.kv("bench", "table3_multiuser");
+  bench::writeHostObject(json, 4);  // submitAll sweep runs concurrency 4
   json.kv("smoke", smoke);
   json.kv("reps", reps);
   json.kv("hardware_threads", util::ThreadPool::hardwareConcurrency());

@@ -182,6 +182,7 @@ int main() {
   bench::JsonWriter json;
   json.beginObject();
   json.kv("bench", "table6_incremental");
+  bench::writeHostObject(json, 1);  // no worker pool in this bench
   json.kv("smoke", smoke);
   json.kv("md_geq_id_from_mlagg1", md_geq_id);
   json.key("steps").beginArray();

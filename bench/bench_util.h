@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/strings.h"
@@ -29,6 +30,25 @@ inline double medianOf(std::vector<double> v) {
   std::sort(v.begin(), v.end());
   const std::size_t mid = v.size() / 2;
   return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+// Host metadata for every BENCH_*.json: parallel speedups are only
+// meaningful relative to the cores the recording machine actually had
+// (a 1-core CI container records ~1x for any parallel sweep, and the
+// record must say so). `pool_threads_used` is the largest worker-pool
+// size the bench actually ran; pass 1 for benches that never attach a
+// pool. Call inside the top-level JSON object, before other keys'
+// array/object values if key order matters to you (it doesn't to the
+// schema).
+template <typename Writer>
+inline void writeHostObject(Writer& json, int pool_threads_used) {
+  json.key("host").beginObject();
+  json.kv("hardware_concurrency",
+          static_cast<int>(std::thread::hardware_concurrency() == 0
+                               ? 1
+                               : std::thread::hardware_concurrency()));
+  json.kv("pool_threads_used", pool_threads_used);
+  json.endObject();
 }
 
 // Minimal streaming JSON writer — enough structure for flat benchmark

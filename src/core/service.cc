@@ -488,40 +488,85 @@ void ClickIncService::rollbackDeployLocked(
 void ClickIncService::deployPlan(
     int user, const std::shared_ptr<ir::IrProgram>& prog,
     const place::PlacementPlan& plan, Impact* impact) {
+  // Collect the per-device work first (in the deterministic plan order),
+  // then synthesize. Synthesis — building the user snippet (a full
+  // program copy) and weaving it into the DeviceProgram — touches only
+  // that device's program, so snippets bound for *different* devices run
+  // as parallel pool tasks; snippets for the same device keep their plan
+  // order inside one task. The emulator deploys and the impact merge
+  // stay serialized in plan order afterwards, so commit results are
+  // bit-identical to the sequential path.
+  struct DeployItem {
+    int device;
+    const place::IntraPlacement* p;
+    int step_from, step_to;
+  };
+  std::vector<DeployItem> items;
   for (const auto& a : plan.assignments) {
     if (a.to_block <= a.from_block) continue;
-    auto deployTo = [&](int device, const place::IntraPlacement& p,
-                        int step_from, int step_to) {
-      if (p.instr_idxs.empty()) return;
-      synth::UserSnippet snippet;
-      snippet.user_id = user;
-      snippet.program_name = prog->name;
-      snippet.prog = *prog;
-      snippet.instr_idxs = p.instr_idxs;
-      snippet.stage_of = p.stage_of;
-      snippet.step_from = step_from;
-      snippet.step_to = step_to;
-      const auto stats = deviceProgram(device).addSnippet(snippet);
-      impact->affected_devices.insert(device);
-      for (int u : stats.other_users_affected) {
-        impact->affected_users.insert(u);
-      }
-
-      emu::DeploymentEntry entry;
-      entry.user_id = user;
-      entry.prog = prog;
-      entry.instr_idxs = p.instr_idxs;
-      entry.step_from = step_from;
-      entry.step_to = step_to;
-      emu_.deploy(device, std::move(entry));
-    };
     const int split = a.bypass_from >= 0 ? a.bypass_from : a.to_block;
     for (const auto& [dev, p] : a.on_device) {
-      deployTo(dev, p, a.from_block, split);
+      if (!p.instr_idxs.empty()) items.push_back({dev, &p, a.from_block,
+                                                  split});
     }
     for (const auto& [dev, p] : a.on_bypass) {
-      deployTo(dev, p, split, a.to_block);
+      if (!p.instr_idxs.empty()) items.push_back({dev, &p, split,
+                                                  a.to_block});
     }
+  }
+  if (items.empty()) return;
+
+  // Group item indices by device, preserving plan order within a device;
+  // materialize the DeviceProgram objects up front (map mutation is not
+  // thread-safe).
+  std::map<int, std::vector<std::size_t>> by_device;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    by_device[items[k].device].push_back(k);
+    deviceProgram(items[k].device);
+  }
+
+  std::vector<synth::ChangeStats> stats(items.size());
+  auto synthesizeItem = [&](std::size_t k) {
+    const DeployItem& it = items[k];
+    synth::UserSnippet snippet;
+    snippet.user_id = user;
+    snippet.program_name = prog->name;
+    snippet.prog = *prog;
+    snippet.instr_idxs = it.p->instr_idxs;
+    snippet.stage_of = it.p->stage_of;
+    snippet.step_from = it.step_from;
+    snippet.step_to = it.step_to;
+    stats[k] = deviceProgram(it.device).addSnippet(std::move(snippet));
+  };
+  if (pool_ != nullptr && pool_->threadCount() > 1 && by_device.size() > 1) {
+    std::vector<const std::vector<std::size_t>*> groups;
+    groups.reserve(by_device.size());
+    for (const auto& [dev, idxs] : by_device) {
+      (void)dev;
+      groups.push_back(&idxs);
+    }
+    pool_->parallelFor(groups.size(), [&](std::size_t g) {
+      for (std::size_t k : *groups[g]) synthesizeItem(k);
+    });
+  } else {
+    for (std::size_t k = 0; k < items.size(); ++k) synthesizeItem(k);
+  }
+
+  // Serial tail in plan order: impact accounting and emulator deploys
+  // (the deployment map and plan cache are shared across devices).
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    const DeployItem& it = items[k];
+    impact->affected_devices.insert(it.device);
+    for (int u : stats[k].other_users_affected) {
+      impact->affected_users.insert(u);
+    }
+    emu::DeploymentEntry entry;
+    entry.user_id = user;
+    entry.prog = prog;
+    entry.instr_idxs = it.p->instr_idxs;
+    entry.step_from = it.step_from;
+    entry.step_to = it.step_to;
+    emu_.deploy(it.device, std::move(entry));
   }
 }
 

@@ -19,7 +19,8 @@ void Emulator::deploy(int device_node, DeploymentEntry entry) {
   CLICKINC_CHECK(topo_->node(device_node).programmable,
                  "deploying on a non-programmable node");
   if (entry.plan == nullptr && entry.prog != nullptr) {
-    entry.plan = plan_cache_->get(*entry.prog, entry.instr_idxs);
+    entry.plan = plan_cache_->get(*entry.prog, entry.instr_idxs,
+                                  {.fuse = options_.fuse_plans});
   }
   deployments_[device_node].push_back(std::move(entry));
   // Keep snippets ordered by step so earlier program segments run first.
@@ -285,55 +286,64 @@ PacketResult Emulator::send(int src, int dst, ir::PacketView view,
   return result;
 }
 
-std::vector<PacketResult> Emulator::runBurst(int src, int dst,
-                                             std::vector<ir::PacketView> views,
-                                             int wire_bytes, int useful_bytes,
-                                             BurstCtx& ctx) {
-  const std::size_t n = views.size();
-  std::vector<PacketResult> results(n);
-  if (n == 0) return results;
-  ctx.counters.packets_sent += n;
-  const auto path = topo_->shortestPath(src, dst);
-  CLICKINC_CHECK(!path.empty(), "no path in emulator");
+void Emulator::finishPacket(BurstRun& r, std::size_t i, int at) {
+  r.results[i].view = std::move(r.flight[i]);
+  r.results[i].final_node = at;
+  r.results[i].wire_bytes_out =
+      static_cast<int>(r.results[i].view.field("hdr._len"));
+  r.ctx->finishes.push_back(
+      {r.results[i].latency_ns, r.results[i].inc_latency_ns});
+  r.alive[i] = false;
+  --r.live;
+}
 
-  std::vector<ir::PacketView> flight = std::move(views);
-  std::vector<bool> alive(n, true);
-  for (auto& view : flight) {
+void Emulator::startBurstRun(BurstRun& r, int src, int dst,
+                             std::vector<ir::PacketView> views,
+                             int wire_bytes, int useful_bytes) {
+  const std::size_t n = views.size();
+  r.src = src;
+  r.dst = dst;
+  r.wire_bytes = wire_bytes;
+  r.useful_bytes = useful_bytes;
+  r.results.assign(n, PacketResult{});
+  r.flight = std::move(views);
+  r.alive.assign(n, true);
+  r.live = n;
+  if (n == 0) return;  // empty bursts skip path resolution entirely
+  r.ctx->counters.packets_sent += n;
+  r.path = topo_->shortestPath(src, dst);
+  CLICKINC_CHECK(!r.path.empty(), "no path in emulator");
+  for (auto& view : r.flight) {
     view.setField("hdr._len", static_cast<std::uint64_t>(wire_bytes));
   }
+}
 
-  auto finish = [&](std::size_t i, int at) {
-    results[i].view = std::move(flight[i]);
-    results[i].final_node = at;
-    results[i].wire_bytes_out =
-        static_cast<int>(results[i].view.field("hdr._len"));
-    ctx.finishes.push_back(
-        {results[i].latency_ns, results[i].inc_latency_ns});
-    alive[i] = false;
-  };
+void Emulator::runBurstHops(BurstRun& r, std::size_t h_begin,
+                            std::size_t h_end) {
+  const std::size_t n = r.flight.size();
+  BurstCtx& ctx = *r.ctx;
+  auto& sub = ctx.hop_sub;
+  auto& sub_idx = ctx.hop_sub_idx;
+  auto& sub_lat = ctx.hop_sub_lat;
 
-  std::vector<ir::PacketView*> sub;
-  std::vector<std::size_t> sub_idx;
-  std::vector<double> sub_lat;
-
-  for (std::size_t h = 0; h + 1 < path.size(); ++h) {
-    const int cur = path[h];
-    const int next = path[h + 1];
+  for (std::size_t h = h_begin; h < h_end && h + 1 < r.path.size(); ++h) {
+    if (r.live == 0) break;
+    const int cur = r.path[h];
+    const int next = r.path[h + 1];
     const topo::Link* link = topo_->linkBetween(cur, next);
     const double hop_latency = link != nullptr ? link->latency_ns : 1000.0;
 
     sub.clear();
     sub_idx.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      if (!alive[i]) continue;
+      if (!r.alive[i]) continue;
       ctx.charges.push_back(
-          {cur, next, static_cast<int>(flight[i].field("hdr._len"))});
-      results[i].latency_ns += hop_latency;
-      ++results[i].hops;
-      sub.push_back(&flight[i]);
+          {cur, next, static_cast<int>(r.flight[i].field("hdr._len"))});
+      r.results[i].latency_ns += hop_latency;
+      ++r.results[i].hops;
+      sub.push_back(&r.flight[i]);
       sub_idx.push_back(i);
     }
-    if (sub.empty()) break;
 
     const auto& node = topo_->node(next);
     if (node.programmable || node.kind != topo::NodeKind::kHost) {
@@ -346,50 +356,63 @@ std::vector<PacketResult> Emulator::runBurst(int src, int dst,
                        std::span<double>(sub_lat), ctx);
       }
       for (std::size_t k = 0; k < sub.size(); ++k) {
-        results[sub_idx[k]].latency_ns += sub_lat[k];
-        results[sub_idx[k]].inc_latency_ns += sub_lat[k];
+        r.results[sub_idx[k]].latency_ns += sub_lat[k];
+        r.results[sub_idx[k]].inc_latency_ns += sub_lat[k];
       }
     }
 
     for (std::size_t k = 0; k < sub.size(); ++k) {
       const std::size_t i = sub_idx[k];
-      ir::PacketView& view = flight[i];
+      ir::PacketView& view = r.flight[i];
       if (view.verdict == ir::Verdict::kDrop) {
-        results[i].dropped = true;
+        r.results[i].dropped = true;
         ++ctx.counters.packets_dropped;
-        finish(i, next);
+        finishPacket(r, i, next);
         continue;
       }
       if (view.verdict == ir::Verdict::kSendBack) {
         for (std::size_t back = h + 1; back > 0; --back) {
-          const int from = path[back];
-          const int to = path[back - 1];
+          const int from = r.path[back];
+          const int to = r.path[back - 1];
           ctx.charges.push_back(
               {from, to, static_cast<int>(view.field("hdr._len"))});
-          results[i].latency_ns +=
+          r.results[i].latency_ns +=
               topo_->linkBetween(from, to) != nullptr
                   ? topo_->linkBetween(from, to)->latency_ns
                   : 1000.0;
-          ++results[i].hops;
+          ++r.results[i].hops;
         }
-        results[i].bounced = true;
+        r.results[i].bounced = true;
         ++ctx.counters.packets_bounced;
         ctx.counters.useful_bytes_delivered +=
-            static_cast<std::uint64_t>(useful_bytes);
-        finish(i, src);
+            static_cast<std::uint64_t>(r.useful_bytes);
+        finishPacket(r, i, r.src);
       }
     }
   }
+}
 
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!alive[i]) continue;
-    results[i].delivered = true;
-    ++ctx.counters.packets_delivered;
-    ctx.counters.useful_bytes_delivered +=
-        static_cast<std::uint64_t>(useful_bytes);
-    finish(i, dst);
+void Emulator::finishBurstRun(BurstRun& r) {
+  for (std::size_t i = 0; i < r.flight.size(); ++i) {
+    if (!r.alive[i]) continue;
+    r.results[i].delivered = true;
+    ++r.ctx->counters.packets_delivered;
+    r.ctx->counters.useful_bytes_delivered +=
+        static_cast<std::uint64_t>(r.useful_bytes);
+    finishPacket(r, i, r.dst);
   }
-  return results;
+}
+
+std::vector<PacketResult> Emulator::runBurst(int src, int dst,
+                                             std::vector<ir::PacketView> views,
+                                             int wire_bytes, int useful_bytes,
+                                             BurstCtx& ctx) {
+  BurstRun r;
+  r.ctx = &ctx;
+  startBurstRun(r, src, dst, std::move(views), wire_bytes, useful_bytes);
+  runBurstHops(r, 0, r.path.empty() ? 0 : r.path.size() - 1);
+  finishBurstRun(r);
+  return std::move(r.results);
 }
 
 void Emulator::applyBurstEffects(const BurstCtx& ctx) {
@@ -456,13 +479,14 @@ std::vector<std::vector<PacketResult>> Emulator::sendBursts(
 
   // A burst mutates only the state stores of its path's processing nodes
   // (hosts pass traffic through untouched), so bursts with disjoint
-  // processing-node sets can run concurrently. RandInt draws come from
-  // the one shared Rng, whose order no schedule could preserve — any
-  // deployed RandInt forces the sequential path.
+  // processing-node sets can run concurrently, and bursts sharing a node
+  // only need per-node ordering. RandInt draws come from the one shared
+  // Rng, whose order no schedule could preserve — any deployed RandInt
+  // forces the sequential path.
   const bool parallel = pool_ != nullptr && n > 1 && !deploymentsUseRandom();
 
   if (!parallel) {
-    // Sequential: no grouping to compute (runBurst resolves paths
+    // Sequential: no schedule to compute (runBurst resolves paths
     // itself); just run in order with per-burst contexts and replay.
     std::vector<BurstCtx> ctxs(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -474,6 +498,14 @@ std::vector<std::vector<PacketResult>> Emulator::sendBursts(
     return results;
   }
 
+  if (options_.pipeline_bursts) return sendBurstsPipelined(std::move(bursts));
+  return sendBurstsGrouped(std::move(bursts));
+}
+
+std::vector<std::vector<PacketResult>> Emulator::sendBurstsGrouped(
+    std::vector<Burst> bursts) {
+  const std::size_t n = bursts.size();
+  std::vector<std::vector<PacketResult>> results(n);
   std::vector<std::vector<int>> touched(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto path = topo_->shortestPath(bursts[i].src, bursts[i].dst);
@@ -532,6 +564,186 @@ std::vector<std::vector<PacketResult>> Emulator::sendBursts(
   // All effects replay in original burst order — identical to calling
   // sendBurst() once per element.
   for (const auto& ctx : ctxs) applyBurstEffects(ctx);
+  return results;
+}
+
+void Emulator::deployedNodesAtHop(const std::vector<int>& path,
+                                  std::size_t h,
+                                  std::vector<int>* out) const {
+  out->clear();
+  const int next = path[h + 1];
+  auto consider = [&](int node) {
+    // Mirrors processBatchAt's gates: a node with no deployments — or a
+    // failed one, whose processing is skipped wholesale — never touches
+    // its store, so it needs no cross-burst ordering edge.
+    auto it = deployments_.find(node);
+    if (it == deployments_.end() || it->second.empty()) return;
+    auto failed_it = failed_.find(node);
+    if (failed_it != failed_.end() && failed_it->second) return;
+    out->push_back(node);
+  };
+  consider(next);
+  const int accel = topo_->node(next).attached_accel;
+  if (accel >= 0) consider(accel);
+}
+
+// Stage-pipelined executor. Each burst's hop walk is cut into segments:
+// a new segment starts at every hop where the burst meets a device some
+// earlier burst also visits (only devices carrying deployments matter —
+// they are the only shared mutable state). Dependencies:
+//   - segment k of a burst waits for segment k-1 of the same burst
+//     (hops advance in order);
+//   - a segment containing a visit to device D waits for the segment of
+//     the latest earlier burst that visits D.
+// Cross-burst edges always point from a lower to a higher burst index,
+// so the segment graph is acyclic, and every device's store sees bursts
+// in submission order — the sequential arrival sequence. The segments
+// execute on the pool as a dependency-counting work crew: W workers
+// drain a ready queue, releasing successors as segments complete. Each
+// burst's link/stats effects stay in its private context and replay in
+// burst order afterwards, so results, stats, and double-addition
+// sequences are bit-identical to the sequential path.
+std::vector<std::vector<PacketResult>> Emulator::sendBurstsPipelined(
+    std::vector<Burst> bursts) {
+  const std::size_t n = bursts.size();
+  std::vector<std::vector<PacketResult>> results(n);
+  std::vector<BurstCtx> ctxs(n);
+  std::vector<BurstRun> runs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    runs[i].ctx = &ctxs[i];
+    startBurstRun(runs[i], bursts[i].src, bursts[i].dst,
+                  std::move(bursts[i].views), bursts[i].wire_bytes,
+                  bursts[i].useful_bytes);
+  }
+
+  // --- build the segment DAG ---
+  struct Segment {
+    std::size_t burst = 0;
+    std::size_t h_begin = 0;
+    std::size_t h_end = 0;
+    bool final_hop = false;  // also runs finishBurstRun
+  };
+  std::vector<Segment> segs;
+  std::vector<std::vector<std::size_t>> succ;
+  std::vector<std::size_t> dep;
+  std::map<int, std::size_t> last_seg_at;  // device -> latest visiting seg
+  std::vector<int> hop_devs;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    BurstRun& r = runs[i];
+    if (r.flight.empty()) continue;  // empty burst: nothing to schedule
+    const std::size_t hops = r.path.size() - 1;
+    // Pass 1: find the hops with cross-burst ordering constraints,
+    // keeping each hop's deployed-device list for the recording pass.
+    std::vector<char> boundary(std::max<std::size_t>(hops, 1), 0);
+    std::vector<std::pair<std::size_t, std::size_t>> in_edges;  // (seg, hop)
+    std::vector<std::vector<int>> devs_at_hop(hops);
+    for (std::size_t h = 0; h < hops; ++h) {
+      deployedNodesAtHop(r.path, h, &hop_devs);
+      devs_at_hop[h] = hop_devs;
+      for (int d : hop_devs) {
+        auto it = last_seg_at.find(d);
+        if (it != last_seg_at.end()) {
+          in_edges.push_back({it->second, h});
+          boundary[h] = 1;
+        }
+      }
+    }
+    // Pass 2: cut segments at the boundaries (hop 0 always starts one;
+    // a hopless burst still gets one segment for its finish step).
+    const std::size_t first_seg = segs.size();
+    std::vector<std::size_t> seg_of_hop(hops, first_seg);
+    if (hops == 0) {
+      segs.push_back({i, 0, 0, true});
+    } else {
+      for (std::size_t h = 0; h < hops; ++h) {
+        if (h == 0 || boundary[h]) {
+          if (!segs.empty() && segs.size() > first_seg) {
+            segs.back().h_end = h;
+          }
+          segs.push_back({i, h, hops, false});
+        }
+        seg_of_hop[h] = segs.size() - 1;
+      }
+      segs.back().final_hop = true;
+    }
+    succ.resize(segs.size());
+    dep.resize(segs.size(), 0);
+    // Intra-burst chain.
+    for (std::size_t s = first_seg + 1; s < segs.size(); ++s) {
+      succ[s - 1].push_back(s);
+      ++dep[s];
+    }
+    // Cross-burst device-order edges.
+    for (const auto& [src_seg, h] : in_edges) {
+      succ[src_seg].push_back(seg_of_hop[h]);
+      ++dep[seg_of_hop[h]];
+    }
+    // Record this burst's visits for later bursts.
+    for (std::size_t h = 0; h < hops; ++h) {
+      for (int d : devs_at_hop[h]) last_seg_at[d] = seg_of_hop[h];
+    }
+  }
+
+  // --- run the DAG on a work crew ---
+  if (!segs.empty()) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::size_t> ready;
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      if (dep[s] == 0) ready.push_back(s);
+    }
+    std::size_t remaining = segs.size();
+    std::exception_ptr error;
+
+    auto runSegment = [&](std::size_t s) {
+      BurstRun& r = runs[segs[s].burst];
+      runBurstHops(r, segs[s].h_begin, segs[s].h_end);
+      if (segs[s].final_hop) finishBurstRun(r);
+    };
+    const std::size_t workers = std::min<std::size_t>(
+        static_cast<std::size_t>(pool_->threadCount()), segs.size());
+    pool_->parallelFor(workers, [&](std::size_t) {
+      std::unique_lock<std::mutex> lock(mu);
+      while (remaining > 0) {
+        if (ready.empty()) {
+          // Some segment is in flight on another worker (the DAG is
+          // acyclic and releases are made before the matching notify),
+          // so waiting here always terminates.
+          cv.wait(lock,
+                  [&] { return !ready.empty() || remaining == 0; });
+          continue;
+        }
+        const std::size_t s = ready.back();
+        ready.pop_back();
+        lock.unlock();
+        try {
+          runSegment(s);
+        } catch (...) {
+          lock.lock();
+          if (error == nullptr) error = std::current_exception();
+          remaining = 0;  // abandon; effects are never applied on error
+          cv.notify_all();
+          return;
+        }
+        lock.lock();
+        --remaining;
+        for (std::size_t t : succ[s]) {
+          if (--dep[t] == 0) ready.push_back(t);
+        }
+        cv.notify_all();
+      }
+      cv.notify_all();
+    });
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+  // All effects replay in original burst order — identical to calling
+  // sendBurst() once per element.
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i] = std::move(runs[i].results);
+    applyBurstEffects(ctxs[i]);
+  }
   return results;
 }
 

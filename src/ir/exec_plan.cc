@@ -7,6 +7,7 @@
 
 #include "util/bits.h"
 #include "util/crc.h"
+#include "util/error.h"
 
 // Threaded dispatch: GCC/Clang support computed goto (&&label), which
 // gives each opcode its own indirect-branch site and lets handlers inline
@@ -14,8 +15,14 @@
 // function-pointer handler table.
 #if defined(__GNUC__) || defined(__clang__)
 #define CLICKINC_THREADED_DISPATCH 1
+// The component evaluators must inline into the per-opcode handlers so
+// their switch folds away under the handlers' compile-time-constant
+// opcode — `inline` alone is a hint GCC sometimes declines for
+// functions this large.
+#define CLICKINC_ALWAYS_INLINE inline __attribute__((always_inline))
 #else
 #define CLICKINC_THREADED_DISPATCH 0
+#define CLICKINC_ALWAYS_INLINE inline
 #endif
 
 namespace clickinc::ir {
@@ -37,11 +44,43 @@ namespace {
   X(kHashCrc16) X(kHashCrc32) X(kHashIdentity) X(kChecksum) X(kRandInt)      \
   X(kAesEnc) X(kAesDec) X(kEcsEnc) X(kEcsDec) X(kNop)
 
+// Superinstructions: fused adjacent pairs, appended to the dispatch table
+// past the Opcode range. The first ten mirror the hottest pairs of the
+// Fig. 13 application programs (MLAgg: cmp.eq+land, shr+cmp.eq, add+add,
+// lor+lor, assign+assign, reg.{write,read,clear} runs; KVS:
+// hash.crc32+and; DQAcc: cmp.eq+select) with fully specialized handlers;
+// the last six are role-generic fallbacks that dispatch their component
+// sub-ops through compact evaluators. A fused record performs both
+// component writes in program order and counts both instructions in
+// ExecStats (nfused), so fusion is invisible except in dispatch count.
+#define CLICKINC_SUPEROPS(X)                                                 \
+  X(kFuseCmpEqLAnd) X(kFuseShrCmpEq) X(kFuseAddAdd) X(kFuseCmpEqSelect)      \
+  X(kFuseLOrLOr) X(kFuseAssignAssign) X(kFuseHashCrc32And)                   \
+  X(kFuseRegWriteRegWrite) X(kFuseRegReadRegRead) X(kFuseRegClearRegClear)   \
+  X(kFusePair) X(kFuseHashAlu) X(kFuseRegAlu) X(kFuseAluReg)                 \
+  X(kFuseRegReg) X(kFuseLookupAlu)
+
+#define CLICKINC_EXECOPS(X) CLICKINC_OPCODES(X) CLICKINC_SUPEROPS(X)
+
 #define CLICKINC_COUNT_OP(op) +1
 constexpr std::size_t kOpcodeCount = 0 CLICKINC_OPCODES(CLICKINC_COUNT_OP);
+constexpr std::size_t kExecOpCount = 0 CLICKINC_EXECOPS(CLICKINC_COUNT_OP);
 #undef CLICKINC_COUNT_OP
 static_assert(kOpcodeCount == static_cast<std::size_t>(Opcode::kNop) + 1,
               "opcode dispatch list out of sync with the Opcode enum");
+
+// Dispatch ids of the superinstructions: contiguous after the last
+// Opcode, in exact CLICKINC_SUPEROPS order (the label table is generated
+// from the same list).
+enum SuperOpId : std::uint16_t {
+  kSuperOpBase = static_cast<std::uint16_t>(Opcode::kNop),
+#define CLICKINC_SUPEROP_ID(op) op,
+  CLICKINC_SUPEROPS(CLICKINC_SUPEROP_ID)
+#undef CLICKINC_SUPEROP_ID
+  kSuperOpEnd
+};
+static_assert(static_cast<std::size_t>(kSuperOpEnd) == kExecOpCount,
+              "superop ids out of sync with the dispatch list");
 
 float asF32(std::uint64_t bits) {
   return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
@@ -90,33 +129,156 @@ inline void wrDest(Ctx& c, const DecodedInstr& d, std::uint64_t v) {
   wr(c, d.dest, d.dest_width, v);
 }
 
-// Lazily binds the instruction's state instance — on first *executed*
-// touch, exactly like the reference interpreter, so a store never grows
-// instances for instructions that were predicated off.
-inline StateInstance* stateOf(Ctx& c, const DecodedInstr& d) {
-  if (d.state < 0) return nullptr;
-  StateInstance*& b = c.bound[d.state];
-  if (b == nullptr) b = &c.store->instantiate(c.plan->stateSpec(d.state));
+// Lazily binds a state instance — on first *executed* touch, exactly like
+// the reference interpreter, so a store never grows instances for
+// instructions that were predicated off.
+inline StateInstance* stateAt(Ctx& c, std::int16_t idx) {
+  if (idx < 0) return nullptr;
+  StateInstance*& b = c.bound[idx];
+  if (b == nullptr) b = &c.store->instantiate(c.plan->stateSpec(idx));
   return b;
+}
+
+inline StateInstance* stateOf(Ctx& c, const DecodedInstr& d) {
+  return stateAt(c, d.state);
 }
 
 inline void setVerdict(Ctx& c, Verdict v) {
   if (c.pkt->verdict == Verdict::kNone) c.pkt->verdict = v;
 }
 
-// Serializes all sources little-endian byte-wise (matching the reference
-// hashValues) into the reused scratch buffer, then hashes.
+// Serializes sources [base, base+n) little-endian byte-wise (matching the
+// reference hashValues) into the reused scratch buffer, then hashes.
 template <typename HashFn>
-std::uint64_t hashSrcs(Ctx& c, const DecodedInstr& d, HashFn fn) {
+std::uint64_t hashSrcs(Ctx& c, const DecodedInstr& d, unsigned base,
+                       unsigned n, HashFn fn) {
   auto& bytes = *c.bytes;
   bytes.clear();
-  for (unsigned k = 0; k < d.nsrc; ++k) {
-    const std::uint64_t v = src(c, d, k);
+  for (unsigned k = 0; k < n; ++k) {
+    const std::uint64_t v = src(c, d, base + k);
     for (int i = 0; i < 8; ++i) {
       bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
     }
   }
   return fn(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+// --- component evaluators ------------------------------------------------
+//
+// The single executable copy of every pure-ALU and register-array
+// opcode's semantics on the compiled path (the other copy is the
+// reference interpreter switch in interp.cc). The plain per-opcode
+// handlers below delegate here with a compile-time-constant opcode —
+// the switch constant-folds under inlining, so their codegen is the
+// open-coded body — and the fused superinstructions call the same
+// evaluators with runtime sub-opcodes. Sources are read from
+// [base, base+n) of the record's ref range.
+
+CLICKINC_ALWAYS_INLINE std::uint64_t aluEval(Ctx& c, const DecodedInstr& d,
+                             std::uint8_t op8, unsigned base, unsigned n) {
+  auto S = [&](unsigned k) { return src(c, d, base + k); };
+  switch (static_cast<Opcode>(op8)) {
+    case Opcode::kAssign: return S(0);
+    case Opcode::kAdd: return S(0) + S(1);
+    case Opcode::kSub: return S(0) - S(1);
+    case Opcode::kAnd: return S(0) & S(1);
+    case Opcode::kOr: return S(0) | S(1);
+    case Opcode::kXor: return S(0) ^ S(1);
+    case Opcode::kNot: return ~S(0);
+    case Opcode::kShl: {
+      const std::uint64_t s1 = S(1);
+      return s1 >= 64 ? 0 : S(0) << s1;
+    }
+    case Opcode::kShr: {
+      const std::uint64_t s1 = S(1);
+      return s1 >= 64 ? 0 : S(0) >> s1;
+    }
+    case Opcode::kSlice:
+      return (S(0) >> S(1)) & lowMask(static_cast<int>(S(2)));
+    case Opcode::kCmpLt: return S(0) < S(1) ? 1 : 0;
+    case Opcode::kCmpLe: return S(0) <= S(1) ? 1 : 0;
+    case Opcode::kCmpEq: return S(0) == S(1) ? 1 : 0;
+    case Opcode::kCmpNe: return S(0) != S(1) ? 1 : 0;
+    case Opcode::kCmpGe: return S(0) >= S(1) ? 1 : 0;
+    case Opcode::kCmpGt: return S(0) > S(1) ? 1 : 0;
+    case Opcode::kMin: return std::min(S(0), S(1));
+    case Opcode::kMax: return std::max(S(0), S(1));
+    case Opcode::kSelect: return (S(0) & 1) ? S(1) : S(2);
+    case Opcode::kLAnd: return (S(0) & 1) & (S(1) & 1);
+    case Opcode::kLOr: return (S(0) & 1) | (S(1) & 1);
+    case Opcode::kLNot: return (S(0) & 1) ^ 1;
+    case Opcode::kMul: return S(0) * S(1);
+    case Opcode::kDiv: {
+      const std::uint64_t s1 = S(1);
+      return s1 == 0 ? 0 : S(0) / s1;
+    }
+    case Opcode::kMod: {
+      const std::uint64_t s1 = S(1);
+      return s1 == 0 ? 0 : S(0) % s1;
+    }
+    case Opcode::kFAdd: return fromF32(asF32(S(0)) + asF32(S(1)));
+    case Opcode::kFSub: return fromF32(asF32(S(0)) - asF32(S(1)));
+    case Opcode::kFMul: return fromF32(asF32(S(0)) * asF32(S(1)));
+    case Opcode::kFDiv: {
+      const float b = asF32(S(1));
+      return b == 0.0f ? 0 : fromF32(asF32(S(0)) / b);
+    }
+    case Opcode::kFtoI: {
+      const float scale = n > 1 ? static_cast<float>(S(1)) : 1.0f;
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(asF32(S(0)) * scale));
+    }
+    case Opcode::kItoF: {
+      const float scale = n > 1 ? static_cast<float>(S(1)) : 1.0f;
+      return fromF32(
+          static_cast<float>(static_cast<std::int64_t>(S(0))) / scale);
+    }
+    case Opcode::kFSqrt: {
+      const float f = asF32(S(0));
+      return f < 0 ? 0 : fromF32(std::sqrt(f));
+    }
+    case Opcode::kFCmpLt: return asF32(S(0)) < asF32(S(1)) ? 1 : 0;
+    case Opcode::kHashIdentity: return S(0);
+    case Opcode::kChecksum: {
+      std::uint64_t sum = 0;
+      for (unsigned k = 0; k < n; ++k) {
+        const std::uint64_t v = S(k);
+        sum += (v & 0xFFFF) + ((v >> 16) & 0xFFFF) + ((v >> 32) & 0xFFFF) +
+               ((v >> 48) & 0xFFFF);
+      }
+      while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+      return (~sum) & 0xFFFF;
+    }
+    case Opcode::kAesEnc:
+    case Opcode::kEcsEnc:
+      return toyEncrypt(S(0), n > 1 ? S(1) : 0);
+    case Opcode::kAesDec:
+    case Opcode::kEcsDec:
+      return toyDecrypt(S(0), n > 1 ? S(1) : 0);
+    default: return 0;  // unreachable: the ALU set is closed
+  }
+}
+
+CLICKINC_ALWAYS_INLINE void regExec(Ctx& c, const DecodedInstr& d, std::uint8_t op8,
+                    std::int16_t state_idx, unsigned base,
+                    std::int32_t dest, std::int16_t dest_width) {
+  StateInstance* st = stateAt(c, state_idx);
+  switch (static_cast<Opcode>(op8)) {
+    case Opcode::kRegRead:
+      wr(c, dest, dest_width, st ? st->regRead(src(c, d, base)) : 0);
+      break;
+    case Opcode::kRegWrite:
+      if (st) st->regWrite(src(c, d, base), src(c, d, base + 1));
+      break;
+    case Opcode::kRegAdd:
+      wr(c, dest, dest_width,
+         st ? st->regAdd(src(c, d, base), src(c, d, base + 1)) : 0);
+      break;
+    case Opcode::kRegClear:
+      if (st) st->regClear(src(c, d, base));
+      break;
+    default: break;  // unreachable
+  }
 }
 
 // --- per-opcode handlers (bit-identical to the Interpreter switch) ---
@@ -125,89 +287,34 @@ std::uint64_t hashSrcs(Ctx& c, const DecodedInstr& d, HashFn fn) {
   inline void h_##name([[maybe_unused]] Ctx& c,  \
                        [[maybe_unused]] const DecodedInstr& d)
 
-H(kAssign) { wrDest(c, d, src(c, d, 0)); }
-H(kAdd) { wrDest(c, d, src(c, d, 0) + src(c, d, 1)); }
-H(kSub) { wrDest(c, d, src(c, d, 0) - src(c, d, 1)); }
-H(kAnd) { wrDest(c, d, src(c, d, 0) & src(c, d, 1)); }
-H(kOr) { wrDest(c, d, src(c, d, 0) | src(c, d, 1)); }
-H(kXor) { wrDest(c, d, src(c, d, 0) ^ src(c, d, 1)); }
-H(kNot) { wrDest(c, d, ~src(c, d, 0)); }
-H(kShl) {
-  const std::uint64_t s1 = src(c, d, 1);
-  wrDest(c, d, s1 >= 64 ? 0 : src(c, d, 0) << s1);
-}
-H(kShr) {
-  const std::uint64_t s1 = src(c, d, 1);
-  wrDest(c, d, s1 >= 64 ? 0 : src(c, d, 0) >> s1);
-}
-H(kSlice) {
-  wrDest(c, d, (src(c, d, 0) >> src(c, d, 1)) &
-                   lowMask(static_cast<int>(src(c, d, 2))));
-}
-H(kCmpLt) { wrDest(c, d, src(c, d, 0) < src(c, d, 1) ? 1 : 0); }
-H(kCmpLe) { wrDest(c, d, src(c, d, 0) <= src(c, d, 1) ? 1 : 0); }
-H(kCmpEq) { wrDest(c, d, src(c, d, 0) == src(c, d, 1) ? 1 : 0); }
-H(kCmpNe) { wrDest(c, d, src(c, d, 0) != src(c, d, 1) ? 1 : 0); }
-H(kCmpGe) { wrDest(c, d, src(c, d, 0) >= src(c, d, 1) ? 1 : 0); }
-H(kCmpGt) { wrDest(c, d, src(c, d, 0) > src(c, d, 1) ? 1 : 0); }
-H(kMin) { wrDest(c, d, std::min(src(c, d, 0), src(c, d, 1))); }
-H(kMax) { wrDest(c, d, std::max(src(c, d, 0), src(c, d, 1))); }
-H(kSelect) {
-  wrDest(c, d, (src(c, d, 0) & 1) ? src(c, d, 1) : src(c, d, 2));
-}
-H(kLAnd) { wrDest(c, d, (src(c, d, 0) & 1) & (src(c, d, 1) & 1)); }
-H(kLOr) { wrDest(c, d, (src(c, d, 0) & 1) | (src(c, d, 1) & 1)); }
-H(kLNot) { wrDest(c, d, (src(c, d, 0) & 1) ^ 1); }
-H(kMul) { wrDest(c, d, src(c, d, 0) * src(c, d, 1)); }
-H(kDiv) {
-  const std::uint64_t s1 = src(c, d, 1);
-  wrDest(c, d, s1 == 0 ? 0 : src(c, d, 0) / s1);
-}
-H(kMod) {
-  const std::uint64_t s1 = src(c, d, 1);
-  wrDest(c, d, s1 == 0 ? 0 : src(c, d, 0) % s1);
-}
-H(kFAdd) { wrDest(c, d, fromF32(asF32(src(c, d, 0)) + asF32(src(c, d, 1)))); }
-H(kFSub) { wrDest(c, d, fromF32(asF32(src(c, d, 0)) - asF32(src(c, d, 1)))); }
-H(kFMul) { wrDest(c, d, fromF32(asF32(src(c, d, 0)) * asF32(src(c, d, 1)))); }
-H(kFDiv) {
-  const float b = asF32(src(c, d, 1));
-  wrDest(c, d, b == 0.0f ? 0 : fromF32(asF32(src(c, d, 0)) / b));
-}
-H(kFtoI) {
-  const float scale =
-      d.nsrc > 1 ? static_cast<float>(src(c, d, 1)) : 1.0f;
-  wrDest(c, d, static_cast<std::uint64_t>(static_cast<std::int64_t>(
-                   asF32(src(c, d, 0)) * scale)));
-}
-H(kItoF) {
-  const float scale =
-      d.nsrc > 1 ? static_cast<float>(src(c, d, 1)) : 1.0f;
-  wrDest(c, d, fromF32(static_cast<float>(
-                   static_cast<std::int64_t>(src(c, d, 0))) /
-               scale));
-}
-H(kFSqrt) {
-  const float f = asF32(src(c, d, 0));
-  wrDest(c, d, f < 0 ? 0 : fromF32(std::sqrt(f)));
-}
-H(kFCmpLt) {
-  wrDest(c, d, asF32(src(c, d, 0)) < asF32(src(c, d, 1)) ? 1 : 0);
-}
-H(kRegRead) {
-  auto* st = stateOf(c, d);
-  wrDest(c, d, st ? st->regRead(src(c, d, 0)) : 0);
-}
-H(kRegWrite) {
-  if (auto* st = stateOf(c, d)) st->regWrite(src(c, d, 0), src(c, d, 1));
-}
-H(kRegAdd) {
-  auto* st = stateOf(c, d);
-  wrDest(c, d, st ? st->regAdd(src(c, d, 0), src(c, d, 1)) : 0);
-}
-H(kRegClear) {
-  if (auto* st = stateOf(c, d)) st->regClear(src(c, d, 0));
-}
+// Pure-ALU and register-array handlers delegate to the component
+// evaluators with a constant opcode (folds to the open-coded body).
+#define H_ALU(name)                                                       \
+  H(name) {                                                               \
+    wrDest(c, d,                                                          \
+           aluEval(c, d, static_cast<std::uint8_t>(Opcode::name), 0,      \
+                   d.nsrc));                                              \
+  }
+#define H_REG(name)                                                       \
+  H(name) {                                                               \
+    regExec(c, d, static_cast<std::uint8_t>(Opcode::name), d.state, 0,    \
+            d.dest, d.dest_width);                                        \
+  }
+
+H_ALU(kAssign) H_ALU(kAdd) H_ALU(kSub) H_ALU(kAnd) H_ALU(kOr)
+H_ALU(kXor) H_ALU(kNot) H_ALU(kShl) H_ALU(kShr) H_ALU(kSlice)
+H_ALU(kCmpLt) H_ALU(kCmpLe) H_ALU(kCmpEq) H_ALU(kCmpNe) H_ALU(kCmpGe)
+H_ALU(kCmpGt) H_ALU(kMin) H_ALU(kMax) H_ALU(kSelect) H_ALU(kLAnd)
+H_ALU(kLOr) H_ALU(kLNot) H_ALU(kMul) H_ALU(kDiv) H_ALU(kMod)
+H_ALU(kFAdd) H_ALU(kFSub) H_ALU(kFMul) H_ALU(kFDiv) H_ALU(kFtoI)
+H_ALU(kItoF) H_ALU(kFSqrt) H_ALU(kFCmpLt)
+H_ALU(kHashIdentity) H_ALU(kChecksum)
+H_ALU(kAesEnc) H_ALU(kAesDec) H_ALU(kEcsEnc) H_ALU(kEcsDec)
+H_REG(kRegRead) H_REG(kRegWrite) H_REG(kRegAdd) H_REG(kRegClear)
+
+#undef H_ALU
+#undef H_REG
+
 inline void lookupCommon(Ctx& c, const DecodedInstr& d) {
   auto* st = stateOf(c, d);
   std::uint64_t val = 0;
@@ -237,25 +344,14 @@ H(kCopyToCpu) { c.pkt->cpu_copied = true; }
 H(kMirror) { c.pkt->mirrored = true; }
 H(kMulticast) { setVerdict(c, Verdict::kMulticast); }
 H(kHashCrc16) {
-  wrDest(c, d, hashSrcs(c, d, [](auto span) {
+  wrDest(c, d, hashSrcs(c, d, 0, d.nsrc, [](auto span) {
     return static_cast<std::uint64_t>(crc16(span));
   }));
 }
 H(kHashCrc32) {
-  wrDest(c, d, hashSrcs(c, d, [](auto span) {
+  wrDest(c, d, hashSrcs(c, d, 0, d.nsrc, [](auto span) {
     return static_cast<std::uint64_t>(crc32(span));
   }));
-}
-H(kHashIdentity) { wrDest(c, d, src(c, d, 0)); }
-H(kChecksum) {
-  std::uint64_t sum = 0;
-  for (unsigned k = 0; k < d.nsrc; ++k) {
-    const std::uint64_t v = src(c, d, k);
-    sum += (v & 0xFFFF) + ((v >> 16) & 0xFFFF) + ((v >> 32) & 0xFFFF) +
-           ((v >> 48) & 0xFFFF);
-  }
-  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
-  wrDest(c, d, (~sum) & 0xFFFF);
 }
 H(kRandInt) {
   const std::uint64_t bound = d.nsrc == 0 ? 0 : src(c, d, 0);
@@ -263,27 +359,111 @@ H(kRandInt) {
   if (bound > 0) r %= bound;
   wrDest(c, d, r);
 }
-H(kAesEnc) {
-  wrDest(c, d, toyEncrypt(src(c, d, 0), d.nsrc > 1 ? src(c, d, 1) : 0));
-}
-H(kAesDec) {
-  wrDest(c, d, toyDecrypt(src(c, d, 0), d.nsrc > 1 ? src(c, d, 1) : 0));
-}
-H(kEcsEnc) {
-  wrDest(c, d, toyEncrypt(src(c, d, 0), d.nsrc > 1 ? src(c, d, 1) : 0));
-}
-H(kEcsDec) {
-  wrDest(c, d, toyDecrypt(src(c, d, 0), d.nsrc > 1 ? src(c, d, 1) : 0));
-}
 H(kNop) {}
+
+// --- superinstruction handlers ------------------------------------------
+//
+// Specialized hot pairs first (no inner dispatch at all), then the
+// role-generic fallbacks. Every handler executes sub-op A (writes
+// dest/dest2) before reading sub-op B's sources, so a B source naming
+// A's destination slot picks up the fresh value — sequential semantics.
+
+H(kFuseCmpEqLAnd) {
+  wr(c, d.dest, d.dest_width, src(c, d, 0) == src(c, d, 1) ? 1 : 0);
+  wr(c, d.dest3, d.dest3_width, (src(c, d, 2) & 1) & (src(c, d, 3) & 1));
+}
+H(kFuseShrCmpEq) {
+  const std::uint64_t s1 = src(c, d, 1);
+  wr(c, d.dest, d.dest_width, s1 >= 64 ? 0 : src(c, d, 0) >> s1);
+  wr(c, d.dest3, d.dest3_width, src(c, d, 2) == src(c, d, 3) ? 1 : 0);
+}
+H(kFuseAddAdd) {
+  wr(c, d.dest, d.dest_width, src(c, d, 0) + src(c, d, 1));
+  wr(c, d.dest3, d.dest3_width, src(c, d, 2) + src(c, d, 3));
+}
+H(kFuseCmpEqSelect) {
+  wr(c, d.dest, d.dest_width, src(c, d, 0) == src(c, d, 1) ? 1 : 0);
+  wr(c, d.dest3, d.dest3_width,
+     (src(c, d, 2) & 1) ? src(c, d, 3) : src(c, d, 4));
+}
+H(kFuseLOrLOr) {
+  wr(c, d.dest, d.dest_width, (src(c, d, 0) & 1) | (src(c, d, 1) & 1));
+  wr(c, d.dest3, d.dest3_width, (src(c, d, 2) & 1) | (src(c, d, 3) & 1));
+}
+H(kFuseAssignAssign) {
+  wr(c, d.dest, d.dest_width, src(c, d, 0));
+  wr(c, d.dest3, d.dest3_width, src(c, d, 1));
+}
+H(kFuseHashCrc32And) {
+  wr(c, d.dest, d.dest_width, hashSrcs(c, d, 0, d.nsrc_a, [](auto span) {
+       return static_cast<std::uint64_t>(crc32(span));
+     }));
+  wr(c, d.dest3, d.dest3_width,
+     src(c, d, d.nsrc_a) & src(c, d, d.nsrc_a + 1u));
+}
+H(kFuseRegWriteRegWrite) {
+  if (auto* st = stateAt(c, d.state)) {
+    st->regWrite(src(c, d, 0), src(c, d, 1));
+  }
+  if (auto* st = stateAt(c, d.state_b)) {
+    st->regWrite(src(c, d, 2), src(c, d, 3));
+  }
+}
+H(kFuseRegReadRegRead) {
+  auto* sa = stateAt(c, d.state);
+  wr(c, d.dest, d.dest_width, sa ? sa->regRead(src(c, d, 0)) : 0);
+  auto* sb = stateAt(c, d.state_b);
+  wr(c, d.dest3, d.dest3_width, sb ? sb->regRead(src(c, d, 1)) : 0);
+}
+H(kFuseRegClearRegClear) {
+  if (auto* st = stateAt(c, d.state)) st->regClear(src(c, d, 0));
+  if (auto* st = stateAt(c, d.state_b)) st->regClear(src(c, d, 1));
+}
+H(kFusePair) {
+  wr(c, d.dest, d.dest_width, aluEval(c, d, d.op_a, 0, d.nsrc_a));
+  wr(c, d.dest3, d.dest3_width,
+     aluEval(c, d, d.op_b, d.nsrc_a, d.nsrc - d.nsrc_a));
+}
+H(kFuseHashAlu) {
+  const std::uint64_t h =
+      static_cast<Opcode>(d.op_a) == Opcode::kHashCrc16
+          ? hashSrcs(c, d, 0, d.nsrc_a,
+                     [](auto span) {
+                       return static_cast<std::uint64_t>(crc16(span));
+                     })
+          : hashSrcs(c, d, 0, d.nsrc_a, [](auto span) {
+              return static_cast<std::uint64_t>(crc32(span));
+            });
+  wr(c, d.dest, d.dest_width, h);
+  wr(c, d.dest3, d.dest3_width,
+     aluEval(c, d, d.op_b, d.nsrc_a, d.nsrc - d.nsrc_a));
+}
+H(kFuseRegAlu) {
+  regExec(c, d, d.op_a, d.state, 0, d.dest, d.dest_width);
+  wr(c, d.dest3, d.dest3_width,
+     aluEval(c, d, d.op_b, d.nsrc_a, d.nsrc - d.nsrc_a));
+}
+H(kFuseAluReg) {
+  wr(c, d.dest, d.dest_width, aluEval(c, d, d.op_a, 0, d.nsrc_a));
+  regExec(c, d, d.op_b, d.state_b, d.nsrc_a, d.dest3, d.dest3_width);
+}
+H(kFuseRegReg) {
+  regExec(c, d, d.op_a, d.state, 0, d.dest, d.dest_width);
+  regExec(c, d, d.op_b, d.state_b, d.nsrc_a, d.dest3, d.dest3_width);
+}
+H(kFuseLookupAlu) {
+  lookupCommon(c, d);  // key = src 0, writes dest (value) + dest2 (hit)
+  wr(c, d.dest3, d.dest3_width,
+     aluEval(c, d, d.op_b, d.nsrc_a, d.nsrc - d.nsrc_a));
+}
 
 #undef H
 
 #if !CLICKINC_THREADED_DISPATCH
 using Handler = void (*)(Ctx&, const DecodedInstr&);
-constexpr Handler kHandlers[kOpcodeCount] = {
+constexpr Handler kHandlers[kExecOpCount] = {
 #define CLICKINC_HANDLER_ENTRY(op) &h_##op,
-    CLICKINC_OPCODES(CLICKINC_HANDLER_ENTRY)
+    CLICKINC_EXECOPS(CLICKINC_HANDLER_ENTRY)
 #undef CLICKINC_HANDLER_ENTRY
 };
 #endif
@@ -293,9 +473,9 @@ void execPacket(Ctx& c) {
   const DecodedInstr* code = c.code;
   const std::size_t n = c.ncode;
 #if CLICKINC_THREADED_DISPATCH
-  static const void* const kLabels[kOpcodeCount] = {
+  static const void* const kLabels[kExecOpCount] = {
 #define CLICKINC_LABEL_ENTRY(op) &&L_##op,
-      CLICKINC_OPCODES(CLICKINC_LABEL_ENTRY)
+      CLICKINC_EXECOPS(CLICKINC_LABEL_ENTRY)
 #undef CLICKINC_LABEL_ENTRY
   };
 #endif
@@ -304,17 +484,20 @@ void execPacket(Ctx& c) {
     if (d.hasPred()) {
       const bool hold = (rdRef(c, d.pred) & 1) != 0;
       if (hold == d.predNegate()) {
-        ++c.stats.skipped;
+        // A fused record stands for nfused source instructions, all
+        // sharing the predicate — count them all (ExecStats parity with
+        // the reference interpreter).
+        c.stats.skipped += d.nfused;
         continue;
       }
     }
-    ++c.stats.executed;
+    c.stats.executed += d.nfused;
 #if CLICKINC_THREADED_DISPATCH
     goto* kLabels[static_cast<std::size_t>(d.op)];
 #define CLICKINC_LABEL_CASE(op) \
   L_##op : h_##op(c, d);        \
   continue;
-    CLICKINC_OPCODES(CLICKINC_LABEL_CASE)
+    CLICKINC_EXECOPS(CLICKINC_LABEL_CASE)
 #undef CLICKINC_LABEL_CASE
 #else
     kHandlers[static_cast<std::size_t>(d.op)](c, d);
@@ -322,17 +505,160 @@ void execPacket(Ctx& c) {
   }
 }
 
+// --- fusion legality ----------------------------------------------------
+
+// Role a decoded record can play in a fused pair. kAlu ops are pure
+// register-file functions (the aluEval set); kHash/kReg/kLookup need
+// scratch or state access and get dedicated component evaluators. A
+// record outside every role (packet actions, table writes, RandInt —
+// whose shared-Rng draw order the emulator reasons about per source
+// instruction — and anything with an unexpected dest2/state) never
+// fuses.
+enum class FuseRole : std::uint8_t { kNone, kAlu, kHash, kReg, kLookup };
+
+bool aluFusable(Opcode op) {
+  switch (op) {
+    case Opcode::kAssign:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kNot:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSlice:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kCmpGe:
+    case Opcode::kCmpGt:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kSelect:
+    case Opcode::kLAnd:
+    case Opcode::kLOr:
+    case Opcode::kLNot:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+    case Opcode::kFtoI:
+    case Opcode::kItoF:
+    case Opcode::kFSqrt:
+    case Opcode::kFCmpLt:
+    case Opcode::kHashIdentity:
+    case Opcode::kChecksum:
+    case Opcode::kAesEnc:
+    case Opcode::kAesDec:
+    case Opcode::kEcsEnc:
+    case Opcode::kEcsDec:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FuseRole roleOf(const DecodedInstr& d) {
+  const Opcode op = static_cast<Opcode>(d.op);
+  switch (op) {
+    case Opcode::kHashCrc16:
+    case Opcode::kHashCrc32:
+      return d.state < 0 && d.dest2 < 0 ? FuseRole::kHash : FuseRole::kNone;
+    case Opcode::kRegRead:
+    case Opcode::kRegWrite:
+    case Opcode::kRegAdd:
+    case Opcode::kRegClear:
+      return d.dest2 < 0 ? FuseRole::kReg : FuseRole::kNone;
+    case Opcode::kEmtLookup:
+    case Opcode::kSemtLookup:
+    case Opcode::kTmtLookup:
+    case Opcode::kLpmLookup:
+    case Opcode::kStmtLookup:
+    case Opcode::kDmtLookup:
+      return FuseRole::kLookup;
+    default:
+      return aluFusable(op) && d.state < 0 && d.dest2 < 0 ? FuseRole::kAlu
+                                                          : FuseRole::kNone;
+  }
+}
+
+// Dispatch id of the superinstruction for (a, b), or 0 when the pair is
+// not fusable. Specialized pairs (exact opcode + arity match) beat the
+// role-generic fallbacks.
+std::uint16_t superFor(const DecodedInstr& a, const DecodedInstr& b) {
+  const FuseRole ra = roleOf(a);
+  const FuseRole rb = roleOf(b);
+  if (ra == FuseRole::kNone) return 0;
+  const Opcode oa = static_cast<Opcode>(a.op);
+  const Opcode ob = static_cast<Opcode>(b.op);
+  if (rb == FuseRole::kAlu) {
+    switch (ra) {
+      case FuseRole::kAlu:
+        if (a.nsrc == 2 && b.nsrc == 2) {
+          if (oa == Opcode::kCmpEq && ob == Opcode::kLAnd) {
+            return kFuseCmpEqLAnd;
+          }
+          if (oa == Opcode::kShr && ob == Opcode::kCmpEq) {
+            return kFuseShrCmpEq;
+          }
+          if (oa == Opcode::kAdd && ob == Opcode::kAdd) return kFuseAddAdd;
+          if (oa == Opcode::kLOr && ob == Opcode::kLOr) return kFuseLOrLOr;
+        }
+        if (oa == Opcode::kCmpEq && ob == Opcode::kSelect && a.nsrc == 2 &&
+            b.nsrc == 3) {
+          return kFuseCmpEqSelect;
+        }
+        if (oa == Opcode::kAssign && ob == Opcode::kAssign && a.nsrc == 1 &&
+            b.nsrc == 1) {
+          return kFuseAssignAssign;
+        }
+        return kFusePair;
+      case FuseRole::kHash:
+        if (oa == Opcode::kHashCrc32 && ob == Opcode::kAnd && b.nsrc == 2) {
+          return kFuseHashCrc32And;
+        }
+        return kFuseHashAlu;
+      case FuseRole::kReg:
+        return kFuseRegAlu;
+      case FuseRole::kLookup:
+        return kFuseLookupAlu;
+      default:
+        return 0;
+    }
+  }
+  if (rb == FuseRole::kReg) {
+    if (ra == FuseRole::kReg) {
+      if (oa == ob) {
+        if (oa == Opcode::kRegWrite) return kFuseRegWriteRegWrite;
+        if (oa == Opcode::kRegRead) return kFuseRegReadRegRead;
+        if (oa == Opcode::kRegClear) return kFuseRegClearRegClear;
+      }
+      return kFuseRegReg;
+    }
+    if (ra == FuseRole::kAlu) return kFuseAluReg;
+  }
+  return 0;
+}
+
 }  // namespace
 
-ExecPlan ExecPlan::compile(const IrProgram& prog) {
+ExecPlan ExecPlan::compile(const IrProgram& prog, ExecPlanOptions opts) {
   std::vector<int> idxs(prog.instrs.size());
   std::iota(idxs.begin(), idxs.end(), 0);
-  return compile(prog, idxs);
+  return compile(prog, idxs, opts);
 }
 
 ExecPlan ExecPlan::compile(const IrProgram& prog,
-                           std::span<const int> instr_idxs) {
+                           std::span<const int> instr_idxs,
+                           ExecPlanOptions opts) {
   ExecPlan p;
+  p.options_ = opts;
+  p.source_count_ = instr_idxs.size();
   p.code_.reserve(instr_idxs.size());
   std::unordered_map<std::string, std::uint32_t> vars, fields;
   std::unordered_map<int, std::int16_t> state_of;  // program id -> plan idx
@@ -358,7 +684,7 @@ ExecPlan ExecPlan::compile(const IrProgram& prog,
   for (int idx : instr_idxs) {
     const Instruction& ins = prog.instrs[static_cast<std::size_t>(idx)];
     DecodedInstr d;
-    d.op = ins.op;
+    d.op = static_cast<std::uint16_t>(ins.op);
     if (ins.pred) {
       d.flags = DecodedInstr::kHasPred;
       if (ins.pred_negate) d.flags |= DecodedInstr::kPredNegate;
@@ -387,7 +713,78 @@ ExecPlan ExecPlan::compile(const IrProgram& prog,
     }
     p.code_.push_back(d);
   }
+  if (opts.fuse) p.fusePeephole();
   return p;
+}
+
+// Greedy left-to-right pairing of adjacent records. Legality:
+//  - both records carry the *same* predicate (same ref value — slot, or
+//    equal immediates — and same negate bit), so one gate decides both;
+//  - the first record does not write the shared predicate slot (the
+//    reference evaluates B's predicate after A executed);
+//  - both records' opcodes fall into fusable roles (see superFor).
+// A fused record keeps both component writes and both ExecStats counts,
+// so the transformation is unobservable outside dispatch counts.
+void ExecPlan::fusePeephole() {
+  constexpr std::uint8_t kPredMask =
+      DecodedInstr::kHasPred | DecodedInstr::kPredNegate;
+  auto samePred = [&](const DecodedInstr& a, const DecodedInstr& b) {
+    if ((a.flags & kPredMask) != (b.flags & kPredMask)) return false;
+    if (!a.hasPred()) return true;
+    if (a.pred == b.pred) return true;
+    if (opRefIsImm(a.pred) && opRefIsImm(b.pred)) {
+      return imms_[opRefIndex(a.pred)] == imms_[opRefIndex(b.pred)];
+    }
+    return false;
+  };
+  auto clobbersPred = [](const DecodedInstr& a) {
+    if (!a.hasPred() || opRefIsImm(a.pred)) return false;
+    const auto slot = static_cast<std::int32_t>(opRefIndex(a.pred));
+    return a.dest == slot || a.dest2 == slot;
+  };
+
+  std::vector<DecodedInstr> out;
+  out.reserve(code_.size());
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const DecodedInstr& a = code_[i];
+    if (i + 1 < code_.size()) {
+      const DecodedInstr& b = code_[i + 1];
+      const std::uint16_t super =
+          samePred(a, b) && !clobbersPred(a) && a.nsrc <= 0xFF &&
+                  b.nsrc <= 0xFF
+              ? superFor(a, b)
+              : 0;
+      if (super != 0) {
+        // Source refs of adjacent records are contiguous by construction.
+        CLICKINC_CHECK(b.srcs == a.srcs + a.nsrc,
+                       "fused pair with non-contiguous source refs");
+        DecodedInstr f;
+        f.op = super;
+        f.flags = a.flags;
+        f.pred = a.pred;
+        f.nfused = 2;
+        f.srcs = a.srcs;
+        f.nsrc = static_cast<std::uint16_t>(a.nsrc + b.nsrc);
+        f.nsrc_a = static_cast<std::uint8_t>(a.nsrc);
+        f.op_a = static_cast<std::uint8_t>(a.op);
+        f.op_b = static_cast<std::uint8_t>(b.op);
+        f.dest = a.dest;
+        f.dest_width = a.dest_width;
+        f.dest2 = a.dest2;
+        f.dest2_width = a.dest2_width;
+        f.dest3 = b.dest;
+        f.dest3_width = b.dest_width;
+        f.state = a.state;
+        f.state_b = b.state;
+        out.push_back(f);
+        ++fused_pairs_;
+        ++i;
+        continue;
+      }
+    }
+    out.push_back(a);
+  }
+  code_ = std::move(out);
 }
 
 ExecStats ExecPlan::run(StateStore* store, Rng* rng, PacketView& pkt) const {
@@ -566,8 +963,13 @@ std::array<std::uint64_t, 2> ExecPlan::fingerprint(
 }
 
 std::shared_ptr<const ExecPlan> ExecPlanCache::get(
-    const IrProgram& prog, std::span<const int> instr_idxs) {
-  const auto key = ExecPlan::fingerprint(prog, instr_idxs);
+    const IrProgram& prog, std::span<const int> instr_idxs,
+    ExecPlanOptions opts) {
+  const auto fp = ExecPlan::fingerprint(prog, instr_idxs);
+  // Option bits ride in the key: a plan compiled with fusion off can
+  // never be served for a fusion-on deployment (or vice versa), no
+  // matter when the knob was toggled.
+  const Key key{fp[0], fp[1], opts.fuse ? 1ULL : 0ULL};
   ++stats_.probes;
   auto it = plans_.find(key);
   if (it != plans_.end()) {
@@ -575,8 +977,8 @@ std::shared_ptr<const ExecPlan> ExecPlanCache::get(
     return it->second;
   }
   if (plans_.size() >= kMaxEntries) plans_.clear();
-  auto plan =
-      std::make_shared<const ExecPlan>(ExecPlan::compile(prog, instr_idxs));
+  auto plan = std::make_shared<const ExecPlan>(
+      ExecPlan::compile(prog, instr_idxs, opts));
   ++stats_.compiles;
   plans_.emplace(key, plan);
   return plan;

@@ -26,6 +26,21 @@
 // scratch buffers) across a burst — the entry point the emulator's
 // sendBurst() and the Fig. 13 bench drive.
 //
+// Superinstruction fusion (ExecPlanOptions::fuse, on by default): after
+// the one-time decode, a peephole pass over the flat DecodedInstr stream
+// fuses hot adjacent pairs — cmp+select, ALU+cmp, cmp/land chains,
+// hash+mask, back-to-back register-array ops, table-lookup+dependent-ALU
+// (the execution-side mirror of the match-action fusion the intra-device
+// placement model already exploits) — into single superinstruction
+// records with their own threaded-dispatch handlers. A fused record
+// performs *both* component writes and counts both instructions in
+// ExecStats, so fused plans stay bit-identical to the reference
+// interpreter and to unfused plans (asserted by the randomized
+// fused-vs-unfused suites in tests/test_ir.cc); only dispatch-loop
+// iterations are saved. instrCount() keeps reporting the *source*
+// instruction count so the emulator's latency model is unaffected by
+// fusion.
+//
 // Plans are self-contained (they copy the StateObject specs they
 // reference), so one plan can serve any StateStore and outlive the
 // IrProgram it was compiled from. ExecPlanCache memoizes plans under a
@@ -57,24 +72,52 @@ inline constexpr std::uint32_t opRefIndex(OpRef r) {
 }
 inline constexpr bool opRefIsImm(OpRef r) { return (r & kOpRefImmBit) != 0; }
 
-// One fully-decoded instruction. Fixed 32-byte layout, sources live
-// contiguously in the plan's ref pool at [srcs, srcs + nsrc).
+// One fully-decoded instruction (or fused pair). Fixed 40-byte layout,
+// sources live contiguously in the plan's ref pool at [srcs, srcs+nsrc).
+//
+// For a plain record, `op` is the Opcode value and the sub-op fields are
+// unused. For a fused record, `op` is a superinstruction id past the
+// Opcode range and the record carries *two* component instructions:
+// sub-op A (opcode op_a, sources [0, nsrc_a), writes dest/dest2, state
+// `state`) followed by sub-op B (opcode op_b, sources [nsrc_a, nsrc),
+// writes dest3, state `state_b`). B's sources are re-read from the
+// register file after A's writes land, so A→B dataflow (and aliasing)
+// behaves exactly as in sequential execution.
 struct DecodedInstr {
-  Opcode op = Opcode::kNop;
-  std::uint8_t flags = 0;  // bit 0: has predicate, bit 1: predicate negated
+  std::uint16_t op = static_cast<std::uint16_t>(Opcode::kNop);
   std::uint16_t nsrc = 0;
   OpRef pred = 0;             // valid iff flags bit 0
   std::uint32_t srcs = 0;     // index of first source in the ref pool
   std::int32_t dest = -1;     // slot, or -1 for no destination
   std::int32_t dest2 = -1;    // hit/miss flag slot of table lookups
+  std::int32_t dest3 = -1;    // fused sub-op B's destination slot
   std::int16_t dest_width = 0;   // truncation width; 0 = none
   std::int16_t dest2_width = 0;
+  std::int16_t dest3_width = 0;
   std::int16_t state = -1;    // index into the plan's state-spec list
+  std::int16_t state_b = -1;  // fused sub-op B's state-spec index
+  std::uint8_t flags = 0;  // bit 0: has predicate, bit 1: predicate negated
+  std::uint8_t nfused = 1;    // source instructions this record covers
+  std::uint8_t nsrc_a = 0;    // sources consumed by fused sub-op A
+  std::uint8_t op_a = 0;      // fused sub-op A opcode (an Opcode value)
+  std::uint8_t op_b = 0;      // fused sub-op B opcode (an Opcode value)
 
   static constexpr std::uint8_t kHasPred = 1;
   static constexpr std::uint8_t kPredNegate = 2;
   bool hasPred() const { return (flags & kHasPred) != 0; }
   bool predNegate() const { return (flags & kPredNegate) != 0; }
+};
+
+// Plan-compilation knobs. `fuse` enables the superinstruction peephole —
+// semantics-preserving (fused plans are bit-identical to unfused ones),
+// so it is on by default; the off position exists for the reference
+// sweeps and for debugging. The ExecPlanCache keys on the knob, so
+// toggling it can never serve a plan compiled under the other setting.
+struct ExecPlanOptions {
+  bool fuse = true;
+
+  friend bool operator==(const ExecPlanOptions&,
+                         const ExecPlanOptions&) = default;
 };
 
 class ExecPlan {
@@ -91,9 +134,10 @@ class ExecPlan {
   // Compiles the whole program / a segment of it (indices into
   // prog.instrs, in execution order — the same order the emulator's
   // DeploymentEntry carries).
-  static ExecPlan compile(const IrProgram& prog);
+  static ExecPlan compile(const IrProgram& prog, ExecPlanOptions opts = {});
   static ExecPlan compile(const IrProgram& prog,
-                          std::span<const int> instr_idxs);
+                          std::span<const int> instr_idxs,
+                          ExecPlanOptions opts = {});
 
   // Reusable per-run buffers (register file, dirty bits, state bindings,
   // hash scratch). Passing the same instance across calls keeps run() and
@@ -128,7 +172,16 @@ class ExecPlan {
                      std::span<PacketView* const> pkts,
                      Scratch& scratch) const;
 
-  std::size_t instrCount() const { return code_.size(); }
+  // Source instruction count of the compiled segment — the unit the
+  // emulator's per-instruction latency model charges. Invariant under
+  // fusion (a fused record covers two source instructions).
+  std::size_t instrCount() const { return source_count_; }
+  // Decoded records actually dispatched (== instrCount() minus fused
+  // pairs).
+  std::size_t decodedCount() const { return code_.size(); }
+  // Adjacent pairs the peephole fused into superinstructions.
+  std::size_t fusedPairs() const { return fused_pairs_; }
+  const ExecPlanOptions& options() const { return options_; }
   std::size_t slotCount() const { return slots_.size(); }
   std::size_t stateCount() const { return states_.size(); }
   const StateObject& stateSpec(int idx) const {
@@ -143,16 +196,26 @@ class ExecPlan {
       const IrProgram& prog, std::span<const int> instr_idxs);
 
  private:
+  // The superinstruction peephole: greedy left-to-right pairing of
+  // adjacent fusable records (see exec_plan.cc for the legality rules).
+  void fusePeephole();
+
   std::vector<DecodedInstr> code_;
   std::vector<OpRef> refs_;             // source-operand pool
   std::vector<std::uint64_t> imms_;     // immediate pool
   std::vector<Slot> slots_;             // register-file layout
   std::vector<StateObject> states_;     // copied specs, bound lazily at run
+  std::size_t source_count_ = 0;
+  std::size_t fused_pairs_ = 0;
+  ExecPlanOptions options_;
 };
 
 // Fingerprint-keyed plan memo shared across deployments. Like the
 // placement memo it is capped and cleared wholesale; entries are
 // shared_ptr so a clear never invalidates plans already handed out.
+// Keys cover the compile options alongside the content fingerprint, so
+// toggling fusion between deployments can never serve a plan compiled
+// under the other setting.
 class ExecPlanCache {
  public:
   struct Stats {
@@ -166,25 +229,28 @@ class ExecPlanCache {
     }
   };
 
-  // Returns the cached plan for this segment, compiling on miss.
+  // Returns the cached plan for this segment and option set, compiling
+  // on miss.
   std::shared_ptr<const ExecPlan> get(const IrProgram& prog,
-                                      std::span<const int> instr_idxs);
+                                      std::span<const int> instr_idxs,
+                                      ExecPlanOptions opts = {});
 
   const Stats& stats() const { return stats_; }
   std::size_t size() const { return plans_.size(); }
   void clear() { plans_.clear(); }
 
  private:
+  // fingerprint[0], fingerprint[1], option bits.
+  using Key = std::array<std::uint64_t, 3>;
   struct KeyHash {
-    std::size_t operator()(const std::array<std::uint64_t, 2>& k) const {
-      return static_cast<std::size_t>(k[0] ^ (k[1] * 0x9E3779B97F4A7C15ULL));
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          (k[0] ^ (k[1] * 0x9E3779B97F4A7C15ULL)) + k[2]);
     }
   };
   static constexpr std::size_t kMaxEntries = 1u << 16;
 
-  std::unordered_map<std::array<std::uint64_t, 2>,
-                     std::shared_ptr<const ExecPlan>, KeyHash>
-      plans_;
+  std::unordered_map<Key, std::shared_ptr<const ExecPlan>, KeyHash> plans_;
   Stats stats_;
 };
 

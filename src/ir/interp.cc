@@ -1,3 +1,14 @@
+// Reference-parity contract: this switch interpreter is the executable
+// specification the compiled path (exec_plan.cc) is tested against, at
+// *source-instruction* granularity. ExecStats counts one executed or
+// skipped per IR instruction here; a fused superinstruction record in a
+// compiled plan stands for two source instructions and must add 2 to
+// the same counters. Any semantic change to a case below therefore
+// needs a matching change on the compiled path — for ALU/register ops
+// that is the single component evaluator (aluEval / regExec, which the
+// plain handlers delegate to), plus any specialized superop handler
+// that open-codes the pair — and the randomized ExecPlan/ExecPlanFusion
+// suites in tests/test_ir.cc catch drift.
 #include "ir/interp.h"
 
 #include <algorithm>

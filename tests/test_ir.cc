@@ -845,6 +845,306 @@ changed:
   EXPECT_EQ(cache.stats().compiles, 2u);
 }
 
+// --- superinstruction fusion (ExecPlanOptions::fuse) ---
+//
+// Fused plans must be bit-identical to unfused plans and to the
+// reference interpreter across packets, ExecStats, and state stores —
+// fusion may only change the dispatch count.
+
+TEST(ExecPlanFusion, FusedMatchesUnfusedOnRandomPrograms) {
+  std::size_t total_fused = 0;
+  for (std::uint64_t seed = 100; seed <= 140; ++seed) {
+    clickinc::Rng gen(seed);
+    const IrProgram prog = randomProgram(gen, 40);
+    const ExecPlan fused = ExecPlan::compile(prog, {.fuse = true});
+    const ExecPlan plain = ExecPlan::compile(prog, {.fuse = false});
+    total_fused += fused.fusedPairs();
+    EXPECT_EQ(plain.fusedPairs(), 0u);
+    EXPECT_EQ(plain.decodedCount(), plain.instrCount());
+    EXPECT_EQ(fused.instrCount(), plain.instrCount());
+    EXPECT_EQ(fused.decodedCount() + fused.fusedPairs(),
+              fused.instrCount());
+
+    StateStore ref_store, fused_store, plain_store;
+    clickinc::Rng ref_rng(seed * 77 + 1), fused_rng(seed * 77 + 1),
+        plain_rng(seed * 77 + 1);
+    Interpreter ref(&ref_store, &ref_rng);
+
+    clickinc::Rng pkt_gen(seed + 3);
+    std::vector<PacketView> ref_pkts, fused_pkts, plain_pkts;
+    for (int i = 0; i < 10; ++i) {
+      ref_pkts.push_back(randomPacket(pkt_gen));
+      fused_pkts.push_back(ref_pkts.back());
+      plain_pkts.push_back(ref_pkts.back());
+    }
+    ExecStats ref_total;
+    for (auto& pkt : ref_pkts) {
+      const auto s = ref.runAll(prog, pkt);
+      ref_total.executed += s.executed;
+      ref_total.skipped += s.skipped;
+    }
+    const ExecStats fused_total = fused.runBatch(
+        &fused_store, &fused_rng, std::span<PacketView>(fused_pkts));
+    const ExecStats plain_total = plain.runBatch(
+        &plain_store, &plain_rng, std::span<PacketView>(plain_pkts));
+
+    EXPECT_EQ(ref_total.executed, fused_total.executed) << "seed " << seed;
+    EXPECT_EQ(ref_total.skipped, fused_total.skipped) << "seed " << seed;
+    EXPECT_EQ(plain_total.executed, fused_total.executed);
+    EXPECT_EQ(plain_total.skipped, fused_total.skipped);
+    for (std::size_t i = 0; i < ref_pkts.size(); ++i) {
+      SCOPED_TRACE(cat("seed ", seed, " packet ", i));
+      expectSamePacket(ref_pkts[i], fused_pkts[i]);
+      expectSamePacket(ref_pkts[i], plain_pkts[i]);
+    }
+    expectSameStores(ref_store, fused_store, prog);
+    expectSameStores(ref_store, plain_store, prog);
+  }
+  // The generator must actually exercise the peephole, or this suite
+  // proves nothing.
+  EXPECT_GT(total_fused, 0u);
+}
+
+// Each hot pair the peephole specializes, as a minimal program, checked
+// against the reference interpreter and asserted to actually fuse.
+TEST(ExecPlanFusion, SuperinstructionsFireOnHotPairs) {
+  struct Case {
+    const char* name;
+    IrProgram prog;
+  };
+  std::vector<Case> cases;
+
+  auto regState = [](IrProgram& p, const char* name) {
+    StateObject s;
+    s.name = name;
+    s.kind = StateKind::kRegister;
+    s.depth = 8;
+    return p.addState(s);
+  };
+
+  {  // cmp.eq + select (DQAcc's duplicate-detect chain)
+    Case c{"cmp_select", {}};
+    c.prog.addField("hdr.v", 32);
+    c.prog.instrs.push_back(mk(Opcode::kCmpEq, Operand::var("c", 1),
+                               {Operand::field("hdr.v", 32),
+                                Operand::constant(7, 32)}));
+    c.prog.instrs.push_back(mk(Opcode::kSelect, Operand::var("x", 32),
+                               {Operand::var("c", 1),
+                                Operand::constant(1, 32),
+                                Operand::constant(0, 32)}));
+    cases.push_back(std::move(c));
+  }
+  {  // shr + cmp.eq, then cmp.eq + land (MLAgg's overflow checks)
+    Case c{"shr_cmp_land", {}};
+    c.prog.addField("hdr.v", 32);
+    c.prog.instrs.push_back(mk(Opcode::kShr, Operand::var("s", 32),
+                               {Operand::field("hdr.v", 32),
+                                Operand::constant(31, 32)}));
+    c.prog.instrs.push_back(mk(Opcode::kCmpEq, Operand::var("neg", 1),
+                               {Operand::var("s", 32),
+                                Operand::constant(1, 1)}));
+    c.prog.instrs.push_back(mk(Opcode::kCmpEq, Operand::var("c2", 1),
+                               {Operand::field("hdr.v", 32),
+                                Operand::constant(3, 32)}));
+    c.prog.instrs.push_back(mk(Opcode::kLAnd, Operand::var("both", 1),
+                               {Operand::var("neg", 1),
+                                Operand::var("c2", 1)}));
+    cases.push_back(std::move(c));
+  }
+  {  // hash.crc32 + and (KVS's sketch-index masking)
+    Case c{"hash_and", {}};
+    c.prog.addField("hdr.key", 32);
+    c.prog.instrs.push_back(mk(Opcode::kHashCrc32, Operand::var("h", 32),
+                               {Operand::field("hdr.key", 32),
+                                Operand::constant(40503, 32)}));
+    c.prog.instrs.push_back(mk(Opcode::kAnd, Operand::var("idx", 10),
+                               {Operand::var("h", 32),
+                                Operand::constant(1023, 32)}));
+    cases.push_back(std::move(c));
+  }
+  {  // reg.read + cmp (load+cmp) and and + reg.read (index+load)
+    Case c{"reg_alu_reg", {}};
+    c.prog.addField("hdr.v", 32);
+    const int sid = regState(c.prog, "r");
+    c.prog.instrs.push_back(mk(Opcode::kRegRead, Operand::var("v", 32),
+                               {Operand::constant(1, 8)}, sid));
+    c.prog.instrs.push_back(mk(Opcode::kCmpEq, Operand::var("hit", 1),
+                               {Operand::var("v", 32),
+                                Operand::field("hdr.v", 32)}));
+    c.prog.instrs.push_back(mk(Opcode::kAnd, Operand::var("i", 3),
+                               {Operand::field("hdr.v", 32),
+                                Operand::constant(7, 32)}));
+    c.prog.instrs.push_back(mk(Opcode::kRegRead, Operand::var("w", 32),
+                               {Operand::var("i", 3)}, sid));
+    cases.push_back(std::move(c));
+  }
+  {  // reg.write + reg.write and reg.read + reg.read with distinct
+     // states (MLAgg's vector loads/stores)
+    Case c{"reg_reg", {}};
+    c.prog.addField("hdr.a", 32);
+    c.prog.addField("hdr.b", 32);
+    const int s1 = regState(c.prog, "ra");
+    const int s2 = regState(c.prog, "rb");
+    c.prog.instrs.push_back(mk(Opcode::kRegWrite, Operand::none(),
+                               {Operand::constant(0, 8),
+                                Operand::field("hdr.a", 32)}, s1));
+    c.prog.instrs.push_back(mk(Opcode::kRegWrite, Operand::none(),
+                               {Operand::constant(0, 8),
+                                Operand::field("hdr.b", 32)}, s2));
+    c.prog.instrs.push_back(mk(Opcode::kRegRead, Operand::var("x", 32),
+                               {Operand::constant(0, 8)}, s1));
+    c.prog.instrs.push_back(mk(Opcode::kRegRead, Operand::var("y", 32),
+                               {Operand::constant(0, 8)}, s2));
+    cases.push_back(std::move(c));
+  }
+  {  // table-lookup + dependent ALU (the intradevice match-action fuse)
+    Case c{"lookup_alu", {}};
+    c.prog.addField("hdr.key", 32);
+    StateObject s;
+    s.name = "emt";
+    s.kind = StateKind::kExactTable;
+    s.depth = 8;
+    const int sid = c.prog.addState(s);
+    c.prog.instrs.push_back(mk(Opcode::kSemtWrite, Operand::none(),
+                               {Operand::constant(5, 16),
+                                Operand::constant(42, 32)}, sid));
+    Instruction look = mk(Opcode::kSemtLookup, Operand::var("val", 32),
+                          {Operand::field("hdr.key", 32)}, sid);
+    look.dest2 = Operand::var("hit", 1);
+    c.prog.instrs.push_back(std::move(look));
+    c.prog.instrs.push_back(mk(Opcode::kLAnd, Operand::var("use", 1),
+                               {Operand::var("hit", 1),
+                                Operand::constant(1, 1)}));
+    cases.push_back(std::move(c));
+  }
+  {  // assign runs under a shared predicate (MLAgg's header restores)
+    Case c{"pred_assigns", {}};
+    c.prog.addField("hdr.a", 32);
+    c.prog.addField("hdr.b", 32);
+    c.prog.instrs.push_back(mk(Opcode::kAssign, Operand::var("p", 1),
+                               {Operand::constant(1, 1)}));
+    Instruction a1 = mk(Opcode::kAssign, Operand::field("hdr.a", 32),
+                        {Operand::constant(11, 32)});
+    a1.pred = Operand::var("p", 1);
+    Instruction a2 = mk(Opcode::kAssign, Operand::field("hdr.b", 32),
+                        {Operand::constant(22, 32)});
+    a2.pred = Operand::var("p", 1);
+    c.prog.instrs.push_back(std::move(a1));
+    c.prog.instrs.push_back(std::move(a2));
+    cases.push_back(std::move(c));
+  }
+
+  for (auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const ExecPlan fused = ExecPlan::compile(c.prog, {.fuse = true});
+    EXPECT_GE(fused.fusedPairs(), 1u);
+    EXPECT_EQ(fused.instrCount(), c.prog.instrs.size());
+
+    clickinc::Rng pkt_gen(0xBEEF);
+    for (int trial = 0; trial < 8; ++trial) {
+      PacketView a = randomPacket(pkt_gen);
+      a.setField("hdr.v", pkt_gen.nextBelow(16));
+      a.setField("hdr.key", pkt_gen.nextBelow(16));
+      a.setField("hdr.a", pkt_gen.nextBelow(1u << 16));
+      a.setField("hdr.b", pkt_gen.nextBelow(1u << 16));
+      PacketView b = a;
+      StateStore ref_store, fused_store;
+      clickinc::Rng ref_rng(9), fused_rng(9);
+      Interpreter ref(&ref_store, &ref_rng);
+      const ExecStats sa = ref.runAll(c.prog, a);
+      const ExecStats sb = fused.run(&fused_store, &fused_rng, b);
+      EXPECT_EQ(sa.executed, sb.executed);
+      EXPECT_EQ(sa.skipped, sb.skipped);
+      expectSamePacket(a, b);
+      expectSameStores(ref_store, fused_store, c.prog);
+    }
+  }
+}
+
+// A pair whose first instruction writes the shared predicate slot must
+// not fuse (the reference re-evaluates B's predicate after A ran).
+TEST(ExecPlanFusion, PredicateClobberBlocksFusion) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("c", 1),
+                        {Operand::constant(1, 1)}));
+  // A: c = 0, predicated on c. B: x = 9, predicated on c — the reference
+  // skips B because A just cleared the predicate.
+  Instruction a = mk(Opcode::kAssign, Operand::var("c", 1),
+                     {Operand::constant(0, 1)});
+  a.pred = Operand::var("c", 1);
+  Instruction b = mk(Opcode::kAssign, Operand::var("x", 32),
+                     {Operand::constant(9, 32)});
+  b.pred = Operand::var("c", 1);
+  p.instrs.push_back(std::move(a));
+  p.instrs.push_back(std::move(b));
+
+  const ExecPlan fused = ExecPlan::compile(p, {.fuse = true});
+  StateStore ref_store, fused_store;
+  clickinc::Rng ref_rng(1), fused_rng(1);
+  Interpreter ref(&ref_store, &ref_rng);
+  PacketView pa, pb;
+  const auto sa = ref.runAll(p, pa);
+  const auto sb = fused.run(&fused_store, &fused_rng, pb);
+  EXPECT_EQ(sa.executed, sb.executed);
+  EXPECT_EQ(sa.skipped, sb.skipped);
+  expectSamePacket(pa, pb);
+  EXPECT_EQ(pb.params.count("x"), 0u);  // B stayed predicated off
+}
+
+// Skipped fused records must count both component instructions, like
+// the reference skipping them one by one.
+TEST(ExecPlanFusion, SkippedPairCountsBothInstructions) {
+  IrProgram p;
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("c", 1),
+                        {Operand::constant(0, 1)}));
+  Instruction a = mk(Opcode::kAdd, Operand::var("x", 32),
+                     {Operand::constant(1, 32), Operand::constant(2, 32)});
+  a.pred = Operand::var("c", 1);
+  Instruction b = mk(Opcode::kAdd, Operand::var("y", 32),
+                     {Operand::constant(3, 32), Operand::constant(4, 32)});
+  b.pred = Operand::var("c", 1);
+  p.instrs.push_back(std::move(a));
+  p.instrs.push_back(std::move(b));
+
+  const ExecPlan fused = ExecPlan::compile(p, {.fuse = true});
+  ASSERT_EQ(fused.fusedPairs(), 1u);
+  StateStore store;
+  clickinc::Rng rng(1);
+  PacketView pkt;
+  const auto stats = fused.run(&store, &rng, pkt);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(pkt.params.count("x"), 0u);
+  EXPECT_EQ(pkt.params.count("y"), 0u);
+}
+
+// Toggling the fusion knob must never serve a plan compiled under the
+// other setting — the cache keys on the option.
+TEST(ExecPlanFusion, CacheKeysIncludeFusionOption) {
+  IrProgram p;
+  p.addField("hdr.v", 32);
+  p.instrs.push_back(mk(Opcode::kCmpEq, Operand::var("c", 1),
+                        {Operand::field("hdr.v", 32),
+                         Operand::constant(1, 32)}));
+  p.instrs.push_back(mk(Opcode::kSelect, Operand::var("x", 32),
+                        {Operand::var("c", 1), Operand::constant(1, 32),
+                         Operand::constant(0, 32)}));
+  std::vector<int> all{0, 1};
+
+  ExecPlanCache cache;
+  const auto fused = cache.get(p, all, {.fuse = true});
+  const auto plain = cache.get(p, all, {.fuse = false});
+  EXPECT_NE(fused.get(), plain.get());
+  EXPECT_EQ(fused->fusedPairs(), 1u);
+  EXPECT_EQ(plain->fusedPairs(), 0u);
+  EXPECT_EQ(cache.stats().compiles, 2u);
+  // Re-probing under each setting hits the matching entry.
+  EXPECT_EQ(cache.get(p, all, {.fuse = true}).get(), fused.get());
+  EXPECT_EQ(cache.get(p, all, {.fuse = false}).get(), plain.get());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().compiles, 2u);
+}
+
 TEST(Interp, StateStoreIsolatesInstances) {
   StateObject s;
   s.name = "x";

@@ -659,5 +659,330 @@ TEST_F(ParallelEmulation, RandIntDeploymentForcesSequentialFallback) {
   }
 }
 
+// --- converging traffic: many-to-one flows through a shared device ---
+//
+// The pipelined sendBursts regime: every flow does private work on its
+// own smartNIC, then meets the others on one aggregation switch. The
+// shared switch serializes (per-device arrival order must be burst
+// order), but NIC stages of different bursts overlap. These suites pin
+// the bit-identity claim for exactly that schedule, across 1/2/8-thread
+// pools, for both the pipelined executor and the pre-pipelining grouped
+// fallback.
+
+// client_i — nic_i (programmable) — shared switch — server.
+topo::Topology convergingTopology(int k) {
+  topo::Topology t;
+  topo::Node sw;
+  sw.name = "agg";
+  sw.kind = topo::NodeKind::kSwitch;
+  sw.programmable = true;
+  sw.model = device::makeTofino();
+  const int swid = t.addNode(sw);
+  topo::Node server;
+  server.name = "server";
+  server.kind = topo::NodeKind::kHost;
+  const int sid = t.addNode(server);
+  t.addLink(swid, sid);
+  for (int i = 0; i < k; ++i) {
+    topo::Node c;
+    c.name = cat("client", i);
+    c.kind = topo::NodeKind::kHost;
+    const int cid = t.addNode(c);
+    topo::Node nic;
+    nic.name = cat("nic", i);
+    nic.kind = topo::NodeKind::kNic;
+    nic.programmable = true;
+    nic.model = device::makeNfp();
+    const int nid = t.addNode(nic);
+    t.addLink(cid, nid);
+    t.addLink(nid, swid);
+  }
+  return t;
+}
+
+// Per-NIC preprocessor: count packets and fold the value (the sparse
+// compression stand-in) — stateful, so every NIC's store is checked.
+std::shared_ptr<ir::IrProgram> nicCompress() {
+  auto prog = std::make_shared<ir::IrProgram>();
+  prog->name = "niccomp";
+  prog->addField("hdr.value", 32);
+  ir::StateObject s;
+  s.name = "nic_acc";
+  s.kind = ir::StateKind::kRegister;
+  s.depth = 2;
+  const int sid = prog->addState(s);
+  prog->instrs.push_back(ir::Instruction(
+      ir::Opcode::kRegAdd, ir::Operand::var("nseen", 32),
+      {ir::Operand::constant(0, 8), ir::Operand::constant(1, 32)}, sid));
+  prog->instrs.push_back(ir::Instruction(
+      ir::Opcode::kAnd, ir::Operand::field("hdr.value", 32),
+      {ir::Operand::field("hdr.value", 32),
+       ir::Operand::constant(0xFFF, 32)}));
+  return prog;
+}
+
+void deployConverging(emu::Emulator& emu, const topo::Topology& topo,
+                      int flows,
+                      const std::shared_ptr<ir::IrProgram>& nic_prog,
+                      const std::shared_ptr<ir::IrProgram>& sw_prog) {
+  auto entryFor = [](const std::shared_ptr<ir::IrProgram>& p) {
+    emu::DeploymentEntry e;
+    e.user_id = 1;
+    e.prog = p;
+    for (std::size_t i = 0; i < p->instrs.size(); ++i) {
+      e.instr_idxs.push_back(static_cast<int>(i));
+    }
+    e.step_from = 0;
+    e.step_to = 1;
+    return e;
+  };
+  for (int f = 0; f < flows; ++f) {
+    auto e = entryFor(nic_prog);
+    emu.deploy(topo.findNode(cat("nic", f)), e);
+  }
+  // The switch runs the aggregation as step 1 so NIC-processed packets
+  // still match its gate (step advances to 1 at the NIC).
+  auto e = entryFor(sw_prog);
+  e.step_from = 1;
+  e.step_to = 2;
+  emu.deploy(topo.findNode("agg"), e);
+}
+
+std::vector<emu::Burst> convergingBursts(const topo::Topology& topo,
+                                         int flows, int packets,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<emu::Burst> bursts;
+  for (int f = 0; f < flows; ++f) {
+    emu::Burst b;
+    b.src = topo.findNode(cat("client", f));
+    b.dst = topo.findNode("server");
+    b.wire_bytes = 128;
+    b.useful_bytes = 100;
+    for (int p = 0; p < packets; ++p) {
+      ir::PacketView view;
+      view.user_id = 1;
+      view.setField("hdr.value", rng.nextBelow(1u << 16));
+      b.views.push_back(std::move(view));
+    }
+    bursts.push_back(std::move(b));
+  }
+  return bursts;
+}
+
+class ConvergingEmulation : public ::testing::Test {
+ protected:
+  static constexpr int kFlows = 4;
+  static constexpr int kPackets = 48;
+
+  static void expectAllIdentical(
+      const std::vector<std::vector<emu::PacketResult>>& par,
+      const std::vector<std::vector<emu::PacketResult>>& seq) {
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t f = 0; f < seq.size(); ++f) {
+      SCOPED_TRACE(cat("burst ", f));
+      expectResultsIdentical(par[f], seq[f]);
+    }
+  }
+};
+
+TEST_F(ConvergingEmulation, ManyToOneBitIdenticalAcrossThreadCounts) {
+  const auto topo = convergingTopology(kFlows);
+  auto nic_prog = nicCompress();
+  auto sw_prog = aggAndDropThird();
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(cat(threads, " threads"));
+    emu::Emulator seq(&topo, 5);
+    emu::Emulator par(&topo, 5);
+    deployConverging(seq, topo, kFlows, nic_prog, sw_prog);
+    deployConverging(par, topo, kFlows, nic_prog, sw_prog);
+    util::ThreadPool pool(threads);
+    par.setThreadPool(&pool);
+    const auto seq_results =
+        seq.sendBursts(convergingBursts(topo, kFlows, kPackets, 0xC0F));
+    const auto par_results =
+        par.sendBursts(convergingBursts(topo, kFlows, kPackets, 0xC0F));
+    expectAllIdentical(par_results, seq_results);
+    expectEmuStateIdentical(par, seq, topo, *sw_prog);
+    expectEmuStateIdentical(par, seq, topo, *nic_prog);
+  }
+}
+
+TEST_F(ConvergingEmulation, MlaggManyToOneAggregationBitIdentical) {
+  // The real MLAgg template on the shared switch: per-flow gradients
+  // converge on one aggregator array; drops (absorbed gradients),
+  // send-backs (completed aggregates), and the register state are all
+  // part of the bit-identity claim.
+  const auto topo = convergingTopology(kFlows);
+  auto nic_prog = nicCompress();
+  modules::ModuleLibrary lib;
+  auto mlagg = std::make_shared<ir::IrProgram>(
+      lib.compileTemplate("MLAgg", "agg_t", {{"NumAgg", 16},
+                                             {"Dim", 4},
+                                             {"NumWorker", 2},
+                                             {"IsConvert", 0}}));
+  auto makeMlaggBursts = [&] {
+    Rng rng(0xA99);
+    std::vector<emu::Burst> bursts;
+    for (int f = 0; f < kFlows; ++f) {
+      emu::Burst b;
+      b.src = topo.findNode(cat("client", f));
+      b.dst = topo.findNode("server");
+      b.wire_bytes = 160;
+      b.useful_bytes = 128;
+      for (int p = 0; p < kPackets; ++p) {
+        ir::PacketView view;
+        view.user_id = 1;
+        view.setField("hdr.op", 1);  // DATA
+        view.setField("hdr.seq", rng.nextBelow(32));
+        view.setField("hdr.bitmap", 1u << (f % 2));
+        view.setField("hdr.overflow", 0);
+        view.setField("hdr.value", rng.nextBelow(1u << 12));
+        for (int d = 0; d < 4; ++d) {
+          view.setField(cat("hdr.data.", d), rng.nextBelow(1u << 10));
+        }
+        b.views.push_back(std::move(view));
+      }
+      bursts.push_back(std::move(b));
+    }
+    return bursts;
+  };
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(cat(threads, " threads"));
+    emu::Emulator seq(&topo, 13);
+    emu::Emulator par(&topo, 13);
+    deployConverging(seq, topo, kFlows, nic_prog, mlagg);
+    deployConverging(par, topo, kFlows, nic_prog, mlagg);
+    util::ThreadPool pool(threads);
+    par.setThreadPool(&pool);
+    const auto seq_results = seq.sendBursts(makeMlaggBursts());
+    const auto par_results = par.sendBursts(makeMlaggBursts());
+    expectAllIdentical(par_results, seq_results);
+    expectEmuStateIdentical(par, seq, topo, *mlagg);
+    expectEmuStateIdentical(par, seq, topo, *nic_prog);
+  }
+}
+
+TEST_F(ConvergingEmulation, PartiallyOverlappingPathsKeepDeviceOrder) {
+  // h0 -> A -> B -> C -> h1, with extra sources entering at B and C:
+  // bursts share devices at *different* hop indices, exercising the
+  // staggered cross-burst ordering edges of the segment DAG.
+  topo::Topology t;
+  topo::Node h0, h1, hb, hc;
+  h0.name = "h0";
+  h1.name = "h1";
+  hb.name = "hb";
+  hc.name = "hc";
+  for (auto* h : {&h0, &h1, &hb, &hc}) h->kind = topo::NodeKind::kHost;
+  const int id_h0 = t.addNode(h0);
+  const int id_h1 = t.addNode(h1);
+  const int id_hb = t.addNode(hb);
+  const int id_hc = t.addNode(hc);
+  std::vector<int> devs;
+  for (int i = 0; i < 3; ++i) {
+    topo::Node d;
+    d.name = cat("D", i);
+    d.kind = topo::NodeKind::kSwitch;
+    d.programmable = true;
+    d.model = device::makeTofino();
+    devs.push_back(t.addNode(d));
+  }
+  t.addLink(id_h0, devs[0]);
+  t.addLink(devs[0], devs[1]);
+  t.addLink(devs[1], devs[2]);
+  t.addLink(devs[2], id_h1);
+  t.addLink(id_hb, devs[1]);
+  t.addLink(id_hc, devs[2]);
+
+  auto prog = aggAndDropThird();
+  auto deployTo = [&](emu::Emulator& emu) {
+    for (int dev : devs) {
+      emu::DeploymentEntry e;
+      e.user_id = 1;
+      e.prog = prog;
+      for (std::size_t i = 0; i < prog->instrs.size(); ++i) {
+        e.instr_idxs.push_back(static_cast<int>(i));
+      }
+      e.step_from = 0;
+      e.step_to = 1;
+      emu.deploy(dev, e);
+    }
+  };
+  auto makeStaggered = [&] {
+    Rng rng(0x57A6);
+    std::vector<emu::Burst> bursts;
+    const std::pair<int, int> flows[] = {
+        {id_h0, id_h1}, {id_hb, id_h1}, {id_hc, id_h1}, {id_h0, id_h1}};
+    for (const auto& [src, dst] : flows) {
+      emu::Burst b;
+      b.src = src;
+      b.dst = dst;
+      b.wire_bytes = 96;
+      b.useful_bytes = 64;
+      for (int p = 0; p < 24; ++p) {
+        ir::PacketView view;
+        view.user_id = 1;
+        view.setField("hdr.value", rng.nextBelow(1u << 14));
+        b.views.push_back(std::move(view));
+      }
+      bursts.push_back(std::move(b));
+    }
+    return bursts;
+  };
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(cat(threads, " threads"));
+    emu::Emulator seq(&t, 21);
+    emu::Emulator par(&t, 21);
+    deployTo(seq);
+    deployTo(par);
+    util::ThreadPool pool(threads);
+    par.setThreadPool(&pool);
+    const auto seq_results = seq.sendBursts(makeStaggered());
+    const auto par_results = par.sendBursts(makeStaggered());
+    expectAllIdentical(par_results, seq_results);
+    expectEmuStateIdentical(par, seq, t, *prog);
+  }
+}
+
+TEST_F(ConvergingEmulation, PipelineKnobOffFallsBackToGroupedPath) {
+  // pipeline_bursts == false must reproduce the pre-pipelining executor:
+  // still bit-identical to sequential (aliasing bursts serialize whole).
+  const auto topo = convergingTopology(kFlows);
+  auto nic_prog = nicCompress();
+  auto sw_prog = aggAndDropThird();
+  emu::Emulator seq(&topo, 31);
+  emu::Emulator par(&topo, 31);
+  deployConverging(seq, topo, kFlows, nic_prog, sw_prog);
+  deployConverging(par, topo, kFlows, nic_prog, sw_prog);
+  par.setOptions({.fuse_plans = true, .pipeline_bursts = false});
+  util::ThreadPool pool(8);
+  par.setThreadPool(&pool);
+  const auto seq_results =
+      seq.sendBursts(convergingBursts(topo, kFlows, kPackets, 0x9A7));
+  const auto par_results =
+      par.sendBursts(convergingBursts(topo, kFlows, kPackets, 0x9A7));
+  expectAllIdentical(par_results, seq_results);
+  expectEmuStateIdentical(par, seq, topo, *sw_prog);
+}
+
+TEST_F(ConvergingEmulation, FusionKnobDoesNotChangeEmulation) {
+  // fuse_plans on/off must be invisible end to end — including the
+  // latency model, which charges per *source* instruction.
+  const auto topo = convergingTopology(kFlows);
+  auto nic_prog = nicCompress();
+  auto sw_prog = aggAndDropThird();
+  emu::Emulator fused(&topo, 17);
+  emu::Emulator plain(&topo, 17);
+  plain.setOptions({.fuse_plans = false, .pipeline_bursts = true});
+  deployConverging(fused, topo, kFlows, nic_prog, sw_prog);
+  deployConverging(plain, topo, kFlows, nic_prog, sw_prog);
+  const auto fused_results =
+      fused.sendBursts(convergingBursts(topo, kFlows, kPackets, 0xFA5));
+  const auto plain_results =
+      plain.sendBursts(convergingBursts(topo, kFlows, kPackets, 0xFA5));
+  expectAllIdentical(fused_results, plain_results);
+  expectEmuStateIdentical(fused, plain, topo, *sw_prog);
+}
+
 }  // namespace
 }  // namespace clickinc
