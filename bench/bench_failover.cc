@@ -1,0 +1,209 @@
+// Failover bench — time-to-recover and re-placement blast radius under a
+// scripted kill/drain/heal sequence (docs/failures.md).
+//
+// A fixed tenant mix is deployed on the paper fabric, then a seeded
+// FaultInjector drives the same fault script through
+// ClickIncService::applyFault at 1 worker thread and at the machine's
+// hardware concurrency. Each event records how long the failover pipeline
+// took (blast-radius computation + re-placement + make-before-break swap)
+// against how much it had to move: blast-radius devices, affected
+// tenants, and re-placed vs pinned segments. The two thread counts share
+// the seed, so the event sequences — and therefore the per-event work —
+// are identical; only the wall clock may differ.
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/service.h"
+#include "emu/fault.h"
+
+namespace clickinc {
+namespace {
+
+double msSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+topo::TrafficSpec specFor(const core::ClickIncService& svc,
+                          const std::vector<const char*>& srcs,
+                          const char* dst) {
+  topo::TrafficSpec spec;
+  for (const char* s : srcs) {
+    spec.sources.push_back({svc.topology().findNode(s), 10.0});
+  }
+  spec.dst_host = svc.topology().findNode(dst);
+  return spec;
+}
+
+struct EventRow {
+  std::string action;
+  int blast_devices = 0;
+  int tenants = 0;
+  int replaced = 0;    // kReplaced + kServerOnly outcomes
+  int infeasible = 0;
+  long segments_replaced = 0;
+  long segments_pinned = 0;
+  double recover_ms = 0;
+};
+
+struct RunResult {
+  std::vector<EventRow> events;
+  int tenants_deployed = 0;
+  int tenants_surviving = 0;
+  double total_recover_ms = 0;
+};
+
+std::string actionLabel(const core::ClickIncService& svc,
+                        const emu::FaultAction& a) {
+  const auto& t = svc.topology();
+  switch (a.kind) {
+    case emu::FaultAction::Kind::kNone:
+      return "none";
+    case emu::FaultAction::Kind::kKillNode:
+    case emu::FaultAction::Kind::kDrainNode:
+    case emu::FaultAction::Kind::kHealNode:
+      return cat(emu::faultActionName(a.kind), " ", t.node(a.node).name);
+    case emu::FaultAction::Kind::kKillLink:
+    case emu::FaultAction::Kind::kHealLink:
+      return cat(emu::faultActionName(a.kind), " ", t.node(a.link_a).name,
+                 "-", t.node(a.link_b).name);
+  }
+  return "?";
+}
+
+RunResult runScenario(int threads, int fault_steps, bool smoke,
+                      std::uint64_t seed) {
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+  svc.setConcurrency(threads);
+
+  const std::uint64_t cache = smoke ? 512 : 4096;
+  const std::uint64_t aggs = smoke ? 256 : 2048;
+  std::vector<core::SubmitRequest> mix;
+  mix.push_back(core::SubmitRequest::fromTemplate(
+      "DQAcc", {{"CacheDepth", cache}, {"CacheLen", 2}},
+      specFor(svc, {"pod0a"}, "pod2b")));
+  mix.push_back(core::SubmitRequest::fromTemplate(
+      "MLAgg",
+      {{"NumAgg", aggs}, {"Dim", 16}, {"NumWorker", 2}, {"IsConvert", 0}},
+      specFor(svc, {"pod0a", "pod1a"}, "pod2b")));
+  mix.push_back(core::SubmitRequest::fromTemplate(
+      "DQAcc", {{"CacheDepth", cache}, {"CacheLen", 2}},
+      specFor(svc, {"pod1b"}, "pod0b")));
+  mix.push_back(core::SubmitRequest::fromTemplate(
+      "MLAgg",
+      {{"NumAgg", aggs / 2}, {"Dim", 16}, {"NumWorker", 2}, {"IsConvert", 0}},
+      specFor(svc, {"pod2a"}, "pod0a")));
+
+  RunResult run;
+  for (const auto& r : svc.submitAll(std::move(mix))) {
+    if (r.ok) ++run.tenants_deployed;
+  }
+
+  // The planner draws the script on a shadow copy of the fabric so the
+  // bench knows each action; applyFault mirrors it onto the service
+  // (same seed + same action stream = identical health evolution).
+  auto shadow = topo::Topology::paperEmulation();
+  emu::FaultInjector planner(&shadow, seed);
+  for (int i = 0; i < fault_steps; ++i) {
+    const auto action = planner.step();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = svc.applyFault(action);
+    const double ms = msSince(t0);
+
+    EventRow row;
+    row.action = actionLabel(svc, action);
+    row.blast_devices = report.blast_radius_devices;
+    row.tenants = static_cast<int>(report.tenants.size());
+    row.replaced = report.replacedCount();
+    row.infeasible = report.infeasibleCount();
+    for (const auto& t : report.tenants) {
+      row.segments_replaced += t.segments_replaced;
+      row.segments_pinned += t.segments_pinned;
+    }
+    row.recover_ms = ms;
+    run.total_recover_ms += ms;
+    run.events.push_back(std::move(row));
+  }
+  run.tenants_surviving = static_cast<int>(svc.deployments().size());
+  return run;
+}
+
+}  // namespace
+}  // namespace clickinc
+
+int main() {
+  using namespace clickinc;
+  const bool smoke = std::getenv("CLICKINC_BENCH_SMOKE") != nullptr;
+  const int fault_steps = smoke ? 10 : 40;
+  const std::uint64_t seed = 2023;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int wide = hw > 1 ? hw : 2;
+
+  bench::printHeader(
+      "Failover — time-to-recover vs blast radius",
+      cat("Scripted kill/drain/heal sequence (seed ", seed, ", ",
+          fault_steps, " events) over the paper fabric;\nrecovery = "
+          "blast-radius computation + re-placement + make-before-break "
+          "swap."));
+
+  const auto serial = runScenario(1, fault_steps, smoke, seed);
+  const auto pooled = runScenario(wide, fault_steps, smoke, seed);
+
+  TextTable table({"event", "blast dev", "tenants", "replaced", "seg repl",
+                   "seg pin", "ms (1T)", cat("ms (", wide, "T)")});
+  std::vector<double> recover_ms;
+  for (std::size_t i = 0; i < serial.events.size(); ++i) {
+    const auto& e = serial.events[i];
+    table.addRow({e.action, cat(e.blast_devices), cat(e.tenants),
+                  cat(e.replaced), cat(e.segments_replaced),
+                  cat(e.segments_pinned), fmtDouble(e.recover_ms, 3),
+                  fmtDouble(pooled.events[i].recover_ms, 3)});
+    if (e.tenants > 0) recover_ms.push_back(e.recover_ms);
+  }
+  bench::printTable(table);
+  std::printf(
+      "tenants: %d deployed, %d surviving; %zu/%zu events touched a "
+      "tenant,\nmedian time-to-recover %.3f ms (1T)\n\n",
+      serial.tenants_deployed, serial.tenants_surviving, recover_ms.size(),
+      serial.events.size(), bench::medianOf(recover_ms));
+
+  // Machine-readable trajectory record (schema: docs/benchmarks.md).
+  bench::JsonWriter json;
+  json.beginObject();
+  json.kv("bench", "failover");
+  bench::writeHostObject(json, wide);
+  json.kv("smoke", smoke);
+  json.kv("seed", static_cast<long>(seed));
+  json.kv("fault_steps", fault_steps);
+  json.kv("tenants_deployed", serial.tenants_deployed);
+  json.kv("tenants_surviving", serial.tenants_surviving);
+  json.kv("median_recover_ms_1t", bench::medianOf(recover_ms));
+  json.kv("total_recover_ms_1t", serial.total_recover_ms);
+  json.kv("total_recover_ms_pooled", pooled.total_recover_ms);
+  json.key("events").beginArray();
+  for (std::size_t i = 0; i < serial.events.size(); ++i) {
+    const auto& e = serial.events[i];
+    json.beginObject();
+    json.kv("action", e.action);
+    json.kv("blast_devices", e.blast_devices);
+    json.kv("tenants", e.tenants);
+    json.kv("replaced", e.replaced);
+    json.kv("infeasible", e.infeasible);
+    json.kv("segments_replaced", e.segments_replaced);
+    json.kv("segments_pinned", e.segments_pinned);
+    json.kv("recover_ms_1t", e.recover_ms);
+    json.kv("recover_ms_pooled", pooled.events[i].recover_ms);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  if (json.writeFile("BENCH_failover.json")) {
+    std::printf("wrote BENCH_failover.json\n");
+  } else {
+    std::printf("WARNING: could not write BENCH_failover.json\n");
+  }
+  return 0;
+}

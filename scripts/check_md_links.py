@@ -2,10 +2,13 @@
 """Docs hygiene: fail on broken intra-repo markdown links.
 
 Scans README.md and docs/**/*.md (plus any extra paths given as
-arguments) for inline links/images `[text](target)`. For relative
-targets, checks the file exists; for `file#anchor` (or `#anchor`)
-targets, checks the anchor matches a heading in the target file using
-GitHub's slugging rules. External (scheme://, mailto:) links are
+arguments) for inline links/images `[text](target)` and
+reference-style links `[text][ref]` with their `[ref]: target`
+definitions. For relative targets, checks the file exists; for
+`file#anchor` (or `#anchor`) targets, checks the anchor matches a
+heading in the target file using GitHub's slugging rules — dangling
+intra-doc anchors fail the run. A `[text][ref]` whose `ref` has no
+definition is reported too. External (scheme://, mailto:) links are
 skipped — CI must not depend on the network.
 
 Exit status: 0 clean, 1 any broken link. Stdlib only.
@@ -16,6 +19,12 @@ import re
 import sys
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [text][ref] / [text][] / bare [ref] (shortcut); deliberately loose —
+# candidates whose ref has an existing definition are resolved, the rest
+# of the bare-[word] noise is ignored unless it *looks* like a reference
+# (matched against the collected definitions).
+REF_LINK_RE = re.compile(r"!?\[([^\]]+)\]\[([^\]]*)\]")
+REF_DEF_RE = re.compile(r"^\s{0,3}\[([^\]]+)\]:\s*(\S+)")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
 
@@ -45,7 +54,26 @@ def heading_anchors(path):
     return anchors
 
 
+def ref_definitions(path):
+    """Collect `[ref]: target` definitions (case-insensitive refs)."""
+    defs = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = REF_DEF_RE.match(line)
+            if m:
+                defs[m.group(1).lower()] = m.group(2)
+    return defs
+
+
 def iter_links(path):
+    """Yields (lineno, target, kind); kind is 'link' or 'undefined-ref'."""
+    defs = ref_definitions(path)
     in_fence = False
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
@@ -54,15 +82,29 @@ def iter_links(path):
                 continue
             if in_fence:
                 continue
+            if REF_DEF_RE.match(line):
+                continue  # the definition itself is checked via its uses
             # Drop inline code spans before matching links.
             stripped = re.sub(r"`[^`]*`", "", line)
             for m in LINK_RE.finditer(stripped):
-                yield lineno, m.group(1)
+                yield lineno, m.group(1), "link"
+            # Strip inline links so their [text] parts don't double as
+            # reference candidates.
+            remainder = LINK_RE.sub("", stripped)
+            for m in REF_LINK_RE.finditer(remainder):
+                ref = (m.group(2) or m.group(1)).lower()
+                if ref in defs:
+                    yield lineno, defs[ref], "link"
+                else:
+                    yield lineno, m.group(0), "undefined-ref"
 
 
 def check_file(md_path, repo_root):
     errors = []
-    for lineno, target in iter_links(md_path):
+    for lineno, target, kind in iter_links(md_path):
+        if kind == "undefined-ref":
+            errors.append((lineno, target, "undefined reference"))
+            continue
         if EXTERNAL_RE.match(target):
             continue
         target_path, _, anchor = target.partition("#")

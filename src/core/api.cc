@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/crc.h"
 #include "util/strings.h"
 
 namespace clickinc::core {
@@ -16,6 +17,7 @@ const char* toString(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "ResourceExhausted";
     case ErrorCode::kUnknownUser: return "UnknownUser";
     case ErrorCode::kDeployFailed: return "DeployFailed";
+    case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kInternal: return "Internal";
   }
   return "?";
@@ -28,8 +30,54 @@ const char* toString(Stage stage) {
     case Stage::kCommit: return "commit";
     case Stage::kDeploy: return "deploy";
     case Stage::kRemove: return "remove";
+    case Stage::kFailover: return "failover";
   }
   return "?";
+}
+
+const char* toString(RecoveryOutcome outcome) {
+  switch (outcome) {
+    case RecoveryOutcome::kPinned: return "pinned";
+    case RecoveryOutcome::kReplaced: return "replaced";
+    case RecoveryOutcome::kServerOnly: return "server-only";
+    case RecoveryOutcome::kInfeasible: return "infeasible";
+  }
+  return "?";
+}
+
+double RetryPolicy::delayMs(int attempt) const {
+  if (attempt <= 1) return 0;
+  double d = base_ms;
+  for (int i = 2; i < attempt; ++i) d *= multiplier;
+  if (d > max_ms) d = max_ms;
+  if (jitter_seed != 0) {
+    // +/-25% deterministic jitter, a pure hash of (seed, attempt).
+    const std::uint64_t h =
+        mix64(jitter_seed ^ (static_cast<std::uint64_t>(attempt) * 0x9e3779b9u));
+    const double unit = static_cast<double>(h >> 11) /
+                        static_cast<double>(1ull << 53);  // [0, 1)
+    d *= 0.75 + 0.5 * unit;
+  }
+  return d;
+}
+
+int FailoverReport::replacedCount() const {
+  int n = 0;
+  for (const auto& t : tenants) {
+    if (t.outcome == RecoveryOutcome::kReplaced ||
+        t.outcome == RecoveryOutcome::kServerOnly) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int FailoverReport::infeasibleCount() const {
+  int n = 0;
+  for (const auto& t : tenants) {
+    if (t.outcome == RecoveryOutcome::kInfeasible) ++n;
+  }
+  return n;
 }
 
 std::string ServiceError::message() const {

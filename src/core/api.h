@@ -22,6 +22,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "ir/program.h"
 #include "lang/lower.h"
@@ -44,6 +45,7 @@ enum class ErrorCode {
   kResourceExhausted,  // unplaceable under current device occupancy
   kUnknownUser,        // remove() of an id with no active deployment
   kDeployFailed,       // synthesis / emulator deployment failure
+  kUnavailable,        // transient: required element down/draining right now
   kInternal,           // invariant violation inside ClickINC
 };
 
@@ -54,6 +56,7 @@ enum class Stage {
   kCommit,   // occupancy validation + resource claim (serialized)
   kDeploy,   // synthesis + emulator deployment
   kRemove,   // remove() path
+  kFailover, // handleFailure() re-placement path
 };
 
 const char* toString(ErrorCode code);
@@ -63,10 +66,33 @@ struct ServiceError {
   ErrorCode code = ErrorCode::kOk;
   Stage stage = Stage::kNone;
   std::string detail;
+  // Hint: the same request may succeed if resubmitted later (occupancy
+  // conflicts, transient unavailability). Structural errors never set it.
+  bool retryable = false;
 
   bool ok() const { return code == ErrorCode::kOk; }
   // One-line human-readable form: "[commit] ResourceExhausted: ...".
   std::string message() const;
+};
+
+// Bounded retry with deterministic exponential backoff for retryable
+// submission failures (kResourceExhausted / kUnavailable, and commit-stage
+// occupancy conflicts surfacing as either). Delays are a pure function of
+// (policy, attempt) — jitter comes from hashing jitter_seed with the
+// attempt number, never from a wall clock — so retry schedules are
+// reproducible in tests.
+struct RetryPolicy {
+  // Total attempt budget. On a SubmitRequest, 0 means "use the service-wide
+  // policy"; at the service level 0 and 1 both mean no retry.
+  int max_attempts = 0;
+  double base_ms = 1.0;          // delay before the 2nd attempt
+  double multiplier = 2.0;       // exponential growth per attempt
+  double max_ms = 64.0;          // cap on any single delay
+  std::uint64_t jitter_seed = 0; // 0 = no jitter (exact exponential)
+
+  // Backoff before attempt `attempt` (2-based: the delay after the first
+  // failure is delayMs(2)). Pure; safe to call concurrently.
+  double delayMs(int attempt) const;
 };
 
 // One tenant submission: exactly one payload (selected by `kind`) plus the
@@ -89,6 +115,7 @@ struct SubmitRequest {
 
   topo::TrafficSpec traffic;
   place::PlacementOptions options;  // options.pool is borrowed, not owned
+  RetryPolicy retry;                // max_attempts == 0 -> service default
 
   static SubmitRequest fromTemplate(
       std::string name, std::map<std::string, std::uint64_t> params,
@@ -121,12 +148,58 @@ struct SubmitResult {
   // was off because an earlier in-batch request failed). At most one
   // re-place happens per submission.
   bool recompiled = false;
+  // Retry accounting: how many attempts ran and the total deterministic
+  // backoff the policy charged between them (simulated — no wall clock).
+  int attempts = 1;
+  double backoff_ms = 0;
 };
 
 struct RemoveResult {
   bool ok = false;
   ServiceError error;
   Impact impact;
+};
+
+// --- failover (docs/failures.md) ---
+
+// Knobs for handleFailure()'s re-placement of tenants hit by a failure.
+struct FailoverPolicy {
+  // Prefer incremental re-placement: segments whose devices survived keep
+  // their claims and positions (Table-6 style minimal churn); only the
+  // affected remainder is re-placed. Off = full re-place of every
+  // affected tenant.
+  bool incremental = true;
+  // When the degraded topology cannot host the program on switches,
+  // degrade to server-only execution instead of failing the tenant.
+  bool server_fallback = true;
+};
+
+// What happened to one tenant during failover.
+enum class RecoveryOutcome {
+  kPinned,      // deployment untouched (failure outside its footprint)
+  kReplaced,    // re-placed (fully or incrementally) and redeployed
+  kServerOnly,  // degraded to server-only placement
+  kInfeasible,  // no placement on the degraded topology; claims released
+};
+
+const char* toString(RecoveryOutcome outcome);
+
+struct TenantRecovery {
+  int user_id = -1;
+  RecoveryOutcome outcome = RecoveryOutcome::kPinned;
+  ServiceError error;        // set iff outcome == kInfeasible
+  int segments_replaced = 0; // assignments that moved or were re-synthesized
+  int segments_pinned = 0;   // assignments kept in place (incremental mode)
+};
+
+// Result of processing one FailureEvent (or a heal) end to end.
+struct FailoverReport {
+  std::uint64_t health_version = 0;  // topology version this report covers
+  int blast_radius_devices = 0;      // devices losing claims to the event
+  std::vector<TenantRecovery> tenants;  // affected tenants, ascending id
+
+  int replacedCount() const;
+  int infeasibleCount() const;
 };
 
 }  // namespace clickinc::core

@@ -29,6 +29,12 @@ ServiceError errorFromCurrentException(Stage stage) {
     return {ErrorCode::kParseError, stage, e.what()};
   } catch (const CompileError& e) {
     return {ErrorCode::kLowerError, stage, e.what()};
+  } catch (const UnavailableError& e) {
+    // Transient by definition: a required element is down or draining
+    // right now; the same request may succeed after heal/failover.
+    ServiceError err{ErrorCode::kUnavailable, stage, e.what()};
+    err.retryable = true;
+    return err;
   } catch (const PlacementError& e) {
     return {ErrorCode::kInfeasible, stage, e.what()};
   } catch (const SynthesisError& e) {
@@ -41,9 +47,64 @@ ServiceError errorFromCurrentException(Stage stage) {
 }
 
 ServiceError placementFailure(const place::PlacementPlan& plan, Stage stage) {
-  return {plan.resource_limited ? ErrorCode::kResourceExhausted
-                                : ErrorCode::kInfeasible,
-          stage, plan.failure};
+  ServiceError err{plan.resource_limited ? ErrorCode::kResourceExhausted
+                                         : ErrorCode::kInfeasible,
+                   stage, plan.failure};
+  // Capacity pressure eases when other tenants leave or failover frees
+  // claims; structural infeasibility never does.
+  err.retryable = plan.resource_limited;
+  return err;
+}
+
+// Physical devices carrying at least one instruction of the plan.
+std::set<int> planDevices(const place::PlacementPlan& plan) {
+  std::set<int> devs;
+  for (const auto& a : plan.assignments) {
+    for (const auto& [dev, p] : a.on_device) {
+      if (!p.instr_idxs.empty()) devs.insert(dev);
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      if (!p.instr_idxs.empty()) devs.insert(dev);
+    }
+  }
+  return devs;
+}
+
+bool samePlacement(const place::IntraPlacement& a,
+                   const place::IntraPlacement& b) {
+  return a.instr_idxs == b.instr_idxs && a.stage_of == b.stage_of;
+}
+
+bool samePlacementMap(const std::map<int, place::IntraPlacement>& a,
+                      const std::map<int, place::IntraPlacement>& b) {
+  if (a.size() != b.size()) return false;
+  auto ia = a.begin();
+  for (auto ib = b.begin(); ib != b.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if (!samePlacement(ia->second, ib->second)) return false;
+  }
+  return true;
+}
+
+// Identical segment: same block range, same devices, same instruction
+// placement — the physical deployment would be bit-identical.
+bool sameAssignment(const place::NodeAssignment& a,
+                    const place::NodeAssignment& b) {
+  return a.from_block == b.from_block && a.to_block == b.to_block &&
+         a.bypass_from == b.bypass_from &&
+         samePlacementMap(a.on_device, b.on_device) &&
+         samePlacementMap(a.on_bypass, b.on_bypass);
+}
+
+std::set<int> assignmentDevices(const place::NodeAssignment& a) {
+  std::set<int> devs;
+  for (const auto& [dev, p] : a.on_device) {
+    if (!p.instr_idxs.empty()) devs.insert(dev);
+  }
+  for (const auto& [dev, p] : a.on_bypass) {
+    if (!p.instr_idxs.empty()) devs.insert(dev);
+  }
+  return devs;
 }
 
 }  // namespace
@@ -59,6 +120,7 @@ struct ClickIncService::Speculative {
   ServiceError error;  // frontend failure; placement failures live in plan
   int guessed_user = -1;
   std::uint64_t snapshot_version = 0;
+  std::uint64_t health_version = 0;  // topology health the tree was built on
   double compile_ms = 0;
 };
 
@@ -117,9 +179,40 @@ ir::IrProgram ClickIncService::compileFrontend(SubmitRequest& req,
 
 // --- the public surface -------------------------------------------------
 
-SubmitResult ClickIncService::submit(SubmitRequest req) {
+RetryPolicy ClickIncService::effectivePolicy(const SubmitRequest& req) {
+  if (req.retry.max_attempts > 0) return req.retry;
   std::lock_guard<std::mutex> lock(mu_);
-  return submitLocked(req);
+  return retry_policy_;
+}
+
+SubmitResult ClickIncService::submit(SubmitRequest req) {
+  const RetryPolicy policy = effectivePolicy(req);
+  const int max_attempts = std::max(1, policy.max_attempts);
+  if (max_attempts == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return submitLocked(req);
+  }
+  // Retry loop: each attempt works on a fresh copy of the request (a
+  // kProgram payload is moved out by the frontend compile, so the
+  // original must survive for the next attempt). The lock is dropped
+  // between attempts — a concurrent remove()/failover can free the
+  // resources the retry needs. Backoff is charged deterministically to
+  // the result; no wall-clock sleeps.
+  double backoff = 0;
+  for (int attempt = 1;; ++attempt) {
+    SubmitRequest attempt_req = req;
+    SubmitResult result;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      result = submitLocked(attempt_req);
+    }
+    result.attempts = attempt;
+    result.backoff_ms = backoff;
+    if (result.ok || !result.error.retryable || attempt >= max_attempts) {
+      return result;
+    }
+    backoff += policy.delayMs(attempt + 1);
+  }
 }
 
 SubmissionTicket ClickIncService::submitAsync(SubmitRequest req) {
@@ -171,6 +264,7 @@ std::vector<SubmitResult> ClickIncService::submitAll(
   // The pool is pinned (shared_ptr copy) for the whole batch so a
   // concurrent setConcurrency cannot destroy it mid-compile.
   place::OccupancyMap snapshot(&topo_);
+  topo::HealthView health;
   std::uint64_t version = 0;
   int base_user = 1;
   std::shared_ptr<util::ThreadPool> pool;
@@ -178,18 +272,24 @@ std::vector<SubmitResult> ClickIncService::submitAll(
     std::lock_guard<std::mutex> lock(mu_);
     pool = pool_;
     snapshot = occ_;
+    health = topo_.healthView();
     version = occ_version_;
     base_user = next_user_;
   }
   if (pool == nullptr || pool->threadCount() <= 1 || requests.size() <= 1) {
-    for (auto& req : requests) out.push_back(submit(std::move(req)));
+    // Batch semantics: no per-request retry (results must stay
+    // bit-identical to the parallel path, which commits exactly once).
+    for (auto& req : requests) {
+      std::lock_guard<std::mutex> lock(mu_);
+      out.push_back(submitLocked(req));
+    }
     return out;
   }
   std::vector<Speculative> specs(requests.size());
   pool->parallelFor(requests.size(), [&](std::size_t i) {
     specs[i] = compileSpeculative(requests[i],
                                   base_user + static_cast<int>(i), snapshot,
-                                  version, pool.get());
+                                  version, health, pool.get());
   });
 
   // Stage 2: serialized commits in request order — deterministic user
@@ -318,7 +418,7 @@ SubmitResult ClickIncService::submitLocked(SubmitRequest& req) {
     return result;
   }
 
-  commitAndDeployLocked(&result, prog, req.traffic);
+  commitAndDeployLocked(&result, prog, req.traffic, req.options);
   result.compile_ms = msSince(t0);
   return result;
 }
@@ -326,11 +426,12 @@ SubmitResult ClickIncService::submitLocked(SubmitRequest& req) {
 ClickIncService::Speculative ClickIncService::compileSpeculative(
     SubmitRequest& req, int guessed_user,
     const place::OccupancyMap& snapshot, std::uint64_t snapshot_version,
-    util::ThreadPool* pool) {
+    const topo::HealthView& health, util::ThreadPool* pool) {
   const auto t0 = std::chrono::steady_clock::now();
   Speculative spec;
   spec.guessed_user = guessed_user;
   spec.snapshot_version = snapshot_version;
+  spec.health_version = health.version;
   try {
     spec.prog =
         std::make_shared<ir::IrProgram>(compileFrontend(req, guessed_user));
@@ -341,7 +442,10 @@ ClickIncService::Speculative ClickIncService::compileSpeculative(
   }
   try {
     spec.dag = place::BlockDag::build(*spec.prog);
-    spec.tree = topo::buildEcTree(topo_, req.traffic);
+    // The health snapshot (not live health) keeps this stage race-free
+    // against concurrent failNode()/healNode(); a stale view is caught at
+    // commit time and re-placed.
+    spec.tree = topo::buildEcTree(topo_, req.traffic, &health);
 
     // Private scratch over the service-wide memo: the DP tables are not
     // shareable between concurrent placements, but the intra-placement
@@ -361,7 +465,25 @@ ClickIncService::Speculative ClickIncService::compileSpeculative(
 }
 
 SubmitResult ClickIncService::submitStaged(SubmitRequest req) {
+  const RetryPolicy policy = effectivePolicy(req);
+  const int max_attempts = std::max(1, policy.max_attempts);
+  if (max_attempts == 1) return submitStagedOnce(req);
+  double backoff = 0;
+  for (int attempt = 1;; ++attempt) {
+    SubmitRequest attempt_req = req;  // kProgram payloads survive retries
+    SubmitResult result = submitStagedOnce(attempt_req);
+    result.attempts = attempt;
+    result.backoff_ms = backoff;
+    if (result.ok || !result.error.retryable || attempt >= max_attempts) {
+      return result;
+    }
+    backoff += policy.delayMs(attempt + 1);
+  }
+}
+
+SubmitResult ClickIncService::submitStagedOnce(SubmitRequest& req) {
   place::OccupancyMap snapshot(&topo_);
+  topo::HealthView health;
   std::uint64_t version = 0;
   int guessed = 1;
   std::shared_ptr<util::ThreadPool> pool;
@@ -369,11 +491,12 @@ SubmitResult ClickIncService::submitStaged(SubmitRequest req) {
     std::lock_guard<std::mutex> lock(mu_);
     pool = pool_;
     snapshot = occ_;
+    health = topo_.healthView();
     version = occ_version_;
     guessed = next_user_;
   }
   Speculative spec =
-      compileSpeculative(req, guessed, snapshot, version, pool.get());
+      compileSpeculative(req, guessed, snapshot, version, health, pool.get());
   std::lock_guard<std::mutex> lock(mu_);
   return commitSpeculative(std::move(spec), req);
 }
@@ -412,13 +535,17 @@ SubmitResult ClickIncService::commitSpeculative(Speculative&& spec,
   }
 
   // Optimistic-concurrency validation: any occupancy mutation since the
-  // snapshot (a commit, remove, or rollback) invalidates the speculative
-  // plan — both resource feasibility and the adaptive weights depend on
-  // occupancy — so re-place against live state, exactly as a sequential
-  // submit would have. The commit stage is serialized, so this happens
-  // at most once per submission.
-  if (rename || occ_version_ != spec.snapshot_version) {
+  // snapshot (a commit, remove, rollback, or failover) invalidates the
+  // speculative plan — both resource feasibility and the adaptive weights
+  // depend on occupancy — so re-place against live state, exactly as a
+  // sequential submit would have. A health move additionally invalidates
+  // the EC tree itself (dead devices must not be placement targets), so
+  // the tree is rebuilt against live health first. The commit stage is
+  // serialized, so this happens at most once per submission.
+  const bool health_moved = topo_.healthVersion() != spec.health_version;
+  if (rename || health_moved || occ_version_ != spec.snapshot_version) {
     try {
+      if (health_moved) spec.tree = topo::buildEcTree(topo_, req.traffic);
       place::PlacementOptions run_opts = req.options;
       if (run_opts.pool == nullptr) run_opts.pool = pool_.get();
       spec.plan = place::placeProgram(spec.dag, spec.tree, topo_, occ_,
@@ -439,14 +566,15 @@ SubmitResult ClickIncService::commitSpeculative(Speculative&& spec,
     return result;
   }
 
-  commitAndDeployLocked(&result, spec.prog, req.traffic);
+  commitAndDeployLocked(&result, spec.prog, req.traffic, req.options);
   result.compile_ms += msSince(t0);
   return result;
 }
 
 void ClickIncService::commitAndDeployLocked(
     SubmitResult* result, const std::shared_ptr<ir::IrProgram>& prog,
-    const topo::TrafficSpec& traffic) {
+    const topo::TrafficSpec& traffic,
+    const place::PlacementOptions& options) {
   place::commitPlan(result->plan, *prog, occ_);
   ++occ_version_;
   const int user = next_user_;
@@ -459,7 +587,9 @@ void ClickIncService::commitAndDeployLocked(
     result->impact = Impact{};
     return;
   }
-  deployed_[user] = {prog, result->plan, traffic};
+  place::PlacementOptions stored = options;
+  stored.pool = nullptr;  // pools are borrowed; re-resolved at failover
+  deployed_[user] = {prog, result->plan, traffic, stored};
   result->impact.affected_pods = podsCrossing(result->impact.affected_devices);
   result->ok = true;
   ++next_user_;
@@ -487,7 +617,8 @@ void ClickIncService::rollbackDeployLocked(
 
 void ClickIncService::deployPlan(
     int user, const std::shared_ptr<ir::IrProgram>& prog,
-    const place::PlacementPlan& plan, Impact* impact) {
+    const place::PlacementPlan& plan, Impact* impact,
+    const std::vector<char>* skip_assignments) {
   // Collect the per-device work first (in the deterministic plan order),
   // then synthesize. Synthesis — building the user snippet (a full
   // program copy) and weaving it into the DeviceProgram — touches only
@@ -502,7 +633,9 @@ void ClickIncService::deployPlan(
     int step_from, step_to;
   };
   std::vector<DeployItem> items;
-  for (const auto& a : plan.assignments) {
+  for (std::size_t ai = 0; ai < plan.assignments.size(); ++ai) {
+    const auto& a = plan.assignments[ai];
+    if (skip_assignments != nullptr && (*skip_assignments)[ai]) continue;
     if (a.to_block <= a.from_block) continue;
     const int split = a.bypass_from >= 0 ? a.bypass_from : a.to_block;
     for (const auto& [dev, p] : a.on_device) {
@@ -556,6 +689,11 @@ void ClickIncService::deployPlan(
   // (the deployment map and plan cache are shared across devices).
   for (std::size_t k = 0; k < items.size(); ++k) {
     const DeployItem& it = items[k];
+    if (inject_deploy_fail_ == 0) {
+      inject_deploy_fail_ = -1;
+      throw SynthesisError("injected deploy failure (test hook)");
+    }
+    if (inject_deploy_fail_ > 0) --inject_deploy_fail_;
     impact->affected_devices.insert(it.device);
     for (int u : stats[k].other_users_affected) {
       impact->affected_users.insert(u);
@@ -568,6 +706,421 @@ void ClickIncService::deployPlan(
     entry.step_to = it.step_to;
     emu_.deploy(it.device, std::move(entry));
   }
+}
+
+// --- failure-domain runtime ---------------------------------------------
+
+void ClickIncService::setRetryPolicy(RetryPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retry_policy_ = policy;
+}
+
+RetryPolicy ClickIncService::retryPolicy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_policy_;
+}
+
+void ClickIncService::setFailoverPolicy(FailoverPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failover_policy_ = policy;
+}
+
+FailoverPolicy ClickIncService::failoverPolicy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failover_policy_;
+}
+
+FailoverReport ClickIncService::failNode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  topo_.setNodeHealth(node, topo::Health::kDown);
+  return handleEventsLocked();
+}
+
+FailoverReport ClickIncService::drainNode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  topo_.setNodeHealth(node, topo::Health::kDraining);
+  return handleEventsLocked();
+}
+
+FailoverReport ClickIncService::healNode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  topo_.setNodeHealth(node, topo::Health::kUp);
+  return handleEventsLocked();
+}
+
+FailoverReport ClickIncService::failLink(int a, int b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  topo_.setLinkHealth(a, b, topo::Health::kDown);
+  return handleEventsLocked();
+}
+
+FailoverReport ClickIncService::healLink(int a, int b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  topo_.setLinkHealth(a, b, topo::Health::kUp);
+  return handleEventsLocked();
+}
+
+FailoverReport ClickIncService::applyFault(const emu::FaultAction& action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  using K = emu::FaultAction::Kind;
+  switch (action.kind) {
+    case K::kNone:
+      break;
+    case K::kKillNode:
+      topo_.setNodeHealth(action.node, topo::Health::kDown);
+      break;
+    case K::kDrainNode:
+      topo_.setNodeHealth(action.node, topo::Health::kDraining);
+      break;
+    case K::kHealNode:
+      topo_.setNodeHealth(action.node, topo::Health::kUp);
+      break;
+    case K::kKillLink:
+      topo_.setLinkHealth(action.link_a, action.link_b, topo::Health::kDown);
+      break;
+    case K::kHealLink:
+      topo_.setLinkHealth(action.link_a, action.link_b, topo::Health::kUp);
+      break;
+  }
+  return handleEventsLocked();
+}
+
+void ClickIncService::armFaultInjector(std::uint64_t seed,
+                                       emu::FaultOptions opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = std::make_unique<emu::FaultInjector>(&topo_, seed, opts);
+}
+
+FailoverReport ClickIncService::stepFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CLICKINC_CHECK(injector_ != nullptr,
+                 "stepFault() before armFaultInjector()");
+  injector_->step();
+  return handleEventsLocked();
+}
+
+FailoverReport ClickIncService::processFailures() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handleEventsLocked();
+}
+
+void ClickIncService::injectDeployFailureAfter(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inject_deploy_fail_ = n;
+}
+
+void ClickIncService::wipeDeviceLocked(int node) {
+  const auto& n = topo_.node(node);
+  if (n.programmable) {
+    occ_.of(node) = place::DeviceOccupancy::fresh(n.model);
+  }
+  emu_.undeployDevice(node);
+  device_programs_.erase(node);
+  ++occ_version_;
+}
+
+FailoverReport ClickIncService::handleEventsLocked() {
+  FailoverReport report;
+  report.health_version = topo_.healthVersion();
+  std::vector<topo::FailureEvent> evs;
+  for (const auto& ev : topo_.failureLog()) {
+    if (ev.version > processed_health_version_) evs.push_back(ev);
+  }
+  processed_health_version_ = topo_.healthVersion();
+  if (evs.empty()) return report;
+
+  // Phase 1 — device hygiene. A dead device loses everything: occupancy
+  // back to fresh (claims on it must never leak), device program gone,
+  // emulator entries and state store cleared. A reboot (Down -> Up) is
+  // the same wipe: the device comes back empty, it does not resurrect
+  // pre-failure claims.
+  bool any_heal = false;
+  std::set<int> wiped;
+  for (const auto& ev : evs) {
+    if (ev.kind == topo::FailureEvent::Kind::kNode) {
+      const bool died = ev.to == topo::Health::kDown;
+      const bool rebooted =
+          ev.to == topo::Health::kUp && ev.from == topo::Health::kDown;
+      if (died || rebooted) {
+        wipeDeviceLocked(ev.node);
+        wiped.insert(ev.node);
+      }
+      if (ev.to == topo::Health::kUp) any_heal = true;
+    } else if (ev.to == topo::Health::kUp) {
+      any_heal = true;
+    }
+  }
+
+  // Phase 2 — blast radius: a tenant is affected when a plan device is
+  // no longer Up, when the healthy traffic path no longer covers a plan
+  // device (rerouted around it), or — after a heal — when it runs
+  // server-only and could win switch placement back. Ascending user id
+  // keeps recovery deterministic.
+  std::vector<int> affected;
+  std::set<int> blast;
+  for (const auto& [user, dep] : deployed_) {
+    const std::set<int> devs = planDevices(dep.plan);
+    bool hit = false;
+    if (devs.empty()) {
+      hit = any_heal;  // server-only tenant: try the upgrade
+    } else {
+      for (int dev : devs) {
+        if (topo_.nodeHealth(dev) != topo::Health::kUp) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        std::set<int> on_path;
+        bool any_path = false;
+        for (const auto& src : dep.traffic.sources) {
+          const auto p = topo_.shortestPathUp(src.host, dep.traffic.dst_host);
+          if (p.empty()) continue;
+          any_path = true;
+          for (int n : p) {
+            on_path.insert(n);
+            const int accel = topo_.node(n).attached_accel;
+            if (accel >= 0) on_path.insert(accel);
+          }
+        }
+        if (any_path) {
+          for (int dev : devs) {
+            if (on_path.count(dev) == 0) {
+              hit = true;
+              break;
+            }
+          }
+        }
+        // No healthy path at all: nothing to re-place onto. The tenant
+        // stays pinned; its traffic reports kNoRoute until a heal.
+      }
+    }
+    if (hit) {
+      affected.push_back(user);
+      blast.insert(devs.begin(), devs.end());
+    }
+  }
+  blast.insert(wiped.begin(), wiped.end());
+  report.blast_radius_devices = static_cast<int>(blast.size());
+
+  // Phase 3 — recovery, per tenant in ascending id order.
+  for (int user : affected) {
+    report.tenants.push_back(recoverTenantLocked(user));
+  }
+  report.health_version = topo_.healthVersion();
+  return report;
+}
+
+TenantRecovery ClickIncService::recoverTenantLocked(int user) {
+  TenantRecovery rec;
+  rec.user_id = user;
+  const Deployed old = deployed_.at(user);
+
+  auto surviving = [&](int dev) {
+    return topo_.nodeHealth(dev) != topo::Health::kDown;
+  };
+
+  // 1. Release the tenant's surviving claims so the placer can reuse
+  // them (claims on Down devices died with the device wipe). The old
+  // data-plane — device programs and emulator entries — stays live until
+  // the replacement commits below: make-before-break.
+  for (const auto& a : old.plan.assignments) {
+    auto release = [&](int dev, const place::IntraPlacement& p) {
+      if (p.instr_idxs.empty() || !surviving(dev)) return;
+      place::releasePlacement(occ_.of(dev), *old.prog, p);
+    };
+    for (const auto& [dev, p] : a.on_device) release(dev, p);
+    for (const auto& [dev, p] : a.on_bypass) release(dev, p);
+  }
+  ++occ_version_;
+
+  // 2. Re-place against the degraded topology (dead devices are not in
+  // the EC tree; draining devices forward but take no placements).
+  place::PlacementPlan new_plan;
+  ServiceError err;
+  bool placed = false;
+  try {
+    const auto dag = place::BlockDag::build(*old.prog);
+    const auto tree = topo::buildEcTree(topo_, old.traffic);
+    place::PlacementOptions run_opts = old.options;
+    run_opts.pool = pool_.get();
+    new_plan = place::placeProgram(dag, tree, topo_, occ_, run_opts, &arena_);
+    cumulative_stats_.add(new_plan.stats);
+    placed = new_plan.feasible;
+    if (!placed) err = placementFailure(new_plan, Stage::kFailover);
+  } catch (...) {
+    err = errorFromCurrentException(Stage::kFailover);
+  }
+
+  bool server_only = false;
+  if (!placed && failover_policy_.server_fallback) {
+    // Server-only degradation: a feasible plan with no device
+    // assignments. The tenant's computation falls back to its end hosts,
+    // its traffic crosses the fabric as plain packets, and the program is
+    // preserved for a later upgrade on heal.
+    new_plan = place::PlacementPlan{};
+    new_plan.feasible = true;
+    placed = true;
+    server_only = true;
+  }
+
+  const std::set<int> old_devices = planDevices(old.plan);
+
+  if (!placed) {
+    // Clean Infeasible: strip the old data-plane from surviving devices
+    // and forget the tenant. Every claim is already released or wiped.
+    for (int dev : old_devices) {
+      if (!surviving(dev)) continue;
+      deviceProgram(dev).removeUser(user, /*lazy=*/false);
+      emu_.undeploy(dev, user);
+    }
+    deployed_.erase(user);
+    ++occ_version_;
+    rec.outcome = RecoveryOutcome::kInfeasible;
+    rec.error = err;
+    rec.segments_replaced = static_cast<int>(old.plan.assignments.size());
+    return rec;
+  }
+
+  // 3. Segment diff (incremental mode): an assignment identical to an old
+  // one — same block range, devices, and instruction placement — keeps
+  // its data-plane untouched, provided none of its devices is shared with
+  // a changed segment (strips are user-granular per device, so a shared
+  // device cannot keep one segment while replacing another; such pins are
+  // demoted to replacements).
+  std::vector<char> pinned_new(new_plan.assignments.size(), 0);
+  std::vector<char> pinned_old(old.plan.assignments.size(), 0);
+  if (failover_policy_.incremental && !server_only) {
+    std::vector<int> match(new_plan.assignments.size(), -1);
+    for (std::size_t i = 0; i < new_plan.assignments.size(); ++i) {
+      for (std::size_t j = 0; j < old.plan.assignments.size(); ++j) {
+        if (pinned_old[j]) continue;
+        if (sameAssignment(new_plan.assignments[i],
+                           old.plan.assignments[j])) {
+          pinned_new[i] = 1;
+          pinned_old[j] = 1;
+          match[i] = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    bool demoted = true;
+    while (demoted) {
+      demoted = false;
+      std::set<int> churn;
+      for (std::size_t j = 0; j < old.plan.assignments.size(); ++j) {
+        if (pinned_old[j]) continue;
+        const auto d = assignmentDevices(old.plan.assignments[j]);
+        churn.insert(d.begin(), d.end());
+      }
+      for (std::size_t i = 0; i < new_plan.assignments.size(); ++i) {
+        if (pinned_new[i]) continue;
+        const auto d = assignmentDevices(new_plan.assignments[i]);
+        churn.insert(d.begin(), d.end());
+      }
+      for (std::size_t i = 0; i < new_plan.assignments.size(); ++i) {
+        if (!pinned_new[i]) continue;
+        for (int dev : assignmentDevices(new_plan.assignments[i])) {
+          if (churn.count(dev) != 0) {
+            pinned_new[i] = 0;
+            pinned_old[static_cast<std::size_t>(match[i])] = 0;
+            match[i] = -1;
+            demoted = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // 4. Swap: claim the new plan, strip the replaced part of the old
+  // data-plane (pinned devices untouched by construction), deploy the new
+  // segments.
+  place::commitPlan(new_plan, *old.prog, occ_);
+  ++occ_version_;
+  for (std::size_t j = 0; j < old.plan.assignments.size(); ++j) {
+    if (pinned_old[j]) continue;
+    for (int dev : assignmentDevices(old.plan.assignments[j])) {
+      if (!surviving(dev)) continue;
+      deviceProgram(dev).removeUser(user, /*lazy=*/false);
+      emu_.undeploy(dev, user);
+    }
+  }
+
+  Impact impact;
+  try {
+    deployPlan(user, old.prog, new_plan, &impact, &pinned_new);
+  } catch (...) {
+    rec.error = errorFromCurrentException(Stage::kFailover);
+    // Roll the replacement back: strip its non-pinned deployments,
+    // release every claim the new plan took, then restore the old
+    // deployment (pruned to surviving devices). State stores are
+    // per-device and survive strips, so restored segments keep their
+    // registers.
+    for (std::size_t i = 0; i < new_plan.assignments.size(); ++i) {
+      if (pinned_new[i]) continue;
+      for (int dev : assignmentDevices(new_plan.assignments[i])) {
+        deviceProgram(dev).removeUser(user, /*lazy=*/false);
+        emu_.undeploy(dev, user);
+      }
+    }
+    for (const auto& a : new_plan.assignments) {
+      for (const auto& [dev, p] : a.on_device) {
+        if (!p.instr_idxs.empty()) {
+          place::releasePlacement(occ_.of(dev), *old.prog, p);
+        }
+      }
+      for (const auto& [dev, p] : a.on_bypass) {
+        if (!p.instr_idxs.empty()) {
+          place::releasePlacement(occ_.of(dev), *old.prog, p);
+        }
+      }
+    }
+    place::PlacementPlan restore = old.plan;
+    for (auto& a : restore.assignments) {
+      for (auto it = a.on_device.begin(); it != a.on_device.end();) {
+        it = surviving(it->first) ? std::next(it) : a.on_device.erase(it);
+      }
+      for (auto it = a.on_bypass.begin(); it != a.on_bypass.end();) {
+        it = surviving(it->first) ? std::next(it) : a.on_bypass.erase(it);
+      }
+    }
+    place::commitPlan(restore, *old.prog, occ_);
+    ++occ_version_;
+    std::vector<char> skip(restore.assignments.size(), 0);
+    for (std::size_t j = 0; j < restore.assignments.size(); ++j) {
+      skip[j] = pinned_old[j];
+    }
+    try {
+      Impact dummy;
+      deployPlan(user, old.prog, restore, &dummy, &skip);
+      deployed_[user] = {old.prog, restore, old.traffic, old.options};
+      rec.outcome = RecoveryOutcome::kPinned;  // old deployment restored
+    } catch (...) {
+      // Restore failed too: release everything and drop the tenant.
+      rollbackDeployLocked(user, old.prog, restore);
+      deployed_.erase(user);
+      rec.outcome = RecoveryOutcome::kInfeasible;
+    }
+    return rec;
+  }
+
+  deployed_[user] = {old.prog, new_plan, old.traffic, old.options};
+  int pinned_count = 0;
+  for (char p : pinned_new) pinned_count += p;
+  rec.segments_pinned = pinned_count;
+  rec.segments_replaced =
+      server_only ? static_cast<int>(old.plan.assignments.size())
+                  : static_cast<int>(new_plan.assignments.size()) -
+                        pinned_count;
+  if (server_only) {
+    rec.outcome = RecoveryOutcome::kServerOnly;
+  } else if (rec.segments_replaced == 0) {
+    rec.outcome = RecoveryOutcome::kPinned;  // re-placed onto itself
+  } else {
+    rec.outcome = RecoveryOutcome::kReplaced;
+  }
+  return rec;
 }
 
 std::set<int> ClickIncService::podsCrossing(

@@ -32,6 +32,7 @@
 
 #include "core/api.h"
 #include "emu/emulator.h"
+#include "emu/fault.h"
 #include "modules/profile.h"
 #include "modules/templates.h"
 #include "place/treedp.h"
@@ -120,7 +121,54 @@ class ClickIncService {
 
   // Removes a user program (lazy per §6 unless eager requested). Unknown
   // ids yield ErrorCode::kUnknownUser instead of silently succeeding.
+  // Serializes with in-flight submitAsync() commits on the service lock,
+  // so racing a removal against a submission is well-defined: whichever
+  // reaches the commit stage first wins, and the loser observes the
+  // winner's state.
   RemoveResult remove(int user_id, bool lazy = true);
+
+  // --- failure-domain runtime (docs/failures.md) ---
+
+  // Service-wide retry policy for retryable submission failures
+  // (kResourceExhausted / kUnavailable). A request's own policy
+  // (req.retry.max_attempts > 0) takes precedence. Backoff is simulated
+  // deterministically — attempts reacquire the lock immediately and the
+  // schedule is charged to SubmitResult::backoff_ms — so retried
+  // submissions stay reproducible under test. submitAll() never retries:
+  // batch results must stay bit-identical to sequential submits.
+  void setRetryPolicy(RetryPolicy policy);
+  RetryPolicy retryPolicy();
+  void setFailoverPolicy(FailoverPolicy policy);
+  FailoverPolicy failoverPolicy();
+
+  // Health transitions + failover, all under the service lock: apply the
+  // transition to the topology, then re-place every affected tenant
+  // against the degraded topology (make-before-break; see
+  // docs/failures.md#failover-lifecycle). Healing a node reboots it:
+  // occupancy, device program, and emulator state come back fresh.
+  FailoverReport failNode(int node);
+  FailoverReport drainNode(int node);
+  FailoverReport healNode(int node);
+  FailoverReport failLink(int a, int b);
+  FailoverReport healLink(int a, int b);
+
+  // Applies one FaultInjector action (kNone is a no-op) and handles the
+  // resulting failure events. Lock-safe against concurrent submits.
+  FailoverReport applyFault(const emu::FaultAction& action);
+
+  // Seeded chaos driving: armFaultInjector binds (or re-seeds) an
+  // injector over this service's topology; each stepFault() draws one
+  // action, applies it, and runs the failover pipeline under the lock.
+  void armFaultInjector(std::uint64_t seed, emu::FaultOptions opts = {});
+  FailoverReport stepFault();
+
+  // Handles any topology failure events not yet seen by the failover
+  // pipeline (no-op when the log is fully processed).
+  FailoverReport processFailures();
+
+  // Test hook: the (n+1)-th emulator deploy from now throws a synthetic
+  // SynthesisError, exercising the rollback/restore paths. Single-shot.
+  void injectDeployFailureAfter(int n);
 
   // Concurrency knob for the whole pipeline: submitAll()/submitAsync()
   // compile tenants concurrently, placements run the worker-pool tree DP,
@@ -166,6 +214,9 @@ class ClickIncService {
     std::shared_ptr<ir::IrProgram> prog;
     place::PlacementPlan plan;
     topo::TrafficSpec traffic;
+    // Placement options of the original submission, kept so failover
+    // re-placement honours them (pool is re-resolved, never stored).
+    place::PlacementOptions options;
   };
   const std::map<int, Deployed>& deployments() const { return deployed_; }
 
@@ -184,30 +235,53 @@ class ClickIncService {
   // Whole pipeline under the lock (sync path; zero recompiles possible).
   SubmitResult submitLocked(SubmitRequest& req);
 
-  // Stage 1: pure compile against an occupancy snapshot; safe to run
-  // concurrently with other compiles (not with commits of *this* request).
-  // `pool` is the caller's pinned copy of the service pool (may be null).
+  // Stage 1: pure compile against an occupancy + health snapshot; safe to
+  // run concurrently with other compiles (not with commits of *this*
+  // request). The health snapshot keeps the EC-tree build off the live
+  // (lock-protected) health vectors — a concurrent failNode() cannot race
+  // it. `pool` is the caller's pinned copy of the service pool (may be
+  // null).
   Speculative compileSpeculative(SubmitRequest& req, int guessed_user,
                                  const place::OccupancyMap& snapshot,
                                  std::uint64_t snapshot_version,
+                                 const topo::HealthView& health,
                                  util::ThreadPool* pool);
 
   // Stage 2 (lock held): validate + claim + synthesize + deploy.
   SubmitResult commitSpeculative(Speculative&& spec, SubmitRequest& req);
 
-  // Snapshot-compile then serialized commit (submitAsync path).
+  // Snapshot-compile then serialized commit (submitAsync path), wrapped
+  // in the retry loop. submitStagedOnce is a single attempt.
   SubmitResult submitStaged(SubmitRequest req);
+  SubmitResult submitStagedOnce(SubmitRequest& req);
+
+  RetryPolicy effectivePolicy(const SubmitRequest& req);
 
   // Claims resources, deploys, registers the user. On deploy failure the
   // partial deployment is rolled back and *result carries the error.
   void commitAndDeployLocked(SubmitResult* result,
                              const std::shared_ptr<ir::IrProgram>& prog,
-                             const topo::TrafficSpec& traffic);
+                             const topo::TrafficSpec& traffic,
+                             const place::PlacementOptions& options);
   void rollbackDeployLocked(int user, const std::shared_ptr<ir::IrProgram>& prog,
                             const place::PlacementPlan& plan);
 
+  // `skip_assignments` (aligned with plan.assignments, nullptr = none)
+  // omits pinned segments during failover redeploys.
   void deployPlan(int user, const std::shared_ptr<ir::IrProgram>& prog,
-                  const place::PlacementPlan& plan, Impact* impact);
+                  const place::PlacementPlan& plan, Impact* impact,
+                  const std::vector<char>* skip_assignments = nullptr);
+
+  // --- failover internals (lock held) ---
+
+  // Drains unprocessed FailureEvents from the topology log: wipes dead /
+  // rebooted devices, finds affected tenants, re-places each.
+  FailoverReport handleEventsLocked();
+  // Device death or reboot: fresh occupancy, no device program, no
+  // emulator entries or state.
+  void wipeDeviceLocked(int node);
+  // Re-places one affected tenant against the degraded topology.
+  TenantRecovery recoverTenantLocked(int user);
 
   topo::Topology topo_;
   modules::ModuleLibrary lib_;
@@ -229,10 +303,19 @@ class ClickIncService {
   // Serializes the commit stage and every mutation of the shared state
   // above (occupancy, deployments, device programs, emulator, arena).
   std::mutex mu_;
-  // Bumped on every occupancy mutation (commit / remove / rollback); the
-  // commit stage re-places a speculative plan iff the version moved since
-  // its snapshot — the optimistic-concurrency validation.
+  // Bumped on every occupancy mutation (commit / remove / rollback /
+  // failover); the commit stage re-places a speculative plan iff the
+  // version moved since its snapshot — the optimistic-concurrency
+  // validation. Health moves are validated separately against the
+  // topology's own health version.
   std::uint64_t occ_version_ = 0;
+
+  // Failure-domain runtime state (all guarded by mu_).
+  RetryPolicy retry_policy_;        // max_attempts <= 1: no retry
+  FailoverPolicy failover_policy_;
+  std::uint64_t processed_health_version_ = 0;  // failure-log watermark
+  std::unique_ptr<emu::FaultInjector> injector_;
+  int inject_deploy_fail_ = -1;     // test hook countdown, -1 = off
 
   // submitAsync worker bookkeeping: each worker flags `done` when its
   // task finishes, and the next submitAsync() reaps (joins) finished

@@ -4,9 +4,22 @@
 #include <set>
 
 #include "util/error.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace clickinc::emu {
+
+const char* dropReasonName(DropReason r) {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kProgram: return "program";
+    case DropReason::kNodeDown: return "node-down";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kNoRoute: return "no-route";
+    case DropReason::kUndeployed: return "undeployed";
+  }
+  return "?";
+}
 
 Emulator::Emulator(const topo::Topology* topo, std::uint64_t seed,
                    ir::ExecPlanCache* plan_cache)
@@ -18,6 +31,12 @@ Emulator::Emulator(const topo::Topology* topo, std::uint64_t seed,
 void Emulator::deploy(int device_node, DeploymentEntry entry) {
   CLICKINC_CHECK(topo_->node(device_node).programmable,
                  "deploying on a non-programmable node");
+  // Draining devices keep serving what they already host (the failover
+  // restore path may legitimately re-deploy there); Down ones are gone.
+  if (topo_->nodeHealth(device_node) == topo::Health::kDown) {
+    throw UnavailableError(cat("deploy on down device ",
+                               topo_->node(device_node).name));
+  }
   if (entry.plan == nullptr && entry.prog != nullptr) {
     entry.plan = plan_cache_->get(*entry.prog, entry.instr_idxs,
                                   {.fuse = options_.fuse_plans});
@@ -40,6 +59,14 @@ void Emulator::undeploy(int device_node, int user_id) {
                               return e.user_id == user_id;
                             }),
              list.end());
+}
+
+void Emulator::undeployDevice(int device_node) {
+  deployments_.erase(device_node);
+  if (device_node >= 0 &&
+      device_node < static_cast<int>(stores_.size())) {
+    stores_[static_cast<std::size_t>(device_node)] = ir::StateStore{};
+  }
 }
 
 void Emulator::clearDeployments() { deployments_.clear(); }
@@ -211,12 +238,49 @@ void Emulator::processBatchAt(int node,
   }
 }
 
+std::vector<int> Emulator::routeOf(int src, int dst) const {
+  return options_.reroute_on_failure ? topo_->shortestPathUp(src, dst)
+                                     : topo_->shortestPath(src, dst);
+}
+
+bool Emulator::userServedOnPath(const std::vector<int>& path,
+                                int user) const {
+  // A user with no deployments at all keeps the legacy pass-through
+  // semantics (their traffic is plain). The undeployed drop only fires
+  // when the user's program exists somewhere but the packet's path misses
+  // every device carrying it — silently succeeding there would fake INC
+  // results the program never computed.
+  bool has_any = false;
+  for (const auto& [node, entries] : deployments_) {
+    for (const auto& e : entries) {
+      if (e.user_id == user) {
+        has_any = true;
+        break;
+      }
+    }
+    if (has_any) break;
+  }
+  if (!has_any) return true;
+  auto serves = [&](int node) {
+    auto it = deployments_.find(node);
+    if (it == deployments_.end()) return false;
+    for (const auto& e : it->second) {
+      if (e.user_id < 0 || e.user_id == user) return true;
+    }
+    return false;
+  };
+  for (std::size_t h = 1; h < path.size(); ++h) {
+    if (serves(path[h])) return true;
+    const int accel = topo_->node(path[h]).attached_accel;
+    if (accel >= 0 && serves(accel)) return true;
+  }
+  return false;
+}
+
 PacketResult Emulator::send(int src, int dst, ir::PacketView view,
                             int wire_bytes, int useful_bytes) {
   PacketResult result;
   ++stats_.packets_sent;
-  const auto path = topo_->shortestPath(src, dst);
-  CLICKINC_CHECK(!path.empty(), "no path in emulator");
 
   // Accelerator detour: a bypass card attached to a switch is visited as
   // part of the switch hop (the placement already decided what runs
@@ -231,16 +295,42 @@ PacketResult Emulator::send(int src, int dst, ir::PacketView view,
     stats_.total_latency_ns += result.latency_ns;
     stats_.total_inc_latency_ns += result.inc_latency_ns;
   };
+  auto drop = [&](int at, DropReason reason) {
+    result.dropped = true;
+    result.drop_reason = reason;
+    ++stats_.packets_dropped;
+    if (reason == DropReason::kUndeployed) {
+      ++stats_.packets_dropped_undeployed;
+    } else if (reason != DropReason::kProgram) {
+      ++stats_.packets_dropped_fault;
+    }
+    finish(at);
+    return result;
+  };
+
+  const auto path = routeOf(src, dst);
+  if (path.empty()) return drop(src, DropReason::kNoRoute);
+  // User traffic on a path that carries none of that user's snippets used
+  // to default-forward silently; it is a misdelivery, so drop at ingress.
+  if (view.user_id >= 0 && !userServedOnPath(path, view.user_id)) {
+    return drop(src, DropReason::kUndeployed);
+  }
 
   for (std::size_t h = 0; h + 1 < path.size(); ++h) {
     const int cur = path[h];
     const int next = path[h + 1];
+    if (topo_->linkHealth(cur, next) == topo::Health::kDown) {
+      return drop(cur, DropReason::kLinkDown);
+    }
     const int bytes = static_cast<int>(view.field("hdr._len"));
     chargeLink(cur, next, bytes);
     result.latency_ns += topo_->linkBetween(cur, next) != nullptr
                              ? topo_->linkBetween(cur, next)->latency_ns
                              : 1000.0;
     ++result.hops;
+    if (topo_->nodeHealth(next) == topo::Health::kDown) {
+      return drop(next, DropReason::kNodeDown);
+    }
 
     // INC processing at the next node (and its bypass card, if any).
     const auto& node = topo_->node(next);
@@ -255,6 +345,7 @@ PacketResult Emulator::send(int src, int dst, ir::PacketView view,
 
     if (view.verdict == ir::Verdict::kDrop) {
       result.dropped = true;
+      result.drop_reason = DropReason::kProgram;
       ++stats_.packets_dropped;
       finish(next);
       return result;
@@ -297,6 +388,19 @@ void Emulator::finishPacket(BurstRun& r, std::size_t i, int at) {
   --r.live;
 }
 
+void Emulator::dropPacket(BurstRun& r, std::size_t i, int at,
+                          DropReason reason) {
+  r.results[i].dropped = true;
+  r.results[i].drop_reason = reason;
+  ++r.ctx->counters.packets_dropped;
+  if (reason == DropReason::kUndeployed) {
+    ++r.ctx->counters.packets_dropped_undeployed;
+  } else if (reason != DropReason::kProgram) {
+    ++r.ctx->counters.packets_dropped_fault;
+  }
+  finishPacket(r, i, at);
+}
+
 void Emulator::startBurstRun(BurstRun& r, int src, int dst,
                              std::vector<ir::PacketView> views,
                              int wire_bytes, int useful_bytes) {
@@ -311,10 +415,30 @@ void Emulator::startBurstRun(BurstRun& r, int src, int dst,
   r.live = n;
   if (n == 0) return;  // empty bursts skip path resolution entirely
   r.ctx->counters.packets_sent += n;
-  r.path = topo_->shortestPath(src, dst);
-  CLICKINC_CHECK(!r.path.empty(), "no path in emulator");
   for (auto& view : r.flight) {
     view.setField("hdr._len", static_cast<std::uint64_t>(wire_bytes));
+  }
+  r.path = routeOf(src, dst);
+  if (r.path.empty()) {
+    // No (healthy) route: the whole burst drops at the source. r.path
+    // stays empty, so the hop walk and schedulers see nothing to do.
+    for (std::size_t i = 0; i < n; ++i) {
+      dropPacket(r, i, src, DropReason::kNoRoute);
+    }
+    return;
+  }
+  // Undeployed-user gate, per packet (bursts usually share one user, so
+  // memoize the last verdict).
+  int cached_user = -2;
+  bool cached_served = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int user = r.flight[i].user_id;
+    if (user < 0) continue;
+    if (user != cached_user) {
+      cached_user = user;
+      cached_served = userServedOnPath(r.path, user);
+    }
+    if (!cached_served) dropPacket(r, i, src, DropReason::kUndeployed);
   }
 }
 
@@ -330,6 +454,15 @@ void Emulator::runBurstHops(BurstRun& r, std::size_t h_begin,
     if (r.live == 0) break;
     const int cur = r.path[h];
     const int next = r.path[h + 1];
+    if (topo_->linkHealth(cur, next) == topo::Health::kDown) {
+      // The link died after the path was resolved (health-oblivious
+      // routing, or a kill later in a schedule): everything still in
+      // flight drops before the wire.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (r.alive[i]) dropPacket(r, i, cur, DropReason::kLinkDown);
+      }
+      break;
+    }
     const topo::Link* link = topo_->linkBetween(cur, next);
     const double hop_latency = link != nullptr ? link->latency_ns : 1000.0;
 
@@ -343,6 +476,14 @@ void Emulator::runBurstHops(BurstRun& r, std::size_t h_begin,
       ++r.results[i].hops;
       sub.push_back(&r.flight[i]);
       sub_idx.push_back(i);
+    }
+
+    if (topo_->nodeHealth(next) == topo::Health::kDown) {
+      // Charged onto the wire, swallowed by the dead device.
+      for (std::size_t k = 0; k < sub.size(); ++k) {
+        dropPacket(r, sub_idx[k], next, DropReason::kNodeDown);
+      }
+      break;
     }
 
     const auto& node = topo_->node(next);
@@ -365,9 +506,7 @@ void Emulator::runBurstHops(BurstRun& r, std::size_t h_begin,
       const std::size_t i = sub_idx[k];
       ir::PacketView& view = r.flight[i];
       if (view.verdict == ir::Verdict::kDrop) {
-        r.results[i].dropped = true;
-        ++ctx.counters.packets_dropped;
-        finishPacket(r, i, next);
+        dropPacket(r, i, next, DropReason::kProgram);
         continue;
       }
       if (view.verdict == ir::Verdict::kSendBack) {
@@ -423,6 +562,9 @@ void Emulator::applyBurstEffects(const BurstCtx& ctx) {
   stats_.packets_delivered += ctx.counters.packets_delivered;
   stats_.packets_dropped += ctx.counters.packets_dropped;
   stats_.packets_bounced += ctx.counters.packets_bounced;
+  stats_.packets_dropped_fault += ctx.counters.packets_dropped_fault;
+  stats_.packets_dropped_undeployed +=
+      ctx.counters.packets_dropped_undeployed;
   stats_.useful_bytes_delivered += ctx.counters.useful_bytes_delivered;
   for (const auto& [latency, inc] : ctx.finishes) {
     stats_.total_latency_ns += latency;
@@ -508,8 +650,8 @@ std::vector<std::vector<PacketResult>> Emulator::sendBurstsGrouped(
   std::vector<std::vector<PacketResult>> results(n);
   std::vector<std::vector<int>> touched(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto path = topo_->shortestPath(bursts[i].src, bursts[i].dst);
-    CLICKINC_CHECK(!path.empty(), "no path in emulator");
+    // A routeless burst touches nothing: runBurst drops it at the source.
+    const auto path = routeOf(bursts[i].src, bursts[i].dst);
     touched[i] = processingNodesOnPath(path);
   }
 
@@ -631,7 +773,9 @@ std::vector<std::vector<PacketResult>> Emulator::sendBurstsPipelined(
 
   for (std::size_t i = 0; i < n; ++i) {
     BurstRun& r = runs[i];
-    if (r.flight.empty()) continue;  // empty burst: nothing to schedule
+    // Empty bursts and routeless ones (already dropped whole at start)
+    // have nothing to schedule.
+    if (r.flight.empty() || r.path.empty()) continue;
     const std::size_t hops = r.path.size() - 1;
     // Pass 1: find the hops with cross-burst ordering constraints,
     // keeping each hop's deployed-device list for the recording pass.

@@ -54,7 +54,27 @@ namespace clickinc::emu {
 struct EmulatorOptions {
   bool fuse_plans = true;
   bool pipeline_bursts = true;
+  // Health-aware routing: packets follow shortestPathUp, modeling a
+  // converged routing plane that steers around Down elements. Off models
+  // the pre-convergence window — paths ignore health and packets
+  // traversing a dead element drop with kNodeDown/kLinkDown.
+  bool reroute_on_failure = true;
 };
+
+// Why a packet dropped. kProgram is an INC verdict (the program said
+// drop); the others are failure-domain outcomes that previously either
+// crashed the emulator (no path) or silently default-forwarded
+// (undeployed user traffic).
+enum class DropReason : std::uint8_t {
+  kNone = 0,     // not dropped
+  kProgram,      // ir::Verdict::kDrop from a deployed snippet
+  kNodeDown,     // next hop device is Health::kDown
+  kLinkDown,     // link on the path is Health::kDown
+  kNoRoute,      // no (healthy) path from src to dst
+  kUndeployed,   // user traffic whose path carries no snippet of that user
+};
+
+const char* dropReasonName(DropReason r);
 
 // One snippet deployed on one device.
 struct DeploymentEntry {
@@ -73,6 +93,7 @@ struct PacketResult {
   bool delivered = false;   // reached dst (or bounced back to src)
   bool dropped = false;
   bool bounced = false;     // SendBack verdict returned it to the source
+  DropReason drop_reason = DropReason::kNone;  // set iff dropped
   int final_node = -1;
   double latency_ns = 0;    // path + INC processing latency
   double inc_latency_ns = 0;  // processing latency on INC devices only
@@ -85,6 +106,10 @@ struct EmuStats {
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped = 0;
   std::uint64_t packets_bounced = 0;
+  // Subsets of packets_dropped: failure-domain drops (down node/link, no
+  // route) and undeployed-user drops, vs. program-verdict drops.
+  std::uint64_t packets_dropped_fault = 0;
+  std::uint64_t packets_dropped_undeployed = 0;
   std::uint64_t useful_bytes_delivered = 0;
   double total_latency_ns = 0;
   double total_inc_latency_ns = 0;
@@ -122,6 +147,9 @@ class Emulator {
   // replicas and repeated identical templates pay the decode cost once.
   void deploy(int device_node, DeploymentEntry entry);
   void undeploy(int device_node, int user_id);
+  // Device death/reboot: drops every entry on the device and clears its
+  // state store (a rebooted switch comes back with fresh registers).
+  void undeployDevice(int device_node);
   void clearDeployments();
 
   // Marks a device failed: its snippets are skipped (packets pass
@@ -251,6 +279,15 @@ class Emulator {
   std::map<std::pair<int, int>, double> link_busy_ns_;
   EmuStats stats_;
 
+  // Routing under the failure domain: health-aware when
+  // options().reroute_on_failure, full wiring otherwise.
+  std::vector<int> routeOf(int src, int dst) const;
+  // Whether any device (or bypass card) on the path carries a snippet for
+  // `user` (or an unfiltered snippet). Gate for the kUndeployed drop; only
+  // consulted for user traffic (view.user_id >= 0).
+  bool userServedOnPath(const std::vector<int>& path, int user) const;
+  // Drops one in-flight packet of a burst with a structured reason.
+  void dropPacket(BurstRun& r, std::size_t i, int at, DropReason reason);
   // Runs a device's snippets on the packet; returns added latency.
   double processAt(int node, ir::PacketView& view);
   // The per-packet entry loop shared by processAt and the batched path.

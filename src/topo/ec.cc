@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "util/crc.h"
 #include "util/error.h"
@@ -10,11 +11,33 @@
 
 namespace clickinc::topo {
 
-std::vector<int> equivalenceClasses(const Topology& topo) {
+std::vector<int> equivalenceClasses(const Topology& topo,
+                                    const HealthView* health) {
+  const HealthView hv = health ? *health : topo.healthView();
+  // Down links are rare; precompute a per-node mask of severed neighbors.
+  std::vector<std::pair<int, int>> down_pairs;
+  const auto& links = topo.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (hv.linkAt(static_cast<int>(i)) == Health::kDown) {
+      down_pairs.emplace_back(std::min(links[i].a, links[i].b),
+                              std::max(links[i].a, links[i].b));
+    }
+  }
+  auto edgeUp = [&](int a, int b) {
+    if (hv.nodeAt(a) == Health::kDown || hv.nodeAt(b) == Health::kDown) {
+      return false;
+    }
+    if (down_pairs.empty()) return true;
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    return std::find(down_pairs.begin(), down_pairs.end(), key) ==
+           down_pairs.end();
+  };
   const int n = topo.nodeCount();
   std::vector<std::uint64_t> color(static_cast<std::size_t>(n));
   // Initial colors: hosts are unique (they anchor distinct traffic
-  // endpoints); devices start from (kind, layer, model, bypass-model).
+  // endpoints); devices start from (kind, layer, health, model,
+  // bypass-model). Health kUp contributes 0, keeping the all-healthy
+  // partition identical to the health-oblivious one.
   for (int i = 0; i < n; ++i) {
     const Node& nd = topo.node(i);
     if (nd.kind == NodeKind::kHost) {
@@ -22,7 +45,8 @@ std::vector<int> equivalenceClasses(const Topology& topo) {
           mix64(0x1000 + static_cast<std::uint64_t>(i));
     } else {
       std::uint64_t c = mix64(static_cast<std::uint64_t>(nd.kind) * 131 +
-                              static_cast<std::uint64_t>(nd.layer));
+                              static_cast<std::uint64_t>(nd.layer) +
+                              static_cast<std::uint64_t>(hv.nodeAt(i)) * 7919);
       const std::string tag =
           nd.model.name + (nd.attached_accel >= 0 ? "+acc" : "");
       const auto* bytes = reinterpret_cast<const std::uint8_t*>(tag.data());
@@ -31,12 +55,15 @@ std::vector<int> equivalenceClasses(const Topology& topo) {
     }
   }
   // Refine: new color = hash(old, sorted neighbor colors). Fixpoint in at
-  // most n rounds; fat-trees converge in a handful.
+  // most n rounds; fat-trees converge in a handful. Severed edges (Down
+  // node or link on either side) do not contribute: a switch that lost its
+  // uplink is wired differently from one that kept it.
   for (int round = 0; round < n; ++round) {
     std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       std::vector<std::uint64_t> nb;
       for (int j : topo.neighbors(i)) {
+        if (!edgeUp(i, j)) continue;
         nb.push_back(color[static_cast<std::size_t>(j)]);
       }
       std::sort(nb.begin(), nb.end());
@@ -76,33 +103,47 @@ std::vector<int> EcTree::clientLeaves() const {
   return leaves;
 }
 
-EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec) {
+EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec,
+                   const HealthView* health) {
   CLICKINC_CHECK(!spec.sources.empty() && spec.dst_host >= 0,
                  "traffic spec needs sources and a destination");
-  const std::vector<int> ec = equivalenceClasses(topo);
+  const HealthView hv = health ? *health : topo.healthView();
+  const std::vector<int> ec = equivalenceClasses(topo, &hv);
 
   // Programmable path of each source: node ids sans hosts, mapped to EC
-  // sequences with consecutive duplicates removed.
+  // sequences with consecutive duplicates removed. Paths route around Down
+  // elements; Draining devices still forward but are skipped as placement
+  // targets, exactly like hosts.
   struct EcPath {
     std::vector<int> ecs;
     double volume;
   };
   std::vector<EcPath> paths;
   for (const auto& src : spec.sources) {
-    const auto raw = topo.shortestPath(src.host, spec.dst_host);
+    const auto raw = topo.shortestPathUp(src.host, spec.dst_host, &hv);
     if (raw.empty()) {
+      if (!topo.shortestPath(src.host, spec.dst_host).empty()) {
+        throw UnavailableError(cat("no healthy path from host ", src.host,
+                                   " to ", spec.dst_host));
+      }
       throw PlacementError(cat("no path from host ", src.host, " to ",
                                spec.dst_host));
     }
     EcPath p;
     p.volume = src.volume;
+    bool saw_device = false;
     for (int nid : raw) {
       const Node& nd = topo.node(nid);
       if (nd.kind == NodeKind::kHost) continue;
+      saw_device = true;
+      if (hv.nodeAt(nid) != Health::kUp) continue;
       const int e = ec[static_cast<std::size_t>(nid)];
       if (p.ecs.empty() || p.ecs.back() != e) p.ecs.push_back(e);
     }
     if (p.ecs.empty()) {
+      if (saw_device) {
+        throw UnavailableError("every device on the path is draining");
+      }
       throw PlacementError("path contains no programmable devices");
     }
     paths.push_back(std::move(p));
@@ -130,9 +171,12 @@ EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec) {
 
   // One pass groups devices by class (ascending node id per class) so each
   // EC materializes in O(|EC|) instead of re-scanning the whole topology.
+  // Only Up devices qualify as replica targets: a Draining twin must not
+  // receive new segments and a Down one is gone.
   std::vector<std::vector<int>> devices_of_ec;
   for (int nid = 0; nid < topo.nodeCount(); ++nid) {
     if (topo.node(nid).kind == NodeKind::kHost) continue;
+    if (hv.nodeAt(nid) != Health::kUp) continue;
     const int e = ec[static_cast<std::size_t>(nid)];
     if (e >= static_cast<int>(devices_of_ec.size())) {
       devices_of_ec.resize(static_cast<std::size_t>(e) + 1);
@@ -153,7 +197,8 @@ EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec) {
     CLICKINC_CHECK(!tn.devices.empty(), "empty EC");
     const Node& rep = topo.node(tn.devices.front());
     tn.model = &topo.node(tn.devices.front()).model;
-    if (rep.attached_accel >= 0) {
+    if (rep.attached_accel >= 0 &&
+        hv.nodeAt(rep.attached_accel) == Health::kUp) {
       tn.bypass = &topo.node(rep.attached_accel).model;
     }
     const int idx = static_cast<int>(tree.nodes.size());

@@ -15,7 +15,11 @@
 namespace clickinc::topo {
 
 // ec_of[node] = equivalence-class id; classes are contiguous from 0.
-std::vector<int> equivalenceClasses(const Topology& topo);
+// `health` (snapshot, nullptr = live topology health) keeps Down elements
+// from merging with their healthy twins: a dead ToR is not a replica of an
+// alive one. With everything Up the partition is identical to before.
+std::vector<int> equivalenceClasses(const Topology& topo,
+                                    const HealthView* health = nullptr);
 
 struct TrafficSource {
   int host = -1;     // source host node id
@@ -59,7 +63,13 @@ struct EcTree {
 
 // Builds the reduced tree for a traffic spec. Paths run source -> core ->
 // destination; programmable devices only (hosts are endpoints). Throws
-// PlacementError when a source cannot reach the destination.
-EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec);
+// PlacementError when a source cannot reach the destination in the wiring,
+// and UnavailableError when a path exists but no *healthy* one does (or
+// every device on it is Draining) — the transient, retryable case.
+// `health` is a snapshot for lock-free compile stages; nullptr reads the
+// live topology health. Down devices never appear in the tree; Draining
+// devices forward but are excluded as placement targets.
+EcTree buildEcTree(const Topology& topo, const TrafficSpec& spec,
+                   const HealthView* health = nullptr);
 
 }  // namespace clickinc::topo

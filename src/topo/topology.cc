@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 
 #include "util/error.h"
 #include "util/strings.h"
@@ -18,10 +19,20 @@ const char* nodeKindName(NodeKind k) {
   return "?";
 }
 
+const char* healthName(Health h) {
+  switch (h) {
+    case Health::kUp: return "up";
+    case Health::kDraining: return "draining";
+    case Health::kDown: return "down";
+  }
+  return "?";
+}
+
 int Topology::addNode(Node n) {
   n.id = static_cast<int>(nodes_.size());
   nodes_.push_back(std::move(n));
   adj_.emplace_back();
+  node_health_.push_back(Health::kUp);
   return nodes_.back().id;
 }
 
@@ -29,6 +40,7 @@ void Topology::addLink(int a, int b, double gbps, double latency_ns) {
   CLICKINC_CHECK(a >= 0 && a < nodeCount() && b >= 0 && b < nodeCount(),
                  "bad link endpoints");
   links_.push_back({a, b, gbps, latency_ns});
+  link_health_.push_back(Health::kUp);
   adj_[static_cast<std::size_t>(a)].push_back(b);
   adj_[static_cast<std::size_t>(b)].push_back(a);
 }
@@ -38,6 +50,57 @@ const Link* Topology::linkBetween(int a, int b) const {
     if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return &l;
   }
   return nullptr;
+}
+
+int Topology::linkIndex(int a, int b) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const Link& l = links_[i];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Health Topology::linkHealth(int a, int b) const {
+  const int idx = linkIndex(a, b);
+  CLICKINC_CHECK(idx >= 0, cat("no link between ", a, " and ", b));
+  return link_health_[static_cast<std::size_t>(idx)];
+}
+
+FailureEvent Topology::setNodeHealth(int id, Health h) {
+  CLICKINC_CHECK(id >= 0 && id < nodeCount(), "bad node id");
+  FailureEvent ev;
+  ev.kind = FailureEvent::Kind::kNode;
+  ev.node = id;
+  ev.from = node_health_[static_cast<std::size_t>(id)];
+  ev.to = h;
+  if (ev.from == h) return ev;  // no-op: version stays 0, nothing logged
+  if (h == Health::kDown) ++down_nodes_;
+  if (ev.from == Health::kDown) --down_nodes_;
+  node_health_[static_cast<std::size_t>(id)] = h;
+  ev.version = ++health_version_;
+  events_.push_back(ev);
+  return ev;
+}
+
+FailureEvent Topology::setLinkHealth(int a, int b, Health h) {
+  CLICKINC_CHECK(h != Health::kDraining, "links are up or down");
+  const int idx = linkIndex(a, b);
+  CLICKINC_CHECK(idx >= 0, cat("no link between ", a, " and ", b));
+  FailureEvent ev;
+  ev.kind = FailureEvent::Kind::kLink;
+  ev.link_a = a;
+  ev.link_b = b;
+  ev.from = link_health_[static_cast<std::size_t>(idx)];
+  ev.to = h;
+  if (ev.from == h) return ev;
+  if (h == Health::kDown) ++down_links_;
+  if (ev.from == Health::kDown) --down_links_;
+  link_health_[static_cast<std::size_t>(idx)] = h;
+  ev.version = ++health_version_;
+  events_.push_back(ev);
+  return ev;
 }
 
 int Topology::findNode(const std::string& name) const {
@@ -57,6 +120,69 @@ std::vector<int> Topology::shortestPath(int src, int dst) const {
     queue.pop_front();
     for (int nb : adj_[static_cast<std::size_t>(cur)]) {
       if (prev[static_cast<std::size_t>(nb)] != -1) continue;
+      prev[static_cast<std::size_t>(nb)] = cur;
+      if (nb == dst) {
+        std::vector<int> path{dst};
+        int v = dst;
+        while (v != src) {
+          v = prev[static_cast<std::size_t>(v)];
+          path.push_back(v);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(nb);
+    }
+  }
+  return {};
+}
+
+std::vector<int> Topology::shortestPathUp(int src, int dst,
+                                          const HealthView* health) const {
+  // Fully-healthy fast path: identical BFS order, so results are
+  // bit-identical to shortestPath by construction.
+  const bool live = health == nullptr;
+  if (live && down_nodes_ == 0 && down_links_ == 0) {
+    return shortestPath(src, dst);
+  }
+  auto nodeUp = [&](int id) {
+    const Health h = live ? node_health_[static_cast<std::size_t>(id)]
+                          : health->nodeAt(id);
+    return h != Health::kDown;
+  };
+  // Down links are rare; collect their endpoint pairs once per call.
+  std::vector<std::pair<int, int>> down_pairs;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const Health h = live ? link_health_[i]
+                          : health->linkAt(static_cast<int>(i));
+    if (h == Health::kDown) {
+      down_pairs.emplace_back(std::min(links_[i].a, links_[i].b),
+                              std::max(links_[i].a, links_[i].b));
+    }
+  }
+  if (down_pairs.empty() && !live) {
+    bool any_down_node = false;
+    for (int i = 0; i < nodeCount() && !any_down_node; ++i) {
+      any_down_node = !nodeUp(i);
+    }
+    if (!any_down_node) return shortestPath(src, dst);
+  }
+  auto linkUp = [&](int a, int b) {
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    return std::find(down_pairs.begin(), down_pairs.end(), key) ==
+           down_pairs.end();
+  };
+  if (!nodeUp(src) || !nodeUp(dst)) return {};
+  if (src == dst) return {src};
+  std::vector<int> prev(nodes_.size(), -1);
+  std::deque<int> queue{src};
+  prev[static_cast<std::size_t>(src)] = src;
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    for (int nb : adj_[static_cast<std::size_t>(cur)]) {
+      if (prev[static_cast<std::size_t>(nb)] != -1) continue;
+      if (!nodeUp(nb) || !linkUp(cur, nb)) continue;
       prev[static_cast<std::size_t>(nb)] = cur;
       if (nb == dst) {
         std::vector<int> path{dst};

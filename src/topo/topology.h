@@ -19,6 +19,51 @@ enum class NodeKind : std::uint8_t {
 
 const char* nodeKindName(NodeKind k);
 
+// Health of a node or link in the failure domain. Distinct from the
+// emulator's legacy `setFailed` flag, which models a device whose program
+// snippets are skipped while the element keeps forwarding (§6 replica
+// pickup); Down here means the element is gone: packets traversing it drop
+// with a structured reason and its occupancy claims must be released.
+enum class Health : std::uint8_t {
+  kUp = 0,    // fully operational
+  kDraining,  // still forwards and serves existing deployments, but must
+              // not receive new placements (planned maintenance)
+  kDown,      // dead: drops traffic; state and claims are lost
+};
+
+const char* healthName(Health h);
+
+// One entry of the monotonically-versioned failure log. `version` is
+// 1-based and strictly increasing; a no-op transition (same health) is not
+// logged and reports version 0.
+struct FailureEvent {
+  enum class Kind : std::uint8_t { kNode, kLink };
+  std::uint64_t version = 0;
+  Kind kind = Kind::kNode;
+  int node = -1;                 // kNode events
+  int link_a = -1, link_b = -1;  // kLink events
+  Health from = Health::kUp;
+  Health to = Health::kUp;
+};
+
+// Immutable copy of the health state, taken under the owner's lock so
+// lock-free readers (speculative compiles) see one consistent version.
+// Empty vectors mean "everything Up" (default view).
+struct HealthView {
+  std::vector<Health> node;
+  std::vector<Health> link;  // parallel to Topology::links()
+  std::uint64_t version = 0;
+
+  Health nodeAt(int id) const {
+    return node.empty() ? Health::kUp
+                        : node.at(static_cast<std::size_t>(id));
+  }
+  Health linkAt(int link_index) const {
+    return link.empty() ? Health::kUp
+                        : link.at(static_cast<std::size_t>(link_index));
+  }
+};
+
 struct Node {
   int id = -1;
   std::string name;
@@ -51,10 +96,37 @@ class Topology {
     return adj_.at(static_cast<std::size_t>(id));
   }
   const Link* linkBetween(int a, int b) const;
+  int linkIndex(int a, int b) const;  // index into links(), -1 if absent
   int findNode(const std::string& name) const;  // -1 if absent
 
-  // Shortest path by hop count (BFS); empty when unreachable.
+  // Shortest path by hop count (BFS); empty when unreachable. Ignores
+  // health (full wiring).
   std::vector<int> shortestPath(int src, int dst) const;
+
+  // --- failure domain ---
+
+  Health nodeHealth(int id) const {
+    return node_health_.at(static_cast<std::size_t>(id));
+  }
+  Health linkHealth(int a, int b) const;
+
+  // Transition an element's health; appends to the failure log and bumps
+  // the version. Returns the logged event (version 0 when a no-op).
+  // Links are binary: Draining is rejected for setLinkHealth.
+  FailureEvent setNodeHealth(int id, Health h);
+  FailureEvent setLinkHealth(int a, int b, Health h);
+
+  std::uint64_t healthVersion() const { return health_version_; }
+  const std::vector<FailureEvent>& failureLog() const { return events_; }
+  HealthView healthView() const {
+    return HealthView{node_health_, link_health_, health_version_};
+  }
+
+  // Health-aware BFS: skips Down nodes and Down links (Draining still
+  // forwards). Bit-identical to shortestPath when everything is Up.
+  // `health` overrides the live state with a snapshot (nullptr = live).
+  std::vector<int> shortestPathUp(int src, int dst,
+                                  const HealthView* health = nullptr) const;
 
   // --- builders ---
 
@@ -82,6 +154,12 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<int>> adj_;
+  std::vector<Health> node_health_;  // parallel to nodes_
+  std::vector<Health> link_health_;  // parallel to links_
+  std::vector<FailureEvent> events_;
+  std::uint64_t health_version_ = 0;
+  int down_nodes_ = 0;  // counts of kDown entries, kept so the fully-
+  int down_links_ = 0;  // healthy fast path can delegate to shortestPath
 };
 
 }  // namespace clickinc::topo

@@ -53,6 +53,15 @@ class PlacementError : public Error {
   using Error::Error;
 };
 
+// Transient unavailability: the request is structurally valid but a needed
+// element is Down or Draining right now (a path exists in the wiring yet no
+// healthy path does, or a deploy target died). Retrying after the element
+// heals may succeed, so the service marks the mapped error retryable.
+class UnavailableError : public Error {
+ public:
+  using Error::Error;
+};
+
 // Synthesis / deployment failure (conflicting user programs, unknown user).
 class SynthesisError : public Error {
  public:
