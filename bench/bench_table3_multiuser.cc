@@ -106,9 +106,14 @@ void recordInstance(const core::ClickIncService& svc, const char* label,
 
 // One full six-submission scenario against a fresh service, one
 // synchronous submit at a time (the placement itself may use the pool).
-ScenarioResult runScenario(int concurrency) {
+// verify_at_commit toggles the commit-stage plan verifier (on by
+// default in the service) so its cost can be isolated.
+ScenarioResult runScenario(int concurrency, bool verify_at_commit = true) {
   core::ClickIncService svc(topo::Topology::paperEmulation());
   svc.setConcurrency(concurrency);
+  if (!verify_at_commit) {
+    svc.setVerifyPolicy({.at_commit = false, .at_failover = false});
+  }
   ScenarioResult out;
   auto reqs = requestSet(svc);
   const auto& insts = instanceSet();
@@ -250,6 +255,30 @@ int main() {
        pipe_identical ? "yes" : "NO"});
   bench::printTable(pipe);
 
+  // Commit-stage verification overhead: the same six-submission scenario
+  // with the plan verifier on (service default) versus off. The verifier
+  // audits each new tenant's scoped invariants inside the commit section,
+  // so its cost lands directly on commit latency.
+  std::vector<double> verify_on_ms, verify_off_ms;
+  for (int rep = 0; rep < reps; ++rep) {
+    verify_on_ms.push_back(runScenario(1).total_ms);
+    verify_off_ms.push_back(runScenario(1, /*verify_at_commit=*/false)
+                                .total_ms);
+  }
+  const double verify_on = bench::medianOf(verify_on_ms);
+  const double verify_off = bench::medianOf(verify_off_ms);
+  const double overhead_pct =
+      verify_off > 0 ? (verify_on - verify_off) / verify_off * 100.0 : 0.0;
+  bench::printHeader(
+      "Commit-stage verification overhead",
+      cat("Median of ", reps, " runs of the six-submission scenario with "
+          "the plan verifier on (default) vs off."));
+  TextTable ver({"verifier", "total (ms)", "overhead"});
+  ver.addRow({"off", fmtDouble(verify_off, 2), "-"});
+  ver.addRow({"on (default)", fmtDouble(verify_on, 2),
+              cat(fmtDouble(overhead_pct, 1), "%")});
+  bench::printTable(ver);
+
   // Machine-readable trajectory record (schema: docs/benchmarks.md).
   bench::JsonWriter json;
   json.beginObject();
@@ -294,6 +323,11 @@ int main() {
   json.kv("speedup_concurrency4",
           pipe_median_4t > 0 ? pipe_median_1t / pipe_median_4t : 0.0);
   json.kv("results_identical_to_sequential", pipe_identical);
+  json.endObject();
+  json.key("verify_overhead").beginObject();
+  json.kv("median_total_ms_verify_on", verify_on);
+  json.kv("median_total_ms_verify_off", verify_off);
+  json.kv("overhead_pct", overhead_pct);
   json.endObject();
   json.endObject();
   if (json.writeFile("BENCH_table3.json")) {

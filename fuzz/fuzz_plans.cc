@@ -1,0 +1,83 @@
+// Standalone driver for the plan-verifier fuzz harness (verify/fuzz.h).
+//
+//   fuzz_plans [--seeds N] [--start S] [--out FILE] [--no-mutations]
+//              [--fault-steps K]
+//
+// Runs seeds [S, S+N) through fuzzOnce. On the first failing seed, prints
+// the failure, writes the seed (and failure text) to FILE so CI can
+// upload it as an artifact, and exits non-zero. Reproduce a failure with
+//   fuzz_plans --start <seed> --seeds 1
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "verify/fuzz.h"
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 50;
+  std::uint64_t start = 1;
+  std::string out_file;
+  clickinc::verify::FuzzOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--start") {
+      start = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_file = next();
+    } else if (arg == "--no-mutations") {
+      opts.mutations = false;
+    } else if (arg == "--fault-steps") {
+      opts.fault_steps = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  long checkpoints = 0, fired = 0, skipped = 0, checks = 0, deployed = 0;
+  long fired_by[clickinc::verify::kNumMutations] = {};
+  for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+    const auto outcome = clickinc::verify::fuzzOnce(seed, opts);
+    checkpoints += outcome.checkpoints;
+    fired += outcome.mutations_fired;
+    skipped += outcome.mutations_skipped;
+    checks += outcome.checks;
+    deployed += outcome.tenants_deployed;
+    for (int m = 0; m < clickinc::verify::kNumMutations; ++m) {
+      fired_by[m] += outcome.fired_by[m];
+    }
+    if (!outcome.ok) {
+      std::cerr << "FAIL seed " << seed << ": " << outcome.failure << "\n"
+                << "reproduce: fuzz_plans --start " << seed
+                << " --seeds 1\n";
+      if (!out_file.empty()) {
+        std::ofstream f(out_file);
+        f << "seed=" << seed << "\n" << outcome.failure << "\n";
+      }
+      return 1;
+    }
+  }
+  std::cout << seeds << " seeds clean: " << checkpoints
+            << " clean audits, " << deployed << " tenants deployed, "
+            << fired << " mutations detected (" << skipped
+            << " skipped for lack of an eligible site), " << checks
+            << " verifier checks total\n";
+  for (int m = 0; m < clickinc::verify::kNumMutations; ++m) {
+    std::cout << "  " << clickinc::verify::toString(
+                             static_cast<clickinc::verify::Mutation>(m))
+              << ": " << fired_by[m] << " detected\n";
+  }
+  return 0;
+}

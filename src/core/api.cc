@@ -18,6 +18,7 @@ const char* toString(ErrorCode code) {
     case ErrorCode::kUnknownUser: return "UnknownUser";
     case ErrorCode::kDeployFailed: return "DeployFailed";
     case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kVerification: return "Verification";
     case ErrorCode::kInternal: return "Internal";
   }
   return "?";

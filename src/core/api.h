@@ -28,6 +28,7 @@
 #include "lang/lower.h"
 #include "place/treedp.h"
 #include "topo/ec.h"
+#include "verify/verifier.h"
 
 namespace clickinc::core {
 
@@ -46,6 +47,7 @@ enum class ErrorCode {
   kUnknownUser,        // remove() of an id with no active deployment
   kDeployFailed,       // synthesis / emulator deployment failure
   kUnavailable,        // transient: required element down/draining right now
+  kVerification,       // committed plan failed the static plan verifier
   kInternal,           // invariant violation inside ClickINC
 };
 
@@ -152,6 +154,11 @@ struct SubmitResult {
   // backoff the policy charged between them (simulated — no wall clock).
   int attempts = 1;
   double backoff_ms = 0;
+  // Commit-stage verifier output for this submission (scoped to the new
+  // tenant and the devices its plan touches). Populated when the service's
+  // VerifyPolicy::at_commit is on; a non-clean report fails the submission
+  // with ErrorCode::kVerification and rolls the deployment back.
+  verify::VerifyReport verify;
 };
 
 struct RemoveResult {
@@ -197,6 +204,10 @@ struct FailoverReport {
   std::uint64_t health_version = 0;  // topology version this report covers
   int blast_radius_devices = 0;      // devices losing claims to the event
   std::vector<TenantRecovery> tenants;  // affected tenants, ascending id
+  // Full-audit verifier output over the post-failover state (every tenant,
+  // every device). Populated when VerifyPolicy::at_failover is on and the
+  // report covered at least one processed event.
+  verify::VerifyReport verify;
 
   int replacedCount() const;
   int infeasibleCount() const;

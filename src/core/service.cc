@@ -306,6 +306,15 @@ RemoveResult ClickIncService::remove(int user_id, bool lazy) {
   RemoveResult out;
   auto it = deployed_.find(user_id);
   if (it == deployed_.end()) {
+    // The id may belong to a staged submission still in its compile
+    // stage (user ids are assigned at commit, in order). Record the
+    // removal as a cancellation: the submission observes it at commit
+    // and fails with kUnknownUser instead of deploying a removed tenant.
+    if (user_id >= next_user_ && inflight_staged_ > 0) {
+      cancelled_users_.insert(user_id);
+      out.ok = true;
+      return out;
+    }
     out.error = {ErrorCode::kUnknownUser, Stage::kRemove,
                  cat("user ", user_id, " has no active deployment")};
     return out;
@@ -487,6 +496,7 @@ SubmitResult ClickIncService::submitStagedOnce(SubmitRequest& req) {
   std::uint64_t version = 0;
   int guessed = 1;
   std::shared_ptr<util::ThreadPool> pool;
+  std::function<void()> gate;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pool = pool_;
@@ -494,11 +504,19 @@ SubmitResult ClickIncService::submitStagedOnce(SubmitRequest& req) {
     health = topo_.healthView();
     version = occ_version_;
     guessed = next_user_;
+    ++inflight_staged_;
+    gate = compile_gate_;
   }
+  if (gate) gate();  // test hook: deterministic remove()-race window
   Speculative spec =
       compileSpeculative(req, guessed, snapshot, version, health, pool.get());
   std::lock_guard<std::mutex> lock(mu_);
-  return commitSpeculative(std::move(spec), req);
+  --inflight_staged_;
+  SubmitResult result = commitSpeculative(std::move(spec), req);
+  // Cancellations can only target in-flight submissions; once none are
+  // left, pending entries are stale (their ids will be re-assigned).
+  if (inflight_staged_ == 0) cancelled_users_.clear();
+  return result;
 }
 
 SubmitResult ClickIncService::commitSpeculative(Speculative&& spec,
@@ -507,6 +525,15 @@ SubmitResult ClickIncService::commitSpeculative(Speculative&& spec,
   SubmitResult result;
   result.user_id = next_user_;
   result.compile_ms = spec.compile_ms;
+  // A remove() issued while this submission compiled wins the race: the
+  // tenant is gone before its commit, so nothing deploys and occupancy is
+  // untouched.
+  if (cancelled_users_.erase(next_user_) > 0) {
+    result.error = {ErrorCode::kUnknownUser, Stage::kCommit,
+                    cat("user ", next_user_,
+                        " was removed before its submission committed")};
+    return result;
+  }
   if (!spec.error.ok()) {
     // Frontend failures are deterministic regardless of user id or
     // occupancy; report them as-is.
@@ -590,6 +617,27 @@ void ClickIncService::commitAndDeployLocked(
   place::PlacementOptions stored = options;
   stored.pool = nullptr;  // pools are borrowed; re-resolved at failover
   deployed_[user] = {prog, result->plan, traffic, stored};
+
+  // Verification gate: audit the committed state scoped to this tenant
+  // and the devices its plan touches (cross-tenant occupancy/isolation on
+  // those devices covers every co-resident). A violation means the
+  // pipeline produced an inconsistent deployment — fail the submission
+  // and unwind it rather than publish a corrupt plan.
+  if (verify_policy_.at_commit) {
+    verify::VerifyOptions vopts;
+    vopts.scope_users = {user};
+    vopts.scope_devices = planDevices(result->plan);
+    result->verify = auditLocked(vopts);
+    if (!result->verify.ok()) {
+      deployed_.erase(user);
+      rollbackDeployLocked(user, prog, result->plan);
+      result->error = {ErrorCode::kVerification, Stage::kCommit,
+                       result->verify.summary()};
+      result->impact = Impact{};
+      return;
+    }
+  }
+
   result->impact.affected_pods = podsCrossing(result->impact.affected_devices);
   result->ok = true;
   ++next_user_;
@@ -809,6 +857,56 @@ void ClickIncService::injectDeployFailureAfter(int n) {
   inject_deploy_fail_ = n;
 }
 
+void ClickIncService::setCompileGate(std::function<void()> gate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  compile_gate_ = std::move(gate);
+}
+
+// --- plan verification --------------------------------------------------
+
+void ClickIncService::setVerifyPolicy(VerifyPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  verify_policy_ = policy;
+}
+
+ClickIncService::VerifyPolicy ClickIncService::verifyPolicy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return verify_policy_;
+}
+
+verify::VerifyReport ClickIncService::verifyDeployments() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auditLocked({});
+}
+
+verify::Snapshot ClickIncService::verifySnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  verify::Snapshot snap(&topo_);
+  snap.occ = occ_;
+  snap.plan_options.fuse = emu_.options().fuse_plans;
+  for (const auto& [user, dep] : deployed_) {
+    snap.tenants.push_back({user, *dep.prog, dep.plan});
+  }
+  return snap;
+}
+
+verify::VerifyReport ClickIncService::auditLocked(
+    const verify::VerifyOptions& opts) {
+  std::vector<verify::TenantView> views;
+  views.reserve(deployed_.size());
+  for (const auto& [user, dep] : deployed_) {
+    views.push_back({user, dep.prog.get(), &dep.plan});
+  }
+  verify::VerifyOptions run = opts;
+  // Match the emulator's plan compilation exactly and reuse its cache, so
+  // the fused-plan scan inspects the very records the data plane runs
+  // (and commit-stage checks are cache hits, not recompiles).
+  run.plan_options = {};
+  run.plan_options.fuse = emu_.options().fuse_plans;
+  run.plan_cache = &plan_cache_;
+  return verify::verifyDeployments(views, topo_, occ_, run);
+}
+
 void ClickIncService::wipeDeviceLocked(int node) {
   const auto& n = topo_.node(node);
   if (n.programmable) {
@@ -907,6 +1005,14 @@ FailoverReport ClickIncService::handleEventsLocked() {
   for (int user : affected) {
     report.tenants.push_back(recoverTenantLocked(user));
   }
+
+  // Post-failover audit: re-placement, rollback, and device wipes all
+  // mutated plans and the ledger; verify every surviving deployment
+  // against the degraded topology before reporting success.
+  if (verify_policy_.at_failover) {
+    report.verify = auditLocked({});
+  }
+
   report.health_version = topo_.healthVersion();
   return report;
 }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -170,6 +171,36 @@ class ClickIncService {
   // SynthesisError, exercising the rollback/restore paths. Single-shot.
   void injectDeployFailureAfter(int n);
 
+  // Test hook: invoked by every staged (submitAsync/submitAll) attempt
+  // between taking its occupancy snapshot and compiling — a deterministic
+  // window for racing remove() against an in-flight submission. Called
+  // without the service lock held. Pass nullptr to clear.
+  void setCompileGate(std::function<void()> gate);
+
+  // --- plan verification (docs/verification.md) ---
+
+  // When each stage runs the static plan verifier (verify/verifier.h).
+  // at_commit: every successful deploy is verified (scoped to the new
+  // tenant + its devices) before registration; a violation fails the
+  // submission with ErrorCode::kVerification and rolls it back.
+  // at_failover: every failover report covering processed events carries a
+  // full audit in FailoverReport::verify.
+  struct VerifyPolicy {
+    bool at_commit = true;
+    bool at_failover = true;
+  };
+  void setVerifyPolicy(VerifyPolicy policy);
+  VerifyPolicy verifyPolicy();
+
+  // On-demand full audit of every live deployment against the live
+  // occupancy ledger (all four invariants, no scoping).
+  verify::VerifyReport verifyDeployments();
+
+  // Owning copy of the verifier's inputs (programs, plans, ledger, plan
+  // options) for offline inspection / mutation fuzzing. The topology
+  // pointer borrows from this service.
+  verify::Snapshot verifySnapshot();
+
   // Concurrency knob for the whole pipeline: submitAll()/submitAsync()
   // compile tenants concurrently, placements run the worker-pool tree DP,
   // and the emulator parallelizes device-disjoint bursts in sendBursts().
@@ -283,6 +314,10 @@ class ClickIncService {
   // Re-places one affected tenant against the degraded topology.
   TenantRecovery recoverTenantLocked(int user);
 
+  // Runs the plan verifier over the given deployments view (lock held —
+  // the verifier borrows live programs/plans/ledger).
+  verify::VerifyReport auditLocked(const verify::VerifyOptions& opts);
+
   topo::Topology topo_;
   modules::ModuleLibrary lib_;
   synth::BaseProgram base_;
@@ -316,6 +351,15 @@ class ClickIncService {
   std::uint64_t processed_health_version_ = 0;  // failure-log watermark
   std::unique_ptr<emu::FaultInjector> injector_;
   int inject_deploy_fail_ = -1;     // test hook countdown, -1 = off
+  VerifyPolicy verify_policy_;
+
+  // remove()-vs-in-flight-submission bookkeeping (guarded by mu_).
+  // Staged submissions in their compile stage; while any are in flight, a
+  // remove() of a not-yet-assigned user id is recorded as a cancellation
+  // instead of kUnknownUser, and the submission observes it at commit.
+  int inflight_staged_ = 0;
+  std::set<int> cancelled_users_;
+  std::function<void()> compile_gate_;  // test hook (see setCompileGate)
 
   // submitAsync worker bookkeeping: each worker flags `done` when its
   // task finishes, and the next submitAsync() reaps (joins) finished

@@ -30,6 +30,9 @@ struct ResourceDemand {
   void add(const ResourceDemand& other);
   bool fitsWithin(const ResourceDemand& budget) const;
   std::uint64_t memoryBits() const { return sram_bits + tcam_bits; }
+
+  friend bool operator==(const ResourceDemand&,
+                         const ResourceDemand&) = default;
 };
 
 // Demand of one instruction, excluding its state object's storage.

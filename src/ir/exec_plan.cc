@@ -749,11 +749,11 @@ void ExecPlan::fusePeephole() {
     const DecodedInstr& a = code_[i];
     if (i + 1 < code_.size()) {
       const DecodedInstr& b = code_[i + 1];
-      const std::uint16_t super =
-          samePred(a, b) && !clobbersPred(a) && a.nsrc <= 0xFF &&
-                  b.nsrc <= 0xFF
-              ? superFor(a, b)
-              : 0;
+      const bool legal =
+          samePred(a, b) &&
+          (options_.unsafe_fuse_ignore_pred_guard || !clobbersPred(a)) &&
+          a.nsrc <= 0xFF && b.nsrc <= 0xFF;
+      const std::uint16_t super = legal ? superFor(a, b) : 0;
       if (super != 0) {
         // Source refs of adjacent records are contiguous by construction.
         CLICKINC_CHECK(b.srcs == a.srcs + a.nsrc,
@@ -969,7 +969,9 @@ std::shared_ptr<const ExecPlan> ExecPlanCache::get(
   // Option bits ride in the key: a plan compiled with fusion off can
   // never be served for a fusion-on deployment (or vice versa), no
   // matter when the knob was toggled.
-  const Key key{fp[0], fp[1], opts.fuse ? 1ULL : 0ULL};
+  const Key key{fp[0], fp[1],
+                (opts.fuse ? 1ULL : 0ULL) |
+                    (opts.unsafe_fuse_ignore_pred_guard ? 2ULL : 0ULL)};
   ++stats_.probes;
   auto it = plans_.find(key);
   if (it != plans_.end()) {

@@ -116,6 +116,13 @@ struct DecodedInstr {
 struct ExecPlanOptions {
   bool fuse = true;
 
+  // TEST-ONLY: skip fusePeephole's pred-clobber legality guard so the
+  // verifier's negative suites can manufacture corrupted plans (a fused
+  // record whose first sub-op writes the shared predicate slot). Such
+  // plans are semantically WRONG — never set this outside tests. The
+  // ExecPlanCache keys on it like any other option bit.
+  bool unsafe_fuse_ignore_pred_guard = false;
+
   friend bool operator==(const ExecPlanOptions&,
                          const ExecPlanOptions&) = default;
 };
@@ -181,6 +188,9 @@ class ExecPlan {
   std::size_t decodedCount() const { return code_.size(); }
   // Adjacent pairs the peephole fused into superinstructions.
   std::size_t fusedPairs() const { return fused_pairs_; }
+  // The decoded record stream, for static inspection (the plan verifier's
+  // pred-clobber check walks it).
+  std::span<const DecodedInstr> code() const { return code_; }
   const ExecPlanOptions& options() const { return options_; }
   std::size_t slotCount() const { return slots_.size(); }
   std::size_t stateCount() const { return states_.size(); }

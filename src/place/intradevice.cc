@@ -617,6 +617,31 @@ IntraPlacement placeExhaustive(const DeviceOccupancy& occ,
   return out;
 }
 
+DeviceOccupancy placementClaims(const ir::IrProgram& prog,
+                                const IntraPlacement& placement,
+                                const device::DeviceModel& model) {
+  DeviceOccupancy claims;
+  claims.model = &model;
+  if (model.arch != device::Arch::kPipeline) {
+    // commitPlacement subtracts placement.total; placeWholeDevice sets it
+    // to demandOfInstrs, so recomputing from the instructions yields the
+    // same vector for any honestly produced placement (and exposes plans
+    // whose cached total drifted from their instruction list).
+    claims.free_whole = device::demandOfInstrs(prog, placement.instr_idxs);
+    return claims;
+  }
+  claims.free_stage.assign(static_cast<std::size_t>(model.num_stages), {});
+  std::set<std::pair<int, int>> sites;
+  for (std::size_t k = 0; k < placement.instr_idxs.size(); ++k) {
+    const auto& ins = prog.instrs[static_cast<std::size_t>(
+        placement.instr_idxs[k])];
+    const int s = placement.stage_of[k];
+    claims.free_stage[static_cast<std::size_t>(s)].add(
+        siteDemand(prog, ins, model, &sites, s));
+  }
+  return claims;
+}
+
 void commitPlacement(DeviceOccupancy& occ, const ir::IrProgram& prog,
                      const IntraPlacement& placement) {
   CLICKINC_CHECK(placement.feasible, "committing infeasible placement");

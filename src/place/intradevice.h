@@ -178,6 +178,16 @@ class IntraMemo {
   mutable std::array<Shard, kShards> shards_;
 };
 
+// Exact resources commitPlacement() subtracts for `placement`, re-derived
+// from the program: per-stage vectors for pipeline devices (sized
+// model.num_stages), the single whole-device vector otherwise. Pure — the
+// verifier uses it to rebuild a device's claims independently of the live
+// ledger. Requires a structurally valid placement (instruction indices in
+// range; stage_of parallel to instr_idxs on pipeline devices).
+DeviceOccupancy placementClaims(const ir::IrProgram& prog,
+                                const IntraPlacement& placement,
+                                const device::DeviceModel& model);
+
 // Subtracts a feasible placement from the device's free resources.
 void commitPlacement(DeviceOccupancy& occ, const ir::IrProgram& prog,
                      const IntraPlacement& placement);

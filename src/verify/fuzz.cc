@@ -1,0 +1,189 @@
+#include "verify/fuzz.h"
+
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "core/service.h"
+#include "device/model.h"
+#include "topo/topology.h"
+#include "util/crc.h"
+#include "util/strings.h"
+
+namespace clickinc::verify {
+
+namespace {
+
+topo::Topology pickTopology(Rng* rng) {
+  switch (rng->nextBelow(3)) {
+    case 0:
+      return topo::Topology::paperEmulation();
+    case 1:
+      return topo::Topology::fatTree(
+          4, 1 + static_cast<int>(rng->nextBelow(2)), device::makeTofino(),
+          device::makeTrident4(), device::makeTofino2());
+    default:
+      return topo::Topology::spineLeaf(
+          2 + static_cast<int>(rng->nextBelow(2)),
+          3 + static_cast<int>(rng->nextBelow(2)), 2, device::makeTofino(),
+          device::makeTofino2());
+  }
+}
+
+core::SubmitRequest pickRequest(Rng* rng, const std::vector<int>& hosts) {
+  // Distinct source(s) and destination drawn from the host set.
+  const int dst = hosts[rng->nextBelow(hosts.size())];
+  topo::TrafficSpec traffic;
+  traffic.dst_host = dst;
+  const int nsrc = 1 + static_cast<int>(rng->nextBelow(2));
+  for (int i = 0; i < nsrc && static_cast<int>(traffic.sources.size()) <
+                                  static_cast<int>(hosts.size()) - 1;
+       ++i) {
+    int src = dst;
+    while (src == dst) {
+      src = hosts[rng->nextBelow(hosts.size())];
+    }
+    traffic.sources.push_back({src, 1.0 + static_cast<double>(
+                                              rng->nextBelow(20))});
+  }
+  switch (rng->nextBelow(3)) {
+    case 0:
+      return core::SubmitRequest::fromTemplate(
+          "KVS",
+          {{"CacheSize", 64 << rng->nextBelow(3)},
+           {"ValDim", 4 << rng->nextBelow(2)},
+           {"TH", 16 + rng->nextBelow(64)}},
+          traffic);
+    case 1:
+      return core::SubmitRequest::fromTemplate(
+          "MLAgg",
+          {{"NumAgg", 128 << rng->nextBelow(3)},
+           {"Dim", 8 << rng->nextBelow(2)},
+           {"NumWorker", 2 + rng->nextBelow(3)},
+           {"IsConvert", rng->nextBelow(2)}},
+          traffic);
+    default:
+      return core::SubmitRequest::fromTemplate(
+          "DQAcc",
+          {{"CacheDepth", 64 << rng->nextBelow(3)},
+           {"CacheLen", 2 + rng->nextBelow(3)}},
+          traffic);
+  }
+}
+
+}  // namespace
+
+FuzzOutcome fuzzOnce(std::uint64_t seed, const FuzzOptions& opts) {
+  FuzzOutcome out;
+  Rng rng(mix64(seed + 0x5EEDF00DULL));
+
+  core::ClickIncService svc(pickTopology(&rng), seed);
+  if (rng.nextBelow(2) == 1) svc.setConcurrency(2);
+
+  std::vector<int> hosts;
+  const auto& nodes = svc.topology().nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind == topo::NodeKind::kHost) {
+      hosts.push_back(static_cast<int>(i));
+    }
+  }
+  if (hosts.size() < 2) {
+    out.ok = false;
+    out.failure = "topology has fewer than two hosts";
+    return out;
+  }
+
+  auto audit = [&](const VerifyReport& rep, std::string when) {
+    out.checks += rep.checks;
+    if (!rep.ok()) {
+      if (out.ok) {
+        out.ok = false;
+        out.failure = cat("false positive at ", when, ": ", rep.summary());
+      }
+      return false;
+    }
+    ++out.checkpoints;
+    return true;
+  };
+
+  // --- positive phase: real pipeline states must verify clean ----------
+  const int tenants =
+      opts.tenants_min +
+      static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(
+          opts.tenants_max - opts.tenants_min + 1)));
+  std::vector<core::SubmitRequest> reqs;
+  for (int i = 0; i < tenants; ++i) reqs.push_back(pickRequest(&rng, hosts));
+
+  std::vector<core::SubmitResult> results;
+  if (rng.nextBelow(2) == 0) {
+    results = svc.submitAll(std::move(reqs));
+  } else {
+    for (auto& r : reqs) results.push_back(svc.submit(std::move(r)));
+  }
+  for (const auto& r : results) {
+    // Placement failures (exhaustion on small fabrics) are legitimate;
+    // a kVerification failure on pipeline output is a false positive.
+    if (!r.ok && r.error.code == core::ErrorCode::kVerification) {
+      out.ok = false;
+      out.failure = cat("false positive at commit: ", r.error.detail);
+      return out;
+    }
+    if (r.ok) ++out.tenants_deployed;
+  }
+  audit(svc.verifyDeployments(), "post-submit audit");
+
+  // Snapshot at peak deployment for the mutation phase below — the
+  // richest tenant/device state of the run, before churn thins it. The
+  // verifier never consults element health, so the pre-churn copy stays
+  // verifiable after the injector degrades the live topology.
+  const Snapshot snap = svc.verifySnapshot();
+
+  // --- fault churn: every failover re-placement must verify clean ------
+  svc.armFaultInjector(mix64(seed ^ 0xFA17'1234ULL));
+  for (int step = 0; step < opts.fault_steps; ++step) {
+    const auto report = svc.stepFault();
+    audit(report.verify, cat("fault step ", step));
+  }
+
+  // --- removal keeps the ledger reconciled -----------------------------
+  if (!svc.deployments().empty()) {
+    auto it = svc.deployments().begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         rng.nextBelow(svc.deployments().size())));
+    svc.remove(it->first);
+    audit(svc.verifyDeployments(), "post-remove audit");
+  }
+
+  if (!out.ok) return out;
+
+  // --- negative phase: injected corruption must be detected ------------
+  if (opts.mutations) {
+    if (!audit(snap.verify(), "unmutated snapshot")) return out;
+    for (int mi = 0; mi < kNumMutations; ++mi) {
+      const auto m = static_cast<Mutation>(mi);
+      Snapshot mutated = snap;
+      const auto desc = injectMutation(&mutated, m, seed);
+      if (!desc.has_value()) {
+        ++out.mutations_skipped;
+        ++out.skipped_by[mi];
+        continue;
+      }
+      const VerifyReport rep = mutated.verify();
+      out.checks += rep.checks;
+      if (!rep.has(targetInvariant(m))) {
+        out.ok = false;
+        out.failure =
+            cat("false negative: mutation ", toString(m), " (", *desc,
+                ") did not trip ", toString(targetInvariant(m)),
+                rep.ok() ? " (report clean)"
+                         : cat(" (got: ", rep.summary(), ")"));
+        return out;
+      }
+      ++out.mutations_fired;
+      ++out.fired_by[mi];
+    }
+  }
+  return out;
+}
+
+}  // namespace clickinc::verify

@@ -6,6 +6,7 @@
 #include "ir/program.h"
 #include "util/error.h"
 #include "util/strings.h"
+#include "verify/verifier.h"
 
 namespace clickinc::ir {
 namespace {
@@ -1142,6 +1143,136 @@ TEST(ExecPlanFusion, CacheKeysIncludeFusionOption) {
   EXPECT_EQ(cache.get(p, all, {.fuse = true}).get(), fused.get());
   EXPECT_EQ(cache.get(p, all, {.fuse = false}).get(), plain.get());
   EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().compiles, 2u);
+}
+
+// --- fusion legality guard (pred-clobber) regressions --------------------
+//
+// Each case is an adjacent fusable pair where A writes the shared 1-bit
+// predicate slot. With the guard on (default), the pair must stay
+// unfused and the plan must scan clean. Only the TEST-ONLY escape hatch
+// (unsafe_fuse_ignore_pred_guard) lets the illegal pair through — and the
+// verifier's checkFusedPlan must then flag exactly that record.
+
+namespace {
+
+struct ClobberCase {
+  std::string name;
+  IrProgram prog;
+};
+
+std::vector<ClobberCase> predClobberCases() {
+  std::vector<ClobberCase> cases;
+  {  // assign/assign: A clears the predicate both run under
+    ClobberCase c{"assign_assign", {}};
+    c.prog.instrs.push_back(mk(Opcode::kAssign, Operand::var("p", 1),
+                               {Operand::constant(1, 1)}));
+    Instruction a = mk(Opcode::kAssign, Operand::var("p", 1),
+                       {Operand::constant(0, 1)});
+    a.pred = Operand::var("p", 1);
+    Instruction b = mk(Opcode::kAssign, Operand::var("x", 32),
+                       {Operand::constant(9, 32)});
+    b.pred = Operand::var("p", 1);
+    c.prog.instrs.push_back(std::move(a));
+    c.prog.instrs.push_back(std::move(b));
+    cases.push_back(std::move(c));
+  }
+  {  // add/add: A recomputes the predicate it is guarded by
+    ClobberCase c{"add_add", {}};
+    c.prog.instrs.push_back(mk(Opcode::kAssign, Operand::var("p", 1),
+                               {Operand::constant(1, 1)}));
+    Instruction a = mk(Opcode::kAdd, Operand::var("p", 1),
+                       {Operand::var("p", 1), Operand::constant(1, 1)});
+    a.pred = Operand::var("p", 1);
+    Instruction b = mk(Opcode::kAdd, Operand::var("y", 32),
+                       {Operand::constant(3, 32), Operand::constant(4, 32)});
+    b.pred = Operand::var("p", 1);
+    c.prog.instrs.push_back(std::move(a));
+    c.prog.instrs.push_back(std::move(b));
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace
+
+TEST(ExecPlanFusion, GuardKeepsClobberingPairsUnfusedAndPlansScanClean) {
+  for (auto& c : predClobberCases()) {
+    SCOPED_TRACE(c.name);
+    const ExecPlan plan = ExecPlan::compile(c.prog, {.fuse = true});
+    EXPECT_EQ(plan.fusedPairs(), 0u);
+    verify::VerifyReport rep;
+    verify::checkFusedPlan(plan, /*user=*/0, /*device=*/0, /*segment=*/0,
+                           &rep);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+  }
+}
+
+TEST(ExecPlanFusion, UnsafeEscapeHatchFusesAndVerifierFlagsTheRecord) {
+  for (auto& c : predClobberCases()) {
+    SCOPED_TRACE(c.name);
+    const ExecPlan plan = ExecPlan::compile(
+        c.prog, {.fuse = true, .unsafe_fuse_ignore_pred_guard = true});
+    ASSERT_EQ(plan.fusedPairs(), 1u);
+    verify::VerifyReport rep;
+    verify::checkFusedPlan(plan, /*user=*/3, /*device=*/7, /*segment=*/1,
+                           &rep);
+    ASSERT_EQ(rep.violations.size(), 1u) << rep.summary();
+    const auto& v = rep.violations.front();
+    EXPECT_EQ(v.invariant, verify::Invariant::kIrWellFormed);
+    EXPECT_EQ(v.check, "pred-clobber");
+    EXPECT_EQ(v.user, 3);
+    EXPECT_EQ(v.device, 7);
+    EXPECT_EQ(v.segment, 1);
+  }
+}
+
+// A legal predicated pair (A does not touch the slot) fuses under the
+// default guard and still scans clean — the guard is precise, not a
+// blanket ban on predicated fusion.
+TEST(ExecPlanFusion, GuardLeavesNonClobberingPredicatedPairsAlone) {
+  IrProgram p;
+  p.addField("hdr.a", 32);
+  p.addField("hdr.b", 32);
+  p.instrs.push_back(mk(Opcode::kAssign, Operand::var("p", 1),
+                        {Operand::constant(1, 1)}));
+  Instruction a = mk(Opcode::kAssign, Operand::field("hdr.a", 32),
+                     {Operand::constant(11, 32)});
+  a.pred = Operand::var("p", 1);
+  Instruction b = mk(Opcode::kAssign, Operand::field("hdr.b", 32),
+                     {Operand::constant(22, 32)});
+  b.pred = Operand::var("p", 1);
+  p.instrs.push_back(std::move(a));
+  p.instrs.push_back(std::move(b));
+
+  const ExecPlan plan = ExecPlan::compile(p, {.fuse = true});
+  EXPECT_GE(plan.fusedPairs(), 1u);
+  verify::VerifyReport rep;
+  verify::checkFusedPlan(plan, 0, 0, 0, &rep);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+// The cache key must carry the unsafe bit too: probing the same program
+// with and without the escape hatch yields distinct plans.
+TEST(ExecPlanFusion, CacheKeysIncludeUnsafeGuardBit) {
+  std::vector<ClobberCase> cases = predClobberCases();
+  ASSERT_FALSE(cases.empty());
+  const IrProgram& p = cases.front().prog;
+  std::vector<int> all{0, 1, 2};
+
+  ExecPlanCache cache;
+  const auto guarded = cache.get(p, all, {.fuse = true});
+  const auto unsafe = cache.get(
+      p, all, {.fuse = true, .unsafe_fuse_ignore_pred_guard = true});
+  EXPECT_NE(guarded.get(), unsafe.get());
+  EXPECT_EQ(guarded->fusedPairs(), 0u);
+  EXPECT_EQ(unsafe->fusedPairs(), 1u);
+  EXPECT_EQ(cache.stats().compiles, 2u);
+  EXPECT_EQ(cache.get(p, all, {.fuse = true}).get(), guarded.get());
+  EXPECT_EQ(cache.get(p, all,
+                      {.fuse = true, .unsafe_fuse_ignore_pred_guard = true})
+                .get(),
+            unsafe.get());
   EXPECT_EQ(cache.stats().compiles, 2u);
 }
 

@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "core/service.h"
 #include "device/validate.h"
 #include "ir/interp.h"
 #include "modules/templates.h"
@@ -312,6 +313,85 @@ TEST_P(IsolationSweep, TwinInstancesBehaveIdenticallyButSeparately) {
 
 INSTANTIATE_TEST_SUITE_P(Templates, IsolationSweep,
                          ::testing::Values("KVS", "MLAgg", "DQAcc"));
+
+// --- Property 6: every committed plan passes the static verifier --------
+//
+// The plan verifier (verify/verifier.h) re-derives occupancy claims,
+// replica lists, state-slot ownership, and fused execution plans
+// independently of the pipeline that produced them. Whatever the
+// concurrency of the pipeline and whatever the failure schedule, real
+// output must verify clean — a violation here is a pipeline bug, not a
+// tenant error.
+
+class VerifierProperties : public ::testing::TestWithParam<int> {
+ protected:
+  static std::vector<core::SubmitRequest> mixedBatch(
+      const core::ClickIncService& svc) {
+    auto traffic = [&](const std::vector<std::string>& srcs,
+                       const std::string& dst) {
+      topo::TrafficSpec spec;
+      for (const auto& s : srcs) {
+        spec.sources.push_back({svc.topology().findNode(s), 10.0});
+      }
+      spec.dst_host = svc.topology().findNode(dst);
+      return spec;
+    };
+    std::vector<core::SubmitRequest> reqs;
+    reqs.push_back(core::SubmitRequest::fromTemplate(
+        "KVS", {{"CacheSize", 256}, {"ValDim", 4}, {"TH", 32}},
+        traffic({"pod0a", "pod0b"}, "pod2b")));
+    reqs.push_back(core::SubmitRequest::fromTemplate(
+        "MLAgg",
+        {{"NumAgg", 256}, {"Dim", 8}, {"NumWorker", 2}, {"IsConvert", 0}},
+        traffic({"pod0a", "pod1a"}, "pod2b")));
+    reqs.push_back(core::SubmitRequest::fromTemplate(
+        "DQAcc", {{"CacheDepth", 128}, {"CacheLen", 2}},
+        traffic({"pod1b"}, "pod2a")));
+    reqs.push_back(core::SubmitRequest::fromTemplate(
+        "KVS", {{"CacheSize", 128}, {"ValDim", 4}, {"TH", 16}},
+        traffic({"pod1a"}, "pod0b")));
+    return reqs;
+  }
+};
+
+TEST_P(VerifierProperties, SubmitAllPlansVerifyCleanAtEveryConcurrency) {
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+  svc.setConcurrency(GetParam());
+  const auto results = svc.submitAll(mixedBatch(svc));
+  int deployed = 0;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.error.message();
+    EXPECT_TRUE(r.verify.ok()) << r.verify.summary();
+    EXPECT_GT(r.verify.checks, 0);
+    ++deployed;
+  }
+  ASSERT_EQ(deployed, 4);
+  const auto audit = svc.verifyDeployments();
+  EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST_P(VerifierProperties, FailoverReplacementsVerifyCleanUnderChurn) {
+  core::ClickIncService svc(topo::Topology::paperEmulation());
+  svc.setConcurrency(GetParam());
+  for (auto& req : VerifierProperties::mixedBatch(svc)) {
+    ASSERT_TRUE(svc.submit(std::move(req)).ok);
+  }
+  svc.armFaultInjector(/*seed=*/GetParam() * 1000 + 7);
+  int replaced = 0;
+  for (int step = 0; step < 8; ++step) {
+    const auto report = svc.stepFault();
+    EXPECT_TRUE(report.verify.ok())
+        << "step " << step << ": " << report.verify.summary();
+    replaced += report.replacedCount();
+  }
+  // The schedule must actually have exercised re-placement.
+  EXPECT_GT(replaced, 0);
+  const auto audit = svc.verifyDeployments();
+  EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, VerifierProperties,
+                         ::testing::Values(1, 2, 8));
 
 }  // namespace
 }  // namespace clickinc

@@ -3,6 +3,8 @@
 // the deprecated shims' equivalence with the SubmitRequest path.
 #include <gtest/gtest.h>
 
+#include <future>
+
 #include "core/service.h"
 #include "modules/templates.h"
 #include "place/intradevice.h"
@@ -205,6 +207,46 @@ TEST(ServiceLifecycle, ConcurrentAsyncTenantsAllCommit) {
   }
   EXPECT_EQ(users.size(), 4u);  // distinct ids, every tenant deployed
   EXPECT_EQ(svc.deployments().size(), 4u);
+}
+
+TEST(ServiceLifecycle, RemoveDuringInFlightCompileCancelsAtCommit) {
+  ClickIncService svc(topo::Topology::paperEmulation());
+
+  // Block the async submission between its occupancy snapshot and the
+  // compile, so the remove() below races a genuinely in-flight tenant.
+  std::promise<void> reached, release;
+  auto reached_f = reached.get_future();
+  auto release_f = release.get_future().share();
+  svc.setCompileGate([&reached, release_f]() mutable {
+    reached.set_value();
+    release_f.wait();
+  });
+
+  SubmissionTicket ticket = svc.submitAsync(dqaccRequest(svc));
+  reached_f.wait();
+  svc.setCompileGate(nullptr);
+
+  // The tenant has not committed yet, so its id (the next to be issued)
+  // is not in deployments — but an in-flight staged submission exists, so
+  // remove() records the cancellation instead of kUnknownUser.
+  const auto rm = svc.remove(1);
+  EXPECT_TRUE(rm.ok) << rm.error.message();
+  EXPECT_TRUE(rm.impact.affected_devices.empty());
+
+  release.set_value();
+  const auto& r = ticket.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, ErrorCode::kUnknownUser);
+  EXPECT_EQ(r.error.stage, Stage::kCommit);
+  EXPECT_FALSE(r.error.detail.empty());
+
+  // Nothing deployed, no occupancy leaked: a fresh audit is clean and a
+  // new submission gets the id the cancelled tenant never consumed.
+  EXPECT_TRUE(svc.deployments().empty());
+  EXPECT_TRUE(svc.verifyDeployments().ok());
+  const auto next = svc.submit(dqaccRequest(svc));
+  ASSERT_TRUE(next.ok) << next.error.message();
+  EXPECT_EQ(next.user_id, 1);
 }
 
 TEST(ServiceLifecycle, SubmitAllFallsBackSequentiallyWithoutPool) {
