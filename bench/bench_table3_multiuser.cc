@@ -17,6 +17,7 @@
 
 #include "bench_util.h"
 #include "core/service.h"
+#include "durable/journal.h"
 #include "util/thread_pool.h"
 
 namespace clickinc {
@@ -107,13 +108,17 @@ void recordInstance(const core::ClickIncService& svc, const char* label,
 // One full six-submission scenario against a fresh service, one
 // synchronous submit at a time (the placement itself may use the pool).
 // verify_at_commit toggles the commit-stage plan verifier (on by
-// default in the service) so its cost can be isolated.
-ScenarioResult runScenario(int concurrency, bool verify_at_commit = true) {
+// default in the service) so its cost can be isolated; with_journal
+// attaches an in-memory write-ahead journal so the per-commit
+// journaling cost can be isolated the same way.
+ScenarioResult runScenario(int concurrency, bool verify_at_commit = true,
+                           durable::JournalSink* journal = nullptr) {
   core::ClickIncService svc(topo::Topology::paperEmulation());
   svc.setConcurrency(concurrency);
   if (!verify_at_commit) {
     svc.setVerifyPolicy({.at_commit = false, .at_failover = false});
   }
+  if (journal != nullptr) svc.attachJournal(journal);
   ScenarioResult out;
   auto reqs = requestSet(svc);
   const auto& insts = instanceSet();
@@ -279,6 +284,33 @@ int main() {
               cat(fmtDouble(overhead_pct, 1), "%")});
   bench::printTable(ver);
 
+  // Write-ahead journal overhead: the same scenario with an in-memory
+  // journal sink attached versus no journal. Every commit appends one
+  // CRC-framed record inside the commit section, so the delta is the
+  // durability tax on commit latency (the in-memory sink isolates the
+  // framing/serialization cost from disk I/O).
+  std::vector<double> journal_on_ms, journal_off_ms;
+  for (int rep = 0; rep < reps; ++rep) {
+    durable::MemJournalSink sink;
+    journal_on_ms.push_back(
+        runScenario(1, /*verify_at_commit=*/true, &sink).total_ms);
+    journal_off_ms.push_back(runScenario(1).total_ms);
+  }
+  const double journal_on = bench::medianOf(journal_on_ms);
+  const double journal_off = bench::medianOf(journal_off_ms);
+  const double journal_pct =
+      journal_off > 0 ? (journal_on - journal_off) / journal_off * 100.0
+                      : 0.0;
+  bench::printHeader(
+      "Write-ahead journal overhead",
+      cat("Median of ", reps, " runs of the six-submission scenario with "
+          "an in-memory journal sink attached vs no journal."));
+  TextTable jour({"journal", "total (ms)", "overhead"});
+  jour.addRow({"off", fmtDouble(journal_off, 2), "-"});
+  jour.addRow({"on (mem sink)", fmtDouble(journal_on, 2),
+               cat(fmtDouble(journal_pct, 1), "%")});
+  bench::printTable(jour);
+
   // Machine-readable trajectory record (schema: docs/benchmarks.md).
   bench::JsonWriter json;
   json.beginObject();
@@ -328,6 +360,11 @@ int main() {
   json.kv("median_total_ms_verify_on", verify_on);
   json.kv("median_total_ms_verify_off", verify_off);
   json.kv("overhead_pct", overhead_pct);
+  json.endObject();
+  json.key("journal_overhead").beginObject();
+  json.kv("median_total_ms_journal_on", journal_on);
+  json.kv("median_total_ms_journal_off", journal_off);
+  json.kv("overhead_pct", journal_pct);
   json.endObject();
   json.endObject();
   if (json.writeFile("BENCH_table3.json")) {

@@ -1,12 +1,22 @@
-// Standalone driver for the plan-verifier fuzz harness (verify/fuzz.h).
+// Standalone driver for the fuzz harnesses (verify/fuzz.h and
+// verify/recovery_fuzz.h).
 //
 //   fuzz_plans [--seeds N] [--start S] [--out FILE] [--no-mutations]
-//              [--fault-steps K]
+//              [--fault-steps K] [--recovery]
 //
-// Runs seeds [S, S+N) through fuzzOnce. On the first failing seed, prints
-// the failure, writes the seed (and failure text) to FILE so CI can
-// upload it as an artifact, and exits non-zero. Reproduce a failure with
-//   fuzz_plans --start <seed> --seeds 1
+// Default mode runs seeds [S, S+N) through the differential plan-verifier
+// harness (fuzzOnce). --recovery runs the crash-point recovery harness
+// (fuzzRecoveryOnce) instead: every seed journals a scripted scenario,
+// then recovers from a crash at every record boundary and torn offset.
+//
+// On the first failing seed, prints the failure, writes the seed (and
+// failure text) to FILE so CI can upload it as an artifact, and exits
+// non-zero. Reproduce a failure with
+//   fuzz_plans [--recovery] --start <seed> --seeds 1
+//
+// In the default mode a sweep of >= 20 seeds also fails if any mutation
+// injector never found an eligible site across the whole sweep — a
+// wedged injector would silently stop testing its invariant.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -15,11 +25,48 @@
 #include <string>
 
 #include "verify/fuzz.h"
+#include "verify/recovery_fuzz.h"
+
+namespace {
+
+int runRecovery(std::uint64_t start, std::uint64_t seeds,
+                const std::string& out_file) {
+  long ops = 0, records = 0, cuts = 0, torn = 0, audits = 0, compared = 0;
+  for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+    const auto outcome = clickinc::verify::fuzzRecoveryOnce(seed);
+    ops += outcome.ops;
+    records += outcome.records;
+    cuts += outcome.cuts;
+    torn += outcome.torn_cuts;
+    audits += outcome.audits;
+    compared += outcome.compared;
+    if (!outcome.ok) {
+      std::cerr << "FAIL seed " << seed << ": " << outcome.failure << "\n"
+                << "reproduce: fuzz_plans --recovery --start " << seed
+                << " --seeds 1\n";
+      if (!out_file.empty()) {
+        std::ofstream f(out_file);
+        f << "mode=recovery\nseed=" << seed << "\n"
+          << outcome.failure << "\n";
+      }
+      return 1;
+    }
+  }
+  std::cout << seeds << " recovery seeds clean: " << ops << " ops, "
+            << records << " journal records, " << cuts
+            << " crash points (" << torn << " torn), " << audits
+            << " clean post-recovery audits, " << compared
+            << " bit-identical prefix matches\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seeds = 50;
   std::uint64_t start = 1;
   std::string out_file;
+  bool recovery = false;
   clickinc::verify::FuzzOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -40,14 +87,19 @@ int main(int argc, char** argv) {
       opts.mutations = false;
     } else if (arg == "--fault-steps") {
       opts.fault_steps = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--recovery") {
+      recovery = true;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
     }
   }
 
+  if (recovery) return runRecovery(start, seeds, out_file);
+
   long checkpoints = 0, fired = 0, skipped = 0, checks = 0, deployed = 0;
   long fired_by[clickinc::verify::kNumMutations] = {};
+  long skipped_by[clickinc::verify::kNumMutations] = {};
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
     const auto outcome = clickinc::verify::fuzzOnce(seed, opts);
     checkpoints += outcome.checkpoints;
@@ -57,6 +109,7 @@ int main(int argc, char** argv) {
     deployed += outcome.tenants_deployed;
     for (int m = 0; m < clickinc::verify::kNumMutations; ++m) {
       fired_by[m] += outcome.fired_by[m];
+      skipped_by[m] += outcome.skipped_by[m];
     }
     if (!outcome.ok) {
       std::cerr << "FAIL seed " << seed << ": " << outcome.failure << "\n"
@@ -74,10 +127,23 @@ int main(int argc, char** argv) {
             << fired << " mutations detected (" << skipped
             << " skipped for lack of an eligible site), " << checks
             << " verifier checks total\n";
+  bool starved = false;
   for (int m = 0; m < clickinc::verify::kNumMutations; ++m) {
     std::cout << "  " << clickinc::verify::toString(
                              static_cast<clickinc::verify::Mutation>(m))
-              << ": " << fired_by[m] << " detected\n";
+              << ": " << fired_by[m] << " detected, " << skipped_by[m]
+              << " skipped\n";
+    if (opts.mutations && seeds >= 20 && fired_by[m] == 0) starved = true;
+  }
+  if (starved) {
+    std::cerr << "FAIL: a mutation injector found zero eligible sites "
+                 "across the sweep (its invariant went untested)\n";
+    if (!out_file.empty()) {
+      std::ofstream f(out_file);
+      f << "starved mutation injector across seeds [" << start << ", "
+        << start + seeds << ")\n";
+    }
+    return 1;
   }
   return 0;
 }

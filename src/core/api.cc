@@ -19,6 +19,7 @@ const char* toString(ErrorCode code) {
     case ErrorCode::kDeployFailed: return "DeployFailed";
     case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kVerification: return "Verification";
+    case ErrorCode::kRecovery: return "Recovery";
     case ErrorCode::kInternal: return "Internal";
   }
   return "?";
@@ -32,6 +33,7 @@ const char* toString(Stage stage) {
     case Stage::kDeploy: return "deploy";
     case Stage::kRemove: return "remove";
     case Stage::kFailover: return "failover";
+    case Stage::kRecovery: return "recovery";
   }
   return "?";
 }

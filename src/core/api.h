@@ -48,6 +48,7 @@ enum class ErrorCode {
   kDeployFailed,       // synthesis / emulator deployment failure
   kUnavailable,        // transient: required element down/draining right now
   kVerification,       // committed plan failed the static plan verifier
+  kRecovery,           // journal replay / checkpoint restore failed
   kInternal,           // invariant violation inside ClickINC
 };
 
@@ -59,6 +60,7 @@ enum class Stage {
   kDeploy,   // synthesis + emulator deployment
   kRemove,   // remove() path
   kFailover, // handleFailure() re-placement path
+  kRecovery, // recover() journal replay / checkpoint restore path
 };
 
 const char* toString(ErrorCode code);
@@ -179,6 +181,13 @@ struct FailoverPolicy {
   // When the degraded topology cannot host the program on switches,
   // degrade to server-only execution instead of failing the tenant.
   bool server_fallback = true;
+  // Flap damping: a heal whose entity was disturbed within the last
+  // `flap_window` health-version ticks is deferred — the upgrade /
+  // re-placement back onto it waits until the entity stays quiet past the
+  // window (versions advance only with new events, so damping is
+  // deterministic and replayable). 0 disables damping entirely
+  // (bit-identical legacy behavior). See docs/failures.md.
+  std::uint64_t flap_window = 0;
 };
 
 // What happened to one tenant during failover.
@@ -208,9 +217,33 @@ struct FailoverReport {
   // every device). Populated when VerifyPolicy::at_failover is on and the
   // report covered at least one processed event.
   verify::VerifyReport verify;
+  // Heal reactions deferred by FailoverPolicy::flap_window in this batch.
+  int damped_events = 0;
 
   int replacedCount() const;
   int infeasibleCount() const;
+};
+
+// --- durability (docs/recovery.md) ---
+
+// Result of ClickIncService::recover(): rebuild from the journal's latest
+// checkpoint plus replay of the clean record suffix. On failure the service
+// is left empty (no tenants, no journal attached) rather than half-replayed.
+struct RecoveryReport {
+  bool ok = false;
+  ServiceError error;                 // code == kRecovery iff !ok
+  std::uint64_t journal_bytes = 0;    // raw sink size scanned
+  std::uint64_t records_total = 0;    // clean records found
+  std::uint64_t records_replayed = 0; // records applied after the checkpoint
+  bool torn_tail = false;             // trailing garbage was discarded
+  bool from_checkpoint = false;       // a kCheckpoint record anchored replay
+  int tenants_restored = 0;           // deployments live after recovery
+  // recover() found health events newer than the last completed failover
+  // batch (crash between kHealth and kFailover) and re-ran the batch.
+  bool completed_failover = false;
+  // Full post-recovery audit (every tenant, every device). A non-clean
+  // audit fails recovery; this is the report either way.
+  verify::VerifyReport verify;
 };
 
 }  // namespace clickinc::core

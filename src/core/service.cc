@@ -121,6 +121,7 @@ struct ClickIncService::Speculative {
   int guessed_user = -1;
   std::uint64_t snapshot_version = 0;
   std::uint64_t health_version = 0;  // topology health the tree was built on
+  std::uint64_t epoch = 0;           // service epoch the snapshot was taken in
   double compile_ms = 0;
 };
 
@@ -267,6 +268,7 @@ std::vector<SubmitResult> ClickIncService::submitAll(
   topo::HealthView health;
   std::uint64_t version = 0;
   int base_user = 1;
+  std::uint64_t epoch = 0;
   std::shared_ptr<util::ThreadPool> pool;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -275,6 +277,7 @@ std::vector<SubmitResult> ClickIncService::submitAll(
     health = topo_.healthView();
     version = occ_version_;
     base_user = next_user_;
+    epoch = epoch_;
   }
   if (pool == nullptr || pool->threadCount() <= 1 || requests.size() <= 1) {
     // Batch semantics: no per-request retry (results must stay
@@ -290,6 +293,7 @@ std::vector<SubmitResult> ClickIncService::submitAll(
     specs[i] = compileSpeculative(requests[i],
                                   base_user + static_cast<int>(i), snapshot,
                                   version, health, pool.get());
+    specs[i].epoch = epoch;
   });
 
   // Stage 2: serialized commits in request order — deterministic user
@@ -320,6 +324,21 @@ RemoveResult ClickIncService::remove(int user_id, bool lazy) {
     return out;
   }
 
+  if (journal_ != nullptr && !replaying_) {
+    durable::RemoveRecord rec;
+    rec.user = user_id;
+    rec.lazy = lazy;
+    journalAppendLocked(durable::RecordType::kRemove,
+                        durable::encodeRemove(rec));
+  }
+  doRemoveLocked(it, user_id, lazy, &out);
+  return out;
+}
+
+void ClickIncService::doRemoveLocked(std::map<int, Deployed>::iterator it,
+                                     int user_id, bool lazy,
+                                     RemoveResult* outp) {
+  RemoveResult& out = *outp;
   for (const auto& a : it->second.plan.assignments) {
     auto touch = [&](int device) {
       const auto stats = deviceProgram(device).removeUser(user_id, lazy);
@@ -360,7 +379,6 @@ RemoveResult ClickIncService::remove(int user_id, bool lazy) {
   ++occ_version_;
   deployed_.erase(it);
   out.ok = true;
-  return out;
 }
 
 // --- legacy shims -------------------------------------------------------
@@ -495,6 +513,7 @@ SubmitResult ClickIncService::submitStagedOnce(SubmitRequest& req) {
   topo::HealthView health;
   std::uint64_t version = 0;
   int guessed = 1;
+  std::uint64_t epoch = 0;
   std::shared_ptr<util::ThreadPool> pool;
   std::function<void()> gate;
   {
@@ -504,12 +523,14 @@ SubmitResult ClickIncService::submitStagedOnce(SubmitRequest& req) {
     health = topo_.healthView();
     version = occ_version_;
     guessed = next_user_;
+    epoch = epoch_;
     ++inflight_staged_;
     gate = compile_gate_;
   }
   if (gate) gate();  // test hook: deterministic remove()-race window
   Speculative spec =
       compileSpeculative(req, guessed, snapshot, version, health, pool.get());
+  spec.epoch = epoch;
   std::lock_guard<std::mutex> lock(mu_);
   --inflight_staged_;
   SubmitResult result = commitSpeculative(std::move(spec), req);
@@ -525,6 +546,15 @@ SubmitResult ClickIncService::commitSpeculative(Speculative&& spec,
   SubmitResult result;
   result.user_id = next_user_;
   result.compile_ms = spec.compile_ms;
+  // A recover() completed while this submission compiled: its snapshot,
+  // guessed id, and cancellation bookkeeping all describe the pre-crash
+  // world. Refuse to commit into the new epoch; the caller may resubmit.
+  if (spec.epoch != epoch_) {
+    result.error = {ErrorCode::kUnavailable, Stage::kCommit,
+                    "service recovered while the submission was in flight"};
+    result.error.retryable = true;
+    return result;
+  }
   // A remove() issued while this submission compiled wins the race: the
   // tenant is gone before its commit, so nothing deploys and occupancy is
   // untouched.
@@ -602,16 +632,38 @@ void ClickIncService::commitAndDeployLocked(
     SubmitResult* result, const std::shared_ptr<ir::IrProgram>& prog,
     const topo::TrafficSpec& traffic,
     const place::PlacementOptions& options) {
+  // Write-ahead: the commit record lands before any in-memory mutation.
+  // If the deploy or verify gate below fails, a compensating kAbort
+  // follows; replaying kCommit then kAbort reproduces the unwind.
+  if (journal_ != nullptr && !replaying_) {
+    durable::CommitRecord rec;
+    rec.user = next_user_;
+    rec.prog = *prog;
+    rec.plan = result->plan;
+    rec.traffic = traffic;
+    rec.options = options;
+    rec.options.pool = nullptr;
+    journalAppendLocked(durable::RecordType::kCommit,
+                        durable::encodeCommit(rec));
+  }
   place::commitPlan(result->plan, *prog, occ_);
   ++occ_version_;
   const int user = next_user_;
   result->user_id = user;
+  auto journalAbort = [&] {
+    if (journal_ == nullptr || replaying_) return;
+    durable::AbortRecord rec;
+    rec.user = user;
+    journalAppendLocked(durable::RecordType::kAbort,
+                        durable::encodeAbort(rec));
+  };
   try {
     deployPlan(user, prog, result->plan, &result->impact);
   } catch (...) {
     result->error = errorFromCurrentException(Stage::kDeploy);
     rollbackDeployLocked(user, prog, result->plan);
     result->impact = Impact{};
+    journalAbort();
     return;
   }
   place::PlacementOptions stored = options;
@@ -623,7 +675,7 @@ void ClickIncService::commitAndDeployLocked(
   // those devices covers every co-resident). A violation means the
   // pipeline produced an inconsistent deployment — fail the submission
   // and unwind it rather than publish a corrupt plan.
-  if (verify_policy_.at_commit) {
+  if (verify_policy_.at_commit && !replaying_) {
     verify::VerifyOptions vopts;
     vopts.scope_users = {user};
     vopts.scope_devices = planDevices(result->plan);
@@ -634,6 +686,7 @@ void ClickIncService::commitAndDeployLocked(
       result->error = {ErrorCode::kVerification, Stage::kCommit,
                        result->verify.summary()};
       result->impact = Impact{};
+      journalAbort();
       return;
     }
   }
@@ -920,26 +973,106 @@ void ClickIncService::wipeDeviceLocked(int node) {
 FailoverReport ClickIncService::handleEventsLocked() {
   FailoverReport report;
   report.health_version = topo_.healthVersion();
+  // Write-ahead: every new failure-log event becomes a kHealth record
+  // before this batch mutates occupancy or deployments. The batch outcome
+  // is summarized write-behind as one kFailover record at the end; a
+  // crash in between is healed by recover()'s completion re-run.
+  journalHealthLocked();
   std::vector<topo::FailureEvent> evs;
   for (const auto& ev : topo_.failureLog()) {
     if (ev.version > processed_health_version_) evs.push_back(ev);
   }
   processed_health_version_ = topo_.healthVersion();
-  if (evs.empty()) return report;
+
+  // Flap-damping classification (FailoverPolicy::flap_window; off at 0).
+  // Disturbances (Down / Draining) always act. A heal whose entity was
+  // disturbed within the window is deferred: the topology transition
+  // stays applied, but the failover reaction (re-placement / server-only
+  // upgrade toward the entity) waits until the entity is quiet past the
+  // window. Windows are measured in health-version ticks, which advance
+  // only with new events — deterministic and replayable, never wall
+  // clock.
+  const std::uint64_t window = failover_policy_.flap_window;
+  struct Acted {
+    topo::FailureEvent ev;
+    bool fired = false;  // a previously deferred heal firing now
+  };
+  std::vector<Acted> acted;
+  std::set<int> wiped;
+  for (const auto& ev : evs) {
+    const std::uint64_t key = durable::entityKey(ev);
+    if (ev.to != topo::Health::kUp) {
+      last_disturb_[key] = ev.version;
+      deferred_heals_.erase(key);  // entity went back down: cancel upgrade
+      acted.push_back({ev, false});
+      continue;
+    }
+    auto disturb = last_disturb_.find(key);
+    if (window > 0 && disturb != last_disturb_.end() &&
+        ev.version - disturb->second <= window) {
+      durable::DeferredHeal dh;
+      dh.kind = ev.kind;
+      dh.node = ev.node;
+      dh.link_a = ev.link_a;
+      dh.link_b = ev.link_b;
+      dh.from = ev.from;
+      dh.version = ev.version;
+      deferred_heals_[key] = dh;
+      ++report.damped_events;
+      // Reboot hygiene is never deferred: the device came back empty, so
+      // stale claims/programs/state must go now even though the upgrade
+      // back onto it waits.
+      if (ev.kind == topo::FailureEvent::Kind::kNode &&
+          ev.from == topo::Health::kDown) {
+        wipeDeviceLocked(ev.node);
+        wiped.insert(ev.node);
+      }
+      continue;
+    }
+    acted.push_back({ev, false});
+  }
+
+  // Deferred heals ripen when the log moves past their entity's quiet
+  // window. Purely version-driven: a ripe check at an unchanged version
+  // fired last batch already (or will fire when the next event lands).
+  const std::uint64_t now_v = topo_.healthVersion();
+  for (auto it = deferred_heals_.begin(); it != deferred_heals_.end();) {
+    auto disturb = last_disturb_.find(it->first);
+    const std::uint64_t base =
+        disturb == last_disturb_.end() ? 0 : disturb->second;
+    if (now_v - base > window) {
+      topo::FailureEvent ev;
+      ev.kind = it->second.kind;
+      ev.node = it->second.node;
+      ev.link_a = it->second.link_a;
+      ev.link_b = it->second.link_b;
+      ev.from = it->second.from;
+      ev.to = topo::Health::kUp;
+      ev.version = it->second.version;
+      acted.push_back({ev, true});
+      it = deferred_heals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (evs.empty() && acted.empty()) return report;
 
   // Phase 1 — device hygiene. A dead device loses everything: occupancy
   // back to fresh (claims on it must never leak), device program gone,
   // emulator entries and state store cleared. A reboot (Down -> Up) is
   // the same wipe: the device comes back empty, it does not resurrect
-  // pre-failure claims.
+  // pre-failure claims. A *fired* reboot was wiped when it was damped and
+  // must not be wiped again — a tenant may have legitimately placed onto
+  // it through the live-health commit path during the quiet window.
   bool any_heal = false;
-  std::set<int> wiped;
-  for (const auto& ev : evs) {
+  for (const auto& a : acted) {
+    const auto& ev = a.ev;
     if (ev.kind == topo::FailureEvent::Kind::kNode) {
       const bool died = ev.to == topo::Health::kDown;
       const bool rebooted =
           ev.to == topo::Health::kUp && ev.from == topo::Health::kDown;
-      if (died || rebooted) {
+      if ((died || rebooted) && !a.fired) {
         wipeDeviceLocked(ev.node);
         wiped.insert(ev.node);
       }
@@ -953,7 +1086,10 @@ FailoverReport ClickIncService::handleEventsLocked() {
   // no longer Up, when the healthy traffic path no longer covers a plan
   // device (rerouted around it), or — after a heal — when it runs
   // server-only and could win switch placement back. Ascending user id
-  // keeps recovery deterministic.
+  // keeps recovery deterministic. All checks run against the *effective*
+  // health view — live health with deferred heals masked back to their
+  // pre-heal state — so a damped entity attracts no re-placement.
+  const topo::HealthView eff = effectiveHealthLocked();
   std::vector<int> affected;
   std::set<int> blast;
   for (const auto& [user, dep] : deployed_) {
@@ -963,7 +1099,7 @@ FailoverReport ClickIncService::handleEventsLocked() {
       hit = any_heal;  // server-only tenant: try the upgrade
     } else {
       for (int dev : devs) {
-        if (topo_.nodeHealth(dev) != topo::Health::kUp) {
+        if (eff.nodeAt(dev) != topo::Health::kUp) {
           hit = true;
           break;
         }
@@ -972,7 +1108,8 @@ FailoverReport ClickIncService::handleEventsLocked() {
         std::set<int> on_path;
         bool any_path = false;
         for (const auto& src : dep.traffic.sources) {
-          const auto p = topo_.shortestPathUp(src.host, dep.traffic.dst_host);
+          const auto p =
+              topo_.shortestPathUp(src.host, dep.traffic.dst_host, &eff);
           if (p.empty()) continue;
           any_path = true;
           for (int n : p) {
@@ -1003,21 +1140,34 @@ FailoverReport ClickIncService::handleEventsLocked() {
 
   // Phase 3 — recovery, per tenant in ascending id order.
   for (int user : affected) {
-    report.tenants.push_back(recoverTenantLocked(user));
+    report.tenants.push_back(recoverTenantLocked(user, eff));
   }
 
   // Post-failover audit: re-placement, rollback, and device wipes all
   // mutated plans and the ledger; verify every surviving deployment
-  // against the degraded topology before reporting success.
-  if (verify_policy_.at_failover) {
+  // against the degraded topology before reporting success. Suppressed
+  // during replay (recover() runs one full audit at the end).
+  if (verify_policy_.at_failover && !replaying_) {
     report.verify = auditLocked({});
   }
 
   report.health_version = topo_.healthVersion();
+
+  // Write-behind summary: replay re-runs this batch deterministically and
+  // cross-checks these fields against the record.
+  if (journal_ != nullptr && !replaying_) {
+    durable::FailoverRecord rec;
+    rec.processed_version = processed_health_version_;
+    rec.damped_events = static_cast<std::uint32_t>(report.damped_events);
+    rec.tenants = static_cast<std::uint32_t>(report.tenants.size());
+    journalAppendLocked(durable::RecordType::kFailover,
+                        durable::encodeFailover(rec));
+  }
   return report;
 }
 
-TenantRecovery ClickIncService::recoverTenantLocked(int user) {
+TenantRecovery ClickIncService::recoverTenantLocked(
+    int user, const topo::HealthView& eff) {
   TenantRecovery rec;
   rec.user_id = user;
   const Deployed old = deployed_.at(user);
@@ -1041,13 +1191,14 @@ TenantRecovery ClickIncService::recoverTenantLocked(int user) {
   ++occ_version_;
 
   // 2. Re-place against the degraded topology (dead devices are not in
-  // the EC tree; draining devices forward but take no placements).
+  // the EC tree; draining devices forward but take no placements). The
+  // effective health view keeps flap-damped entities out of the tree.
   place::PlacementPlan new_plan;
   ServiceError err;
   bool placed = false;
   try {
     const auto dag = place::BlockDag::build(*old.prog);
-    const auto tree = topo::buildEcTree(topo_, old.traffic);
+    const auto tree = topo::buildEcTree(topo_, old.traffic, &eff);
     place::PlacementOptions run_opts = old.options;
     run_opts.pool = pool_.get();
     new_plan = place::placeProgram(dag, tree, topo_, occ_, run_opts, &arena_);
@@ -1227,6 +1378,316 @@ TenantRecovery ClickIncService::recoverTenantLocked(int user) {
     rec.outcome = RecoveryOutcome::kReplaced;
   }
   return rec;
+}
+
+// --- durability (docs/recovery.md) --------------------------------------
+
+void ClickIncService::journalAppendLocked(
+    durable::RecordType type, std::span<const std::uint8_t> payload) {
+  if (journal_ == nullptr || replaying_) return;
+  durable::appendRecord(*journal_, ++journal_seq_, type, payload);
+}
+
+void ClickIncService::journalHealthLocked() {
+  if (journal_ == nullptr || replaying_) return;
+  for (const auto& ev : topo_.failureLog()) {
+    if (ev.version <= journaled_health_version_) continue;
+    durable::HealthRecord rec;
+    rec.event = ev;
+    journalAppendLocked(durable::RecordType::kHealth,
+                        durable::encodeHealth(rec));
+  }
+  journaled_health_version_ = topo_.healthVersion();
+}
+
+topo::HealthView ClickIncService::effectiveHealthLocked() const {
+  topo::HealthView hv = topo_.healthView();
+  for (const auto& [key, dh] : deferred_heals_) {
+    (void)key;
+    if (dh.kind == topo::FailureEvent::Kind::kNode) {
+      hv.node[static_cast<std::size_t>(dh.node)] = dh.from;
+    } else {
+      const int idx = topo_.linkIndex(dh.link_a, dh.link_b);
+      if (idx >= 0) hv.link[static_cast<std::size_t>(idx)] = dh.from;
+    }
+  }
+  return hv;
+}
+
+void ClickIncService::resetStateLocked() {
+  deployed_.clear();
+  device_programs_.clear();
+  emu_.reset();
+  occ_ = place::OccupancyMap(&topo_);
+  ++occ_version_;
+  next_user_ = 1;
+  processed_health_version_ = 0;
+  journaled_health_version_ = 0;
+  deferred_heals_.clear();
+  last_disturb_.clear();
+  cancelled_users_.clear();
+  injector_.reset();
+  inject_deploy_fail_ = -1;
+  journal_ = nullptr;
+  journal_seq_ = 0;
+}
+
+void ClickIncService::attachJournal(durable::JournalSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CLICKINC_CHECK(sink != nullptr, "attachJournal: null sink");
+  CLICKINC_CHECK(deployed_.empty() && topo_.healthVersion() == 0,
+                 "attachJournal: service must be fresh "
+                 "(use recover() to attach to a used journal)");
+  const auto scan = durable::scanJournal(sink->readAll());
+  CLICKINC_CHECK(
+      sink->size() == 0 ||
+          (scan.magic_ok && scan.records.empty() && !scan.torn),
+      "attachJournal: sink already holds records (use recover())");
+  if (sink->size() == 0) durable::writeMagic(*sink);
+  journal_ = sink;
+  journal_seq_ = 0;
+  journaled_health_version_ = 0;
+}
+
+void ClickIncService::detachJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = nullptr;
+}
+
+bool ClickIncService::journalAttached() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_ != nullptr;
+}
+
+std::uint64_t ClickIncService::epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+durable::CheckpointRecord ClickIncService::buildCheckpointLocked() {
+  durable::CheckpointRecord cp;
+  cp.next_user = next_user_;
+  cp.health_version = topo_.healthVersion();
+  cp.processed_health_version = processed_health_version_;
+  const auto hv = topo_.healthView();
+  cp.node_health.reserve(hv.node.size());
+  for (auto h : hv.node) {
+    cp.node_health.push_back(static_cast<std::uint8_t>(h));
+  }
+  cp.link_health.reserve(hv.link.size());
+  for (auto h : hv.link) {
+    cp.link_health.push_back(static_cast<std::uint8_t>(h));
+  }
+  for (const auto& n : topo_.nodes()) {
+    if (!n.programmable) continue;
+    const auto& occ = occ_.of(n.id);
+    durable::CheckpointDevice dev;
+    dev.node = n.id;
+    dev.free_stage = occ.free_stage;
+    dev.free_whole = occ.free_whole;
+    cp.devices.push_back(std::move(dev));
+  }
+  for (const auto& [user, dep] : deployed_) {
+    durable::CheckpointTenant t;
+    t.user = user;
+    t.prog = *dep.prog;
+    t.plan = dep.plan;
+    t.traffic = dep.traffic;
+    t.options = dep.options;
+    t.plan_fp = durable::planFingerprint(dep.plan);
+    cp.tenants.push_back(std::move(t));
+  }
+  cp.deferred_heals = deferred_heals_;
+  cp.last_disturb = last_disturb_;
+  return cp;
+}
+
+void ClickIncService::checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CLICKINC_CHECK(journal_ != nullptr, "checkpoint: no journal attached");
+  // Operation boundary only: a checkpoint must never cut a kHealth /
+  // kFailover pair in half, or the restored watermarks would lie.
+  CLICKINC_CHECK(processed_health_version_ == topo_.healthVersion(),
+                 "checkpoint: unprocessed failure events");
+  const durable::CheckpointRecord cp = buildCheckpointLocked();
+  journalAppendLocked(durable::RecordType::kCheckpoint,
+                      durable::encodeCheckpoint(cp));
+}
+
+void ClickIncService::restoreCheckpointLocked(
+    const durable::CheckpointRecord& cp) {
+  next_user_ = cp.next_user;
+  std::vector<topo::Health> nodes, links;
+  nodes.reserve(cp.node_health.size());
+  for (auto b : cp.node_health) {
+    nodes.push_back(static_cast<topo::Health>(b));
+  }
+  links.reserve(cp.link_health.size());
+  for (auto b : cp.link_health) {
+    links.push_back(static_cast<topo::Health>(b));
+  }
+  topo_.restoreHealth(nodes, links, cp.health_version);
+  processed_health_version_ = cp.processed_health_version;
+  deferred_heals_ = cp.deferred_heals;
+  last_disturb_ = cp.last_disturb;
+  // Ledger verbatim: tenants are re-deployed below WITHOUT re-claiming —
+  // the checkpointed free vectors already account for every claim.
+  for (const auto& dev : cp.devices) {
+    auto& occ = occ_.of(dev.node);
+    occ.free_stage = dev.free_stage;
+    occ.free_whole = dev.free_whole;
+  }
+  ++occ_version_;
+  for (const auto& t : cp.tenants) {
+    CLICKINC_CHECK(durable::planFingerprint(t.plan) == t.plan_fp,
+                   cat("checkpoint restore: plan fingerprint mismatch for "
+                       "user ",
+                       t.user));
+    auto prog = std::make_shared<ir::IrProgram>(t.prog);
+    Impact impact;
+    deployPlan(t.user, prog, t.plan, &impact);
+    place::PlacementOptions stored = t.options;
+    stored.pool = nullptr;
+    deployed_[t.user] = {prog, t.plan, t.traffic, stored};
+  }
+}
+
+void ClickIncService::applyRecordLocked(const durable::RecordRef& rec) {
+  switch (rec.type) {
+    case durable::RecordType::kCheckpoint:
+      // Replay starts after the last checkpoint, so one can never appear
+      // in the suffix.
+      throw InternalError("checkpoint record inside the replay suffix");
+    case durable::RecordType::kCommit: {
+      auto cr = durable::decodeCommit(rec.payload);
+      auto prog = std::make_shared<ir::IrProgram>(std::move(cr.prog));
+      place::commitPlan(cr.plan, *prog, occ_);
+      ++occ_version_;
+      Impact impact;
+      deployPlan(cr.user, prog, cr.plan, &impact);
+      place::PlacementOptions stored = cr.options;
+      stored.pool = nullptr;
+      deployed_[cr.user] = {prog, cr.plan, cr.traffic, stored};
+      next_user_ = std::max(next_user_, cr.user + 1);
+      break;
+    }
+    case durable::RecordType::kAbort: {
+      const auto ar = durable::decodeAbort(rec.payload);
+      auto it = deployed_.find(ar.user);
+      CLICKINC_CHECK(it != deployed_.end(),
+                     cat("abort replay: user ", ar.user, " not deployed"));
+      rollbackDeployLocked(ar.user, it->second.prog, it->second.plan);
+      deployed_.erase(it);
+      // The id was never published; the abort rewinds the assignment.
+      next_user_ = ar.user;
+      break;
+    }
+    case durable::RecordType::kRemove: {
+      const auto rr = durable::decodeRemove(rec.payload);
+      auto it = deployed_.find(rr.user);
+      CLICKINC_CHECK(it != deployed_.end(),
+                     cat("remove replay: user ", rr.user, " not deployed"));
+      RemoveResult out;
+      doRemoveLocked(it, rr.user, rr.lazy, &out);
+      break;
+    }
+    case durable::RecordType::kHealth: {
+      const auto hr = durable::decodeHealth(rec.payload);
+      topo::FailureEvent applied;
+      if (hr.event.kind == topo::FailureEvent::Kind::kNode) {
+        applied = topo_.setNodeHealth(hr.event.node, hr.event.to);
+      } else {
+        applied =
+            topo_.setLinkHealth(hr.event.link_a, hr.event.link_b, hr.event.to);
+      }
+      CLICKINC_CHECK(applied.version == hr.event.version,
+                     cat("health replay: version ", applied.version,
+                         " != journaled ", hr.event.version));
+      break;
+    }
+    case durable::RecordType::kFailover: {
+      const auto fr = durable::decodeFailover(rec.payload);
+      // Replay re-runs the batch through the very code path that produced
+      // it; the record's summary fields cross-check the re-run.
+      const FailoverReport rep = handleEventsLocked();
+      CLICKINC_CHECK(processed_health_version_ == fr.processed_version,
+                     "failover replay: watermark mismatch");
+      CLICKINC_CHECK(static_cast<std::uint32_t>(rep.damped_events) ==
+                         fr.damped_events,
+                     "failover replay: damped-event count mismatch");
+      CLICKINC_CHECK(static_cast<std::uint32_t>(rep.tenants.size()) ==
+                         fr.tenants,
+                     "failover replay: affected-tenant count mismatch");
+      break;
+    }
+  }
+}
+
+RecoveryReport ClickIncService::recover(durable::JournalSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecoveryReport rep;
+  // Every recovery — successful or not — opens a new epoch: staged
+  // submissions that compiled against the pre-recovery world refuse to
+  // commit (kUnavailable, retryable).
+  ++epoch_;
+  CLICKINC_CHECK(sink != nullptr, "recover: null sink");
+  const auto bytes = sink->readAll();
+  const auto scan = durable::scanJournal(bytes);
+  rep.journal_bytes = bytes.size();
+  rep.records_total = scan.records.size();
+  rep.torn_tail = scan.torn;
+  resetStateLocked();
+  topo_.resetHealth();
+  replaying_ = true;
+  try {
+    // Anchor at the LAST checkpoint: a checkpoint is cumulative, so every
+    // earlier record is subsumed.
+    std::size_t start = 0;
+    for (std::size_t i = scan.records.size(); i-- > 0;) {
+      if (scan.records[i].type == durable::RecordType::kCheckpoint) {
+        restoreCheckpointLocked(
+            durable::decodeCheckpoint(scan.records[i].payload));
+        start = i + 1;
+        rep.from_checkpoint = true;
+        break;
+      }
+    }
+    for (std::size_t i = start; i < scan.records.size(); ++i) {
+      applyRecordLocked(scan.records[i]);
+      ++rep.records_replayed;
+    }
+    if (!scan.records.empty()) journal_seq_ = scan.records.back().seq;
+    replaying_ = false;
+    // Drop the torn tail (and a corrupt header) so appends resume right
+    // after the replayed prefix; then attach.
+    if (scan.torn) sink->truncate(scan.clean_end);
+    journal_ = sink;
+    if (sink->size() == 0) durable::writeMagic(*sink);
+    journaled_health_version_ = topo_.healthVersion();
+    if (topo_.healthVersion() > processed_health_version_) {
+      // Crash landed between a kHealth write and its kFailover summary:
+      // finish the batch. The re-run writes the healing kFailover record
+      // itself (journal attached, replay over).
+      handleEventsLocked();
+      rep.completed_failover = true;
+    }
+    rep.verify = auditLocked({});
+    if (!rep.verify.ok()) {
+      throw InternalError(
+          cat("post-recovery audit failed: ", rep.verify.summary()));
+    }
+    rep.tenants_restored = static_cast<int>(deployed_.size());
+    rep.ok = true;
+  } catch (const std::exception& e) {
+    // Never leave a half-replayed service: empty, journal detached, and a
+    // structured error beats a silently-wrong control plane.
+    replaying_ = false;
+    resetStateLocked();
+    topo_.resetHealth();
+    rep.ok = false;
+    rep.error = {ErrorCode::kRecovery, Stage::kRecovery, e.what()};
+  }
+  return rep;
 }
 
 std::set<int> ClickIncService::podsCrossing(

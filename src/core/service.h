@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "core/api.h"
+#include "durable/journal.h"
+#include "durable/serialize.h"
 #include "emu/emulator.h"
 #include "emu/fault.h"
 #include "modules/profile.h"
@@ -177,6 +179,44 @@ class ClickIncService {
   // without the service lock held. Pass nullptr to clear.
   void setCompileGate(std::function<void()> gate);
 
+  // --- durability (docs/recovery.md) ---
+
+  // Attaches a write-ahead journal: every state-changing operation
+  // (commit, abort, remove, health transition, failover batch,
+  // checkpoint) appends a CRC-checked record to `sink` before the
+  // in-memory state it describes becomes observable. Fresh-service only —
+  // the service must hold no deployments and no health history, and the
+  // sink must be empty or magic-only (to attach to a journal with
+  // records, recover() from it instead). The sink is borrowed, not owned,
+  // and must outlive the attachment.
+  void attachJournal(durable::JournalSink* sink);
+  void detachJournal();
+  bool journalAttached();
+
+  // Appends a kCheckpoint record carrying the whole durable core (tenant
+  // programs/plans, occupancy ledger, health + watermarks, flap-damping
+  // state). Must be called at an operation boundary: a journal must be
+  // attached and every failure event processed. recover() replays from
+  // the latest checkpoint instead of from the journal's beginning.
+  void checkpoint();
+
+  // Rebuilds the service from `sink`'s journal: reset to empty, restore
+  // the latest checkpoint (if any), replay the clean record suffix
+  // (re-synthesizing snippets and re-deploying deterministically), then
+  // run a full verifier audit. A torn tail from a crash mid-append is
+  // discarded (the sink is truncated to the clean prefix). On success the
+  // journal is attached to `sink` and the epoch is bumped: staged
+  // submissions that began before the recovery refuse to commit
+  // (kUnavailable, retryable). On any failure the service is left empty
+  // with no journal attached and the report carries a structured
+  // kRecovery error — never a silently-wrong service. Fault injectors and
+  // policies are not journaled; re-arm them after recovery.
+  RecoveryReport recover(durable::JournalSink* sink);
+
+  // Bumped by every recover() call (success or failure). Speculative
+  // submissions carry the epoch they compiled under.
+  std::uint64_t epoch();
+
   // --- plan verification (docs/verification.md) ---
 
   // When each stage runs the static plan verifier (verify/verifier.h).
@@ -305,14 +345,39 @@ class ClickIncService {
 
   // --- failover internals (lock held) ---
 
-  // Drains unprocessed FailureEvents from the topology log: wipes dead /
-  // rebooted devices, finds affected tenants, re-places each.
+  // Drains unprocessed FailureEvents from the topology log: journals
+  // them, applies flap damping, wipes dead / rebooted devices, finds
+  // affected tenants, re-places each.
   FailoverReport handleEventsLocked();
   // Device death or reboot: fresh occupancy, no device program, no
   // emulator entries or state.
   void wipeDeviceLocked(int node);
-  // Re-places one affected tenant against the degraded topology.
-  TenantRecovery recoverTenantLocked(int user);
+  // Re-places one affected tenant against the degraded topology. `eff` is
+  // the effective health view (flap-damped heals masked out).
+  TenantRecovery recoverTenantLocked(int user, const topo::HealthView& eff);
+
+  // --- durability internals (lock held; docs/recovery.md) ---
+
+  // Appends one record; no-op when no journal is attached or a replay is
+  // in progress.
+  void journalAppendLocked(durable::RecordType type,
+                           std::span<const std::uint8_t> payload);
+  // Write-ahead of the failover batch: journals every failure-log event
+  // past the journaled watermark as a kHealth record.
+  void journalHealthLocked();
+  // Live health with flap-deferred heals masked back to their pre-heal
+  // state — the view failover re-placement must plan against.
+  topo::HealthView effectiveHealthLocked() const;
+  // Everything back to the post-construction state (journal detached,
+  // injector cleared; in-flight ticket bookkeeping is left alone).
+  void resetStateLocked();
+  // The state-mutating tail of remove() after lookup and cancellation
+  // handling; `it` points into deployed_.
+  void doRemoveLocked(std::map<int, Deployed>::iterator it, int user_id,
+                      bool lazy, RemoveResult* out);
+  durable::CheckpointRecord buildCheckpointLocked();
+  void restoreCheckpointLocked(const durable::CheckpointRecord& cp);
+  void applyRecordLocked(const durable::RecordRef& rec);
 
   // Runs the plan verifier over the given deployments view (lock held —
   // the verifier borrows live programs/plans/ledger).
@@ -352,6 +417,19 @@ class ClickIncService {
   std::unique_ptr<emu::FaultInjector> injector_;
   int inject_deploy_fail_ = -1;     // test hook countdown, -1 = off
   VerifyPolicy verify_policy_;
+
+  // Durability state (guarded by mu_). The sink is borrowed; null means
+  // journaling is off. `replaying_` suppresses journal appends and the
+  // commit/failover verify gates while recover() re-applies records.
+  durable::JournalSink* journal_ = nullptr;
+  std::uint64_t journal_seq_ = 0;
+  std::uint64_t journaled_health_version_ = 0;  // kHealth write watermark
+  bool replaying_ = false;
+  std::uint64_t epoch_ = 0;
+  // Flap-damping state (FailoverPolicy::flap_window; docs/failures.md).
+  // Keyed by durable::entityKey; serialized into checkpoints.
+  std::map<std::uint64_t, durable::DeferredHeal> deferred_heals_;
+  std::map<std::uint64_t, std::uint64_t> last_disturb_;
 
   // remove()-vs-in-flight-submission bookkeeping (guarded by mu_).
   // Staged submissions in their compile stage; while any are in flight, a

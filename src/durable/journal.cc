@@ -1,0 +1,188 @@
+#include "durable/journal.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "durable/wire.h"
+#include "util/crc.h"
+#include "util/error.h"
+
+namespace clickinc::durable {
+
+const char* toString(RecordType t) {
+  switch (t) {
+    case RecordType::kCheckpoint: return "checkpoint";
+    case RecordType::kCommit: return "commit";
+    case RecordType::kAbort: return "abort";
+    case RecordType::kRemove: return "remove";
+    case RecordType::kHealth: return "health";
+    case RecordType::kFailover: return "failover";
+  }
+  return "unknown";
+}
+
+void MemJournalSink::append(std::span<const std::uint8_t> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> MemJournalSink::readAll() const { return bytes_; }
+
+std::uint64_t MemJournalSink::size() const { return bytes_.size(); }
+
+void MemJournalSink::truncate(std::uint64_t len) {
+  if (len < bytes_.size()) bytes_.resize(len);
+}
+
+void MemJournalSink::setBytes(std::vector<std::uint8_t> bytes) {
+  bytes_ = std::move(bytes);
+}
+
+FileJournalSink::FileJournalSink(std::string path) : path_(std::move(path)) {
+  // Pick up whatever a previous process left behind so recovery can scan it.
+  if (std::FILE* f = std::fopen(path_.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    const long n = std::ftell(f);
+    std::fclose(f);
+    if (n > 0) size_ = static_cast<std::uint64_t>(n);
+  }
+}
+
+void FileJournalSink::append(std::span<const std::uint8_t> bytes) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    throw Error("journal: cannot open " + path_ + " for append");
+  }
+  const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (wrote != bytes.size()) {
+    throw Error("journal: short write to " + path_);
+  }
+  size_ += bytes.size();
+}
+
+std::vector<std::uint8_t> FileJournalSink::readAll() const {
+  std::vector<std::uint8_t> out;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return out;
+  std::fseek(f, 0, SEEK_END);
+  const long n = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+    out.resize(got);
+  }
+  std::fclose(f);
+  return out;
+}
+
+std::uint64_t FileJournalSink::size() const { return size_; }
+
+void FileJournalSink::truncate(std::uint64_t len) {
+  if (len >= size_) return;
+  auto all = readAll();
+  if (all.size() > len) all.resize(len);
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error("journal: cannot open " + path_ + " for truncate");
+  }
+  const std::size_t wrote =
+      all.empty() ? 0 : std::fwrite(all.data(), 1, all.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (wrote != all.size()) {
+    throw Error("journal: short write truncating " + path_);
+  }
+  size_ = all.size();
+}
+
+void writeMagic(JournalSink& sink) {
+  sink.append(std::span<const std::uint8_t>(kJournalMagic, 8));
+}
+
+std::uint64_t appendRecord(JournalSink& sink, std::uint64_t seq,
+                           RecordType type,
+                           std::span<const std::uint8_t> payload) {
+  BinWriter body;
+  body.u64(seq);
+  body.u8(static_cast<std::uint8_t>(type));
+  // Payload is raw, not length-prefixed: body_len already bounds it.
+  for (std::uint8_t b : payload) body.u8(b);
+
+  BinWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  for (std::uint8_t b : body.bytes()) frame.u8(b);
+  frame.u32(crc32(std::span<const std::uint8_t>(body.bytes())));
+  sink.append(std::span<const std::uint8_t>(frame.bytes()));
+  return frame.size();
+}
+
+namespace {
+
+bool knownType(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(RecordType::kCheckpoint) &&
+         t <= static_cast<std::uint8_t>(RecordType::kFailover);
+}
+
+std::uint32_t readU32(std::span<const std::uint8_t> b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(b[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t readU64(std::span<const std::uint8_t> b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(b[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+ScanResult scanJournal(std::span<const std::uint8_t> bytes) {
+  ScanResult out;
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kJournalMagic, 8) != 0) {
+    out.torn = !bytes.empty();
+    return out;
+  }
+  out.magic_ok = true;
+  std::size_t pos = 8;
+  std::uint64_t last_seq = 0;
+  while (true) {
+    if (bytes.size() - pos < 4) break;  // no room for a length prefix
+    const std::uint32_t body_len = readU32(bytes, pos);
+    // body needs at least seq + type; frame needs body + trailing CRC.
+    if (body_len < 9 || bytes.size() - pos - 4 < body_len + 4ULL) break;
+    const std::size_t body_at = pos + 4;
+    const std::uint32_t want_crc = readU32(bytes, body_at + body_len);
+    const std::uint32_t got_crc =
+        crc32(bytes.subspan(body_at, body_len));
+    if (want_crc != got_crc) break;
+    const std::uint64_t seq = readU64(bytes, body_at);
+    const std::uint8_t type = bytes[body_at + 8];
+    if (!knownType(type)) break;
+    if (seq <= last_seq) break;  // sequence must be strictly increasing
+    RecordRef rec;
+    rec.offset = pos;
+    rec.end = body_at + body_len + 4;
+    rec.seq = seq;
+    rec.type = static_cast<RecordType>(type);
+    rec.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(body_at + 9),
+                       bytes.begin() +
+                           static_cast<std::ptrdiff_t>(body_at + body_len));
+    last_seq = seq;
+    pos = static_cast<std::size_t>(rec.end);
+    out.records.push_back(std::move(rec));
+  }
+  out.clean_end = pos;
+  out.torn = pos != bytes.size();
+  return out;
+}
+
+}  // namespace clickinc::durable

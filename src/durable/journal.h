@@ -1,0 +1,122 @@
+// Write-ahead commit journal for the ClickINC control plane.
+//
+// Wire layout (docs/recovery.md):
+//
+//   magic   : 8 bytes "CINCJ001"
+//   record* : u32 body_len | body | u32 crc32(body)
+//   body    : u64 seq | u8 type | payload
+//
+// Sequence numbers are strictly increasing within one journal. A scan
+// stops at the first malformed record (truncated, CRC mismatch,
+// non-monotonic seq, or unknown type) and reports everything before it as
+// the clean prefix — a torn tail from a crash mid-append is tolerated, not
+// fatal. Appends are atomic at the sink level: a record is handed to the
+// sink as one contiguous byte span.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clickinc::durable {
+
+// One record type per state-changing control-plane operation.
+enum class RecordType : std::uint8_t {
+  kCheckpoint = 1,  // full durable-core snapshot (checkpoint/restore)
+  kCommit = 2,      // tenant program committed + deployed
+  kAbort = 3,       // compensation: the preceding kCommit failed to deploy
+  kRemove = 4,      // tenant removed (eager or lazy)
+  kHealth = 5,      // one failure-log event (write-ahead of failover)
+  kFailover = 6,    // failover batch outcome (write-behind of kHealth run)
+};
+
+const char* toString(RecordType t);
+
+// Destination for journal bytes. Implementations must make append()
+// atomic with respect to readAll(): a reader sees whole appends only.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+
+  // Appends one contiguous chunk (a full record, or the magic header).
+  virtual void append(std::span<const std::uint8_t> bytes) = 0;
+
+  // Returns the entire journal contents from the beginning.
+  virtual std::vector<std::uint8_t> readAll() const = 0;
+
+  // Total bytes written so far.
+  virtual std::uint64_t size() const = 0;
+
+  // Discards everything past `len` bytes (no-op when len >= size()).
+  // recover() uses this to drop a torn tail before appending resumes.
+  virtual void truncate(std::uint64_t len) = 0;
+};
+
+// In-memory sink for tests, fuzzing, and overhead benchmarks.
+class MemJournalSink : public JournalSink {
+ public:
+  void append(std::span<const std::uint8_t> bytes) override;
+  std::vector<std::uint8_t> readAll() const override;
+  std::uint64_t size() const override;
+  void truncate(std::uint64_t len) override;
+
+  // Test hook: replace the contents wholesale (crash-point cuts).
+  void setBytes(std::vector<std::uint8_t> bytes);
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// File-backed sink. Appends are written and flushed per record; open
+// re-reads whatever prefix survived a crash.
+class FileJournalSink : public JournalSink {
+ public:
+  explicit FileJournalSink(std::string path);
+
+  void append(std::span<const std::uint8_t> bytes) override;
+  std::vector<std::uint8_t> readAll() const override;
+  std::uint64_t size() const override;
+  void truncate(std::uint64_t len) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t size_ = 0;
+};
+
+inline constexpr std::uint8_t kJournalMagic[8] = {'C', 'I', 'N', 'C',
+                                                  'J', '0', '0', '1'};
+
+// Writes the 8-byte magic header into a fresh sink.
+void writeMagic(JournalSink& sink);
+
+// Frames and appends one record; returns the bytes appended.
+std::uint64_t appendRecord(JournalSink& sink, std::uint64_t seq,
+                           RecordType type,
+                           std::span<const std::uint8_t> payload);
+
+// One parsed record from a scan. Offsets are into the raw journal bytes;
+// `end` is the offset one past the record's trailing CRC, i.e. a cut at
+// `end` preserves this record completely.
+struct RecordRef {
+  std::uint64_t offset = 0;
+  std::uint64_t end = 0;
+  std::uint64_t seq = 0;
+  RecordType type = RecordType::kCheckpoint;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ScanResult {
+  bool magic_ok = false;        // header present and correct
+  std::vector<RecordRef> records;  // clean prefix, in journal order
+  std::uint64_t clean_end = 0;  // bytes covered by magic + clean records
+  bool torn = false;            // trailing garbage past clean_end
+};
+
+// Scans raw journal bytes into the longest clean record prefix.
+ScanResult scanJournal(std::span<const std::uint8_t> bytes);
+
+}  // namespace clickinc::durable

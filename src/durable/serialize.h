@@ -1,0 +1,147 @@
+// Binary round-trips for the durable control-plane core: IR programs,
+// placement plans, traffic specs, occupancy ledgers, and health state —
+// everything `ClickIncService::checkpoint()` snapshots and the journal's
+// record payloads carry (docs/recovery.md).
+//
+// The encoding is versioned only through the journal magic; field order is
+// the contract. Non-semantic fields (PlacementPlan::elapsed_ms / stats,
+// PlacementOptions::pool) are deliberately excluded, so two plans that
+// deploy identically serialize identically — which is what makes
+// planFingerprint() usable as a cross-restart plan identity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "durable/wire.h"
+#include "ir/program.h"
+#include "place/treedp.h"
+#include "topo/ec.h"
+#include "topo/topology.h"
+
+namespace clickinc::durable {
+
+// --- type round-trips ---------------------------------------------------
+
+void writeProgram(BinWriter& w, const ir::IrProgram& prog);
+ir::IrProgram readProgram(BinReader& r);
+
+void writeDemand(BinWriter& w, const device::ResourceDemand& d);
+device::ResourceDemand readDemand(BinReader& r);
+
+void writePlan(BinWriter& w, const place::PlacementPlan& plan);
+place::PlacementPlan readPlan(BinReader& r);
+
+void writeTraffic(BinWriter& w, const topo::TrafficSpec& spec);
+topo::TrafficSpec readTraffic(BinReader& r);
+
+// `pool` is a borrowed pointer and is not serialized; readOptions returns
+// it null (the service re-resolves its own pool at deploy time).
+void writeOptions(BinWriter& w, const place::PlacementOptions& opts);
+place::PlacementOptions readOptions(BinReader& r);
+
+void writeEvent(BinWriter& w, const topo::FailureEvent& ev);
+topo::FailureEvent readEvent(BinReader& r);
+
+// Content fingerprint of a plan's semantic fields (chained mix64 over the
+// serialized bytes). Stable across processes; used to cross-check that a
+// checkpointed plan survived the round-trip losslessly.
+std::uint64_t planFingerprint(const place::PlacementPlan& plan);
+
+// --- flap-damping bookkeeping (core service state, serialized here) -----
+
+// One heal reaction deferred by flap damping: the health transition is
+// already applied to the topology, but the failover response (re-placement
+// / server-only upgrade) waits until the entity stays quiet past the
+// policy window. `from` is the pre-heal state the effective health view
+// masks the entity back to while deferred.
+struct DeferredHeal {
+  topo::FailureEvent::Kind kind = topo::FailureEvent::Kind::kNode;
+  int node = -1;
+  int link_a = -1, link_b = -1;
+  topo::Health from = topo::Health::kDown;
+  std::uint64_t version = 0;  // version of the damped heal event
+};
+
+// Map key of a health entity: node id, or a tagged link index.
+std::uint64_t entityKey(const topo::FailureEvent& ev);
+
+// --- journal record payloads --------------------------------------------
+
+struct CommitRecord {
+  int user = -1;
+  ir::IrProgram prog;
+  place::PlacementPlan plan;
+  topo::TrafficSpec traffic;
+  place::PlacementOptions options;
+};
+
+struct AbortRecord {
+  int user = -1;  // the preceding kCommit's user; its id was never published
+};
+
+struct RemoveRecord {
+  int user = -1;
+  bool lazy = true;
+};
+
+struct HealthRecord {
+  topo::FailureEvent event;
+};
+
+// Write-behind summary of one failover batch; replay re-runs the batch
+// deterministically and cross-checks these fields.
+struct FailoverRecord {
+  std::uint64_t processed_version = 0;  // watermark after the batch
+  std::uint32_t damped_events = 0;
+  std::uint32_t tenants = 0;  // affected-tenant count of the batch
+};
+
+struct CheckpointTenant {
+  int user = -1;
+  ir::IrProgram prog;
+  place::PlacementPlan plan;
+  topo::TrafficSpec traffic;
+  place::PlacementOptions options;
+  std::uint64_t plan_fp = 0;  // planFingerprint at checkpoint time
+};
+
+struct CheckpointDevice {
+  int node = -1;
+  std::vector<device::ResourceDemand> free_stage;
+  device::ResourceDemand free_whole;
+};
+
+struct CheckpointRecord {
+  int next_user = 1;
+  std::uint64_t health_version = 0;
+  std::uint64_t processed_health_version = 0;
+  std::vector<std::uint8_t> node_health;  // topo::Health per node
+  std::vector<std::uint8_t> link_health;  // topo::Health per link
+  std::vector<CheckpointDevice> devices;  // programmable devices' ledger
+  std::vector<CheckpointTenant> tenants;  // ascending user id
+  std::map<std::uint64_t, DeferredHeal> deferred_heals;
+  std::map<std::uint64_t, std::uint64_t> last_disturb;
+};
+
+std::vector<std::uint8_t> encodeCommit(const CommitRecord& rec);
+CommitRecord decodeCommit(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeAbort(const AbortRecord& rec);
+AbortRecord decodeAbort(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeRemove(const RemoveRecord& rec);
+RemoveRecord decodeRemove(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeHealth(const HealthRecord& rec);
+HealthRecord decodeHealth(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeFailover(const FailoverRecord& rec);
+FailoverRecord decodeFailover(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeCheckpoint(const CheckpointRecord& rec);
+CheckpointRecord decodeCheckpoint(std::span<const std::uint8_t> payload);
+
+}  // namespace clickinc::durable

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "util/crc.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -85,6 +86,51 @@ ir::StateStore& Emulator::storeOf(int device_node) {
 void Emulator::resetStats() {
   stats_ = EmuStats{};
   link_busy_ns_.clear();
+}
+
+std::uint64_t Emulator::deploymentDigest() const {
+  std::uint64_t h = 0xE1F0'D161'7A81'E000ULL;
+  for (const auto& [node, entries] : deployments_) {  // std::map: ascending
+    // Emptied devices keep their map key after undeploy(); a device with
+    // no entries must digest the same as one never deployed to.
+    if (entries.empty()) continue;
+    // Sort a view of the entries so deploy() call order never leaks in.
+    std::vector<const DeploymentEntry*> view;
+    view.reserve(entries.size());
+    for (const auto& e : entries) view.push_back(&e);
+    std::sort(view.begin(), view.end(),
+              [](const DeploymentEntry* a, const DeploymentEntry* b) {
+                if (a->user_id != b->user_id) return a->user_id < b->user_id;
+                if (a->step_from != b->step_from) {
+                  return a->step_from < b->step_from;
+                }
+                return a->step_to < b->step_to;
+              });
+    h = mix64(h ^ static_cast<std::uint64_t>(node));
+    for (const DeploymentEntry* e : view) {
+      h = mix64(h ^ static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(e->user_id)));
+      h = mix64(h ^ static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(e->step_from)));
+      h = mix64(h ^ static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(e->step_to)));
+      h = mix64(h ^ e->instr_idxs.size());
+      for (int idx : e->instr_idxs) {
+        h = mix64(h ^ static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(idx)));
+      }
+    }
+  }
+  return h;
+}
+
+void Emulator::reset() {
+  deployments_.clear();
+  stores_.clear();
+  stores_.resize(static_cast<std::size_t>(topo_->nodeCount()));
+  failed_.clear();
+  link_busy_ns_.clear();
+  stats_ = EmuStats{};
 }
 
 double Emulator::maxLinkBusyNs() const {

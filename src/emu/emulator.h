@@ -214,6 +214,26 @@ class Emulator {
   const EmuStats& stats() const { return stats_; }
   void resetStats();
 
+  // Read-only view of the live deployment table (recovery audits and the
+  // crash-point fuzzer compare whole deployments across services).
+  const std::map<int, std::vector<DeploymentEntry>>& deployments() const {
+    return deployments_;
+  }
+
+  // Canonical content hash of the deployment table: per device ascending,
+  // entries as (user, step_from, step_to, instr_idxs) sorted by
+  // (user, step_from, step_to). Independent of deploy() call order and of
+  // compiled-plan identity, so two services that converged on the same
+  // placements digest equal (docs/recovery.md).
+  std::uint64_t deploymentDigest() const;
+
+  // Wipes deployments, every per-device state store, failure flags, link
+  // busy time, and stats back to the post-construction state. The Rng is
+  // deliberately untouched: recovery replay never re-sends old traffic, so
+  // draw order stays comparable with a fresh service only from this point
+  // forward.
+  void reset();
+
   // Fluid bandwidth model: busiest-link busy time across the run.
   double maxLinkBusyNs() const;
   double linkBusyNs(int a, int b) const;

@@ -103,6 +103,34 @@ FailureEvent Topology::setLinkHealth(int a, int b, Health h) {
   return ev;
 }
 
+void Topology::restoreHealth(const std::vector<Health>& node,
+                             const std::vector<Health>& link,
+                             std::uint64_t version) {
+  CLICKINC_CHECK(node.size() == nodes_.size() && link.size() == links_.size(),
+                 "restoreHealth: size mismatch with topology");
+  node_health_ = node;
+  link_health_ = link;
+  health_version_ = version;
+  events_.clear();
+  down_nodes_ = 0;
+  down_links_ = 0;
+  for (Health h : node_health_) {
+    if (h == Health::kDown) ++down_nodes_;
+  }
+  for (Health h : link_health_) {
+    if (h == Health::kDown) ++down_links_;
+  }
+}
+
+void Topology::resetHealth() {
+  std::fill(node_health_.begin(), node_health_.end(), Health::kUp);
+  std::fill(link_health_.begin(), link_health_.end(), Health::kUp);
+  health_version_ = 0;
+  events_.clear();
+  down_nodes_ = 0;
+  down_links_ = 0;
+}
+
 int Topology::findNode(const std::string& name) const {
   for (const auto& n : nodes_) {
     if (n.name == name) return n.id;

@@ -128,6 +128,16 @@ class Topology {
   std::vector<int> shortestPathUp(int src, int dst,
                                   const HealthView* health = nullptr) const;
 
+  // Overwrites the health state wholesale from a checkpoint (sizes must
+  // match nodes/links). The failure log is cleared: restored history is
+  // cumulative, not replayed event by event (docs/recovery.md).
+  void restoreHealth(const std::vector<Health>& node,
+                     const std::vector<Health>& link, std::uint64_t version);
+
+  // Everything Up, version 0, empty failure log — the pre-replay baseline
+  // recover() starts from so kHealth records reproduce exact versions.
+  void resetHealth();
+
   // --- builders ---
 
   // Straight chain: host - d1 - d2 - ... - dn - host (Table 4 / Fig. 14).

@@ -12,9 +12,7 @@
 
 namespace clickinc::verify {
 
-namespace {
-
-topo::Topology pickTopology(Rng* rng) {
+topo::Topology pickScenarioTopology(Rng* rng) {
   switch (rng->nextBelow(3)) {
     case 0:
       return topo::Topology::paperEmulation();
@@ -30,7 +28,8 @@ topo::Topology pickTopology(Rng* rng) {
   }
 }
 
-core::SubmitRequest pickRequest(Rng* rng, const std::vector<int>& hosts) {
+core::SubmitRequest pickScenarioRequest(Rng* rng,
+                                        const std::vector<int>& hosts) {
   // Distinct source(s) and destination drawn from the host set.
   const int dst = hosts[rng->nextBelow(hosts.size())];
   topo::TrafficSpec traffic;
@@ -71,13 +70,11 @@ core::SubmitRequest pickRequest(Rng* rng, const std::vector<int>& hosts) {
   }
 }
 
-}  // namespace
-
 FuzzOutcome fuzzOnce(std::uint64_t seed, const FuzzOptions& opts) {
   FuzzOutcome out;
   Rng rng(mix64(seed + 0x5EEDF00DULL));
 
-  core::ClickIncService svc(pickTopology(&rng), seed);
+  core::ClickIncService svc(pickScenarioTopology(&rng), seed);
   if (rng.nextBelow(2) == 1) svc.setConcurrency(2);
 
   std::vector<int> hosts;
@@ -112,7 +109,9 @@ FuzzOutcome fuzzOnce(std::uint64_t seed, const FuzzOptions& opts) {
       static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(
           opts.tenants_max - opts.tenants_min + 1)));
   std::vector<core::SubmitRequest> reqs;
-  for (int i = 0; i < tenants; ++i) reqs.push_back(pickRequest(&rng, hosts));
+  for (int i = 0; i < tenants; ++i) {
+    reqs.push_back(pickScenarioRequest(&rng, hosts));
+  }
 
   std::vector<core::SubmitResult> results;
   if (rng.nextBelow(2) == 0) {

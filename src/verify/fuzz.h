@@ -11,10 +11,20 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/api.h"
+#include "topo/topology.h"
 #include "verify/mutate.h"
 
 namespace clickinc::verify {
+
+// Scenario building blocks shared with the crash-point recovery fuzzer
+// (verify/recovery_fuzz.h): a seeded topology draw and a seeded template
+// request over the host set. Deterministic per rng state.
+topo::Topology pickScenarioTopology(Rng* rng);
+core::SubmitRequest pickScenarioRequest(Rng* rng,
+                                        const std::vector<int>& hosts);
 
 struct FuzzOptions {
   int tenants_min = 2;

@@ -1,0 +1,326 @@
+#include "verify/recovery_fuzz.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/service.h"
+#include "durable/journal.h"
+#include "durable/serialize.h"
+#include "place/intradevice.h"
+#include "util/crc.h"
+#include "util/strings.h"
+#include "verify/fuzz.h"
+
+namespace clickinc::verify {
+
+namespace {
+
+// One scripted control-plane operation, replayable onto any service built
+// from the same topology + seed. kCheckpoint is journal-only (a no-op on
+// reference services, which run without a journal).
+struct Op {
+  enum class Kind { kSubmit, kRemove, kFault, kCheckpoint };
+  Kind kind = Kind::kSubmit;
+  core::SubmitRequest req;  // kSubmit
+  int remove_user = -1;     // kRemove
+  emu::FaultAction action;  // kFault
+};
+
+emu::FaultAction pickFault(Rng* rng, const std::vector<int>& devices,
+                           const std::vector<std::pair<int, int>>& links) {
+  emu::FaultAction a;
+  const auto roll = rng->nextBelow(5);
+  if (roll < 3 || links.empty()) {
+    const int node = devices[rng->nextBelow(devices.size())];
+    a.kind = roll == 0 ? emu::FaultAction::Kind::kHealNode
+                       : emu::FaultAction::Kind::kKillNode;
+    a.node = node;
+  } else {
+    const auto& [la, lb] = links[rng->nextBelow(links.size())];
+    a.kind = roll == 3 ? emu::FaultAction::Kind::kKillLink
+                       : emu::FaultAction::Kind::kHealLink;
+    a.link_a = la;
+    a.link_b = lb;
+  }
+  return a;
+}
+
+std::vector<Op> makeOps(Rng* rng, const std::vector<int>& hosts,
+                        const topo::Topology& topo, int nops) {
+  std::vector<int> devices;
+  for (const auto& n : topo.nodes()) {
+    if (n.programmable) devices.push_back(n.id);
+  }
+  std::vector<std::pair<int, int>> links;
+  for (const auto& l : topo.links()) {
+    // Never cut off a host: scenario traffic must stay routable enough
+    // for re-placement to have a fighting chance.
+    if (topo.nodes()[static_cast<std::size_t>(l.a)].kind ==
+            topo::NodeKind::kHost ||
+        topo.nodes()[static_cast<std::size_t>(l.b)].kind ==
+            topo::NodeKind::kHost) {
+      continue;
+    }
+    links.push_back({l.a, l.b});
+  }
+
+  std::vector<Op> ops;
+  int next_user = 1;
+  std::vector<int> live;
+  for (int i = 0; i < nops; ++i) {
+    const auto roll = rng->nextBelow(10);
+    Op op;
+    if (roll < 4 || live.empty()) {
+      op.kind = Op::Kind::kSubmit;
+      op.req = pickScenarioRequest(rng, hosts);
+      // Optimistic id accounting: a placement failure burns no id, so a
+      // later remove of this id may hit kUnknownUser — which is a
+      // deterministic no-op on primary and references alike.
+      live.push_back(next_user++);
+    } else if (roll < 6) {
+      op.kind = Op::Kind::kRemove;
+      const auto at = rng->nextBelow(live.size());
+      op.remove_user = live[at];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    } else if (roll < 9 && !devices.empty()) {
+      op.kind = Op::Kind::kFault;
+      op.action = pickFault(rng, devices, links);
+    } else {
+      op.kind = Op::Kind::kCheckpoint;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+void applyOp(core::ClickIncService& svc, const Op& op, bool with_journal) {
+  switch (op.kind) {
+    case Op::Kind::kSubmit: {
+      core::SubmitRequest req = op.req;
+      svc.submit(std::move(req));
+      break;
+    }
+    case Op::Kind::kRemove:
+      svc.remove(op.remove_user);
+      break;
+    case Op::Kind::kFault:
+      svc.applyFault(op.action);
+      break;
+    case Op::Kind::kCheckpoint:
+      if (with_journal) svc.checkpoint();
+      break;
+  }
+}
+
+// Full behavioural digest of one service: occupancy ledger, plan
+// fingerprints, emulator deployment digest, and per-tenant packet probes.
+// Probes mutate register state, so call this at most ONCE per instance.
+std::string stateDigest(core::ClickIncService& svc) {
+  std::string out;
+  for (const auto& n : svc.topology().nodes()) {
+    if (!n.programmable) continue;
+    out += cat("occ", n.id, "=",
+               place::occupancyFingerprint(svc.occupancy().of(n.id)), ";");
+  }
+  for (const auto& [user, dep] : svc.deployments()) {
+    out += cat("u", user, "=", durable::planFingerprint(dep.plan), ";");
+  }
+  out += cat("emu=", svc.emulator().deploymentDigest(), ";");
+  for (const auto& [user, dep] : svc.deployments()) {
+    if (dep.traffic.sources.empty() || dep.traffic.dst_host < 0) continue;
+    const int src = dep.traffic.sources.front().host;
+    const int dst = dep.traffic.dst_host;
+    for (int i = 0; i < 3; ++i) {
+      ir::PacketView view;
+      view.user_id = user;
+      view.setField("hdr.value", 5 + static_cast<std::uint64_t>(i) * 7);
+      const auto r = svc.emulator().send(src, dst, std::move(view), 100, 100);
+      out += cat("p", user, ".", i, "=", r.delivered ? "D" : "d",
+                 r.dropped ? "X" : "-", static_cast<int>(r.drop_reason), "@",
+                 r.final_node, ":", r.hops, ";");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RecoveryFuzzOutcome fuzzRecoveryOnce(std::uint64_t seed,
+                                     const RecoveryFuzzOptions& opts) {
+  RecoveryFuzzOutcome out;
+  Rng rng(mix64(seed + 0xD17A'B1E5ULL));
+
+  const topo::Topology topo = pickScenarioTopology(&rng);
+  std::vector<int> hosts;
+  for (const auto& n : topo.nodes()) {
+    if (n.kind == topo::NodeKind::kHost) hosts.push_back(n.id);
+  }
+  if (hosts.size() < 2) {
+    out.ok = false;
+    out.failure = "topology has fewer than two hosts";
+    return out;
+  }
+
+  // Scenario knobs applied identically to primary and every reference /
+  // recovered instance: policies are configuration, not journaled state.
+  core::FailoverPolicy pol;
+  pol.flap_window = rng.nextBelow(2) == 0 ? 0 : 2 + rng.nextBelow(3);
+  const int concurrency = rng.nextBelow(2) == 0 ? 1 : 2;
+  auto configure = [&](core::ClickIncService& svc) {
+    svc.setFailoverPolicy(pol);
+    if (concurrency > 1) svc.setConcurrency(concurrency);
+  };
+
+  const int nops =
+      opts.ops_min + static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(
+                         opts.ops_max - opts.ops_min + 1)));
+  const std::vector<Op> ops = makeOps(&rng, hosts, topo, nops);
+  out.ops = static_cast<int>(ops.size());
+
+  // --- primary run: journal every op, note the sink size per op --------
+  durable::MemJournalSink sink;
+  core::ClickIncService primary(topo, seed);
+  configure(primary);
+  primary.attachJournal(&sink);
+  std::vector<std::uint64_t> op_end;
+  for (const auto& op : ops) {
+    applyOp(primary, op, /*with_journal=*/true);
+    op_end.push_back(sink.size());
+  }
+
+  const std::vector<std::uint8_t> bytes = sink.readAll();
+  const auto scan = durable::scanJournal(bytes);
+  out.records = static_cast<int>(scan.records.size());
+  if (!scan.magic_ok || scan.torn) {
+    out.ok = false;
+    out.failure = "primary journal does not scan clean";
+    return out;
+  }
+
+  // Records per op prefix, and the kHealth run shape of each op's region
+  // (for the crash-between-kHealth-and-kFailover equivalence below).
+  std::vector<std::size_t> cum(ops.size(), 0);
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    std::size_t n = 0;
+    while (n < scan.records.size() && scan.records[n].end <= op_end[k]) ++n;
+    cum[k] = n;
+  }
+
+  // Lazily built references: ops[0..m) replayed journal-free on a fresh
+  // service. m = 0 is the empty service.
+  std::map<std::size_t, std::string> ref_digest;
+  auto reference = [&](std::size_t m) -> const std::string& {
+    auto it = ref_digest.find(m);
+    if (it != ref_digest.end()) return it->second;
+    core::ClickIncService ref(topo, seed);
+    configure(ref);
+    for (std::size_t i = 0; i < m; ++i) {
+      applyOp(ref, ops[i], /*with_journal=*/false);
+    }
+    return ref_digest.emplace(m, stateDigest(ref)).first->second;
+  };
+
+  // Which op prefix a cut with `n` clean records must reproduce:
+  //   exact op boundary        -> that prefix;
+  //   boundary + complete
+  //   kHealth run of next op   -> next prefix (recover() re-runs the
+  //                               failover batch whose summary was lost);
+  //   anything else            -> audit-only (-1).
+  auto expectedPrefix = [&](std::size_t n) -> std::ptrdiff_t {
+    std::size_t k = 0;  // ops whose records are fully present
+    while (k < ops.size() && cum[k] <= n) ++k;
+    const std::size_t base = k == 0 ? 0 : cum[k - 1];
+    if (n == base) return static_cast<std::ptrdiff_t>(k);
+    // Partial next op: equivalent to the full op iff the partial records
+    // are exactly its kHealth run (only the kFailover summary is missing).
+    if (k >= ops.size()) return -1;
+    for (std::size_t i = base; i < n; ++i) {
+      if (scan.records[i].type != durable::RecordType::kHealth) return -1;
+    }
+    std::size_t health_in_region = 0;
+    for (std::size_t i = base; i < cum[k]; ++i) {
+      if (scan.records[i].type == durable::RecordType::kHealth) {
+        ++health_in_region;
+      }
+    }
+    return n - base == health_in_region
+               ? static_cast<std::ptrdiff_t>(k + 1)
+               : -1;
+  };
+
+  // --- crash points: every boundary, plus torn cuts inside records -----
+  std::set<std::uint64_t> cuts = {0, 4, 8};
+  for (const auto& rec : scan.records) {
+    cuts.insert(rec.offset + 2);             // inside the length prefix
+    cuts.insert((rec.offset + rec.end) / 2); // inside the body
+    cuts.insert(rec.end - 1);                // one byte shy of the CRC
+    cuts.insert(rec.end);                    // clean record boundary
+  }
+  cuts.insert(bytes.size());
+
+  std::set<std::uint64_t> boundaries = {0, 8};
+  for (const auto& rec : scan.records) boundaries.insert(rec.end);
+
+  for (const std::uint64_t cut : cuts) {
+    if (cut > bytes.size()) continue;
+    ++out.cuts;
+    if (boundaries.count(cut) == 0) ++out.torn_cuts;
+
+    durable::MemJournalSink cut_sink;
+    cut_sink.setBytes(std::vector<std::uint8_t>(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)));
+    core::ClickIncService svc(topo, seed);
+    configure(svc);
+    const core::RecoveryReport rep = svc.recover(&cut_sink);
+    if (!rep.ok) {
+      out.ok = false;
+      out.failure = cat("recovery failed at cut ", cut, "/", bytes.size(),
+                        ": ", rep.error.detail);
+      return out;
+    }
+    if (!rep.verify.ok()) {
+      out.ok = false;
+      out.failure =
+          cat("post-recovery audit dirty at cut ", cut, ": ",
+              rep.verify.summary());
+      return out;
+    }
+    ++out.audits;
+
+    std::size_t n = 0;
+    while (n < scan.records.size() && scan.records[n].end <= cut) ++n;
+    const std::ptrdiff_t prefix = expectedPrefix(n);
+    if (prefix < 0) continue;
+    const std::string got = stateDigest(svc);
+    const std::string& want = reference(static_cast<std::size_t>(prefix));
+    if (got != want) {
+      out.ok = false;
+      out.failure = cat("recovered state diverges at cut ", cut, " (", n,
+                        " records, op prefix ", prefix, "):\n  got  ", got,
+                        "\n  want ", want);
+      return out;
+    }
+    ++out.compared;
+  }
+
+  // --- canary: journaling itself must not perturb the primary ----------
+  const std::string primary_digest = stateDigest(primary);
+  const std::string& full_ref = reference(ops.size());
+  if (primary_digest != full_ref) {
+    out.ok = false;
+    out.failure = cat("primary (journaled) diverges from journal-free run:",
+                      "\n  got  ", primary_digest, "\n  want ", full_ref);
+    return out;
+  }
+  if (out.compared == 0) {
+    out.ok = false;
+    out.failure = "no cut was comparable to an op prefix";
+  }
+  return out;
+}
+
+}  // namespace clickinc::verify

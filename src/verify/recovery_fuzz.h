@@ -1,0 +1,41 @@
+// Crash-point recovery fuzzer: one seed drives a scripted control-plane
+// scenario (submits, removals, fault churn, checkpoints) on a primary
+// service journaling into an in-memory sink, then simulates a crash at
+// every record boundary AND inside records (torn writes) by truncating the
+// journal bytes at each cut. Recovery from every cut must succeed with a
+// clean full audit, and whenever the cut lands on an operation boundary —
+// or on a complete kHealth run whose failover summary was lost — the
+// recovered service must match a fresh replay of the operation prefix
+// bit-identically: occupancy fingerprints, plan fingerprints, emulator
+// deployment digest, and packet-probe behaviour.
+//
+// Shared between the gtest suite (tests/test_recovery.cc) and the
+// standalone fuzz/fuzz_plans.cc driver (--recovery).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clickinc::verify {
+
+struct RecoveryFuzzOptions {
+  int ops_min = 5;   // scripted operations per scenario
+  int ops_max = 9;
+};
+
+struct RecoveryFuzzOutcome {
+  bool ok = true;
+  std::string failure;  // first failure, with cut/op context
+  int ops = 0;          // scripted operations executed on the primary
+  int records = 0;      // clean records in the primary's final journal
+  int cuts = 0;         // crash points exercised (boundary + torn)
+  int torn_cuts = 0;    // cuts that landed inside a record or the magic
+  int audits = 0;       // clean post-recovery audits (== cuts when ok)
+  int compared = 0;     // cuts matched bit-identically to an op prefix
+};
+
+// Runs one seeded crash-point scenario end to end. Deterministic per seed.
+RecoveryFuzzOutcome fuzzRecoveryOnce(std::uint64_t seed,
+                                     const RecoveryFuzzOptions& opts = {});
+
+}  // namespace clickinc::verify

@@ -1,0 +1,599 @@
+// Durable control plane (docs/recovery.md): journal wire format and torn
+// tails, checkpoint/restore, recover() replay equivalence, compensating
+// aborts, flap damping, epoch fencing of in-flight submissions across
+// 1/2/8-thread pools, and the crash-point recovery fuzzer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/service.h"
+#include "durable/journal.h"
+#include "durable/serialize.h"
+#include "place/intradevice.h"
+#include "topo/ec.h"
+#include "topo/topology.h"
+#include "util/error.h"
+#include "verify/recovery_fuzz.h"
+
+namespace clickinc {
+namespace {
+
+using core::ClickIncService;
+using core::ErrorCode;
+using core::RecoveryOutcome;
+using core::Stage;
+using core::SubmitRequest;
+using core::SubmissionTicket;
+
+topo::TrafficSpec trafficFor(const topo::Topology& topo,
+                             const std::vector<std::string>& srcs,
+                             const std::string& dst) {
+  topo::TrafficSpec spec;
+  for (const auto& s : srcs) {
+    spec.sources.push_back({topo.findNode(s), 10.0});
+  }
+  spec.dst_host = topo.findNode(dst);
+  return spec;
+}
+
+SubmitRequest dqaccRequest(const topo::Topology& topo,
+                           std::uint64_t depth = 128,
+                           const std::string& src = "pod0a",
+                           const std::string& dst = "pod2b") {
+  return SubmitRequest::fromTemplate("DQAcc",
+                                     {{"CacheDepth", depth}, {"CacheLen", 2}},
+                                     trafficFor(topo, {src}, dst));
+}
+
+std::vector<std::uint64_t> allFingerprints(ClickIncService& svc) {
+  std::vector<std::uint64_t> fps;
+  for (const auto& n : svc.topology().nodes()) {
+    if (n.programmable) {
+      fps.push_back(place::occupancyFingerprint(svc.occupancy().of(n.id)));
+    }
+  }
+  return fps;
+}
+
+std::set<int> deployedUsers(const ClickIncService& svc) {
+  std::set<int> users;
+  for (const auto& [u, d] : svc.deployments()) {
+    (void)d;
+    users.insert(u);
+  }
+  return users;
+}
+
+std::set<int> planDeviceSet(const place::PlacementPlan& plan) {
+  std::set<int> devs;
+  for (const auto& a : plan.assignments) {
+    for (const auto& [dev, p] : a.on_device) {
+      if (!p.instr_idxs.empty()) devs.insert(dev);
+    }
+    for (const auto& [dev, p] : a.on_bypass) {
+      if (!p.instr_idxs.empty()) devs.insert(dev);
+    }
+  }
+  return devs;
+}
+
+// Byte-level identity of two services' durable cores: occupancy ledger,
+// tenant set + plan fingerprints, emulator deployment table.
+void expectSameState(ClickIncService& a, ClickIncService& b) {
+  EXPECT_EQ(allFingerprints(a), allFingerprints(b));
+  ASSERT_EQ(deployedUsers(a), deployedUsers(b));
+  for (const auto& [user, dep] : a.deployments()) {
+    EXPECT_EQ(durable::planFingerprint(dep.plan),
+              durable::planFingerprint(b.deployments().at(user).plan))
+        << "plan fingerprint diverges for user " << user;
+  }
+  EXPECT_EQ(a.emulator().deploymentDigest(), b.emulator().deploymentDigest());
+}
+
+// --- journal wire format -------------------------------------------------
+
+TEST(Journal, AppendScanRoundTrip) {
+  durable::MemJournalSink sink;
+  durable::writeMagic(sink);
+  const std::vector<std::uint8_t> p1 = {1, 2, 3};
+  const std::vector<std::uint8_t> p2 = {};
+  durable::appendRecord(sink, 1, durable::RecordType::kCommit, p1);
+  durable::appendRecord(sink, 2, durable::RecordType::kRemove, p2);
+
+  const auto scan = durable::scanJournal(sink.readAll());
+  EXPECT_TRUE(scan.magic_ok);
+  EXPECT_FALSE(scan.torn);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+  EXPECT_EQ(scan.records[0].type, durable::RecordType::kCommit);
+  EXPECT_EQ(scan.records[0].payload, p1);
+  EXPECT_EQ(scan.records[1].seq, 2u);
+  EXPECT_EQ(scan.records[1].type, durable::RecordType::kRemove);
+  EXPECT_TRUE(scan.records[1].payload.empty());
+  EXPECT_EQ(scan.clean_end, sink.size());
+}
+
+TEST(Journal, TornTailYieldsCleanPrefix) {
+  durable::MemJournalSink sink;
+  durable::writeMagic(sink);
+  durable::appendRecord(sink, 1, durable::RecordType::kCommit,
+                        std::vector<std::uint8_t>{9, 9});
+  const std::uint64_t clean = sink.size();
+  durable::appendRecord(sink, 2, durable::RecordType::kRemove,
+                        std::vector<std::uint8_t>{7});
+  auto bytes = sink.readAll();
+  bytes.resize(bytes.size() - 3);  // crash mid-append: CRC half-written
+
+  const auto scan = durable::scanJournal(bytes);
+  EXPECT_TRUE(scan.magic_ok);
+  EXPECT_TRUE(scan.torn);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.clean_end, clean);
+}
+
+TEST(Journal, CorruptionStopsTheScan) {
+  durable::MemJournalSink sink;
+  durable::writeMagic(sink);
+  durable::appendRecord(sink, 1, durable::RecordType::kCommit,
+                        std::vector<std::uint8_t>{1});
+  durable::appendRecord(sink, 2, durable::RecordType::kHealth,
+                        std::vector<std::uint8_t>{2});
+  auto bytes = sink.readAll();
+  const auto whole = durable::scanJournal(bytes);
+  ASSERT_EQ(whole.records.size(), 2u);
+  // Flip one byte inside the second record's body: its CRC must reject it.
+  bytes[static_cast<std::size_t>(whole.records[1].offset) + 6] ^= 0xFF;
+  const auto scan = durable::scanJournal(bytes);
+  EXPECT_TRUE(scan.torn);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.clean_end, whole.records[0].end);
+}
+
+TEST(Journal, BadMagicScansEmpty) {
+  const std::vector<std::uint8_t> junk = {'n', 'o', 't', 'a', 'j', 'r', 'n',
+                                          'l', 0, 1, 2};
+  const auto scan = durable::scanJournal(junk);
+  EXPECT_FALSE(scan.magic_ok);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.clean_end, 0u);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST(Journal, FileSinkSurvivesReopenAndTruncates) {
+  const std::string path = "recovery_journal_test.bin";
+  std::remove(path.c_str());
+  {
+    durable::FileJournalSink sink(path);
+    EXPECT_EQ(sink.size(), 0u);
+    durable::writeMagic(sink);
+    durable::appendRecord(sink, 1, durable::RecordType::kCommit,
+                          std::vector<std::uint8_t>{5, 6});
+  }
+  durable::FileJournalSink reopened(path);
+  EXPECT_GT(reopened.size(), 8u);
+  const auto scan = durable::scanJournal(reopened.readAll());
+  EXPECT_TRUE(scan.magic_ok);
+  ASSERT_EQ(scan.records.size(), 1u);
+
+  reopened.truncate(8);  // keep just the magic
+  EXPECT_EQ(reopened.size(), 8u);
+  const auto empty = durable::scanJournal(reopened.readAll());
+  EXPECT_TRUE(empty.magic_ok);
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_FALSE(empty.torn);
+  std::remove(path.c_str());
+}
+
+// --- replay equivalence --------------------------------------------------
+
+TEST(Recovery, ReplayMatchesTheOriginalRun) {
+  durable::MemJournalSink sink;
+  ClickIncService primary(topo::Topology::paperEmulation());
+  primary.attachJournal(&sink);
+  const auto a = primary.submit(dqaccRequest(primary.topology(), 128));
+  ASSERT_TRUE(a.ok) << a.error.message();
+  const auto b = primary.submit(
+      dqaccRequest(primary.topology(), 256, "pod1a", "pod2b"));
+  ASSERT_TRUE(b.ok) << b.error.message();
+  primary.remove(a.user_id);
+
+  ClickIncService recovered(topo::Topology::paperEmulation());
+  const auto rep = recovered.recover(&sink);
+  ASSERT_TRUE(rep.ok) << rep.error.message();
+  EXPECT_TRUE(rep.verify.ok());
+  EXPECT_FALSE(rep.from_checkpoint);
+  EXPECT_EQ(rep.records_replayed, 3u);  // commit, commit, remove
+  EXPECT_EQ(rep.tenants_restored, 1);
+  EXPECT_TRUE(recovered.journalAttached());
+  expectSameState(recovered, primary);
+
+  // The recovered service keeps journaling: new submissions land with the
+  // same ids the primary would have assigned.
+  const auto c = recovered.submit(dqaccRequest(recovered.topology(), 64));
+  ASSERT_TRUE(c.ok) << c.error.message();
+  EXPECT_EQ(c.user_id, b.user_id + 1);
+}
+
+TEST(Recovery, CheckpointAnchorsTheReplay) {
+  durable::MemJournalSink sink;
+  ClickIncService primary(topo::Topology::paperEmulation());
+  primary.attachJournal(&sink);
+  const auto a = primary.submit(dqaccRequest(primary.topology(), 128));
+  ASSERT_TRUE(a.ok);
+  primary.checkpoint();
+  const auto b = primary.submit(
+      dqaccRequest(primary.topology(), 256, "pod1a", "pod2b"));
+  ASSERT_TRUE(b.ok);
+
+  ClickIncService recovered(topo::Topology::paperEmulation());
+  const auto rep = recovered.recover(&sink);
+  ASSERT_TRUE(rep.ok) << rep.error.message();
+  EXPECT_TRUE(rep.from_checkpoint);
+  EXPECT_EQ(rep.records_replayed, 1u);  // only b's commit, after the anchor
+  EXPECT_EQ(rep.tenants_restored, 2);
+  expectSameState(recovered, primary);
+}
+
+TEST(Recovery, FailoverBatchesReplayThroughTheSamePipeline) {
+  durable::MemJournalSink sink;
+  ClickIncService primary(topo::Topology::paperEmulation());
+  primary.attachJournal(&sink);
+  const auto r = primary.submit(dqaccRequest(primary.topology()));
+  ASSERT_TRUE(r.ok);
+  const auto devices = planDeviceSet(r.plan);
+  ASSERT_FALSE(devices.empty());
+  primary.failNode(*devices.begin());
+
+  ClickIncService recovered(topo::Topology::paperEmulation());
+  const auto rep = recovered.recover(&sink);
+  ASSERT_TRUE(rep.ok) << rep.error.message();
+  EXPECT_FALSE(rep.completed_failover);  // kFailover summary was present
+  expectSameState(recovered, primary);
+}
+
+TEST(Recovery, CrashBeforeFailoverSummaryCompletesTheBatch) {
+  durable::MemJournalSink sink;
+  ClickIncService primary(topo::Topology::paperEmulation());
+  primary.attachJournal(&sink);
+  const auto r = primary.submit(dqaccRequest(primary.topology()));
+  ASSERT_TRUE(r.ok);
+  const auto devices = planDeviceSet(r.plan);
+  ASSERT_FALSE(devices.empty());
+  primary.failNode(*devices.begin());
+
+  // Cut the journal right after the kHealth record, losing the kFailover
+  // summary — the crash window between write-ahead and write-behind.
+  const auto bytes = sink.readAll();
+  const auto scan = durable::scanJournal(bytes);
+  ASSERT_GE(scan.records.size(), 2u);
+  ASSERT_EQ(scan.records[scan.records.size() - 1].type,
+            durable::RecordType::kFailover);
+  ASSERT_EQ(scan.records[scan.records.size() - 2].type,
+            durable::RecordType::kHealth);
+  durable::MemJournalSink cut;
+  cut.setBytes(std::vector<std::uint8_t>(
+      bytes.begin(),
+      bytes.begin() + static_cast<std::ptrdiff_t>(
+                          scan.records[scan.records.size() - 2].end)));
+
+  ClickIncService recovered(topo::Topology::paperEmulation());
+  const auto rep = recovered.recover(&cut);
+  ASSERT_TRUE(rep.ok) << rep.error.message();
+  EXPECT_TRUE(rep.completed_failover);
+  expectSameState(recovered, primary);
+  // The healing kFailover record was appended, so the next recovery
+  // replays it instead of re-completing.
+  ClickIncService again(topo::Topology::paperEmulation());
+  const auto rep2 = again.recover(&cut);
+  ASSERT_TRUE(rep2.ok) << rep2.error.message();
+  EXPECT_FALSE(rep2.completed_failover);
+  expectSameState(again, primary);
+}
+
+TEST(Recovery, AbortCompensatesATornCommit) {
+  durable::MemJournalSink sink;
+  ClickIncService primary(topo::Topology::paperEmulation());
+  primary.attachJournal(&sink);
+  const auto a = primary.submit(dqaccRequest(primary.topology(), 128));
+  ASSERT_TRUE(a.ok);
+  primary.injectDeployFailureAfter(0);
+  const auto bad = primary.submit(dqaccRequest(primary.topology(), 256));
+  ASSERT_FALSE(bad.ok);
+
+  const auto scan = durable::scanJournal(sink.readAll());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[1].type, durable::RecordType::kCommit);
+  EXPECT_EQ(scan.records[2].type, durable::RecordType::kAbort);
+
+  ClickIncService recovered(topo::Topology::paperEmulation());
+  const auto rep = recovered.recover(&sink);
+  ASSERT_TRUE(rep.ok) << rep.error.message();
+  expectSameState(recovered, primary);
+  // The aborted commit's id was never published; both services hand the
+  // same id to the next tenant.
+  const auto p = primary.submit(dqaccRequest(primary.topology(), 64));
+  const auto q = recovered.submit(dqaccRequest(recovered.topology(), 64));
+  ASSERT_TRUE(p.ok);
+  ASSERT_TRUE(q.ok);
+  EXPECT_EQ(p.user_id, q.user_id);
+}
+
+TEST(Recovery, TornTailIsTruncatedAndTheJournalStaysUsable) {
+  durable::MemJournalSink sink;
+  ClickIncService primary(topo::Topology::paperEmulation());
+  primary.attachJournal(&sink);
+  const auto a = primary.submit(dqaccRequest(primary.topology(), 128));
+  ASSERT_TRUE(a.ok);
+  const std::uint64_t boundary = sink.size();
+  const auto b = primary.submit(
+      dqaccRequest(primary.topology(), 256, "pod1a", "pod2b"));
+  ASSERT_TRUE(b.ok);
+
+  // Crash mid-append of b's commit record.
+  auto bytes = sink.readAll();
+  durable::MemJournalSink cut;
+  cut.setBytes(std::vector<std::uint8_t>(
+      bytes.begin(),
+      bytes.begin() + static_cast<std::ptrdiff_t>(boundary + 11)));
+
+  ClickIncService recovered(topo::Topology::paperEmulation());
+  const auto rep = recovered.recover(&cut);
+  ASSERT_TRUE(rep.ok) << rep.error.message();
+  EXPECT_TRUE(rep.torn_tail);
+  EXPECT_EQ(rep.tenants_restored, 1);
+  EXPECT_EQ(cut.size(), boundary);  // tail dropped before re-attach
+
+  // Appends resume cleanly after the truncated prefix: re-submit b, then
+  // a third recovery must see both tenants.
+  const auto b2 = recovered.submit(
+      dqaccRequest(recovered.topology(), 256, "pod1a", "pod2b"));
+  ASSERT_TRUE(b2.ok);
+  expectSameState(recovered, primary);
+  ClickIncService again(topo::Topology::paperEmulation());
+  const auto rep2 = again.recover(&cut);
+  ASSERT_TRUE(rep2.ok) << rep2.error.message();
+  EXPECT_FALSE(rep2.torn_tail);
+  expectSameState(again, primary);
+}
+
+TEST(Recovery, GarbageJournalRecoversToAnEmptyServiceWithAFreshJournal) {
+  durable::MemJournalSink sink;
+  sink.setBytes({'g', 'a', 'r', 'b', 'a', 'g', 'e', '!', 1, 2, 3});
+  ClickIncService svc(topo::Topology::paperEmulation());
+  const auto rep = svc.recover(&sink);
+  ASSERT_TRUE(rep.ok) << rep.error.message();
+  EXPECT_TRUE(rep.torn_tail);
+  EXPECT_EQ(rep.tenants_restored, 0);
+  EXPECT_TRUE(svc.journalAttached());
+  // The sink was reinitialized: magic only, then new records land.
+  const auto r = svc.submit(dqaccRequest(svc.topology()));
+  ASSERT_TRUE(r.ok);
+  const auto scan = durable::scanJournal(sink.readAll());
+  EXPECT_TRUE(scan.magic_ok);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].type, durable::RecordType::kCommit);
+}
+
+TEST(Recovery, UnreplayableRecordFailsStructuredAndLeavesServiceUsable) {
+  durable::MemJournalSink sink;
+  durable::writeMagic(sink);
+  durable::RemoveRecord rr;
+  rr.user = 7;  // never committed: replay must refuse, not guess
+  durable::appendRecord(sink, 1, durable::RecordType::kRemove,
+                        durable::encodeRemove(rr));
+
+  ClickIncService svc(topo::Topology::paperEmulation());
+  const auto rep = svc.recover(&sink);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_EQ(rep.error.code, ErrorCode::kRecovery);
+  EXPECT_EQ(rep.error.stage, Stage::kRecovery);
+  EXPECT_FALSE(svc.journalAttached());
+  EXPECT_TRUE(svc.deployments().empty());
+  // The failed recovery left a fresh, working service behind.
+  const auto r = svc.submit(dqaccRequest(svc.topology()));
+  EXPECT_TRUE(r.ok) << r.error.message();
+}
+
+TEST(Recovery, AttachRequiresAFreshServiceAndSink) {
+  ClickIncService used(topo::Topology::paperEmulation());
+  ASSERT_TRUE(used.submit(dqaccRequest(used.topology())).ok);
+  durable::MemJournalSink sink;
+  EXPECT_THROW(used.attachJournal(&sink), InternalError);
+
+  durable::MemJournalSink full;
+  durable::writeMagic(full);
+  durable::appendRecord(full, 1, durable::RecordType::kRemove,
+                        durable::encodeRemove(durable::RemoveRecord{}));
+  ClickIncService fresh(topo::Topology::paperEmulation());
+  EXPECT_THROW(fresh.attachJournal(&full), InternalError);
+
+  ClickIncService nojournal(topo::Topology::paperEmulation());
+  EXPECT_THROW(nojournal.checkpoint(), InternalError);
+}
+
+// --- epoch fencing of in-flight work -------------------------------------
+
+TEST(Recovery, InFlightSubmissionIsFencedByTheEpoch) {
+  for (int threads : {1, 2, 8}) {
+    durable::MemJournalSink sink;
+    ClickIncService svc(topo::Topology::paperEmulation());
+    svc.setConcurrency(threads);
+    svc.attachJournal(&sink);
+    const auto a = svc.submit(dqaccRequest(svc.topology(), 128));
+    ASSERT_TRUE(a.ok);
+
+    // Hold an async submission between snapshot and compile, recover the
+    // service out from under it, then let it run to commit.
+    std::promise<void> reached, release;
+    auto reached_f = reached.get_future();
+    auto release_f = release.get_future().share();
+    bool gate_armed = true;
+    svc.setCompileGate([&reached, release_f, &gate_armed]() mutable {
+      if (!gate_armed) return;
+      gate_armed = false;
+      reached.set_value();
+      release_f.wait();
+    });
+    SubmissionTicket ticket = svc.submitAsync(dqaccRequest(svc.topology(), 256));
+    reached_f.wait();
+    svc.setCompileGate(nullptr);
+
+    const std::uint64_t before = svc.epoch();
+    const auto rep = svc.recover(&sink);
+    ASSERT_TRUE(rep.ok) << rep.error.message();
+    EXPECT_EQ(svc.epoch(), before + 1);
+    EXPECT_EQ(rep.tenants_restored, 1);
+
+    release.set_value();
+    const auto& r = ticket.get();
+    ASSERT_FALSE(r.ok) << "threads=" << threads;
+    EXPECT_EQ(r.error.code, ErrorCode::kUnavailable);
+    EXPECT_EQ(r.error.stage, Stage::kCommit);
+    EXPECT_TRUE(r.error.retryable);
+
+    // The fenced tenant never landed; a retry against the recovered
+    // service works and the restored tenant is intact.
+    EXPECT_EQ(deployedUsers(svc), std::set<int>{a.user_id});
+    const auto retry = svc.submit(dqaccRequest(svc.topology(), 256));
+    EXPECT_TRUE(retry.ok) << retry.error.message();
+  }
+}
+
+TEST(Recovery, RemoveAfterRecoverySeesTheRestoredWorld) {
+  durable::MemJournalSink sink;
+  ClickIncService primary(topo::Topology::paperEmulation());
+  primary.attachJournal(&sink);
+  const auto a = primary.submit(dqaccRequest(primary.topology(), 128));
+  const auto b = primary.submit(
+      dqaccRequest(primary.topology(), 256, "pod1a", "pod2b"));
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  primary.remove(b.user_id);
+
+  ClickIncService svc(topo::Topology::paperEmulation());
+  ASSERT_TRUE(svc.recover(&sink).ok);
+  // b was removed before the crash: its id is unknown, structured.
+  const auto gone = svc.remove(b.user_id);
+  EXPECT_FALSE(gone.ok);
+  EXPECT_EQ(gone.error.code, ErrorCode::kUnknownUser);
+  // a survives and removes cleanly, journaled for the next recovery.
+  EXPECT_TRUE(svc.remove(a.user_id).ok);
+  ClickIncService again(topo::Topology::paperEmulation());
+  ASSERT_TRUE(again.recover(&sink).ok);
+  EXPECT_TRUE(again.deployments().empty());
+}
+
+// --- flap damping --------------------------------------------------------
+
+TEST(FlapDamping, HealInsideTheWindowIsDeferredThenFires) {
+  // Drain transitions keep the chain forwarding while excluding a device
+  // from placement, so every step has a live path and the damping effect
+  // is isolated from route severing.
+  ClickIncService svc(
+      topo::Topology::chain({device::makeTofino(), device::makeTofino2()}));
+  core::FailoverPolicy pol;
+  pol.flap_window = 1;
+  svc.setFailoverPolicy(pol);
+  const auto& topo = svc.topology();
+  const int d0 = topo.findNode("d0");
+  const int d1 = topo.findNode("d1");
+  const auto r = svc.submit(SubmitRequest::fromTemplate(
+      "DQAcc", {{"CacheDepth", 64}, {"CacheLen", 2}},
+      trafficFor(topo, {"client"}, "server")));
+  ASSERT_TRUE(r.ok) << r.error.message();
+
+  const auto down = svc.drainNode(d0);  // version 1: disturbance
+  EXPECT_EQ(down.damped_events, 0);
+  EXPECT_EQ(planDeviceSet(svc.deployments().at(r.user_id).plan),
+            std::set<int>{d1});
+
+  // version 2: heal lands 1 <= window after the disturbance -> deferred.
+  // The tenant must NOT bounce back to d0 yet.
+  const auto up = svc.healNode(d0);
+  EXPECT_EQ(up.damped_events, 1);
+  EXPECT_TRUE(up.tenants.empty());
+  EXPECT_EQ(planDeviceSet(svc.deployments().at(r.user_id).plan),
+            std::set<int>{d1});
+
+  // version 3: unrelated disturbance pushes d0 past its quiet window —
+  // the deferred heal fires in this very batch, and with d1 now draining
+  // the re-placement lands back on the healed d0.
+  const auto fire = svc.drainNode(d1);
+  EXPECT_EQ(fire.damped_events, 0);
+  ASSERT_EQ(fire.tenants.size(), 1u);
+  EXPECT_EQ(fire.tenants[0].user_id, r.user_id);
+  EXPECT_EQ(fire.tenants[0].outcome, RecoveryOutcome::kReplaced);
+  EXPECT_EQ(planDeviceSet(svc.deployments().at(r.user_id).plan),
+            std::set<int>{d0});
+  EXPECT_TRUE(svc.verifyDeployments().ok());
+}
+
+TEST(FlapDamping, DampedRebootStillWipesTheDevice) {
+  ClickIncService svc(topo::Topology::paperEmulation());
+  core::FailoverPolicy pol;
+  pol.flap_window = 8;
+  svc.setFailoverPolicy(pol);
+  const auto r = svc.submit(dqaccRequest(svc.topology()));
+  ASSERT_TRUE(r.ok);
+  const auto devices = planDeviceSet(r.plan);
+  ASSERT_FALSE(devices.empty());
+  const int victim = *devices.begin();
+
+  svc.failNode(victim);
+  const auto up = svc.healNode(victim);  // damped: no upgrade yet
+  EXPECT_EQ(up.damped_events, 1);
+  // But the reboot is real: the device came back empty immediately.
+  EXPECT_EQ(place::occupancyFingerprint(svc.occupancy().of(victim)),
+            place::occupancyFingerprint(
+                place::DeviceOccupancy::fresh(svc.topology().node(victim).model)));
+  EXPECT_TRUE(svc.verifyDeployments().ok());
+}
+
+TEST(FlapDamping, ZeroWindowKeepsTheOldBehaviour) {
+  ClickIncService svc(topo::Topology::paperEmulation());
+  const auto r = svc.submit(dqaccRequest(svc.topology()));
+  ASSERT_TRUE(r.ok);
+  const auto devices = planDeviceSet(r.plan);
+  ASSERT_FALSE(devices.empty());
+  svc.failNode(*devices.begin());
+  const auto up = svc.healNode(*devices.begin());
+  EXPECT_EQ(up.damped_events, 0);
+  ASSERT_EQ(up.tenants.size(), 1u);  // immediate upgrade, no deferral
+}
+
+TEST(FlapDamping, InjectorChurnStaysAuditCleanWithAWindow) {
+  ClickIncService svc(topo::Topology::paperEmulation());
+  core::FailoverPolicy pol;
+  pol.flap_window = 3;
+  svc.setFailoverPolicy(pol);
+  ASSERT_TRUE(svc.submit(dqaccRequest(svc.topology(), 128)).ok);
+  ASSERT_TRUE(
+      svc.submit(dqaccRequest(svc.topology(), 256, "pod1a", "pod2b")).ok);
+  svc.armFaultInjector(1234);
+  for (int i = 0; i < 12; ++i) {
+    const auto rep = svc.stepFault();
+    EXPECT_TRUE(rep.verify.ok()) << "step " << i << ": "
+                                 << rep.verify.summary();
+  }
+  EXPECT_TRUE(svc.verifyDeployments().ok());
+}
+
+// --- crash-point fuzzer --------------------------------------------------
+
+TEST(RecoveryFuzz, SeededScenariosSurviveEveryCrashPoint) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto out = verify::fuzzRecoveryOnce(seed);
+    ASSERT_TRUE(out.ok) << "seed " << seed << ": " << out.failure;
+    EXPECT_GT(out.cuts, 0) << "seed " << seed;
+    EXPECT_EQ(out.audits, out.cuts) << "seed " << seed;
+    EXPECT_GT(out.compared, 0) << "seed " << seed;
+    EXPECT_GT(out.torn_cuts, 0) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace clickinc
