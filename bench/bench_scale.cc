@@ -1,0 +1,121 @@
+// Datacenter-scale sustained churn (docs/scale.md): a k=16 fat tree
+// (320 switches, 1024 hosts), per-pod placement domains on, and the
+// ChurnDriver pushing tens of thousands of submit/remove cycles through
+// submitAsync while fragmentation, failure rate, and latency are sampled.
+// The acceptance gate rides in the JSON: verify_violations must be 0
+// across the whole run (commit gate + periodic + final audits).
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/service.h"
+#include "scale/churn.h"
+#include "scale/fattree.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace clickinc;
+  const bool smoke = std::getenv("CLICKINC_BENCH_SMOKE") != nullptr;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int threads = hw > 1 ? hw : 2;
+
+  scale::FatTreeParams params;
+  params.k = smoke ? 4 : 16;
+  params.hosts_per_tor = smoke ? 2 : 8;
+  const auto shape = scale::expectedShape(params);
+
+  scale::ChurnParams cp;
+  cp.seed = 2023;
+  cp.cycles = smoke ? 300 : 10'000;
+  cp.target_live = smoke ? 24 : 384;
+  cp.inflight = 2 * threads;
+  cp.sample_every = smoke ? 100 : 1'000;
+  cp.audit_every = smoke ? 150 : 2'500;
+
+  bench::printHeader(
+      "Datacenter scale — sustained churn on a fat tree",
+      cat("k=", params.k, " fat tree (", shape.switches, " switches, ",
+          shape.hosts, " hosts), domain sharding on, ", threads,
+          " pool threads;\n", cp.cycles, " submit cycles, mean tenant "
+          "lifetime ", cp.target_live, " cycles, submitAsync window ",
+          cp.inflight, "."));
+
+  const auto ft = scale::buildFatTree(params);
+  core::ClickIncService svc(ft.topo, cp.seed);
+  svc.setDomainSharding(true);
+  svc.setConcurrency(threads);
+  scale::ChurnDriver driver(&svc, &ft, cp);
+  const auto& m = driver.run();
+
+  TextTable table({"cycle", "live", "fail rate", "p50 ms", "p99 ms",
+                   "claim spread", "free mean", "free min", "free stddev"});
+  for (const auto& s : m.samples) {
+    table.addRow({cat(s.cycle), cat(s.live), fmtDouble(s.failure_rate, 4),
+                  fmtDouble(s.p50_ms, 3), fmtDouble(s.p99_ms, 3),
+                  fmtDouble(s.claim_spread, 2),
+                  fmtDouble(s.free_ratio_mean, 4),
+                  fmtDouble(s.free_ratio_min, 4),
+                  fmtDouble(s.free_ratio_stddev, 4)});
+  }
+  bench::printTable(table);
+  std::printf(
+      "%ld submits (%ld failed, %ld of those resource), %ld removes, "
+      "%ld re-places,\n%ld audits, %ld verifier violations, whole-run "
+      "p50 %.3f ms / p99 %.3f ms, %.1f s total\n\n",
+      m.submits, m.failures, m.resource_failures, m.removes, m.recompiles,
+      m.audits, m.verify_violations, m.p50_ms, m.p99_ms,
+      m.elapsed_ms / 1000.0);
+
+  // Machine-readable trajectory record (schema: docs/benchmarks.md).
+  bench::JsonWriter json;
+  json.beginObject();
+  json.kv("bench", "scale");
+  bench::writeHostObject(json, threads);
+  json.kv("smoke", smoke);
+  json.kv("seed", static_cast<long>(cp.seed));
+  json.kv("k", params.k);
+  json.kv("hosts_per_tor", params.hosts_per_tor);
+  json.kv("switches", shape.switches);
+  json.kv("hosts", shape.hosts);
+  json.kv("cycles", m.submits);
+  json.kv("target_live", cp.target_live);
+  json.kv("inflight", cp.inflight);
+  json.kv("submits", m.submits);
+  json.kv("removes", m.removes);
+  json.kv("failures", m.failures);
+  json.kv("resource_failures", m.resource_failures);
+  json.kv("recompiles", m.recompiles);
+  json.kv("removed_already_gone", m.removed_already_gone);
+  json.kv("audits", m.audits);
+  json.kv("verify_violations", m.verify_violations);
+  json.kv("final_audit_ok", m.final_audit.ok());
+  json.kv("p50_ms", m.p50_ms);
+  json.kv("p99_ms", m.p99_ms);
+  json.kv("elapsed_ms", m.elapsed_ms);
+  json.key("samples").beginArray();
+  for (const auto& s : m.samples) {
+    json.beginObject();
+    json.kv("cycle", s.cycle);
+    json.kv("live", s.live);
+    json.kv("submits", s.submits);
+    json.kv("removes", s.removes);
+    json.kv("failures", s.failures);
+    json.kv("failure_rate", s.failure_rate);
+    json.kv("p50_ms", s.p50_ms);
+    json.kv("p99_ms", s.p99_ms);
+    json.kv("claim_spread", s.claim_spread);
+    json.kv("free_ratio_mean", s.free_ratio_mean);
+    json.kv("free_ratio_min", s.free_ratio_min);
+    json.kv("free_ratio_stddev", s.free_ratio_stddev);
+    json.kv("verify_violations", s.verify_violations);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  if (json.writeFile("BENCH_scale.json")) {
+    std::printf("wrote BENCH_scale.json\n");
+  } else {
+    std::printf("WARNING: could not write BENCH_scale.json\n");
+  }
+  return m.verify_violations == 0 && m.final_audit.ok() ? 0 : 1;
+}

@@ -32,6 +32,7 @@ namespace {
 int runRecovery(std::uint64_t start, std::uint64_t seeds,
                 const std::string& out_file) {
   long ops = 0, records = 0, cuts = 0, torn = 0, audits = 0, compared = 0;
+  long mutations = 0, rejected = 0, failed_closed = 0, mut_clean = 0;
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
     const auto outcome = clickinc::verify::fuzzRecoveryOnce(seed);
     ops += outcome.ops;
@@ -40,6 +41,10 @@ int runRecovery(std::uint64_t start, std::uint64_t seeds,
     torn += outcome.torn_cuts;
     audits += outcome.audits;
     compared += outcome.compared;
+    mutations += outcome.mutations;
+    rejected += outcome.mutations_rejected;
+    failed_closed += outcome.mutations_failed_closed;
+    mut_clean += outcome.mutations_clean;
     if (!outcome.ok) {
       std::cerr << "FAIL seed " << seed << ": " << outcome.failure << "\n"
                 << "reproduce: fuzz_plans --recovery --start " << seed
@@ -56,7 +61,10 @@ int runRecovery(std::uint64_t start, std::uint64_t seeds,
             << records << " journal records, " << cuts
             << " crash points (" << torn << " torn), " << audits
             << " clean post-recovery audits, " << compared
-            << " bit-identical prefix matches\n";
+            << " bit-identical prefix matches; " << mutations
+            << " byte mutations (" << rejected << " rejected by framing, "
+            << failed_closed << " failed closed, " << mut_clean
+            << " recovered clean)\n";
   return 0;
 }
 

@@ -70,6 +70,48 @@ std::set<int> planDevices(const place::PlacementPlan& plan) {
   return devs;
 }
 
+// Structural sanity of a decoded (journal / checkpoint) plan against its
+// decoded program before any index is dereferenced. Journal framing only
+// proves the bytes match their CRC — a corrupted-but-CRC-consistent
+// record must fail replay with a thrown check (-> structured kRecovery),
+// never walk off a vector. Plans produced by the placer in-process never
+// need this.
+void validateReplayPlan(const place::PlacementPlan& plan,
+                        const ir::IrProgram& prog,
+                        const place::OccupancyMap& occ) {
+  const auto ninstr = static_cast<int>(prog.instrs.size());
+  const auto nstates = static_cast<int>(prog.states.size());
+  auto checkIntra = [&](int dev, const place::IntraPlacement& p) {
+    if (p.instr_idxs.empty()) return;
+    // of() throws on non-programmable / out-of-range devices.
+    const auto& docc = occ.of(dev);
+    const bool pipeline = docc.model->arch == device::Arch::kPipeline;
+    CLICKINC_CHECK(!pipeline || p.stage_of.size() == p.instr_idxs.size(),
+                   cat("replay plan: stage/instr arity mismatch on device ",
+                       dev));
+    for (std::size_t k = 0; k < p.instr_idxs.size(); ++k) {
+      const int idx = p.instr_idxs[k];
+      CLICKINC_CHECK(idx >= 0 && idx < ninstr,
+                     cat("replay plan: instr index ", idx,
+                         " outside program of ", ninstr));
+      CLICKINC_CHECK(
+          prog.instrs[static_cast<std::size_t>(idx)].state_id < nstates,
+          cat("replay plan: instr ", idx, " references state outside ",
+              nstates));
+      if (pipeline) {
+        const int s = p.stage_of[k];
+        CLICKINC_CHECK(
+            s >= 0 && s < static_cast<int>(docc.free_stage.size()),
+            cat("replay plan: stage ", s, " outside device ", dev));
+      }
+    }
+  };
+  for (const auto& a : plan.assignments) {
+    for (const auto& [dev, p] : a.on_device) checkIntra(dev, p);
+    for (const auto& [dev, p] : a.on_bypass) checkIntra(dev, p);
+  }
+}
+
 bool samePlacement(const place::IntraPlacement& a,
                    const place::IntraPlacement& b) {
   return a.instr_idxs == b.instr_idxs && a.stage_of == b.stage_of;
@@ -119,6 +161,10 @@ struct ClickIncService::Speculative {
   place::PlacementPlan plan;
   ServiceError error;  // frontend failure; placement failures live in plan
   int guessed_user = -1;
+  // Placement domain the snapshot was scoped to (scale::kCrossDomain on
+  // the escape path / sharding off); snapshot_version is that domain's
+  // version, so commit validates against the matching counter.
+  int domain = scale::kCrossDomain;
   std::uint64_t snapshot_version = 0;
   std::uint64_t health_version = 0;  // topology health the tree was built on
   std::uint64_t epoch = 0;           // service epoch the snapshot was taken in
@@ -158,6 +204,70 @@ void ClickIncService::setConcurrency(int threads) {
   }
   pool_ = std::make_shared<util::ThreadPool>(concurrency_);
   emu_.setThreadPool(pool_.get());
+}
+
+// --- placement domains (docs/scale.md) ----------------------------------
+
+void ClickIncService::setDomainSharding(bool on) {
+  waitForAsync();  // quiescence: no compile stage may hold stale handles
+  std::lock_guard<std::mutex> lock(mu_);
+  domains_.reset();
+  domain_version_.clear();
+  domain_memos_.clear();
+  if (!on) return;
+  domains_ = std::make_unique<scale::DomainIndex>(topo_);
+  domain_version_.assign(
+      static_cast<std::size_t>(domains_->domainCount()), 0);
+  domain_memos_.reserve(static_cast<std::size_t>(domains_->domainCount()));
+  for (int d = 0; d < domains_->domainCount(); ++d) {
+    domain_memos_.push_back(std::make_shared<place::IntraMemo>());
+  }
+}
+
+bool ClickIncService::domainSharding() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return domains_ != nullptr;
+}
+
+int ClickIncService::requestDomainLocked(
+    const topo::TrafficSpec& traffic) const {
+  return domains_ == nullptr ? scale::kCrossDomain
+                             : domains_->domainOfTraffic(traffic);
+}
+
+std::uint64_t ClickIncService::domainVersionLocked(int domain) const {
+  return domain == scale::kCrossDomain
+             ? occ_version_
+             : domain_version_[static_cast<std::size_t>(domain)];
+}
+
+const std::vector<int>* ClickIncService::domainDevicesOrNull(
+    int domain) const {
+  return domain == scale::kCrossDomain ? nullptr
+                                       : &domains_->domainDevices(domain);
+}
+
+std::shared_ptr<place::IntraMemo> ClickIncService::domainMemoLocked(
+    int domain) {
+  return domain == scale::kCrossDomain
+             ? arena_.memoHandle()
+             : domain_memos_[static_cast<std::size_t>(domain)];
+}
+
+void ClickIncService::touchDevicesLocked(const std::set<int>& devices) {
+  ++occ_version_;
+  if (domains_ == nullptr) return;
+  for (int dev : devices) {
+    const int d = domains_->domainOf(dev);
+    if (d != scale::kCrossDomain) {
+      ++domain_version_[static_cast<std::size_t>(d)];
+    }
+  }
+}
+
+void ClickIncService::touchAllDomainsLocked() {
+  ++occ_version_;
+  for (auto& v : domain_version_) ++v;
 }
 
 ir::IrProgram ClickIncService::compileFrontend(SubmitRequest& req,
@@ -266,16 +376,27 @@ std::vector<SubmitResult> ClickIncService::submitAll(
   // concurrent setConcurrency cannot destroy it mid-compile.
   place::OccupancyMap snapshot(&topo_);
   topo::HealthView health;
-  std::uint64_t version = 0;
   int base_user = 1;
   std::uint64_t epoch = 0;
   std::shared_ptr<util::ThreadPool> pool;
+  // Per-request domain resolution (all kCrossDomain when sharding is
+  // off): single-pod requests validate against their pod's version, so
+  // commits into other pods never invalidate them.
+  std::vector<int> domains(requests.size(), scale::kCrossDomain);
+  std::vector<std::uint64_t> versions(requests.size(), 0);
+  std::vector<const std::vector<int>*> ratios(requests.size(), nullptr);
+  std::vector<std::shared_ptr<place::IntraMemo>> memos(requests.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     pool = pool_;
     snapshot = occ_;
     health = topo_.healthView();
-    version = occ_version_;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      domains[i] = requestDomainLocked(requests[i].traffic);
+      versions[i] = domainVersionLocked(domains[i]);
+      ratios[i] = domainDevicesOrNull(domains[i]);
+      memos[i] = domainMemoLocked(domains[i]);
+    }
     base_user = next_user_;
     epoch = epoch_;
   }
@@ -292,7 +413,8 @@ std::vector<SubmitResult> ClickIncService::submitAll(
   pool->parallelFor(requests.size(), [&](std::size_t i) {
     specs[i] = compileSpeculative(requests[i],
                                   base_user + static_cast<int>(i), snapshot,
-                                  version, health, pool.get());
+                                  versions[i], health, pool.get(),
+                                  domains[i], ratios[i], memos[i]);
     specs[i].epoch = epoch;
   });
 
@@ -376,7 +498,7 @@ void ClickIncService::doRemoveLocked(std::map<int, Deployed>::iterator it,
       }
     }
   }
-  ++occ_version_;
+  touchDevicesLocked(planDevices(it->second.plan));
   deployed_.erase(it);
   out.ok = true;
 }
@@ -429,6 +551,13 @@ SubmitResult ClickIncService::submitLocked(SubmitRequest& req) {
     const auto tree = topo::buildEcTree(topo_, req.traffic);
     place::PlacementOptions run_opts = req.options;
     if (run_opts.pool == nullptr) run_opts.pool = pool_.get();
+    // Domain sharding scopes the adaptive ratio to the request's pod on
+    // the sequential path too, so sharded submitAll stays bit-identical
+    // to sequential submits.
+    if (run_opts.ratio_devices == nullptr) {
+      run_opts.ratio_devices =
+          domainDevicesOrNull(requestDomainLocked(req.traffic));
+    }
     result.plan =
         place::placeProgram(dag, tree, topo_, occ_, run_opts, &arena_);
   } catch (...) {
@@ -453,10 +582,13 @@ SubmitResult ClickIncService::submitLocked(SubmitRequest& req) {
 ClickIncService::Speculative ClickIncService::compileSpeculative(
     SubmitRequest& req, int guessed_user,
     const place::OccupancyMap& snapshot, std::uint64_t snapshot_version,
-    const topo::HealthView& health, util::ThreadPool* pool) {
+    const topo::HealthView& health, util::ThreadPool* pool, int domain,
+    const std::vector<int>* ratio_devices,
+    std::shared_ptr<place::IntraMemo> memo) {
   const auto t0 = std::chrono::steady_clock::now();
   Speculative spec;
   spec.guessed_user = guessed_user;
+  spec.domain = domain;
   spec.snapshot_version = snapshot_version;
   spec.health_version = health.version;
   try {
@@ -474,14 +606,18 @@ ClickIncService::Speculative ClickIncService::compileSpeculative(
     // commit time and re-placed.
     spec.tree = topo::buildEcTree(topo_, req.traffic, &health);
 
-    // Private scratch over the service-wide memo: the DP tables are not
+    // Private scratch over the shared memo: the DP tables are not
     // shareable between concurrent placements, but the intra-placement
     // memo is thread-safe, so concurrent tenants compiling identical
     // segments against the same snapshot pay for one placeCompact
-    // between them.
-    place::PlacementArena arena(arena_.memoHandle());
+    // between them. With domain sharding the memo is the request's
+    // pod-sharded one, so disjoint pods never contend on its shards.
+    place::PlacementArena arena(std::move(memo));
     place::PlacementOptions run_opts = req.options;
     if (run_opts.pool == nullptr) run_opts.pool = pool;
+    if (run_opts.ratio_devices == nullptr) {
+      run_opts.ratio_devices = ratio_devices;
+    }
     spec.plan = place::placeProgram(spec.dag, spec.tree, topo_, snapshot,
                                     run_opts, &arena);
   } catch (...) {
@@ -514,22 +650,36 @@ SubmitResult ClickIncService::submitStagedOnce(SubmitRequest& req) {
   std::uint64_t version = 0;
   int guessed = 1;
   std::uint64_t epoch = 0;
+  int domain = scale::kCrossDomain;
+  const std::vector<int>* ratio = nullptr;
+  std::shared_ptr<place::IntraMemo> memo;
   std::shared_ptr<util::ThreadPool> pool;
   std::function<void()> gate;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pool = pool_;
-    snapshot = occ_;
+    domain = requestDomainLocked(req.traffic);
+    ratio = domainDevicesOrNull(domain);
+    memo = domainMemoLocked(domain);
+    if (domain == scale::kCrossDomain) {
+      snapshot = occ_;  // escape path: the full ledger
+    } else {
+      // Sparse pod-only snapshot: a single-pod placement never reads
+      // beyond its domain's devices, so skip copying the rest of the
+      // ledger (of() on an unlisted device fails loudly, not silently).
+      snapshot = place::OccupancyMap(&topo_, occ_, *ratio);
+    }
     health = topo_.healthView();
-    version = occ_version_;
+    version = domainVersionLocked(domain);
     guessed = next_user_;
     epoch = epoch_;
     ++inflight_staged_;
     gate = compile_gate_;
   }
   if (gate) gate();  // test hook: deterministic remove()-race window
-  Speculative spec =
-      compileSpeculative(req, guessed, snapshot, version, health, pool.get());
+  Speculative spec = compileSpeculative(req, guessed, snapshot, version,
+                                        health, pool.get(), domain, ratio,
+                                        std::move(memo));
   spec.epoch = epoch;
   std::lock_guard<std::mutex> lock(mu_);
   --inflight_staged_;
@@ -598,13 +748,24 @@ SubmitResult ClickIncService::commitSpeculative(Speculative&& spec,
   // sequential submit would have. A health move additionally invalidates
   // the EC tree itself (dead devices must not be placement targets), so
   // the tree is rebuilt against live health first. The commit stage is
-  // serialized, so this happens at most once per submission.
+  // serialized, so this happens at most once per submission. A single-pod
+  // speculative plan validates against its pod's version counter: every
+  // mutation of a pod device bumps it (touchDevicesLocked), so commits
+  // confined to other pods never force a re-place here.
   const bool health_moved = topo_.healthVersion() != spec.health_version;
-  if (rename || health_moved || occ_version_ != spec.snapshot_version) {
+  const bool occ_moved =
+      spec.domain != scale::kCrossDomain && domains_ != nullptr
+          ? domainVersionLocked(spec.domain) != spec.snapshot_version
+          : occ_version_ != spec.snapshot_version;
+  if (rename || health_moved || occ_moved) {
     try {
       if (health_moved) spec.tree = topo::buildEcTree(topo_, req.traffic);
       place::PlacementOptions run_opts = req.options;
       if (run_opts.pool == nullptr) run_opts.pool = pool_.get();
+      if (run_opts.ratio_devices == nullptr) {
+        run_opts.ratio_devices = domainDevicesOrNull(
+            domains_ == nullptr ? scale::kCrossDomain : spec.domain);
+      }
       spec.plan = place::placeProgram(spec.dag, spec.tree, topo_, occ_,
                                       run_opts, &arena_);
     } catch (...) {
@@ -647,7 +808,7 @@ void ClickIncService::commitAndDeployLocked(
                         durable::encodeCommit(rec));
   }
   place::commitPlan(result->plan, *prog, occ_);
-  ++occ_version_;
+  touchDevicesLocked(planDevices(result->plan));
   const int user = next_user_;
   result->user_id = user;
   auto journalAbort = [&] {
@@ -668,6 +829,7 @@ void ClickIncService::commitAndDeployLocked(
   }
   place::PlacementOptions stored = options;
   stored.pool = nullptr;  // pools are borrowed; re-resolved at failover
+  stored.ratio_devices = nullptr;
   deployed_[user] = {prog, result->plan, traffic, stored};
 
   // Verification gate: audit the committed state scoped to this tenant
@@ -713,7 +875,7 @@ void ClickIncService::rollbackDeployLocked(
     for (const auto& [dev, p] : a.on_device) strip(dev, p);
     for (const auto& [dev, p] : a.on_bypass) strip(dev, p);
   }
-  ++occ_version_;
+  touchDevicesLocked(planDevices(plan));
 }
 
 void ClickIncService::deployPlan(
@@ -932,6 +1094,32 @@ verify::VerifyReport ClickIncService::verifyDeployments() {
   return auditLocked({});
 }
 
+verify::VerifyReport ClickIncService::verifyDomain(int pod) {
+  std::lock_guard<std::mutex> lock(mu_);
+  verify::VerifyOptions opts;
+  if (domains_ != nullptr && pod >= 0 && pod < domains_->domainCount()) {
+    const auto& devs = domains_->domainDevices(pod);
+    opts.scope_devices.insert(devs.begin(), devs.end());
+    // Per-tenant checks cover every tenant whose plan touches the pod —
+    // the same field-for-field occupancy reconciliation the full audit
+    // runs, restricted to this domain's slice of the ledger.
+    for (const auto& [user, dep] : deployed_) {
+      for (int dev : planDevices(dep.plan)) {
+        if (opts.scope_devices.count(dev) != 0) {
+          opts.scope_users.insert(user);
+          break;
+        }
+      }
+    }
+    if (opts.scope_users.empty()) {
+      // No tenant touches the pod: scope to an impossible user id so the
+      // per-tenant passes stay empty instead of widening to everyone.
+      opts.scope_users.insert(-1);
+    }
+  }
+  return auditLocked(opts);
+}
+
 verify::Snapshot ClickIncService::verifySnapshot() {
   std::lock_guard<std::mutex> lock(mu_);
   verify::Snapshot snap(&topo_);
@@ -967,7 +1155,7 @@ void ClickIncService::wipeDeviceLocked(int node) {
   }
   emu_.undeployDevice(node);
   device_programs_.erase(node);
-  ++occ_version_;
+  touchDevicesLocked({node});
 }
 
 FailoverReport ClickIncService::handleEventsLocked() {
@@ -1188,7 +1376,7 @@ TenantRecovery ClickIncService::recoverTenantLocked(
     for (const auto& [dev, p] : a.on_device) release(dev, p);
     for (const auto& [dev, p] : a.on_bypass) release(dev, p);
   }
-  ++occ_version_;
+  touchDevicesLocked(planDevices(old.plan));
 
   // 2. Re-place against the degraded topology (dead devices are not in
   // the EC tree; draining devices forward but take no placements). The
@@ -1201,6 +1389,10 @@ TenantRecovery ClickIncService::recoverTenantLocked(
     const auto tree = topo::buildEcTree(topo_, old.traffic, &eff);
     place::PlacementOptions run_opts = old.options;
     run_opts.pool = pool_.get();
+    // Re-resolved like the pool: domain scoping is service config, never
+    // stored with the tenant.
+    run_opts.ratio_devices =
+        domainDevicesOrNull(requestDomainLocked(old.traffic));
     new_plan = place::placeProgram(dag, tree, topo_, occ_, run_opts, &arena_);
     cumulative_stats_.add(new_plan.stats);
     placed = new_plan.feasible;
@@ -1232,7 +1424,7 @@ TenantRecovery ClickIncService::recoverTenantLocked(
       emu_.undeploy(dev, user);
     }
     deployed_.erase(user);
-    ++occ_version_;
+    touchDevicesLocked(old_devices);
     rec.outcome = RecoveryOutcome::kInfeasible;
     rec.error = err;
     rec.segments_replaced = static_cast<int>(old.plan.assignments.size());
@@ -1294,7 +1486,7 @@ TenantRecovery ClickIncService::recoverTenantLocked(
   // data-plane (pinned devices untouched by construction), deploy the new
   // segments.
   place::commitPlan(new_plan, *old.prog, occ_);
-  ++occ_version_;
+  touchDevicesLocked(planDevices(new_plan));
   for (std::size_t j = 0; j < old.plan.assignments.size(); ++j) {
     if (pinned_old[j]) continue;
     for (int dev : assignmentDevices(old.plan.assignments[j])) {
@@ -1343,7 +1535,7 @@ TenantRecovery ClickIncService::recoverTenantLocked(
       }
     }
     place::commitPlan(restore, *old.prog, occ_);
-    ++occ_version_;
+    touchDevicesLocked(planDevices(restore));
     std::vector<char> skip(restore.assignments.size(), 0);
     for (std::size_t j = 0; j < restore.assignments.size(); ++j) {
       skip[j] = pinned_old[j];
@@ -1419,7 +1611,7 @@ void ClickIncService::resetStateLocked() {
   device_programs_.clear();
   emu_.reset();
   occ_ = place::OccupancyMap(&topo_);
-  ++occ_version_;
+  touchAllDomainsLocked();
   next_user_ = 1;
   processed_health_version_ = 0;
   journaled_health_version_ = 0;
@@ -1537,17 +1729,19 @@ void ClickIncService::restoreCheckpointLocked(
     occ.free_stage = dev.free_stage;
     occ.free_whole = dev.free_whole;
   }
-  ++occ_version_;
+  touchAllDomainsLocked();
   for (const auto& t : cp.tenants) {
     CLICKINC_CHECK(durable::planFingerprint(t.plan) == t.plan_fp,
                    cat("checkpoint restore: plan fingerprint mismatch for "
                        "user ",
                        t.user));
     auto prog = std::make_shared<ir::IrProgram>(t.prog);
+    validateReplayPlan(t.plan, *prog, occ_);
     Impact impact;
     deployPlan(t.user, prog, t.plan, &impact);
     place::PlacementOptions stored = t.options;
     stored.pool = nullptr;
+    stored.ratio_devices = nullptr;
     deployed_[t.user] = {prog, t.plan, t.traffic, stored};
   }
 }
@@ -1561,12 +1755,14 @@ void ClickIncService::applyRecordLocked(const durable::RecordRef& rec) {
     case durable::RecordType::kCommit: {
       auto cr = durable::decodeCommit(rec.payload);
       auto prog = std::make_shared<ir::IrProgram>(std::move(cr.prog));
+      validateReplayPlan(cr.plan, *prog, occ_);
       place::commitPlan(cr.plan, *prog, occ_);
-      ++occ_version_;
+      touchDevicesLocked(planDevices(cr.plan));
       Impact impact;
       deployPlan(cr.user, prog, cr.plan, &impact);
       place::PlacementOptions stored = cr.options;
       stored.pool = nullptr;
+      stored.ratio_devices = nullptr;
       deployed_[cr.user] = {prog, cr.plan, cr.traffic, stored};
       next_user_ = std::max(next_user_, cr.user + 1);
       break;

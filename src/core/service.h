@@ -39,6 +39,7 @@
 #include "modules/profile.h"
 #include "modules/templates.h"
 #include "place/treedp.h"
+#include "scale/domains.h"
 #include "synth/synthesizer.h"
 #include "topo/ec.h"
 #include "util/thread_pool.h"
@@ -236,6 +237,11 @@ class ClickIncService {
   // occupancy ledger (all four invariants, no scoping).
   verify::VerifyReport verifyDeployments();
 
+  // Audit scoped to one pod domain: cross-tenant checks over the pod's
+  // devices, per-tenant checks over the tenants whose plans touch them.
+  // Requires domain sharding; an out-of-range pod audits everything.
+  verify::VerifyReport verifyDomain(int pod);
+
   // Owning copy of the verifier's inputs (programs, plans, ledger, plan
   // options) for offline inspection / mutation fuzzing. The topology
   // pointer borrows from this service.
@@ -254,6 +260,25 @@ class ClickIncService {
   void setConcurrency(int threads);
   int concurrency() const { return concurrency_; }
   util::ThreadPool* threadPool() { return pool_.get(); }
+
+  // --- placement domains (docs/scale.md) ---
+
+  // Shards the occupancy snapshot, IntraMemo, and optimistic-concurrency
+  // version by pod (scale::DomainIndex). A submission whose traffic stays
+  // inside one pod compiles against a sparse pod-only snapshot, memoizes
+  // into its pod's IntraMemo, averages the adaptive-weight ratio over pod
+  // devices only, and re-places at commit iff *its pod's* version moved —
+  // concurrent submitAll batches against disjoint pods never invalidate
+  // each other. Cross-pod traffic escapes to the full-ledger path,
+  // validated against the global version exactly as before. With sharding
+  // on, submitAll stays bit-identical to sequential submits (the
+  // per-domain version subsumes every mutation of domain devices).
+  // Quiescent-only, like setConcurrency: joins async submissions; do not
+  // call concurrently with an in-flight submitAll.
+  void setDomainSharding(bool on);
+  bool domainSharding();
+  // The live index, or nullptr when sharding is off.
+  const scale::DomainIndex* domainIndex() const { return domains_.get(); }
 
   const topo::Topology& topology() const { return topo_; }
   emu::Emulator& emulator() { return emu_; }
@@ -312,11 +337,17 @@ class ClickIncService {
   // (lock-protected) health vectors — a concurrent failNode() cannot race
   // it. `pool` is the caller's pinned copy of the service pool (may be
   // null).
+  // `domain` / `ratio_devices` / `memo` are the caller's lock-captured
+  // domain resolution (kCrossDomain / nullptr / the global memo handle
+  // when sharding is off or the request crosses pods): snapshot_version
+  // is the *domain's* version for single-pod requests.
   Speculative compileSpeculative(SubmitRequest& req, int guessed_user,
                                  const place::OccupancyMap& snapshot,
                                  std::uint64_t snapshot_version,
                                  const topo::HealthView& health,
-                                 util::ThreadPool* pool);
+                                 util::ThreadPool* pool, int domain,
+                                 const std::vector<int>* ratio_devices,
+                                 std::shared_ptr<place::IntraMemo> memo);
 
   // Stage 2 (lock held): validate + claim + synthesize + deploy.
   SubmitResult commitSpeculative(Speculative&& spec, SubmitRequest& req);
@@ -383,6 +414,26 @@ class ClickIncService {
   // the verifier borrows live programs/plans/ledger).
   verify::VerifyReport auditLocked(const verify::VerifyOptions& opts);
 
+  // --- placement-domain internals (lock held; docs/scale.md) ---
+
+  // Domain of a request's traffic: its pod when sharding is on and every
+  // endpoint shares one pod, else scale::kCrossDomain.
+  int requestDomainLocked(const topo::TrafficSpec& traffic) const;
+  // The version a snapshot of `domain` must validate against (the pod's
+  // version, or occ_version_ for the cross-domain escape path).
+  std::uint64_t domainVersionLocked(int domain) const;
+  // Pod device list for the adaptive-ratio scope; nullptr on the escape
+  // path (service-wide ratio).
+  const std::vector<int>* domainDevicesOrNull(int domain) const;
+  // Pod-sharded IntraMemo handle; the global memo on the escape path.
+  std::shared_ptr<place::IntraMemo> domainMemoLocked(int domain);
+  // Occupancy-mutation bookkeeping: bumps the global version plus the
+  // domain version of every pod owning one of `devices`. Every former
+  // bare ++occ_version_ site with a known device set routes through here.
+  void touchDevicesLocked(const std::set<int>& devices);
+  // For wholesale mutations (reset, checkpoint restore).
+  void touchAllDomainsLocked();
+
   topo::Topology topo_;
   modules::ModuleLibrary lib_;
   synth::BaseProgram base_;
@@ -409,6 +460,17 @@ class ClickIncService {
   // validation. Health moves are validated separately against the
   // topology's own health version.
   std::uint64_t occ_version_ = 0;
+
+  // Placement-domain state (guarded by mu_; rebuilt by setDomainSharding
+  // under quiescence, so compile stages may hold borrowed device-list
+  // pointers and memo handles across the unlocked compile). domains_ ==
+  // nullptr means sharding is off. domain_version_[pod] is bumped by
+  // touchDevicesLocked whenever a mutation touches a device of that pod;
+  // single-pod speculative plans validate against it instead of the
+  // global version.
+  std::unique_ptr<scale::DomainIndex> domains_;
+  std::vector<std::uint64_t> domain_version_;
+  std::vector<std::shared_ptr<place::IntraMemo>> domain_memos_;
 
   // Failure-domain runtime state (all guarded by mu_).
   RetryPolicy retry_policy_;        // max_attempts <= 1: no retry

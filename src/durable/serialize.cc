@@ -32,7 +32,7 @@ void writeIntVec(BinWriter& w, const std::vector<int>& v) {
 }
 
 std::vector<int> readIntVec(BinReader& r) {
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = r.count(4);
   std::vector<int> v;
   v.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.i32());
@@ -58,7 +58,7 @@ ir::Instruction readInstruction(BinReader& r) {
   ins.op = static_cast<ir::Opcode>(r.u16());
   ins.dest = readOperand(r);
   ins.dest2 = readOperand(r);
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = r.count(17);
   ins.srcs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) ins.srcs.push_back(readOperand(r));
   if (r.boolean()) ins.pred = readOperand(r);
@@ -127,7 +127,7 @@ void writeIntraMap(BinWriter& w,
 
 std::map<int, place::IntraPlacement> readIntraMap(BinReader& r) {
   std::map<int, place::IntraPlacement> m;
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = r.count(8);
   for (std::uint32_t i = 0; i < n; ++i) {
     const int dev = r.i32();
     m.emplace(dev, readIntra(r));
@@ -171,7 +171,7 @@ void writeDeferred(BinWriter& w,
 
 std::map<std::uint64_t, DeferredHeal> readDeferred(BinReader& r) {
   std::map<std::uint64_t, DeferredHeal> m;
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = r.count(16);
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint64_t key = r.u64();
     DeferredHeal d;
@@ -206,7 +206,7 @@ void writeProgram(BinWriter& w, const ir::IrProgram& prog) {
 ir::IrProgram readProgram(BinReader& r) {
   ir::IrProgram prog;
   prog.name = r.str();
-  const std::uint32_t nf = r.u32();
+  const std::uint32_t nf = r.count(8);
   prog.fields.reserve(nf);
   for (std::uint32_t i = 0; i < nf; ++i) {
     ir::HeaderField f;
@@ -214,10 +214,10 @@ ir::IrProgram readProgram(BinReader& r) {
     f.width = r.i32();
     prog.fields.push_back(std::move(f));
   }
-  const std::uint32_t ns = r.u32();
+  const std::uint32_t ns = r.count(16);
   prog.states.reserve(ns);
   for (std::uint32_t i = 0; i < ns; ++i) prog.states.push_back(readState(r));
-  const std::uint32_t ni = r.u32();
+  const std::uint32_t ni = r.count(32);
   prog.instrs.reserve(ni);
   for (std::uint32_t i = 0; i < ni; ++i) {
     prog.instrs.push_back(readInstruction(r));
@@ -287,7 +287,7 @@ place::PlacementPlan readPlan(BinReader& r) {
   plan.feasible = r.boolean();
   plan.failure = r.str();
   plan.resource_limited = r.boolean();
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = r.count(16);
   plan.assignments.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     place::NodeAssignment a;
@@ -320,7 +320,7 @@ void writeTraffic(BinWriter& w, const topo::TrafficSpec& spec) {
 
 topo::TrafficSpec readTraffic(BinReader& r) {
   topo::TrafficSpec spec;
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = r.count(12);
   spec.sources.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     topo::TrafficSource s;
@@ -351,7 +351,8 @@ place::PlacementOptions readOptions(BinReader& r) {
   opts.prune = r.boolean();
   opts.fast = r.boolean();
   opts.max_steps = static_cast<long>(r.i64());
-  opts.pool = nullptr;
+  opts.pool = nullptr;          // borrowed, never serialized
+  opts.ratio_devices = nullptr;
   return opts;
 }
 
@@ -523,12 +524,12 @@ CheckpointRecord decodeCheckpoint(std::span<const std::uint8_t> payload) {
   rec.processed_health_version = r.u64();
   rec.node_health = r.blob();
   rec.link_health = r.blob();
-  const std::uint32_t nd = r.u32();
+  const std::uint32_t nd = r.count(8);
   rec.devices.reserve(nd);
   for (std::uint32_t i = 0; i < nd; ++i) {
     CheckpointDevice d;
     d.node = r.i32();
-    const std::uint32_t ns = r.u32();
+    const std::uint32_t ns = r.count(8);
     d.free_stage.reserve(ns);
     for (std::uint32_t s = 0; s < ns; ++s) {
       d.free_stage.push_back(readDemand(r));
@@ -536,11 +537,11 @@ CheckpointRecord decodeCheckpoint(std::span<const std::uint8_t> payload) {
     d.free_whole = readDemand(r);
     rec.devices.push_back(std::move(d));
   }
-  const std::uint32_t nt = r.u32();
+  const std::uint32_t nt = r.count(8);
   rec.tenants.reserve(nt);
   for (std::uint32_t i = 0; i < nt; ++i) rec.tenants.push_back(readTenant(r));
   rec.deferred_heals = readDeferred(r);
-  const std::uint32_t nl = r.u32();
+  const std::uint32_t nl = r.count(16);
   for (std::uint32_t i = 0; i < nl; ++i) {
     const std::uint64_t key = r.u64();
     rec.last_disturb[key] = r.u64();

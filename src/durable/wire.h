@@ -83,6 +83,22 @@ class BinReader {
     return v;
   }
 
+  // Count prefix of a repeated field. Each element consumes at least
+  // min_elem_bytes when encoded, so any count that cannot fit in the
+  // remaining bytes is corruption — reject it BEFORE the caller sizes a
+  // container, or a flipped count byte that survives the journal CRC
+  // turns into an unbounded allocation instead of a parse error.
+  std::uint32_t count(std::size_t min_elem_bytes) {
+    const std::uint32_t n = u32();
+    if (min_elem_bytes > 0 &&
+        n > remaining() / min_elem_bytes) {
+      throw Error("durable: implausible count " + std::to_string(n) +
+                  " (needs >= " + std::to_string(n * min_elem_bytes) +
+                  " bytes, has " + std::to_string(remaining()) + ")");
+    }
+    return n;
+  }
+
   std::size_t remaining() const { return bytes_.size() - pos_; }
   bool done() const { return pos_ == bytes_.size(); }
 

@@ -650,11 +650,21 @@ void commitPlacement(DeviceOccupancy& occ, const ir::IrProgram& prog,
                    "over-committed device");
     return;
   }
+  // Bounds are checked, not assumed: commit also replays journal records
+  // whose bytes only ever passed a CRC (core/service.cc recovery).
+  CLICKINC_CHECK(placement.stage_of.size() == placement.instr_idxs.size(),
+                 "commit: stage/instr arity mismatch");
   std::set<std::pair<int, int>> sites;
   for (std::size_t k = 0; k < placement.instr_idxs.size(); ++k) {
-    const auto& ins = prog.instrs[static_cast<std::size_t>(
-        placement.instr_idxs[k])];
+    const int idx = placement.instr_idxs[k];
+    CLICKINC_CHECK(idx >= 0 &&
+                       idx < static_cast<int>(prog.instrs.size()),
+                   "commit: instr index outside program");
+    const auto& ins = prog.instrs[static_cast<std::size_t>(idx)];
     const int s = placement.stage_of[k];
+    CLICKINC_CHECK(s >= 0 &&
+                       s < static_cast<int>(occ.free_stage.size()),
+                   "commit: stage outside device pipeline");
     const auto d = siteDemand(prog, ins, *occ.model, &sites, s);
     CLICKINC_CHECK(
         subtractFrom(occ.free_stage[static_cast<std::size_t>(s)], d),

@@ -49,11 +49,33 @@ const DeviceOccupancy& OccupancyMap::of(int node_id) const {
       slot_of_[static_cast<std::size_t>(node_id)])];
 }
 
+OccupancyMap::OccupancyMap(const topo::Topology* topo,
+                           const OccupancyMap& src,
+                           const std::vector<int>& devices)
+    : topo_(topo) {
+  slot_of_.assign(static_cast<std::size_t>(topo->nodeCount()), -1);
+  slots_.reserve(devices.size());
+  for (int dev : devices) {
+    CLICKINC_CHECK(slot_of_[static_cast<std::size_t>(dev)] < 0,
+                   "restricted occupancy copy: duplicate device");
+    slot_of_[static_cast<std::size_t>(dev)] = static_cast<int>(slots_.size());
+    slots_.push_back(src.of(dev));
+  }
+}
+
 double OccupancyMap::remainingRatio() const {
   if (slots_.empty()) return 1.0;
   double sum = 0;
   for (const auto& occ : slots_) sum += occ.remainingRatio();
   return sum / static_cast<double>(slots_.size());
+}
+
+double OccupancyMap::remainingRatioOver(
+    const std::vector<int>& devices) const {
+  if (devices.empty()) return 1.0;
+  double sum = 0;
+  for (int dev : devices) sum += of(dev).remainingRatio();
+  return sum / static_cast<double>(devices.size());
 }
 
 std::vector<int> PlacementPlan::devicesUsed() const {
@@ -131,8 +153,12 @@ class TreePlacer {
     stride_ = m_ + 1;
     seg_stride_ = static_cast<long>(stride_) * stride_;
     analysis_ = ir::analyzeProgram(dag.prog());
-    weights_ = opts.adaptive ? adaptiveWeights(occ.remainingRatio())
-                             : opts.weights;
+    weights_ = opts.adaptive
+                   ? adaptiveWeights(opts.ratio_devices != nullptr
+                                         ? occ.remainingRatioOver(
+                                               *opts.ratio_devices)
+                                         : occ.remainingRatio())
+                   : opts.weights;
     // Normalizers for h_r / h_p.
     score_norm_ = std::max(1.0, dag.totalScore());
     double cut_total = 0;
@@ -345,7 +371,9 @@ class TreePlacer {
   void computeOccFingerprints() {
     occ_fp_.assign(static_cast<std::size_t>(topo_.nodeCount()), 0);
     for (const auto& n : topo_.nodes()) {
-      if (n.programmable) {
+      // A sparse domain snapshot carries only its pod's devices; the DP
+      // never places on (so never reads the fingerprint of) the rest.
+      if (n.programmable && occ_.contains(n.id)) {
         occ_fp_[static_cast<std::size_t>(n.id)] =
             occupancyFingerprint(occ_.of(n.id));
       }

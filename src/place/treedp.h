@@ -52,12 +52,33 @@ class OccupancyMap {
  public:
   explicit OccupancyMap(const topo::Topology* topo);
 
+  // Sparse snapshot restricted to `devices`: only the listed devices get
+  // slots (copied from `src`); of() on any other node CHECK-fails loudly.
+  // Single-domain speculative compiles only ever consult their domain's
+  // devices, so the per-submission copy of the whole ledger is avoided
+  // (see core::ClickIncService::setDomainSharding).
+  OccupancyMap(const topo::Topology* topo, const OccupancyMap& src,
+               const std::vector<int>& devices);
+
   DeviceOccupancy& of(int node_id);
   const DeviceOccupancy& of(int node_id) const;
+
+  // True when this map carries a slot for node_id (always true for
+  // programmable nodes on a full map; restricted to the listed devices
+  // on a sparse snapshot). of() CHECK-fails exactly when this is false.
+  bool contains(int node_id) const {
+    return node_id >= 0 && node_id < static_cast<int>(slot_of_.size()) &&
+           slot_of_[static_cast<std::size_t>(node_id)] >= 0;
+  }
 
   // Mean remaining capacity ratio over programmable devices (the r that
   // drives adaptive weights).
   double remainingRatio() const;
+
+  // Mean remaining ratio over the listed devices only — the domain-scoped
+  // r when placement domains are enabled. Every listed device must be
+  // programmable and present in this map.
+  double remainingRatioOver(const std::vector<int>& devices) const;
 
  private:
   const topo::Topology* topo_;
@@ -82,6 +103,13 @@ struct PlacementOptions {
   // sequential fast path (see docs/placement.md, "Threading model").
   // nullptr = sequential. The pool is borrowed, not owned.
   util::ThreadPool* pool = nullptr;
+  // Devices the adaptive remaining ratio is averaged over; nullptr means
+  // every programmable device (the service-wide r). When placement
+  // domains are enabled the service points this at the request's domain so
+  // single-pod placements are a pure function of pod-local occupancy —
+  // commits in other pods cannot shift the weights. Borrowed, never
+  // serialized or stored (like `pool`).
+  const std::vector<int>* ratio_devices = nullptr;
 };
 
 // Cache/memo counters of one placement run (Table 3/6 scenarios read the

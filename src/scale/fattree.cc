@@ -1,0 +1,125 @@
+#include "scale/fattree.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace clickinc::scale {
+
+using topo::Node;
+using topo::NodeKind;
+using clickinc::cat;
+
+FatTreeShape expectedShape(const FatTreeParams& p) {
+  CLICKINC_CHECK(p.k >= 2 && p.k % 2 == 0, "fat-tree k must be even");
+  CLICKINC_CHECK(p.hosts_per_tor >= 1, "hosts_per_tor must be positive");
+  const int half = p.k / 2;
+  FatTreeShape s;
+  s.pods = p.k;
+  s.cores = half * half;
+  s.aggs = p.k * half;
+  s.tors = p.k * half;
+  s.hosts = p.k * half * p.hosts_per_tor;
+  s.nics = p.host_nics ? s.hosts : 0;
+  s.switches = s.cores + s.aggs + s.tors;
+  s.nodes = s.switches + s.hosts + s.nics;
+  s.core_links = p.k * half * half;
+  s.pod_links = p.k * half * half;
+  s.host_links = p.host_nics ? 2 * s.hosts : s.hosts;
+  s.links = s.core_links + s.pod_links + s.host_links;
+  return s;
+}
+
+FatTree buildFatTree(const FatTreeParams& params) {
+  const FatTreeShape shape = expectedShape(params);  // validates params
+  const int half = params.k / 2;
+  FatTree ft;
+  ft.params = params;
+  topo::Topology& t = ft.topo;
+
+  ft.cores.reserve(static_cast<std::size_t>(shape.cores));
+  for (int i = 0; i < half * half; ++i) {
+    Node core;
+    core.name = cat("Core", i);
+    core.kind = NodeKind::kSwitch;
+    core.layer = 3;
+    core.programmable = true;
+    core.model = params.core_model;
+    ft.cores.push_back(t.addNode(core));
+  }
+
+  ft.pods.resize(static_cast<std::size_t>(params.k));
+  for (int pod = 0; pod < params.k; ++pod) {
+    PodNodes& pn = ft.pods[static_cast<std::size_t>(pod)];
+    pn.pod = pod;
+    for (int i = 0; i < half; ++i) {
+      Node agg;
+      agg.name = cat("Agg", pod * half + i);
+      agg.kind = NodeKind::kSwitch;
+      agg.layer = 2;
+      agg.pod = pod;
+      agg.programmable = true;
+      agg.model = params.agg_model;
+      pn.aggs.push_back(t.addNode(agg));
+    }
+    for (int i = 0; i < half; ++i) {
+      Node tor;
+      tor.name = cat("ToR", pod * half + i);
+      tor.kind = NodeKind::kSwitch;
+      tor.layer = 1;
+      tor.pod = pod;
+      tor.programmable = true;
+      tor.model = params.tor_model;
+      pn.tors.push_back(t.addNode(tor));
+    }
+    for (int a : pn.aggs) {
+      for (int to : pn.tors) t.addLink(a, to);
+    }
+    // Device-equal wiring: agg i uplinks to cores [i*half, (i+1)*half).
+    for (int i = 0; i < half; ++i) {
+      for (int j = 0; j < half; ++j) {
+        t.addLink(pn.aggs[static_cast<std::size_t>(i)],
+                  ft.cores[static_cast<std::size_t>(i * half + j)]);
+      }
+    }
+    for (int i = 0; i < half; ++i) {
+      for (int h = 0; h < params.hosts_per_tor; ++h) {
+        Node host;
+        host.name = cat("pod", pod, "h", i * params.hosts_per_tor + h);
+        host.kind = NodeKind::kHost;
+        host.pod = pod;
+        const int hid = t.addNode(host);
+        pn.hosts.push_back(hid);
+        if (params.host_nics) {
+          Node nic;
+          nic.name = cat("Nic", pod, "_", i * params.hosts_per_tor + h);
+          nic.kind = NodeKind::kNic;
+          nic.pod = pod;
+          nic.programmable = true;
+          nic.model = params.nic_model;
+          const int nid = t.addNode(nic);
+          pn.nics.push_back(nid);
+          t.addLink(hid, nid, 100.0, 600.0);
+          t.addLink(nid, pn.tors[static_cast<std::size_t>(i)]);
+        } else {
+          t.addLink(pn.tors[static_cast<std::size_t>(i)], hid);
+        }
+      }
+    }
+  }
+
+  CLICKINC_CHECK(t.nodeCount() == shape.nodes,
+                 "fat-tree generator: node count drifted from closed form");
+  CLICKINC_CHECK(static_cast<int>(t.links().size()) == shape.links,
+                 "fat-tree generator: link count drifted from closed form");
+  return ft;
+}
+
+std::vector<int> FatTree::allHosts() const {
+  std::vector<int> out;
+  for (const auto& pn : pods) {
+    out.insert(out.end(), pn.hosts.begin(), pn.hosts.end());
+  }
+  return out;
+}
+
+}  // namespace clickinc::scale

@@ -1,0 +1,78 @@
+// Datacenter-scale k-ary fat-tree/Clos generator (docs/scale.md).
+//
+// Builds the same device-equal wiring as topo::Topology::fatTree — k pods
+// of k/2 ToR + k/2 Agg switches, (k/2)^2 cores, `hosts_per_tor` hosts per
+// ToR, agg i uplinked to cores [i*(k/2), (i+1)*(k/2)) — but parameterized
+// by per-tier device classes, with optional programmable smartNICs in
+// front of every host, and it returns per-pod metadata (node-id lists per
+// tier) alongside the topology so callers can reason about placement
+// domains without re-scanning nodes. Naming is deterministic and matches
+// the existing builder: Core<i>, Agg<pod*(k/2)+i>, ToR<pod*(k/2)+i>,
+// pod<p>h<i>, Nic<p>_<i>.
+//
+// At k=16 / 8 hosts-per-ToR this is 320 switches + 1024 hosts; k=32 is
+// 1280 switches + 8192 hosts (closed forms in FatTreeShape).
+#pragma once
+
+#include <vector>
+
+#include "device/model.h"
+#include "topo/topology.h"
+
+namespace clickinc::scale {
+
+struct FatTreeParams {
+  int k = 4;              // even; pods = k, tors = aggs = k/2 per pod
+  int hosts_per_tor = 2;
+  device::DeviceModel tor_model = device::makeTofino();
+  device::DeviceModel agg_model = device::makeTrident4();
+  device::DeviceModel core_model = device::makeTofino2();
+  // Optional programmable NIC tier: every host gets a smartNIC of this
+  // class spliced into its ToR link (host - nic - tor).
+  bool host_nics = false;
+  device::DeviceModel nic_model = device::makeNfp();
+};
+
+// Closed-form element counts of a k-ary fat tree (the formulas the
+// generator tests assert against).
+struct FatTreeShape {
+  int pods = 0;
+  int cores = 0;            // (k/2)^2
+  int aggs = 0;             // k * k/2
+  int tors = 0;             // k * k/2
+  int hosts = 0;            // k * k/2 * hosts_per_tor
+  int nics = 0;             // == hosts when host_nics, else 0
+  int switches = 0;         // cores + aggs + tors
+  int nodes = 0;            // switches + hosts + nics
+  int core_links = 0;       // agg-core: k * (k/2) * (k/2)
+  int pod_links = 0;        // agg-tor:  k * (k/2) * (k/2)
+  int host_links = 0;       // tor-host; doubled when host_nics splices
+                            // a host-nic + nic-tor pair per host
+  int links = 0;
+};
+FatTreeShape expectedShape(const FatTreeParams& p);
+
+// Per-pod node-id metadata; together with `cores` these lists partition
+// the generated node set exactly (every node appears in exactly one list).
+struct PodNodes {
+  int pod = -1;
+  std::vector<int> tors;
+  std::vector<int> aggs;
+  std::vector<int> hosts;
+  std::vector<int> nics;   // empty unless FatTreeParams::host_nics
+};
+
+struct FatTree {
+  topo::Topology topo;
+  FatTreeParams params;
+  std::vector<int> cores;
+  std::vector<PodNodes> pods;
+
+  // All hosts, pod-major then ToR-major — the order churn/bench drivers
+  // draw traffic endpoints from.
+  std::vector<int> allHosts() const;
+};
+
+FatTree buildFatTree(const FatTreeParams& params);
+
+}  // namespace clickinc::scale

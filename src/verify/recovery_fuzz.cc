@@ -307,6 +307,129 @@ RecoveryFuzzOutcome fuzzRecoveryOnce(std::uint64_t seed,
     ++out.compared;
   }
 
+  // --- byte-level mutation trials: corruption INSIDE record bodies -----
+  // Contract: framing-detectable corruption (stale CRC, bad length, bad
+  // seq/type) reduces to a clean-prefix recovery exactly like a torn
+  // tail; corruption that survives framing (CRC fixed up over a mutated
+  // body) must either replay to an audit-clean state or fail closed with
+  // a structured kRecovery error. Recovery never crashes and never
+  // reports ok with a dirty audit.
+  auto tryMutated = [&](std::vector<std::uint8_t> mut, const char* what,
+                        std::uint64_t where) -> bool {
+    ++out.mutations;
+    const auto mscan = durable::scanJournal(mut);
+    // Did the mutated journal scan to a byte-identical prefix of the
+    // original records? Only then is a digest comparison meaningful.
+    bool clean_prefix = mscan.magic_ok &&
+                        mscan.records.size() <= scan.records.size();
+    if (clean_prefix) {
+      for (std::size_t i = 0; i < mscan.records.size(); ++i) {
+        const auto& a = mscan.records[i];
+        const auto& b = scan.records[i];
+        if (a.seq != b.seq || a.type != b.type || a.payload != b.payload) {
+          clean_prefix = false;
+          break;
+        }
+      }
+    }
+    if (clean_prefix && mscan.records.size() < scan.records.size()) {
+      ++out.mutations_rejected;
+    }
+    durable::MemJournalSink msink;
+    msink.setBytes(std::move(mut));
+    core::ClickIncService svc(topo, seed);
+    configure(svc);
+    const core::RecoveryReport rep = svc.recover(&msink);
+    if (!rep.ok) {
+      if (rep.error.code != core::ErrorCode::kRecovery) {
+        out.ok = false;
+        out.failure = cat("mutated journal (", what, " @", where,
+                          ") failed without a structured kRecovery error: ",
+                          rep.error.detail);
+        return false;
+      }
+      ++out.mutations_failed_closed;
+      return true;
+    }
+    if (!rep.verify.ok()) {
+      out.ok = false;
+      out.failure = cat("mutated journal (", what, " @", where,
+                        ") recovered ok with a dirty audit: ",
+                        rep.verify.summary());
+      return false;
+    }
+    ++out.mutations_clean;
+    if (!clean_prefix) return true;  // decodable garbage, audit-clean
+    const std::ptrdiff_t prefix = expectedPrefix(mscan.records.size());
+    if (prefix < 0) return true;
+    const std::string got = stateDigest(svc);
+    const std::string& want = reference(static_cast<std::size_t>(prefix));
+    if (got != want) {
+      out.ok = false;
+      out.failure = cat("mutated journal (", what, " @", where,
+                        ") silently diverged from op prefix ", prefix,
+                        ":\n  got  ", got, "\n  want ", want);
+      return false;
+    }
+    return true;
+  };
+
+  for (const auto& rec : scan.records) {
+    const std::uint64_t body_off = rec.offset + 4;
+    const std::uint64_t body_len = rec.end - 4 - body_off;
+    if (body_len == 0) continue;
+    const auto flip = [&](std::uint8_t b) {
+      return static_cast<std::uint8_t>(
+          b ^ static_cast<std::uint8_t>(1 + rng.nextBelow(255)));
+    };
+    {  // body flip, CRC left stale: framing must reject the record
+      std::vector<std::uint8_t> mut = bytes;
+      const std::uint64_t at = body_off + rng.nextBelow(body_len);
+      mut[at] = flip(mut[at]);
+      if (!tryMutated(std::move(mut), "body flip", at)) return out;
+    }
+    {  // body flip with the CRC fixed up: framing cannot see it
+      std::vector<std::uint8_t> mut = bytes;
+      const std::uint64_t at = body_off + rng.nextBelow(body_len);
+      mut[at] = flip(mut[at]);
+      const std::uint32_t crc = crc32(std::span<const std::uint8_t>(
+          mut.data() + body_off, body_len));
+      for (int i = 0; i < 4; ++i) {
+        mut[rec.end - 4 + static_cast<std::uint64_t>(i)] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+      }
+      if (!tryMutated(std::move(mut), "crc-fixed flip", at)) return out;
+    }
+    {  // interior truncation: drop bytes mid-record, tail shifts left
+      std::vector<std::uint8_t> mut = bytes;
+      const std::uint64_t at = body_off + rng.nextBelow(body_len);
+      const std::uint64_t span =
+          1 + rng.nextBelow(std::min<std::uint64_t>(8, rec.end - at));
+      mut.erase(mut.begin() + static_cast<std::ptrdiff_t>(at),
+                mut.begin() + static_cast<std::ptrdiff_t>(at + span));
+      if (!tryMutated(std::move(mut), "interior truncation", at)) {
+        return out;
+      }
+    }
+    {  // length-prefix rewrite: misframes this record and the tail
+      std::vector<std::uint8_t> mut = bytes;
+      const std::uint32_t len = static_cast<std::uint32_t>(rng.next());
+      for (int i = 0; i < 4; ++i) {
+        mut[rec.offset + static_cast<std::uint64_t>(i)] =
+            static_cast<std::uint8_t>(len >> (8 * i));
+      }
+      if (!tryMutated(std::move(mut), "length rewrite", rec.offset)) {
+        return out;
+      }
+    }
+  }
+  if (!bytes.empty()) {  // corrupt header: recover() starts a fresh journal
+    std::vector<std::uint8_t> mut = bytes;
+    const std::uint64_t at = rng.nextBelow(8);
+    mut[at] ^= 0xA5;
+    if (!tryMutated(std::move(mut), "magic flip", at)) return out;
+  }
+
   // --- canary: journaling itself must not perturb the primary ----------
   const std::string primary_digest = stateDigest(primary);
   const std::string& full_ref = reference(ops.size());

@@ -9,6 +9,15 @@
 // bit-identically: occupancy fingerprints, plan fingerprints, emulator
 // deployment digest, and packet-probe behaviour.
 //
+// A second phase injects byte-level mutations INSIDE record bodies
+// (bit flips with and without a CRC fixup, interior truncations, length
+// -prefix rewrites, magic corruption). Corruption the framing layer can
+// detect must reduce to a clean-prefix recovery; corruption that survives
+// framing (CRC fixed up over a mutated body) must either replay to a
+// state that passes the full audit or fail closed with a structured
+// kRecovery error — recovery never crashes and never returns ok with a
+// dirty audit.
+//
 // Shared between the gtest suite (tests/test_recovery.cc) and the
 // standalone fuzz/fuzz_plans.cc driver (--recovery).
 #pragma once
@@ -32,6 +41,14 @@ struct RecoveryFuzzOutcome {
   int torn_cuts = 0;    // cuts that landed inside a record or the magic
   int audits = 0;       // clean post-recovery audits (== cuts when ok)
   int compared = 0;     // cuts matched bit-identically to an op prefix
+  // Byte-mutation phase. Every trial ends in exactly one of failed_closed
+  // or recovered_clean when ok; rejected counts the subset of clean
+  // recoveries where framing (CRC/length/seq/type) stopped the scan
+  // before the mutated record.
+  int mutations = 0;          // mutation trials injected
+  int mutations_rejected = 0; // framing rejected the corrupted record
+  int mutations_failed_closed = 0;  // recover() -> structured kRecovery
+  int mutations_clean = 0;    // recover() ok with a clean audit
 };
 
 // Runs one seeded crash-point scenario end to end. Deterministic per seed.
