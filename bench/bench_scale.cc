@@ -1,9 +1,13 @@
-// Datacenter-scale sustained churn (docs/scale.md): a k=16 fat tree
-// (320 switches, 1024 hosts), per-pod placement domains on, and the
-// ChurnDriver pushing tens of thousands of submit/remove cycles through
-// submitAsync while fragmentation, failure rate, and latency are sampled.
-// The acceptance gate rides in the JSON: verify_violations must be 0
-// across the whole run (commit gate + periodic + final audits).
+// Datacenter-scale sustained churn (docs/scale.md, docs/defrag.md): a
+// k=16 fat tree (320 switches, 1024 hosts), per-pod placement domains on,
+// and the ChurnDriver pushing tens of thousands of submit/remove cycles
+// through submitAsync while fragmentation, failure rate, and latency are
+// sampled. The sweep runs twice from the same seed — background
+// defragmentation off, then on — so the defrag-on run's fragmentation and
+// failure-rate trajectories are directly comparable to the baseline.
+// The acceptance gate rides in the JSON: verify_violations must be 0 in
+// both runs, and the defrag-on run must finish with zero migration drops
+// and zero migration-attributable probe drops.
 #include <cstdlib>
 #include <thread>
 
@@ -33,38 +37,59 @@ int main() {
   cp.audit_every = smoke ? 150 : 2'500;
 
   bench::printHeader(
-      "Datacenter scale — sustained churn on a fat tree",
+      "Datacenter scale — sustained churn, defrag off vs on",
       cat("k=", params.k, " fat tree (", shape.switches, " switches, ",
           shape.hosts, " hosts), domain sharding on, ", threads,
           " pool threads;\n", cp.cycles, " submit cycles, mean tenant "
           "lifetime ", cp.target_live, " cycles, submitAsync window ",
-          cp.inflight, "."));
+          cp.inflight, "; same seed both runs."));
 
   const auto ft = scale::buildFatTree(params);
-  core::ClickIncService svc(ft.topo, cp.seed);
-  svc.setDomainSharding(true);
-  svc.setConcurrency(threads);
-  scale::ChurnDriver driver(&svc, &ft, cp);
-  const auto& m = driver.run();
 
-  TextTable table({"cycle", "live", "fail rate", "p50 ms", "p99 ms",
-                   "claim spread", "free mean", "free min", "free stddev"});
-  for (const auto& s : m.samples) {
-    table.addRow({cat(s.cycle), cat(s.live), fmtDouble(s.failure_rate, 4),
-                  fmtDouble(s.p50_ms, 3), fmtDouble(s.p99_ms, 3),
-                  fmtDouble(s.claim_spread, 2),
-                  fmtDouble(s.free_ratio_mean, 4),
-                  fmtDouble(s.free_ratio_min, 4),
-                  fmtDouble(s.free_ratio_stddev, 4)});
+  auto runChurn = [&](bool defrag_on) {
+    core::ClickIncService svc(ft.topo, cp.seed);
+    svc.setDomainSharding(true);
+    svc.setConcurrency(threads);
+    scale::ChurnParams p = cp;
+    if (defrag_on) {
+      p.defrag_every = smoke ? 60 : 500;
+      p.defrag_opts.hot_threshold = 0.0;  // any above-mean skew is hot
+      p.defrag_opts.max_hot_devices = 8;
+      p.defrag_opts.max_migrations = 8;
+    }
+    scale::ChurnDriver driver(&svc, &ft, p);
+    return driver.run();  // copies out; driver dies with the scope
+  };
+
+  scale::ChurnMetrics runs[2];
+  for (const int on : {0, 1}) {
+    runs[on] = runChurn(on == 1);
+    const auto& m = runs[on];
+    std::printf("--- defrag %s ---\n", on ? "ON" : "OFF");
+    TextTable table({"cycle", "live", "fail rate", "p50 ms", "p99 ms",
+                     "claim spread", "free mean", "free min", "frag score",
+                     "migrations"});
+    for (const auto& s : m.samples) {
+      table.addRow({cat(s.cycle), cat(s.live), fmtDouble(s.failure_rate, 4),
+                    fmtDouble(s.p50_ms, 3), fmtDouble(s.p99_ms, 3),
+                    fmtDouble(s.claim_spread, 2),
+                    fmtDouble(s.free_ratio_mean, 4),
+                    fmtDouble(s.free_ratio_min, 4),
+                    fmtDouble(s.frag_score, 4), cat(s.migrations)});
+    }
+    bench::printTable(table);
+    std::printf(
+        "%ld submits (%ld failed, %ld resource, %ld of those stranded), "
+        "%ld removes, %ld re-places,\n%ld defrag passes: %ld migrations, "
+        "%ld rollbacks, %ld drops; %ld/%ld probe drops (faulted %ld);\n"
+        "%ld audits, %ld verifier violations, p50 %.3f ms / p99 %.3f ms, "
+        "%.1f s total\n\n",
+        m.submits, m.failures, m.resource_failures, m.stranded_failures,
+        m.removes, m.recompiles, m.defrag_passes, m.migrations,
+        m.migration_rollbacks, m.migration_drops, m.probe_drops,
+        m.probe_packets, m.probe_drops_faulted, m.audits,
+        m.verify_violations, m.p50_ms, m.p99_ms, m.elapsed_ms / 1000.0);
   }
-  bench::printTable(table);
-  std::printf(
-      "%ld submits (%ld failed, %ld of those resource), %ld removes, "
-      "%ld re-places,\n%ld audits, %ld verifier violations, whole-run "
-      "p50 %.3f ms / p99 %.3f ms, %.1f s total\n\n",
-      m.submits, m.failures, m.resource_failures, m.removes, m.recompiles,
-      m.audits, m.verify_violations, m.p50_ms, m.p99_ms,
-      m.elapsed_ms / 1000.0);
 
   // Machine-readable trajectory record (schema: docs/benchmarks.md).
   bench::JsonWriter json;
@@ -77,37 +102,55 @@ int main() {
   json.kv("hosts_per_tor", params.hosts_per_tor);
   json.kv("switches", shape.switches);
   json.kv("hosts", shape.hosts);
-  json.kv("cycles", m.submits);
+  json.kv("cycles", cp.cycles);
   json.kv("target_live", cp.target_live);
   json.kv("inflight", cp.inflight);
-  json.kv("submits", m.submits);
-  json.kv("removes", m.removes);
-  json.kv("failures", m.failures);
-  json.kv("resource_failures", m.resource_failures);
-  json.kv("recompiles", m.recompiles);
-  json.kv("removed_already_gone", m.removed_already_gone);
-  json.kv("audits", m.audits);
-  json.kv("verify_violations", m.verify_violations);
-  json.kv("final_audit_ok", m.final_audit.ok());
-  json.kv("p50_ms", m.p50_ms);
-  json.kv("p99_ms", m.p99_ms);
-  json.kv("elapsed_ms", m.elapsed_ms);
-  json.key("samples").beginArray();
-  for (const auto& s : m.samples) {
+  json.key("runs").beginArray();
+  for (const int on : {0, 1}) {
+    const auto& m = runs[on];
     json.beginObject();
-    json.kv("cycle", s.cycle);
-    json.kv("live", s.live);
-    json.kv("submits", s.submits);
-    json.kv("removes", s.removes);
-    json.kv("failures", s.failures);
-    json.kv("failure_rate", s.failure_rate);
-    json.kv("p50_ms", s.p50_ms);
-    json.kv("p99_ms", s.p99_ms);
-    json.kv("claim_spread", s.claim_spread);
-    json.kv("free_ratio_mean", s.free_ratio_mean);
-    json.kv("free_ratio_min", s.free_ratio_min);
-    json.kv("free_ratio_stddev", s.free_ratio_stddev);
-    json.kv("verify_violations", s.verify_violations);
+    json.kv("defrag", on == 1);
+    json.kv("submits", m.submits);
+    json.kv("removes", m.removes);
+    json.kv("failures", m.failures);
+    json.kv("resource_failures", m.resource_failures);
+    json.kv("stranded_failures", m.stranded_failures);
+    json.kv("recompiles", m.recompiles);
+    json.kv("removed_already_gone", m.removed_already_gone);
+    json.kv("defrag_passes", m.defrag_passes);
+    json.kv("migrations", m.migrations);
+    json.kv("migration_rollbacks", m.migration_rollbacks);
+    json.kv("migration_drops", m.migration_drops);
+    json.kv("probe_packets", m.probe_packets);
+    json.kv("probe_drops", m.probe_drops);
+    json.kv("probe_drops_faulted", m.probe_drops_faulted);
+    json.kv("audits", m.audits);
+    json.kv("verify_violations", m.verify_violations);
+    json.kv("final_audit_ok", m.final_audit.ok());
+    json.kv("p50_ms", m.p50_ms);
+    json.kv("p99_ms", m.p99_ms);
+    json.kv("elapsed_ms", m.elapsed_ms);
+    json.key("samples").beginArray();
+    for (const auto& s : m.samples) {
+      json.beginObject();
+      json.kv("cycle", s.cycle);
+      json.kv("live", s.live);
+      json.kv("submits", s.submits);
+      json.kv("removes", s.removes);
+      json.kv("failures", s.failures);
+      json.kv("failure_rate", s.failure_rate);
+      json.kv("p50_ms", s.p50_ms);
+      json.kv("p99_ms", s.p99_ms);
+      json.kv("claim_spread", s.claim_spread);
+      json.kv("free_ratio_mean", s.free_ratio_mean);
+      json.kv("free_ratio_min", s.free_ratio_min);
+      json.kv("free_ratio_stddev", s.free_ratio_stddev);
+      json.kv("frag_score", s.frag_score);
+      json.kv("migrations", s.migrations);
+      json.kv("verify_violations", s.verify_violations);
+      json.endObject();
+    }
+    json.endArray();
     json.endObject();
   }
   json.endArray();
@@ -117,5 +160,11 @@ int main() {
   } else {
     std::printf("WARNING: could not write BENCH_scale.json\n");
   }
-  return m.verify_violations == 0 && m.final_audit.ok() ? 0 : 1;
+  const bool sound = runs[0].verify_violations == 0 &&
+                     runs[0].final_audit.ok() &&
+                     runs[1].verify_violations == 0 &&
+                     runs[1].final_audit.ok();
+  const bool zero_loss =
+      runs[1].migration_drops == 0 && runs[1].probe_drops == 0;
+  return sound && zero_loss ? 0 : 1;
 }

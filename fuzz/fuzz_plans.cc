@@ -33,6 +33,8 @@ int runRecovery(std::uint64_t start, std::uint64_t seeds,
                 const std::string& out_file) {
   long ops = 0, records = 0, cuts = 0, torn = 0, audits = 0, compared = 0;
   long mutations = 0, rejected = 0, failed_closed = 0, mut_clean = 0;
+  long ckpt_mut = 0, ckpt_fc = 0, ckpt_clean = 0;
+  long defrag_ops = 0, migrate_records = 0;
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
     const auto outcome = clickinc::verify::fuzzRecoveryOnce(seed);
     ops += outcome.ops;
@@ -45,6 +47,11 @@ int runRecovery(std::uint64_t start, std::uint64_t seeds,
     rejected += outcome.mutations_rejected;
     failed_closed += outcome.mutations_failed_closed;
     mut_clean += outcome.mutations_clean;
+    ckpt_mut += outcome.ckpt_mutations;
+    ckpt_fc += outcome.ckpt_failed_closed;
+    ckpt_clean += outcome.ckpt_clean;
+    defrag_ops += outcome.defrag_ops;
+    migrate_records += outcome.migrate_records;
     if (!outcome.ok) {
       std::cerr << "FAIL seed " << seed << ": " << outcome.failure << "\n"
                 << "reproduce: fuzz_plans --recovery --start " << seed
@@ -64,7 +71,27 @@ int runRecovery(std::uint64_t start, std::uint64_t seeds,
             << " bit-identical prefix matches; " << mutations
             << " byte mutations (" << rejected << " rejected by framing, "
             << failed_closed << " failed closed, " << mut_clean
-            << " recovered clean)\n";
+            << " recovered clean)\n"
+            << "  checkpoint-file mutations: " << ckpt_mut << " ("
+            << ckpt_fc << " failed closed, " << ckpt_clean
+            << " recovered clean)\n"
+            << "  defrag coverage: " << defrag_ops << " scripted passes, "
+            << migrate_records << " migrate/migrate-abort records\n";
+  // Starvation gates mirroring the default mode: a sweep long enough to
+  // expect coverage must actually exercise the checkpoint-payload
+  // injectors and land cuts inside migration runs.
+  if (seeds >= 20 && (ckpt_mut == 0 || migrate_records == 0)) {
+    std::cerr << "FAIL: recovery sweep starved ("
+              << (ckpt_mut == 0 ? "no checkpoint-payload mutation sites"
+                                : "no migrate records journaled")
+              << " across the sweep)\n";
+    if (!out_file.empty()) {
+      std::ofstream f(out_file);
+      f << "mode=recovery\nstarved sweep across seeds [" << start << ", "
+        << start + seeds << ")\n";
+    }
+    return 1;
+  }
   return 0;
 }
 

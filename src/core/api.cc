@@ -34,6 +34,17 @@ const char* toString(Stage stage) {
     case Stage::kRemove: return "remove";
     case Stage::kFailover: return "failover";
     case Stage::kRecovery: return "recovery";
+    case Stage::kDefrag: return "defrag";
+  }
+  return "?";
+}
+
+const char* toString(MigrationOutcome outcome) {
+  switch (outcome) {
+    case MigrationOutcome::kMigrated: return "migrated";
+    case MigrationOutcome::kSkipped: return "skipped";
+    case MigrationOutcome::kRolledBack: return "rolled-back";
+    case MigrationOutcome::kDropped: return "dropped";
   }
   return "?";
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "defrag/defrag.h"
 #include "ir/program.h"
 #include "lang/lower.h"
 #include "place/treedp.h"
@@ -61,6 +62,7 @@ enum class Stage {
   kRemove,   // remove() path
   kFailover, // handleFailure() re-placement path
   kRecovery, // recover() journal replay / checkpoint restore path
+  kDefrag,   // defragment() migration path
 };
 
 const char* toString(ErrorCode code);
@@ -73,6 +75,11 @@ struct ServiceError {
   // Hint: the same request may succeed if resubmitted later (occupancy
   // conflicts, transient unavailability). Structural errors never set it.
   bool retryable = false;
+  // On kResourceExhausted: the fabric's aggregate free capacity could have
+  // fit the whole program's demand, i.e. the failure is fragmentation
+  // (stranded capacity — defragment() may help), not true exhaustion.
+  // See docs/defrag.md.
+  bool stranded = false;
 
   bool ok() const { return code == ErrorCode::kOk; }
   // One-line human-readable form: "[commit] ResourceExhausted: ...".
@@ -156,6 +163,10 @@ struct SubmitResult {
   // backoff the policy charged between them (simulated — no wall clock).
   int attempts = 1;
   double backoff_ms = 0;
+  // Migrations performed by the reactive targeted-compaction retry
+  // (DefragPolicy::reactive) before this submission's final placement
+  // attempt. 0 when the reactive path did not run or moved nothing.
+  int compaction_migrations = 0;
   // Commit-stage verifier output for this submission (scoped to the new
   // tenant and the devices its plan touches). Populated when the service's
   // VerifyPolicy::at_commit is on; a non-clean report fails the submission
@@ -244,6 +255,54 @@ struct RecoveryReport {
   // Full post-recovery audit (every tenant, every device). A non-clean
   // audit fails recovery; this is the report either way.
   verify::VerifyReport verify;
+};
+
+// --- defragmentation (docs/defrag.md) ---
+
+// When the reactive path is on, a kResourceExhausted submission whose
+// failure diagnoses as stranded capacity triggers one bounded
+// defragmentation pass (with `options`) and a single re-place against the
+// compacted ledger before the failure is returned. Off by default: the
+// explicit defragment() API and the churn-driver cadence are unaffected.
+struct DefragPolicy {
+  bool reactive = false;
+  defrag::DefragOptions options;
+};
+
+// What happened to one victim tenant during a defragmentation pass.
+enum class MigrationOutcome {
+  kMigrated,    // new plan deployed, old plan torn down
+  kSkipped,     // no better placement found; deployment untouched
+  kRolledBack,  // swap failed or verify gate fired; old plan restored
+  kDropped,     // swap AND restore failed; tenant removed (journaled)
+};
+
+const char* toString(MigrationOutcome outcome);
+
+struct MigrationRecord {
+  int user_id = -1;
+  MigrationOutcome outcome = MigrationOutcome::kSkipped;
+  ServiceError error;          // set for kRolledBack / kDropped causes
+  std::vector<int> evacuated;  // hot devices the migration vacated
+  int segments_replaced = 0;
+  int segments_pinned = 0;
+};
+
+// Result of one ClickIncService::defragment() pass.
+struct DefragReport {
+  bool ok = false;      // no migration ended kDropped
+  ServiceError error;   // the drop's cause when !ok
+  defrag::FragReport before;  // fragmentation at pass start
+  defrag::FragReport after;   // fragmentation after the batch
+  std::vector<MigrationRecord> migrations;  // victim order
+  int migrated = 0;
+  int skipped = 0;
+  int rolled_back = 0;
+  int dropped = 0;
+  // Emulator drop-counter delta across the pass, split by reason — the
+  // zero-loss accounting: a make-before-break pass must not add drops.
+  std::uint64_t drops_before = 0;
+  std::uint64_t drops_after = 0;
 };
 
 }  // namespace clickinc::core

@@ -56,6 +56,22 @@ ServiceError placementFailure(const place::PlacementPlan& plan, Stage stage) {
   return err;
 }
 
+// Stranded-capacity diagnostic (docs/defrag.md): a kResourceExhausted
+// whose demand would have fit the fabric's aggregate free capacity failed
+// on fragmentation, not capacity — annotate the error so callers (and the
+// churn harness) can tell the two apart.
+void annotateResourceFailure(ServiceError* err, const ir::IrProgram& prog,
+                             const place::OccupancyMap& occ,
+                             const topo::Topology& topo) {
+  if (err->code != ErrorCode::kResourceExhausted) return;
+  err->stranded = defrag::diagnoseStranded(prog, occ, topo).stranded;
+  err->detail += err->stranded
+                     ? " [stranded capacity: aggregate free fits the demand"
+                       " — fragmentation; defragment() may help]"
+                     : " [true exhaustion: aggregate free cannot fit the"
+                       " demand]";
+}
+
 // Physical devices carrying at least one instruction of the plan.
 std::set<int> planDevices(const place::PlacementPlan& plan) {
   std::set<int> devs;
@@ -568,8 +584,10 @@ SubmitResult ClickIncService::submitLocked(SubmitRequest& req) {
     return result;
   }
   cumulative_stats_.add(result.plan.stats);
-  if (!result.plan.feasible) {
+  if (!result.plan.feasible &&
+      !reactiveCompactionLocked(&result, *prog, req.traffic, req.options)) {
     result.error = placementFailure(result.plan, Stage::kCompile);
+    annotateResourceFailure(&result.error, *prog, occ_, topo_);
     result.compile_ms = msSince(t0);
     return result;
   }
@@ -777,9 +795,12 @@ SubmitResult ClickIncService::commitSpeculative(Speculative&& spec,
   }
   cumulative_stats_.add(spec.plan.stats);
   result.plan = std::move(spec.plan);
-  if (!result.plan.feasible) {
+  if (!result.plan.feasible &&
+      !reactiveCompactionLocked(&result, *spec.prog, req.traffic,
+                                req.options)) {
     result.error = placementFailure(
         result.plan, result.recompiled ? Stage::kCommit : Stage::kCompile);
+    annotateResourceFailure(&result.error, *spec.prog, occ_, topo_);
     result.compile_ms += msSince(t0);
     return result;
   }
@@ -1431,7 +1452,38 @@ TenantRecovery ClickIncService::recoverTenantLocked(
     return rec;
   }
 
-  // 3. Segment diff (incremental mode): an assignment identical to an old
+  // 3+4. Segment-diff pinning + make-before-break swap, shared with the
+  // defragmentation executor (swapPlanLocked).
+  const SwapResult swap = swapPlanLocked(
+      user, old, new_plan, failover_policy_.incremental && !server_only,
+      surviving, Stage::kFailover);
+  if (!swap.swapped) {
+    rec.error = swap.error;
+    rec.outcome = swap.restored ? RecoveryOutcome::kPinned
+                                : RecoveryOutcome::kInfeasible;
+    return rec;
+  }
+  rec.segments_pinned = swap.segments_pinned;
+  rec.segments_replaced =
+      server_only ? static_cast<int>(old.plan.assignments.size())
+                  : swap.segments_replaced;
+  if (server_only) {
+    rec.outcome = RecoveryOutcome::kServerOnly;
+  } else if (rec.segments_replaced == 0) {
+    rec.outcome = RecoveryOutcome::kPinned;  // re-placed onto itself
+  } else {
+    rec.outcome = RecoveryOutcome::kReplaced;
+  }
+  return rec;
+}
+
+ClickIncService::SwapResult ClickIncService::swapPlanLocked(
+    int user, const Deployed& old, const place::PlacementPlan& new_plan,
+    bool incremental, const std::function<bool(int)>& surviving,
+    Stage stage) {
+  SwapResult res;
+
+  // Segment diff (incremental mode): an assignment identical to an old
   // one — same block range, devices, and instruction placement — keeps
   // its data-plane untouched, provided none of its devices is shared with
   // a changed segment (strips are user-granular per device, so a shared
@@ -1439,7 +1491,7 @@ TenantRecovery ClickIncService::recoverTenantLocked(
   // demoted to replacements).
   std::vector<char> pinned_new(new_plan.assignments.size(), 0);
   std::vector<char> pinned_old(old.plan.assignments.size(), 0);
-  if (failover_policy_.incremental && !server_only) {
+  if (incremental) {
     std::vector<int> match(new_plan.assignments.size(), -1);
     for (std::size_t i = 0; i < new_plan.assignments.size(); ++i) {
       for (std::size_t j = 0; j < old.plan.assignments.size(); ++j) {
@@ -1482,7 +1534,7 @@ TenantRecovery ClickIncService::recoverTenantLocked(
     }
   }
 
-  // 4. Swap: claim the new plan, strip the replaced part of the old
+  // Swap: claim the new plan, strip the replaced part of the old
   // data-plane (pinned devices untouched by construction), deploy the new
   // segments.
   place::commitPlan(new_plan, *old.prog, occ_);
@@ -1500,7 +1552,7 @@ TenantRecovery ClickIncService::recoverTenantLocked(
   try {
     deployPlan(user, old.prog, new_plan, &impact, &pinned_new);
   } catch (...) {
-    rec.error = errorFromCurrentException(Stage::kFailover);
+    res.error = errorFromCurrentException(stage);
     // Roll the replacement back: strip its non-pinned deployments,
     // release every claim the new plan took, then restore the old
     // deployment (pruned to surviving devices). State stores are
@@ -1544,32 +1596,274 @@ TenantRecovery ClickIncService::recoverTenantLocked(
       Impact dummy;
       deployPlan(user, old.prog, restore, &dummy, &skip);
       deployed_[user] = {old.prog, restore, old.traffic, old.options};
-      rec.outcome = RecoveryOutcome::kPinned;  // old deployment restored
+      res.restored = true;  // old deployment live again
     } catch (...) {
       // Restore failed too: release everything and drop the tenant.
       rollbackDeployLocked(user, old.prog, restore);
       deployed_.erase(user);
-      rec.outcome = RecoveryOutcome::kInfeasible;
     }
-    return rec;
+    return res;
   }
 
   deployed_[user] = {old.prog, new_plan, old.traffic, old.options};
+  res.swapped = true;
   int pinned_count = 0;
   for (char p : pinned_new) pinned_count += p;
-  rec.segments_pinned = pinned_count;
-  rec.segments_replaced =
-      server_only ? static_cast<int>(old.plan.assignments.size())
-                  : static_cast<int>(new_plan.assignments.size()) -
-                        pinned_count;
-  if (server_only) {
-    rec.outcome = RecoveryOutcome::kServerOnly;
-  } else if (rec.segments_replaced == 0) {
-    rec.outcome = RecoveryOutcome::kPinned;  // re-placed onto itself
-  } else {
-    rec.outcome = RecoveryOutcome::kReplaced;
+  res.segments_pinned = pinned_count;
+  res.segments_replaced =
+      static_cast<int>(new_plan.assignments.size()) - pinned_count;
+  return res;
+}
+
+// --- defragmentation (docs/defrag.md) -----------------------------------
+
+std::vector<defrag::TenantPlanView> ClickIncService::tenantViewsLocked()
+    const {
+  std::vector<defrag::TenantPlanView> views;
+  views.reserve(deployed_.size());
+  for (const auto& [user, dep] : deployed_) views.push_back({user, &dep.plan});
+  return views;
+}
+
+ClickIncService::SwapResult ClickIncService::applyMigrationLocked(
+    int user, const place::PlacementPlan& new_plan, Stage stage) {
+  const Deployed old = deployed_.at(user);
+  // Release every old claim. Migration only targets fully-healthy
+  // footprints, and kMigrate / kMigrateAbort replay re-runs this very
+  // function, so the occupancy arithmetic is bit-identical on both paths.
+  for (const auto& a : old.plan.assignments) {
+    auto release = [&](int dev, const place::IntraPlacement& p) {
+      if (p.instr_idxs.empty()) return;
+      place::releasePlacement(occ_.of(dev), *old.prog, p);
+    };
+    for (const auto& [dev, p] : a.on_device) release(dev, p);
+    for (const auto& [dev, p] : a.on_bypass) release(dev, p);
   }
-  return rec;
+  touchDevicesLocked(planDevices(old.plan));
+  return swapPlanLocked(user, old, new_plan, /*incremental=*/true,
+                        [](int) { return true; }, stage);
+}
+
+DefragReport ClickIncService::defragmentLocked(
+    const defrag::DefragOptions& opts) {
+  DefragReport report;
+  report.drops_before = emu_.stats().packets_dropped;
+  const auto views = tenantViewsLocked();
+  report.before =
+      defrag::scoreFragmentation(topo_, occ_, views, domains_.get(), opts);
+  const auto victims = defrag::selectVictims(report.before, views, opts);
+
+  for (const auto& v : victims) {
+    MigrationRecord mig;
+    mig.user_id = v.user;
+    mig.evacuated = v.evacuate;
+    const auto it = deployed_.find(v.user);
+    if (it == deployed_.end()) continue;
+    const Deployed old = it->second;  // copy: the swap rewrites deployed_
+
+    // Unhealthy footprints belong to the failover pipeline, not defrag.
+    bool healthy = true;
+    for (int dev : planDevices(old.plan)) {
+      if (topo_.nodeHealth(dev) != topo::Health::kUp) {
+        healthy = false;
+        break;
+      }
+    }
+    if (!healthy) {
+      mig.outcome = MigrationOutcome::kSkipped;
+      mig.error = {ErrorCode::kUnavailable, Stage::kDefrag,
+                   cat("user ", v.user, ": footprint not fully healthy")};
+      ++report.skipped;
+      report.migrations.push_back(std::move(mig));
+      continue;
+    }
+
+    // Re-place against the evacuation what-if snapshot: the victim's own
+    // claims freed everywhere, the hot targets zeroed out, so a feasible
+    // plan is guaranteed to fit the live ledger after the release.
+    place::PlacementPlan new_plan;
+    try {
+      const auto snapshot = defrag::evacuationSnapshot(
+          topo_, occ_, *old.prog, old.plan, v.evacuate);
+      const auto dag = place::BlockDag::build(*old.prog);
+      const auto eff = effectiveHealthLocked();
+      const auto tree = topo::buildEcTree(topo_, old.traffic, &eff);
+      place::PlacementOptions run_opts = old.options;
+      run_opts.pool = pool_.get();
+      run_opts.ratio_devices =
+          domainDevicesOrNull(requestDomainLocked(old.traffic));
+      new_plan =
+          place::placeProgram(dag, tree, topo_, snapshot, run_opts, &arena_);
+      cumulative_stats_.add(new_plan.stats);
+    } catch (...) {
+      mig.error = errorFromCurrentException(Stage::kDefrag);
+      mig.outcome = MigrationOutcome::kSkipped;
+      ++report.skipped;
+      report.migrations.push_back(std::move(mig));
+      continue;
+    }
+    const std::uint64_t old_fp = durable::planFingerprint(old.plan);
+    if (!new_plan.feasible || defrag::touchesAny(new_plan, v.evacuate) ||
+        durable::planFingerprint(new_plan) == old_fp) {
+      if (!new_plan.feasible) {
+        mig.error = placementFailure(new_plan, Stage::kDefrag);
+      }
+      mig.outcome = MigrationOutcome::kSkipped;
+      ++report.skipped;
+      report.migrations.push_back(std::move(mig));
+      continue;
+    }
+
+    // Write-ahead: the kMigrate record lands before any mutation. A crash
+    // before it recovers to the old plan; any later cut replays the full
+    // swap (plus whatever compensation landed) — exactly-one of
+    // {old, new} at every cut (docs/defrag.md#crash-safety).
+    if (journal_ != nullptr && !replaying_) {
+      durable::MigrateRecord rec;
+      rec.user = v.user;
+      rec.plan = new_plan;
+      rec.old_plan_fp = old_fp;
+      journalAppendLocked(durable::RecordType::kMigrate,
+                          durable::encodeMigrate(rec));
+    }
+    auto journalMigrateAbort = [&] {
+      if (journal_ == nullptr || replaying_) return;
+      durable::MigrateAbortRecord rec;
+      rec.user = v.user;
+      rec.plan = old.plan;
+      journalAppendLocked(durable::RecordType::kMigrateAbort,
+                          durable::encodeMigrateAbort(rec));
+    };
+    auto journalDrop = [&] {
+      if (journal_ == nullptr || replaying_) return;
+      durable::RemoveRecord rec;
+      rec.user = v.user;
+      rec.lazy = false;
+      journalAppendLocked(durable::RecordType::kRemove,
+                          durable::encodeRemove(rec));
+    };
+
+    const SwapResult swap =
+        applyMigrationLocked(v.user, new_plan, Stage::kDefrag);
+    mig.segments_pinned = swap.segments_pinned;
+    mig.segments_replaced = swap.segments_replaced;
+    if (!swap.swapped) {
+      mig.error = swap.error;
+      if (swap.restored) {
+        // Compensate the write-ahead: replaying kMigrate then
+        // kMigrateAbort swaps forward and straight back.
+        journalMigrateAbort();
+        mig.outcome = MigrationOutcome::kRolledBack;
+        ++report.rolled_back;
+      } else {
+        // Swap AND restore failed; the tenant is gone. kMigrate replays
+        // the (deterministically successful) swap, kRemove strips it.
+        journalDrop();
+        mig.outcome = MigrationOutcome::kDropped;
+        ++report.dropped;
+        report.error = swap.error;
+      }
+      report.migrations.push_back(std::move(mig));
+      continue;
+    }
+
+    // Commit gate (PR 7), scoped to the victim and every device either
+    // plan touches. A violation migrates the victim straight back.
+    if (opts.verify_each && verify_policy_.at_commit && !replaying_) {
+      verify::VerifyOptions vopts;
+      vopts.scope_users = {v.user};
+      auto scope = planDevices(old.plan);
+      const auto nd = planDevices(new_plan);
+      scope.insert(nd.begin(), nd.end());
+      vopts.scope_devices = std::move(scope);
+      const verify::VerifyReport vrep = auditLocked(vopts);
+      if (!vrep.ok()) {
+        mig.error = {ErrorCode::kVerification, Stage::kDefrag,
+                     vrep.summary()};
+        const SwapResult back =
+            applyMigrationLocked(v.user, old.plan, Stage::kDefrag);
+        if (back.swapped) {
+          journalMigrateAbort();
+          mig.outcome = MigrationOutcome::kRolledBack;
+          ++report.rolled_back;
+        } else if (back.restored) {
+          // The migrate-back's own deploy failed and restored the NEW
+          // plan — which the journal's kMigrate already describes, so no
+          // compensation record: the migration stands, error attached.
+          mig.outcome = MigrationOutcome::kMigrated;
+          ++report.migrated;
+        } else {
+          journalDrop();
+          mig.outcome = MigrationOutcome::kDropped;
+          ++report.dropped;
+          report.error = mig.error;
+        }
+        report.migrations.push_back(std::move(mig));
+        continue;
+      }
+    }
+
+    mig.outcome = MigrationOutcome::kMigrated;
+    ++report.migrated;
+    report.migrations.push_back(std::move(mig));
+  }
+
+  report.after = defrag::scoreFragmentation(topo_, occ_, tenantViewsLocked(),
+                                            domains_.get(), opts);
+  report.drops_after = emu_.stats().packets_dropped;
+  report.ok = report.dropped == 0;
+  return report;
+}
+
+DefragReport ClickIncService::defragment(const defrag::DefragOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return defragmentLocked(opts);
+}
+
+void ClickIncService::setDefragPolicy(DefragPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  defrag_policy_ = policy;
+}
+
+DefragPolicy ClickIncService::defragPolicy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return defrag_policy_;
+}
+
+// Reactive targeted compaction (DefragPolicy::reactive): a submission
+// that failed on stranded capacity gets one bounded defragment pass and
+// one re-place against the compacted ledger before the failure stands.
+// Returns true when the retry produced a feasible plan in result->plan.
+bool ClickIncService::reactiveCompactionLocked(
+    SubmitResult* result, const ir::IrProgram& prog,
+    const topo::TrafficSpec& traffic,
+    const place::PlacementOptions& options) {
+  if (!defrag_policy_.reactive || replaying_) return false;
+  if (!result->plan.resource_limited) return false;
+  if (!defrag::diagnoseStranded(prog, occ_, topo_).stranded) return false;
+  const DefragReport dr = defragmentLocked(defrag_policy_.options);
+  result->compaction_migrations = dr.migrated;
+  if (dr.migrated == 0) return false;
+  try {
+    const auto dag = place::BlockDag::build(prog);
+    const auto eff = effectiveHealthLocked();
+    const auto tree = topo::buildEcTree(topo_, traffic, &eff);
+    place::PlacementOptions run_opts = options;
+    run_opts.pool = pool_.get();
+    if (run_opts.ratio_devices == nullptr) {
+      run_opts.ratio_devices =
+          domainDevicesOrNull(requestDomainLocked(traffic));
+    }
+    place::PlacementPlan plan =
+        place::placeProgram(dag, tree, topo_, occ_, run_opts, &arena_);
+    cumulative_stats_.add(plan.stats);
+    if (!plan.feasible) return false;  // the original failure plan stands
+    result->plan = std::move(plan);
+    result->recompiled = true;
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 // --- durability (docs/recovery.md) --------------------------------------
@@ -1814,6 +2108,37 @@ void ClickIncService::applyRecordLocked(const durable::RecordRef& rec) {
       CLICKINC_CHECK(static_cast<std::uint32_t>(rep.tenants.size()) ==
                          fr.tenants,
                      "failover replay: affected-tenant count mismatch");
+      break;
+    }
+    case durable::RecordType::kMigrate: {
+      auto mr = durable::decodeMigrate(rec.payload);
+      auto it = deployed_.find(mr.user);
+      CLICKINC_CHECK(it != deployed_.end(),
+                     cat("migrate replay: user ", mr.user, " not deployed"));
+      CLICKINC_CHECK(
+          durable::planFingerprint(it->second.plan) == mr.old_plan_fp,
+          cat("migrate replay: old-plan fingerprint mismatch for user ",
+              mr.user));
+      validateReplayPlan(mr.plan, *it->second.prog, occ_);
+      const SwapResult swap =
+          applyMigrationLocked(mr.user, mr.plan, Stage::kRecovery);
+      CLICKINC_CHECK(swap.swapped,
+                     cat("migrate replay: swap failed for user ", mr.user,
+                         ": ", swap.error.message()));
+      break;
+    }
+    case durable::RecordType::kMigrateAbort: {
+      auto mr = durable::decodeMigrateAbort(rec.payload);
+      auto it = deployed_.find(mr.user);
+      CLICKINC_CHECK(
+          it != deployed_.end(),
+          cat("migrate-abort replay: user ", mr.user, " not deployed"));
+      validateReplayPlan(mr.plan, *it->second.prog, occ_);
+      const SwapResult swap =
+          applyMigrationLocked(mr.user, mr.plan, Stage::kRecovery);
+      CLICKINC_CHECK(swap.swapped,
+                     cat("migrate-abort replay: swap failed for user ",
+                         mr.user, ": ", swap.error.message()));
       break;
     }
   }

@@ -170,6 +170,25 @@ class ClickIncService {
   // pipeline (no-op when the log is fully processed).
   FailoverReport processFailures();
 
+  // --- defragmentation (docs/defrag.md) ---
+
+  // One compaction pass under the service lock: score fragmentation over
+  // the live ledger, pick victim tenants on hot devices, re-place each
+  // against an evacuation what-if snapshot, and swap plans
+  // make-before-break (write-ahead journaled; commit-gate verified; old
+  // plan restored on any failure). Deterministic: same state + options =>
+  // same migrations at any concurrency() setting.
+  DefragReport defragment(const defrag::DefragOptions& opts = {});
+
+  // Reactive targeted compaction: when policy.reactive is on, a
+  // kResourceExhausted submission whose failure diagnoses as stranded
+  // capacity triggers one defragment(policy.options) pass and a single
+  // re-place before the failure is returned. The retry runs identically
+  // on the sequential and staged commit paths, so submitAll stays
+  // bit-identical to sequential submits.
+  void setDefragPolicy(DefragPolicy policy);
+  DefragPolicy defragPolicy();
+
   // Test hook: the (n+1)-th emulator deploy from now throws a synthetic
   // SynthesisError, exercising the rollback/restore paths. Single-shot.
   void injectDeployFailureAfter(int n);
@@ -387,6 +406,51 @@ class ClickIncService {
   // the effective health view (flap-damped heals masked out).
   TenantRecovery recoverTenantLocked(int user, const topo::HealthView& eff);
 
+  // --- make-before-break swap core (lock held) ---
+  //
+  // Shared by failover re-placement (recoverTenantLocked) and the
+  // defragmentation executor: `old`'s surviving claims are already
+  // released and `new_plan` is committed + deployed segment-by-segment
+  // with unchanged segments pinned; on any failure the old plan is
+  // restored (or, if the restore deploy also fails, the tenant is
+  // dropped). The caller owns journaling and deployed_ registration of
+  // the *success* path; failure paths update deployed_ here.
+  struct SwapResult {
+    bool swapped = false;    // new plan live; deployed_[user] updated
+    bool restored = false;   // !swapped: old plan live again
+    // !swapped && !restored: tenant dropped, claims released
+    int segments_pinned = 0;
+    int segments_replaced = 0;
+    ServiceError error;      // set when !swapped
+  };
+  SwapResult swapPlanLocked(int user, const Deployed& old,
+                            const place::PlacementPlan& new_plan,
+                            bool incremental,
+                            const std::function<bool(int)>& surviving,
+                            Stage stage);
+
+  // Migration step shared by the live defrag executor and kMigrate /
+  // kMigrateAbort replay: release the old plan's claims, then
+  // swapPlanLocked the new plan in (incremental, all devices surviving).
+  // Bit-identical occupancy arithmetic on both paths by construction.
+  SwapResult applyMigrationLocked(int user,
+                                  const place::PlacementPlan& new_plan,
+                                  Stage stage);
+
+  // The defragment() body (lock held); also the reactive path's bounded
+  // in-submission compaction step.
+  DefragReport defragmentLocked(const defrag::DefragOptions& opts);
+
+  // Reactive retry after a stranded kResourceExhausted: one defragment
+  // pass + one re-place. True iff result->plan became feasible.
+  bool reactiveCompactionLocked(SubmitResult* result,
+                                const ir::IrProgram& prog,
+                                const topo::TrafficSpec& traffic,
+                                const place::PlacementOptions& options);
+
+  // Live deployments as scorer/planner views (borrowed plans).
+  std::vector<defrag::TenantPlanView> tenantViewsLocked() const;
+
   // --- durability internals (lock held; docs/recovery.md) ---
 
   // Appends one record; no-op when no journal is attached or a replay is
@@ -479,6 +543,7 @@ class ClickIncService {
   std::unique_ptr<emu::FaultInjector> injector_;
   int inject_deploy_fail_ = -1;     // test hook countdown, -1 = off
   VerifyPolicy verify_policy_;
+  DefragPolicy defrag_policy_;      // reactive targeted compaction (off)
 
   // Durability state (guarded by mu_). The sink is borrowed; null means
   // journaling is off. `replaying_` suppresses journal appends and the

@@ -17,6 +17,8 @@ const char* toString(RecordType t) {
     case RecordType::kRemove: return "remove";
     case RecordType::kHealth: return "health";
     case RecordType::kFailover: return "failover";
+    case RecordType::kMigrate: return "migrate";
+    case RecordType::kMigrateAbort: return "migrate-abort";
   }
   return "unknown";
 }
@@ -122,7 +124,7 @@ namespace {
 
 bool knownType(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(RecordType::kCheckpoint) &&
-         t <= static_cast<std::uint8_t>(RecordType::kFailover);
+         t <= static_cast<std::uint8_t>(RecordType::kMigrateAbort);
 }
 
 std::uint32_t readU32(std::span<const std::uint8_t> b, std::size_t at) {

@@ -30,6 +30,8 @@ enum class RecordType : std::uint8_t {
   kRemove = 4,      // tenant removed (eager or lazy)
   kHealth = 5,      // one failure-log event (write-ahead of failover)
   kFailover = 6,    // failover batch outcome (write-behind of kHealth run)
+  kMigrate = 7,       // write-ahead of one defrag migration (new plan)
+  kMigrateAbort = 8,  // compensation: migrate back to the old plan
 };
 
 const char* toString(RecordType t);

@@ -491,6 +491,38 @@ FailoverRecord decodeFailover(std::span<const std::uint8_t> payload) {
   return rec;
 }
 
+std::vector<std::uint8_t> encodeMigrate(const MigrateRecord& rec) {
+  BinWriter w;
+  w.i32(rec.user);
+  writePlan(w, rec.plan);
+  w.u64(rec.old_plan_fp);
+  return w.take();
+}
+
+MigrateRecord decodeMigrate(std::span<const std::uint8_t> payload) {
+  BinReader r(payload);
+  MigrateRecord rec;
+  rec.user = r.i32();
+  rec.plan = readPlan(r);
+  rec.old_plan_fp = r.u64();
+  return rec;
+}
+
+std::vector<std::uint8_t> encodeMigrateAbort(const MigrateAbortRecord& rec) {
+  BinWriter w;
+  w.i32(rec.user);
+  writePlan(w, rec.plan);
+  return w.take();
+}
+
+MigrateAbortRecord decodeMigrateAbort(std::span<const std::uint8_t> payload) {
+  BinReader r(payload);
+  MigrateAbortRecord rec;
+  rec.user = r.i32();
+  rec.plan = readPlan(r);
+  return rec;
+}
+
 std::vector<std::uint8_t> encodeCheckpoint(const CheckpointRecord& rec) {
   BinWriter w;
   w.i32(rec.next_user);

@@ -99,6 +99,23 @@ struct FailoverRecord {
   std::uint32_t tenants = 0;  // affected-tenant count of the batch
 };
 
+// Write-ahead of one defragmentation migration (docs/defrag.md): the new
+// plan the make-before-break swap installs for `user`, plus the
+// fingerprint of the plan it replaces — replay cross-checks the deployed
+// plan before re-applying the swap.
+struct MigrateRecord {
+  int user = -1;
+  place::PlacementPlan plan;         // the new (post-migration) plan
+  std::uint64_t old_plan_fp = 0;     // fingerprint of the plan replaced
+};
+
+// Compensation for a kMigrate whose swap was undone (deploy failure or a
+// dirty verify gate): migrate back to `plan`, the pre-migration plan.
+struct MigrateAbortRecord {
+  int user = -1;
+  place::PlacementPlan plan;  // the old plan restored
+};
+
 struct CheckpointTenant {
   int user = -1;
   ir::IrProgram prog;
@@ -140,6 +157,12 @@ HealthRecord decodeHealth(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encodeFailover(const FailoverRecord& rec);
 FailoverRecord decodeFailover(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeMigrate(const MigrateRecord& rec);
+MigrateRecord decodeMigrate(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encodeMigrateAbort(const MigrateAbortRecord& rec);
+MigrateAbortRecord decodeMigrateAbort(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encodeCheckpoint(const CheckpointRecord& rec);
 CheckpointRecord decodeCheckpoint(std::span<const std::uint8_t> payload);

@@ -8,6 +8,7 @@
 #include <set>
 #include <utility>
 
+#include "defrag/defrag.h"
 #include "util/crc.h"
 #include "util/error.h"
 
@@ -160,6 +161,7 @@ const ChurnMetrics& ChurnDriver::run() {
       ++window_failed;
       if (r.error.code == core::ErrorCode::kResourceExhausted) {
         ++metrics_.resource_failures;
+        if (r.error.stranded) ++metrics_.stranded_failures;
       }
       if (r.error.code == core::ErrorCode::kVerification) {
         ++metrics_.verify_violations;
@@ -168,6 +170,41 @@ const ChurnMetrics& ChurnDriver::run() {
   };
   auto drain = [&] {
     while (!window.empty()) reapOne();
+  };
+
+  // One background compaction step (ChurnParams::defrag_every): quiesce,
+  // defragment, then probe each migrated tenant's live traffic end to end.
+  // Make-before-break means a migration is never observable as loss, so
+  // every probe drop is charged to probe_drops and the soak asserts 0.
+  auto defragStep = [&] {
+    drain();
+    const auto rep = svc_->defragment(params_.defrag_opts);
+    ++metrics_.defrag_passes;
+    metrics_.migrations += rep.migrated;
+    metrics_.migration_rollbacks += rep.rolled_back;
+    metrics_.migration_drops += rep.dropped;
+    for (const auto& m : rep.migrations) {
+      if (m.outcome != core::MigrationOutcome::kMigrated) continue;
+      const auto it = svc_->deployments().find(m.user_id);
+      if (it == svc_->deployments().end()) continue;
+      const auto& dep = it->second;
+      if (dep.traffic.dst_host < 0) continue;
+      for (const auto& src : dep.traffic.sources) {
+        ir::PacketView view;
+        view.user_id = m.user_id;
+        view.setField("hdr.value", 11);
+        const auto pr =
+            svc_->emulator().send(src.host, dep.traffic.dst_host,
+                                  std::move(view), 100, 100);
+        ++metrics_.probe_packets;
+        if (!pr.dropped) continue;
+        if (pr.drop_reason == emu::DropReason::kUndeployed) {
+          ++metrics_.probe_drops;
+        } else if (pr.drop_reason != emu::DropReason::kProgram) {
+          ++metrics_.probe_drops_faulted;
+        }
+      }
+    }
   };
 
   auto sampleNow = [&](long cycle) {
@@ -212,6 +249,19 @@ const ChurnMetrics& ChurnDriver::run() {
       s.free_ratio_stddev = var > 0 ? std::sqrt(var) : 0;
     }
     s.verify_violations = metrics_.verify_violations;
+    {
+      std::vector<defrag::TenantPlanView> views;
+      views.reserve(svc_->deployments().size());
+      for (const auto& [user, dep] : svc_->deployments()) {
+        views.push_back({user, &dep.plan});
+      }
+      s.frag_score =
+          defrag::scoreFragmentation(svc_->topology(), svc_->occupancy(),
+                                     views, svc_->domainIndex(),
+                                     params_.defrag_opts)
+              .frag_score;
+    }
+    s.migrations = metrics_.migrations;
     metrics_.samples.push_back(s);
     window_lat.clear();
     window_reaped = window_failed = 0;
@@ -222,6 +272,10 @@ const ChurnMetrics& ChurnDriver::run() {
         cycle % params_.fault_every == 0) {
       svc_->stepFault();
       ++metrics_.faults_applied;
+    }
+    if (params_.defrag_every > 0 && cycle > 0 &&
+        cycle % params_.defrag_every == 0) {
+      defragStep();
     }
     // Retire expired tenants. A tenant may already be gone when failover
     // declared it infeasible and dropped it — that is not an error.

@@ -39,6 +39,12 @@ struct ChurnParams {
   int fault_every = 0;      // cycles between FaultInjector steps (0 = off)
   std::uint64_t fault_seed = 7;
   emu::FaultOptions fault_opts;  // spare_hosts etc. for the injector
+  // Background compaction cadence (docs/defrag.md): every defrag_every
+  // cycles the driver drains the window, runs one defragment(defrag_opts)
+  // pass, then probes every migrated tenant end to end — a probe drop is
+  // migration-attributable loss and must never happen (make-before-break).
+  int defrag_every = 0;     // cycles between defragment() passes (0 = off)
+  defrag::DefragOptions defrag_opts;
 };
 
 // One point of the tenants-vs-latency-vs-fragmentation trajectory. Taken
@@ -57,6 +63,8 @@ struct ChurnSample {
   double free_ratio_min = 1;
   double free_ratio_stddev = 0;
   long verify_violations = 0;   // cumulative (gate + audits); must stay 0
+  double frag_score = 0;        // defrag::scoreFragmentation over live tenants
+  long migrations = 0;          // cumulative tenants migrated by defrag passes
 };
 
 struct ChurnMetrics {
@@ -70,6 +78,19 @@ struct ChurnMetrics {
   long removed_already_gone = 0;  // expiries that lost to a failover drop
   long audits = 0;
   long verify_violations = 0;   // commit-gate kVerification + audit findings
+  long stranded_failures = 0;   // kResourceExhausted diagnosed as stranded
+  long defrag_passes = 0;
+  long migrations = 0;          // tenants moved to a better placement
+  long migration_rollbacks = 0; // swaps undone (failure or verify gate)
+  long migration_drops = 0;     // tenants lost mid-migration; must stay 0
+  long probe_packets = 0;       // post-migration end-to-end probes
+  // Structured DropReason split of probe losses: kUndeployed means the
+  // tenant's path carries none of its snippets — the one reason a broken
+  // make-before-break swap would produce; must stay 0. Node/link/route
+  // drops are fault-domain outcomes of the concurrent injector, not
+  // migration loss.
+  long probe_drops = 0;         // DropReason::kUndeployed only
+  long probe_drops_faulted = 0; // kNodeDown / kLinkDown / kNoRoute
   double p50_ms = 0;            // whole-run submission latency
   double p99_ms = 0;
   double elapsed_ms = 0;

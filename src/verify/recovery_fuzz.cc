@@ -23,11 +23,12 @@ namespace {
 // from the same topology + seed. kCheckpoint is journal-only (a no-op on
 // reference services, which run without a journal).
 struct Op {
-  enum class Kind { kSubmit, kRemove, kFault, kCheckpoint };
+  enum class Kind { kSubmit, kRemove, kFault, kCheckpoint, kDefrag };
   Kind kind = Kind::kSubmit;
   core::SubmitRequest req;  // kSubmit
   int remove_user = -1;     // kRemove
   emu::FaultAction action;  // kFault
+  defrag::DefragOptions defrag_opts;  // kDefrag
 };
 
 emu::FaultAction pickFault(Rng* rng, const std::vector<int>& devices,
@@ -72,7 +73,7 @@ std::vector<Op> makeOps(Rng* rng, const std::vector<int>& hosts,
   int next_user = 1;
   std::vector<int> live;
   for (int i = 0; i < nops; ++i) {
-    const auto roll = rng->nextBelow(10);
+    const auto roll = rng->nextBelow(12);
     Op op;
     if (roll < 4 || live.empty()) {
       op.kind = Op::Kind::kSubmit;
@@ -89,8 +90,18 @@ std::vector<Op> makeOps(Rng* rng, const std::vector<int>& hosts,
     } else if (roll < 9 && !devices.empty()) {
       op.kind = Op::Kind::kFault;
       op.action = pickFault(rng, devices, links);
-    } else {
+    } else if (roll < 10) {
       op.kind = Op::Kind::kCheckpoint;
+    } else {
+      // Aggressive knobs so small scenario topologies actually migrate:
+      // a near-zero hot threshold turns any uneven claim into a victim.
+      op.kind = Op::Kind::kDefrag;
+      op.defrag_opts.hot_threshold =
+          0.05 * static_cast<double>(rng->nextBelow(3));
+      op.defrag_opts.max_hot_devices =
+          2 + static_cast<int>(rng->nextBelow(3));
+      op.defrag_opts.max_migrations =
+          1 + static_cast<int>(rng->nextBelow(2));
     }
     ops.push_back(std::move(op));
   }
@@ -112,6 +123,12 @@ void applyOp(core::ClickIncService& svc, const Op& op, bool with_journal) {
       break;
     case Op::Kind::kCheckpoint:
       if (with_journal) svc.checkpoint();
+      break;
+    case Op::Kind::kDefrag:
+      // Identical on primary and references: the executor journals only
+      // when a journal is attached, and the occupancy/plan mutations are
+      // the same applyMigrationLocked arithmetic replay uses.
+      svc.defragment(op.defrag_opts);
       break;
   }
 }
@@ -180,6 +197,9 @@ RecoveryFuzzOutcome fuzzRecoveryOnce(std::uint64_t seed,
                          opts.ops_max - opts.ops_min + 1)));
   const std::vector<Op> ops = makeOps(&rng, hosts, topo, nops);
   out.ops = static_cast<int>(ops.size());
+  for (const auto& op : ops) {
+    if (op.kind == Op::Kind::kDefrag) ++out.defrag_ops;
+  }
 
   // --- primary run: journal every op, note the sink size per op --------
   durable::MemJournalSink sink;
@@ -195,6 +215,12 @@ RecoveryFuzzOutcome fuzzRecoveryOnce(std::uint64_t seed,
   const std::vector<std::uint8_t> bytes = sink.readAll();
   const auto scan = durable::scanJournal(bytes);
   out.records = static_cast<int>(scan.records.size());
+  for (const auto& rec : scan.records) {
+    if (rec.type == durable::RecordType::kMigrate ||
+        rec.type == durable::RecordType::kMigrateAbort) {
+      ++out.migrate_records;
+    }
+  }
   if (!scan.magic_ok || scan.torn) {
     out.ok = false;
     out.failure = "primary journal does not scan clean";
@@ -428,6 +454,78 @@ RecoveryFuzzOutcome fuzzRecoveryOnce(std::uint64_t seed,
     const std::uint64_t at = rng.nextBelow(8);
     mut[at] ^= 0xA5;
     if (!tryMutated(std::move(mut), "magic flip", at)) return out;
+  }
+
+  // --- checkpoint-file mutations: framing-VALID corruption inside
+  // kCheckpoint payloads. The frame is rebuilt around the mutated payload
+  // (length prefix and CRC rewritten to match), so scanJournal accepts the
+  // record and only the checkpoint decoder / restore path can object —
+  // structured kRecovery or an audit-clean recovery, never a crash.
+  auto reframe = [&](std::vector<std::uint8_t>* mut, std::uint64_t offset,
+                     std::uint64_t new_body_len) {
+    for (int i = 0; i < 4; ++i) {
+      (*mut)[offset + static_cast<std::uint64_t>(i)] =
+          static_cast<std::uint8_t>(new_body_len >> (8 * i));
+    }
+    const std::uint32_t crc = crc32(std::span<const std::uint8_t>(
+        mut->data() + offset + 4, new_body_len));
+    for (int i = 0; i < 4; ++i) {
+      (*mut)[offset + 4 + new_body_len + static_cast<std::uint64_t>(i)] =
+          static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+  };
+  auto tryCkpt = [&](std::vector<std::uint8_t> mut, const char* what,
+                     std::uint64_t where) -> bool {
+    const int fc = out.mutations_failed_closed;
+    const int cl = out.mutations_clean;
+    ++out.ckpt_mutations;
+    if (!tryMutated(std::move(mut), what, where)) return false;
+    out.ckpt_failed_closed += out.mutations_failed_closed - fc;
+    out.ckpt_clean += out.mutations_clean - cl;
+    return true;
+  };
+  for (const auto& rec : scan.records) {
+    if (rec.type != durable::RecordType::kCheckpoint) continue;
+    const std::uint64_t body_off = rec.offset + 4;
+    const std::uint64_t body_len = rec.end - 4 - body_off;
+    const std::uint64_t pay_off = body_off + 9;  // past seq + type
+    const std::uint64_t pay_len = body_len - 9;
+    if (pay_len == 0) continue;
+    {  // payload flip with the frame rebuilt: decode must catch it
+      std::vector<std::uint8_t> mut = bytes;
+      const std::uint64_t at = pay_off + rng.nextBelow(pay_len);
+      mut[at] = static_cast<std::uint8_t>(
+          mut[at] ^ static_cast<std::uint8_t>(1 + rng.nextBelow(255)));
+      reframe(&mut, rec.offset, body_len);
+      if (!tryCkpt(std::move(mut), "ckpt payload flip", at)) return out;
+    }
+    {  // payload tail truncation, reframed: decoder hits a short read
+      std::vector<std::uint8_t> mut = bytes;
+      const std::uint64_t span =
+          1 + rng.nextBelow(std::min<std::uint64_t>(16, pay_len));
+      const std::uint64_t at = pay_off + pay_len - span;
+      mut.erase(mut.begin() + static_cast<std::ptrdiff_t>(at),
+                mut.begin() + static_cast<std::ptrdiff_t>(at + span));
+      reframe(&mut, rec.offset, body_len - span);
+      if (!tryCkpt(std::move(mut), "ckpt payload truncation", at)) {
+        return out;
+      }
+    }
+    {  // payload tail extension, reframed: decoder must not overread
+      std::vector<std::uint8_t> mut = bytes;
+      const std::uint64_t add = 1 + rng.nextBelow(8);
+      std::vector<std::uint8_t> junk;
+      for (std::uint64_t i = 0; i < add; ++i) {
+        junk.push_back(static_cast<std::uint8_t>(rng.nextBelow(256)));
+      }
+      mut.insert(mut.begin() + static_cast<std::ptrdiff_t>(pay_off + pay_len),
+                 junk.begin(), junk.end());
+      reframe(&mut, rec.offset, body_len + add);
+      if (!tryCkpt(std::move(mut), "ckpt payload extension",
+                   pay_off + pay_len)) {
+        return out;
+      }
+    }
   }
 
   // --- canary: journaling itself must not perturb the primary ----------

@@ -18,6 +18,15 @@
 // kRecovery error — recovery never crashes and never returns ok with a
 // dirty audit.
 //
+// A third phase targets kCheckpoint records specifically with
+// FRAMING-VALID corruption (payload flip / truncation / extension, each
+// with the length prefix and CRC rewritten to match): the framing layer
+// cannot reject these, so the checkpoint decoder and restore path must
+// catch them — clean-prefix recovery, audit-clean replay, or a structured
+// kRecovery failure; never a crash. Scenarios also script defragment()
+// ops, so cuts and mutations land inside kMigrate / kMigrateAbort runs
+// and recovery must land on exactly one of {old, new} plan.
+//
 // Shared between the gtest suite (tests/test_recovery.cc) and the
 // standalone fuzz/fuzz_plans.cc driver (--recovery).
 #pragma once
@@ -49,6 +58,16 @@ struct RecoveryFuzzOutcome {
   int mutations_rejected = 0; // framing rejected the corrupted record
   int mutations_failed_closed = 0;  // recover() -> structured kRecovery
   int mutations_clean = 0;    // recover() ok with a clean audit
+  // Checkpoint-file mutation phase: framing-valid corruption inside
+  // kCheckpoint payloads (CRC and length rewritten), which only the
+  // checkpoint decoder / restore path can catch. Subset of mutations.
+  int ckpt_mutations = 0;
+  int ckpt_failed_closed = 0;
+  int ckpt_clean = 0;
+  // Defrag coverage: scripted defragment() ops and the kMigrate /
+  // kMigrateAbort records they journaled on the primary.
+  int defrag_ops = 0;
+  int migrate_records = 0;
 };
 
 // Runs one seeded crash-point scenario end to end. Deterministic per seed.
